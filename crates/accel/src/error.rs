@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the accelerator model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccelError {
+    /// The accelerator configuration is structurally invalid (zero
+    /// parallelism, tile larger than the dimension it tiles, …).
+    InvalidConfig(String),
+    /// The configuration exceeds the platform's resources.
+    ResourceOverflow {
+        /// Resource that overflowed (e.g. "DSP").
+        resource: &'static str,
+        /// Amount required by the configuration.
+        required: u64,
+        /// Amount available on the platform.
+        available: u64,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::InvalidConfig(m) => write!(f, "invalid accelerator configuration: {m}"),
+            AccelError::ResourceOverflow {
+                resource,
+                required,
+                available,
+            } => write!(
+                f,
+                "configuration needs {required} {resource} but the platform has {available}"
+            ),
+        }
+    }
+}
+
+impl Error for AccelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AccelError::InvalidConfig("x".into()).to_string().contains('x'));
+        let e = AccelError::ResourceOverflow {
+            resource: "DSP",
+            required: 2000,
+            available: 1968,
+        };
+        assert!(e.to_string().contains("DSP"));
+        assert!(e.to_string().contains("2000"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AccelError>();
+    }
+}

@@ -1,0 +1,278 @@
+//! Discrete-event execution engine for pipeline schedules.
+//!
+//! The analytic formulas in [`crate::schedule`] encode the paper's three
+//! pipeline schemes in closed form. This module re-derives the same
+//! makespans from first principles: a job list with explicit dependencies
+//! executed by a per-engine, in-order list scheduler. The cross-validation
+//! test (`fine_schedule_matches_event_simulation`) proves the closed forms
+//! and the event engine agree cycle-for-cycle, which is the consistency
+//! evidence a cycle-level simulator owes its users.
+
+use std::collections::HashMap;
+
+use lightmamba_model::MambaConfig;
+
+use crate::arch::{AcceleratorConfig, HadamardImpl};
+use crate::mmu::MmuModel;
+use crate::schedule::htu_model;
+use crate::ssmu::SsmuModel;
+
+/// Engines of the partially-unfolded design (Fig. 5a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The shared matrix-multiplication unit.
+    Mmu,
+    /// The SSM unit (one pipelined chain).
+    Ssmu,
+    /// The Hadamard transform unit.
+    Htu,
+}
+
+/// One unit of work bound to an engine.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Unique id referenced by `deps`.
+    pub id: usize,
+    /// Engine that executes the job.
+    pub engine: Engine,
+    /// Busy cycles on the engine.
+    pub cycles: u64,
+    /// Jobs that must complete before this one starts.
+    pub deps: Vec<usize>,
+    /// Extra latency between the last dependency finishing and this job
+    /// being ready (pipeline fill of a pass-through stage).
+    pub ready_delay: u64,
+}
+
+/// Result of an event simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// Completion time of the last job.
+    pub makespan: u64,
+    /// Busy cycles per engine.
+    pub busy: HashMap<&'static str, u64>,
+    /// Per-job completion times, indexed by job id.
+    pub finish: Vec<u64>,
+}
+
+fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Mmu => "MMU",
+        Engine::Ssmu => "SSMU",
+        Engine::Htu => "HTU",
+    }
+}
+
+/// Runs the jobs under in-order-per-engine list scheduling.
+///
+/// Jobs on the same engine execute in the order they appear in `jobs`
+/// (the dispatch order a hardware sequencer would use); each starts at
+/// `max(engine_free, deps_done + ready_delay)`.
+///
+/// # Panics
+///
+/// Panics when a job references an unknown or later-scheduled dependency
+/// (the job list must be topologically ordered, as real dispatch is).
+pub fn run(jobs: &[Job]) -> SimOutcome {
+    let mut finish = vec![0u64; jobs.len()];
+    let mut engine_free: HashMap<Engine, u64> = HashMap::new();
+    let mut busy: HashMap<&'static str, u64> = HashMap::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        assert_eq!(job.id, idx, "job ids must be dense and in order");
+        let deps_done = job
+            .deps
+            .iter()
+            .map(|&d| {
+                assert!(d < idx, "dependency {d} of job {idx} not yet scheduled");
+                finish[d]
+            })
+            .max()
+            .unwrap_or(0);
+        let free = engine_free.get(&job.engine).copied().unwrap_or(0);
+        let start = free.max(deps_done + job.ready_delay);
+        let end = start + job.cycles;
+        engine_free.insert(job.engine, end);
+        *busy.entry(engine_name(job.engine)).or_insert(0) += job.cycles;
+        finish[idx] = end;
+    }
+    SimOutcome {
+        makespan: finish.iter().copied().max().unwrap_or(0),
+        busy,
+        finish,
+    }
+}
+
+/// Builds the job graph of the fine-grained (reordered + tiled) pipeline
+/// for one Mamba block: ΔBC, per-head X/Z, per-head SSM, per-head rotated
+/// out_proj chunks.
+pub fn fine_pipeline_jobs(model: &MambaConfig, cfg: &AcceleratorConfig) -> Vec<Job> {
+    let mmu = MmuModel::new(cfg.mmu_din, cfg.mmu_dout, cfg.precision);
+    let ssmu = SsmuModel::new(cfg, model.headdim, model.d_state);
+    let htu = htu_model(model, cfg);
+    let nheads = model.nheads();
+    let d = model.d_model;
+    let g = model.ngroups * model.d_state;
+    let conv_fill = 8u64;
+    let htu_full = htu.transform_cycles(model.d_inner());
+    let streaming = cfg.hadamard != HadamardImpl::MatrixMultiply;
+    let htu_fill = if streaming {
+        (htu_full / nheads as u64).max(16)
+    } else {
+        htu_full
+    };
+
+    let mut jobs = Vec::new();
+    // ΔBC generation.
+    jobs.push(Job {
+        id: 0,
+        engine: Engine::Mmu,
+        cycles: mmu.matvec_cycles(d, 2 * g + nheads),
+        deps: vec![],
+        ready_delay: 0,
+    });
+    let mut xz_ids = Vec::with_capacity(nheads);
+    for _ in 0..nheads {
+        let id = jobs.len();
+        jobs.push(Job {
+            id,
+            engine: Engine::Mmu,
+            cycles: mmu.matvec_cycles(d, 2 * model.headdim),
+            deps: vec![0],
+            ready_delay: 0,
+        });
+        xz_ids.push(id);
+    }
+    let mut ssm_ids = Vec::with_capacity(nheads);
+    for &xz in &xz_ids {
+        let id = jobs.len();
+        jobs.push(Job {
+            id,
+            engine: Engine::Ssmu,
+            cycles: ssmu.head_cycles(),
+            deps: vec![xz],
+            ready_delay: conv_fill,
+        });
+        ssm_ids.push(id);
+    }
+    // Out-proj chunks: with a streaming HTU each depends on its head's SSM
+    // (plus fill); an MM HTU serializes behind the last head.
+    let last_ssm = *ssm_ids.last().expect("at least one head");
+    for (h, &ssm) in ssm_ids.iter().enumerate() {
+        let id = jobs.len();
+        let dep = if streaming { ssm } else { last_ssm };
+        jobs.push(Job {
+            id,
+            engine: Engine::Mmu,
+            cycles: mmu.matvec_cycles(model.headdim, d),
+            deps: vec![dep],
+            // The SSMU's pipeline-fill latency applies to every head's Y
+            // before it reaches the HTU, in both HTU variants.
+            ready_delay: htu_fill + ssmu.fill_latency(),
+        });
+        let _ = h;
+    }
+    jobs
+}
+
+/// Event-simulated makespan of the fine pipeline for one block.
+pub fn simulate_fine_block(model: &MambaConfig, cfg: &AcceleratorConfig) -> SimOutcome {
+    run(&fine_pipeline_jobs(model, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::PipelineMode;
+    use crate::platform::Platform;
+    use crate::schedule::schedule_block;
+    use lightmamba_model::ModelPreset;
+
+    #[test]
+    fn serial_jobs_sum_up() {
+        let jobs = vec![
+            Job { id: 0, engine: Engine::Mmu, cycles: 10, deps: vec![], ready_delay: 0 },
+            Job { id: 1, engine: Engine::Mmu, cycles: 5, deps: vec![0], ready_delay: 0 },
+        ];
+        let out = run(&jobs);
+        assert_eq!(out.makespan, 15);
+        assert_eq!(out.busy["MMU"], 15);
+    }
+
+    #[test]
+    fn independent_engines_overlap() {
+        let jobs = vec![
+            Job { id: 0, engine: Engine::Mmu, cycles: 10, deps: vec![], ready_delay: 0 },
+            Job { id: 1, engine: Engine::Ssmu, cycles: 8, deps: vec![], ready_delay: 0 },
+        ];
+        assert_eq!(run(&jobs).makespan, 10);
+    }
+
+    #[test]
+    fn ready_delay_shifts_start() {
+        let jobs = vec![
+            Job { id: 0, engine: Engine::Mmu, cycles: 10, deps: vec![], ready_delay: 0 },
+            Job { id: 1, engine: Engine::Ssmu, cycles: 1, deps: vec![0], ready_delay: 7 },
+        ];
+        assert_eq!(run(&jobs).makespan, 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet scheduled")]
+    fn forward_dependency_rejected() {
+        let jobs = vec![Job {
+            id: 0,
+            engine: Engine::Mmu,
+            cycles: 1,
+            deps: vec![1],
+            ready_delay: 0,
+        }];
+        run(&jobs);
+    }
+
+    #[test]
+    fn fine_schedule_matches_event_simulation() {
+        // The closed-form fine() schedule and the event engine implement
+        // the same dispatch policy; their makespans must agree exactly.
+        let model = MambaConfig::preset(ModelPreset::B2_7);
+        for cfg in [
+            AcceleratorConfig::lightmamba_w4a4(&Platform::vck190(), &model),
+            AcceleratorConfig::lightmamba_u280(&Platform::u280(), &model),
+        ] {
+            let analytic = schedule_block(&model, &cfg);
+            assert_eq!(analytic.mode, PipelineMode::FineTiled);
+            let event = simulate_fine_block(&model, &cfg);
+            assert_eq!(
+                event.makespan, analytic.makespan,
+                "event {} vs analytic {} for {cfg:?}",
+                event.makespan, analytic.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn mm_hadamard_variant_also_agrees() {
+        let model = MambaConfig::preset(ModelPreset::B2_7);
+        let cfg = AcceleratorConfig {
+            hadamard: HadamardImpl::MatrixMultiply,
+            ..AcceleratorConfig::lightmamba_w4a4(&Platform::vck190(), &model)
+        };
+        let analytic = schedule_block(&model, &cfg);
+        let event = simulate_fine_block(&model, &cfg);
+        assert_eq!(event.makespan, analytic.makespan);
+    }
+
+    #[test]
+    fn busy_accounting_matches_job_totals() {
+        let model = MambaConfig::preset(ModelPreset::M130);
+        let cfg = AcceleratorConfig::lightmamba_w4a4(&Platform::vck190(), &model);
+        let jobs = fine_pipeline_jobs(&model, &cfg);
+        let total_mmu: u64 = jobs
+            .iter()
+            .filter(|j| j.engine == Engine::Mmu)
+            .map(|j| j.cycles)
+            .sum();
+        let out = run(&jobs);
+        assert_eq!(out.busy["MMU"], total_mmu);
+        assert!(out.finish.len() == jobs.len());
+    }
+}

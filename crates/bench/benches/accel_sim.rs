@@ -1,0 +1,61 @@
+//! Simulator benches: per-block scheduling, full decode reports for the
+//! Table IV targets, and the Fig. 10 hardware sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lightmamba::ablation::AblationStage;
+use lightmamba::codesign::{CoDesign, Target};
+use lightmamba_accel::schedule::schedule_block;
+use lightmamba_accel::sim::DecodeSimulator;
+use lightmamba_model::{MambaConfig, ModelPreset};
+
+fn bench_schedule_block(c: &mut Criterion) {
+    let model = MambaConfig::preset(ModelPreset::B2_7);
+    let cfg = Target::Vck190W4A4.config(&model);
+    c.bench_function("schedule_block_2p7b", |b| {
+        b.iter(|| schedule_block(black_box(&model), black_box(&cfg)))
+    });
+}
+
+fn bench_decode_reports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_report");
+    for target in Target::ALL {
+        let model = MambaConfig::preset(ModelPreset::B2_7);
+        let sim = DecodeSimulator::new(target.platform(), model.clone(), target.config(&model));
+        group.bench_function(target.name(), |b| b.iter(|| black_box(&sim).decode_report()));
+    }
+    group.finish();
+}
+
+fn bench_hardware_report(c: &mut Criterion) {
+    let design = CoDesign::new(Target::Vck190W4A4, ModelPreset::B2_7);
+    c.bench_function("codesign_hardware_report", |b| {
+        b.iter(|| black_box(&design).hardware_report())
+    });
+}
+
+fn bench_ablation_hw_sweep(c: &mut Criterion) {
+    let model = MambaConfig::preset(ModelPreset::B2_7);
+    let platform = Target::Vck190W4A4.platform();
+    c.bench_function("fig10_hw_sweep", |b| {
+        b.iter(|| {
+            AblationStage::ALL
+                .iter()
+                .map(|s| {
+                    let cfg = s.accel_config(&model);
+                    DecodeSimulator::new(platform.clone(), model.clone(), cfg)
+                        .decode_report()
+                        .tokens_per_s
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_block,
+    bench_decode_reports,
+    bench_hardware_report,
+    bench_ablation_hw_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Kernel benches: FHT vs matrix Hadamard (the HTU design trade-off) and
+//! the factored transform at model dimensions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lightmamba_hadamard::{fwht_normalized, FactoredHadamard, HadamardMatrix};
+
+fn bench_fht_vs_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hadamard_128pt");
+    let x: Vec<f32> = (0..128).map(|i| (i as f32 * 0.37).sin()).collect();
+
+    group.bench_function("fht_butterfly", |b| {
+        b.iter(|| {
+            let mut v = x.clone();
+            fwht_normalized(black_box(&mut v));
+            v
+        })
+    });
+
+    let h = HadamardMatrix::sylvester(7);
+    group.bench_function("matrix_multiply", |b| {
+        b.iter(|| {
+            let mut v = x.clone();
+            h.apply(black_box(&mut v), true).expect("length matches");
+            v
+        })
+    });
+    group.finish();
+}
+
+fn bench_factored_model_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factored_hadamard");
+    for &n in &[768usize, 2560, 5120] {
+        let h = FactoredHadamard::new(n).expect("constructible");
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).cos()).collect();
+        group.bench_function(format!("d_{n}"), |b| {
+            b.iter(|| {
+                let mut v = x.clone();
+                h.apply(black_box(&mut v));
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_128x40_split(c: &mut Criterion) {
+    let h = FactoredHadamard::with_factors(128, 40).expect("5120 split");
+    let x: Vec<f32> = (0..5120).map(|i| (i as f32 * 0.003).sin()).collect();
+    c.bench_function("htu_5120_as_128x40", |b| {
+        b.iter(|| {
+            let mut v = x.clone();
+            h.apply(black_box(&mut v));
+            v
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fht_vs_matrix,
+    bench_factored_model_dims,
+    bench_paper_128x40_split
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Model-level benches: FP reference decode step, SSM recurrence kernel,
+//! and the quantized (fake-quant) decode step.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lightmamba_model::ssm::{ssm_step, SsmDims};
+use lightmamba_model::{MambaConfig, MambaModel};
+use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
+use lightmamba_quant::qmodel::QuantizedMamba;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn reference() -> MambaModel {
+    MambaModel::synthetic(MambaConfig::small(), &mut StdRng::seed_from_u64(1)).expect("valid")
+}
+
+fn bench_fp_decode_step(c: &mut Criterion) {
+    let model = reference();
+    c.bench_function("fp_decode_step_small", |b| {
+        let mut state = model.new_state();
+        let mut tok = 1u32;
+        b.iter(|| {
+            let logits = model.forward_step(black_box(tok), &mut state).expect("step");
+            tok = (MambaModel::argmax(&logits) as u32) % 512;
+            logits
+        })
+    });
+}
+
+fn bench_quantized_decode_step(c: &mut Criterion) {
+    use lightmamba_model::eval::StepModel;
+    let model = reference();
+    let mut q: QuantizedMamba =
+        quantize_model(&model, Method::LightMamba, &QuantSpec::w4a4_grouped(32), &[])
+            .expect("quantize");
+    c.bench_function("w4a4_rotated_decode_step_small", |b| {
+        let mut tok = 1u32;
+        b.iter(|| {
+            let logits = q.step(black_box(tok)).expect("step");
+            tok = (MambaModel::argmax(&logits) as u32) % 512;
+            logits
+        })
+    });
+}
+
+fn bench_ssm_kernel(c: &mut Criterion) {
+    // One full 2.7B-shaped SSM decode step (80 heads × 64 × 128).
+    let dims = SsmDims {
+        nheads: 80,
+        headdim: 64,
+        d_state: 128,
+        ngroups: 1,
+    };
+    let x = vec![0.1f32; dims.inner_len()];
+    let bvec = vec![0.05f32; dims.bc_len()];
+    let cvec = vec![0.02f32; dims.bc_len()];
+    let dt = vec![0.3f32; dims.nheads];
+    let a_log = vec![0.5f32; dims.nheads];
+    let dt_bias = vec![0.0f32; dims.nheads];
+    let d_skip = vec![1.0f32; dims.nheads];
+    let mut state = vec![0.0f32; dims.state_len()];
+    c.bench_function("ssm_step_2p7b_shape", |b| {
+        b.iter(|| {
+            ssm_step(
+                dims,
+                black_box(&x),
+                &bvec,
+                &cvec,
+                &dt,
+                &a_log,
+                &dt_bias,
+                &d_skip,
+                &mut state,
+            )
+            .expect("step")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fp_decode_step,
+    bench_quantized_decode_step,
+    bench_ssm_kernel
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Kernel benches: quantize/dequantize throughput at the paper's recipes
+//! and the PoT shift-requantization path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lightmamba_quant::pot;
+use lightmamba_quant::quantizer::{QuantScheme, QuantizedTensor};
+use lightmamba_tensor::Tensor;
+
+fn sample(rows: usize, cols: usize) -> Tensor {
+    Tensor::from_fn(&[rows, cols], |i| {
+        (((i * 2654435761) % 9973) as f32 / 500.0) - 10.0
+    })
+}
+
+fn bench_quantize_recipes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize_1x5120");
+    let t = sample(1, 5120);
+    for (name, scheme) in [
+        ("w8_per_channel", QuantScheme::weight_per_channel(8)),
+        ("a8_per_token", QuantScheme::act_per_token(8)),
+        ("w4_group128", QuantScheme::weight_per_group(4, 128)),
+        ("ssm_pot_group128", QuantScheme::ssm_pot(128)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| QuantizedTensor::quantize(black_box(&t), scheme).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dequantize(c: &mut Criterion) {
+    let t = sample(16, 2560);
+    let q = QuantizedTensor::quantize(&t, QuantScheme::weight_per_group(4, 128)).expect("valid");
+    c.bench_function("dequantize_16x2560_w4g128", |b| {
+        b.iter(|| black_box(&q).dequantize())
+    });
+}
+
+fn bench_pot_requant(c: &mut Criterion) {
+    c.bench_function("pot_shift_requant_8192", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for i in 0..8192i64 {
+                let q = pot::pot_elementwise_mul(
+                    black_box((i % 127) as i32),
+                    black_box(((i * 7) % 127) as i32),
+                    -6,
+                    -4,
+                    -7,
+                    127,
+                );
+                acc += q as i64;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_quantize_recipes, bench_dequantize, bench_pot_requant);
+criterion_main!(benches);

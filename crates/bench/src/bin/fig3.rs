@@ -1,0 +1,69 @@
+//! Fig. 3: hardware cost of SSM operations under naive (non-PoT) vs PoT
+//! quantization.
+
+use lightmamba::report::render_table;
+use lightmamba_accel::arch::AcceleratorConfig;
+use lightmamba_accel::platform::Platform;
+use lightmamba_accel::ssmu::SsmuModel;
+use lightmamba_model::{MambaConfig, ModelPreset};
+
+fn main() {
+    lightmamba_bench::banner(
+        "Fig. 3",
+        "per-operation SSM hardware cost: non-PoT vs PoT re-quantization",
+        "",
+    );
+    let model = MambaConfig::preset(ModelPreset::B2_7);
+    let platform = Platform::vck190();
+    let base = AcceleratorConfig::lightmamba_w4a4(&platform, &model);
+    let pot_cfg = AcceleratorConfig {
+        pot_requant: true,
+        ..base.clone()
+    };
+    let non_cfg = AcceleratorConfig {
+        pot_requant: false,
+        ..base
+    };
+    let pot = SsmuModel::new(&pot_cfg, model.headdim, model.d_state);
+    let non = SsmuModel::new(&non_cfg, model.headdim, model.d_state);
+
+    let rows: Vec<Vec<String>> = pot
+        .per_op_dsp()
+        .iter()
+        .zip(pot.per_op_lut().iter())
+        .zip(non.per_op_dsp().iter().zip(non.per_op_lut().iter()))
+        .map(|(((op, pd), (_, pl)), ((_, nd), (_, nl)))| {
+            vec![
+                op.label().to_string(),
+                nd.to_string(),
+                pd.to_string(),
+                nl.to_string(),
+                pl.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "SSM op",
+                "DSP (non-PoT)",
+                "DSP (PoT)",
+                "LUT (non-PoT)",
+                "LUT (PoT)",
+            ],
+            &rows,
+        )
+    );
+    println!();
+    println!(
+        "totals: DSP {} -> {} ({}x), LUT {} -> {} ({:.2}x)",
+        non.dsp_count(),
+        pot.dsp_count(),
+        non.dsp_count() / pot.dsp_count().max(1),
+        non.lut_count(),
+        pot.lut_count(),
+        non.lut_count() as f64 / pot.lut_count() as f64,
+    );
+    println!("paper shape: PoT removes the re-quantization multiplier from every EM lane");
+}

@@ -1,0 +1,86 @@
+//! Fig. 4b: out_proj *weight* quantization error per layer — only-rotate
+//! vs fuse-and-rotate.
+//!
+//! The paper's finding: fusing the second RMSNorm's per-channel scale into
+//! the output-projection weight before rotation *increases* its
+//! quantization error, so LightMamba leaves that scale unfused.
+//! Substitution: 64 synthetic layers at a scaled-down shape (d_inner 192 →
+//! d_model 96) with heavy-tailed gate-norm scales, matching the synthetic
+//! weight generator.
+
+use lightmamba::report::{bar, fmt};
+use lightmamba_hadamard::{FactoredHadamard, RandomizedHadamard};
+use lightmamba_quant::metrics::quant_error;
+use lightmamba_quant::quantizer::QuantScheme;
+use lightmamba_quant::rotation::rotate_out_proj;
+use lightmamba_tensor::rng::heavy_tailed;
+use lightmamba_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const D_INNER: usize = 192;
+const D_MODEL: usize = 96;
+const LAYERS: usize = 64;
+
+fn main() {
+    lightmamba_bench::banner(
+        "Fig. 4b",
+        "out_proj weight quantization error per layer: only-rotate vs fuse-and-rotate",
+        "64 synthetic layers, scaled-down 2.7B shape (192 x 96), 4-bit per-group weights",
+    );
+    let mut rng = StdRng::seed_from_u64(44);
+    let h = FactoredHadamard::new(D_INNER).expect("192 is constructible");
+    let h_dense = h.to_tensor();
+    let q = RandomizedHadamard::new(D_MODEL, &mut rng).expect("96 is constructible");
+    let q_dense = q.to_tensor();
+    let scheme = QuantScheme::weight_per_group(4, 32);
+
+    let mut only_rotate = Vec::with_capacity(LAYERS);
+    let mut fuse_rotate = Vec::with_capacity(LAYERS);
+    for _ in 0..LAYERS {
+        let std = 1.0 / (D_INNER as f32).sqrt();
+        let w = Tensor::from_fn(&[D_INNER, D_MODEL], |_| std * heavy_tailed(&mut rng, 0.002, 8.0));
+        let gamma: Vec<f32> = (0..D_INNER)
+            .map(|_| 1.0 + 0.15 * heavy_tailed(&mut rng, 0.02, 6.0).abs())
+            .collect();
+        let rotated = rotate_out_proj(&w, None, &h_dense, &q_dense).expect("shapes agree");
+        let fused = rotate_out_proj(&w, Some(&gamma), &h_dense, &q_dense).expect("shapes agree");
+        only_rotate.push(quant_error(&rotated, scheme).expect("valid scheme"));
+        fuse_rotate.push(quant_error(&fused, scheme).expect("valid scheme"));
+    }
+
+    let max = fuse_rotate
+        .iter()
+        .chain(only_rotate.iter())
+        .cloned()
+        .fold(0.0f32, f32::max) as f64;
+    println!("layer | only-rotate | fuse-and-rotate");
+    for l in (0..LAYERS).step_by(4) {
+        println!(
+            "{l:>5} | {:>10} {} | {:>10} {}",
+            fmt(only_rotate[l] as f64, 4),
+            bar(only_rotate[l] as f64, max, 24),
+            fmt(fuse_rotate[l] as f64, 4),
+            bar(fuse_rotate[l] as f64, max, 24),
+        );
+    }
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    let mo = mean(&only_rotate);
+    let mf = mean(&fuse_rotate);
+    let layers_worse = only_rotate
+        .iter()
+        .zip(fuse_rotate.iter())
+        .filter(|(o, f)| f > o)
+        .count();
+    println!();
+    println!(
+        "mean error: only-rotate {} vs fuse-and-rotate {} ({}x)",
+        fmt(mo as f64, 4),
+        fmt(mf as f64, 4),
+        fmt((mf / mo) as f64, 2),
+    );
+    println!(
+        "fusion increases error on {layers_worse}/{LAYERS} layers — paper's conclusion: keep the second norm scale unfused: {}",
+        layers_worse > LAYERS / 2,
+    );
+}

@@ -1,0 +1,74 @@
+//! Fig. 6: pipeline schemes — naive vs coarse-grained reordering vs
+//! fine-grained tiling, one Mamba2-2.7B block on the VCK190 design.
+
+use lightmamba::report::{fmt, render_table};
+use lightmamba_accel::arch::{AcceleratorConfig, PipelineMode};
+use lightmamba_accel::platform::Platform;
+use lightmamba_accel::schedule::schedule_block;
+use lightmamba_model::{MambaConfig, ModelPreset};
+
+fn main() {
+    lightmamba_bench::banner(
+        "Fig. 6",
+        "pipeline schemes: naive / coarse-grained (reordered) / fine-grained (tiled)",
+        "",
+    );
+    let model = MambaConfig::preset(ModelPreset::B2_7);
+    let platform = Platform::vck190();
+    let base = AcceleratorConfig::lightmamba_w4a4(&platform, &model);
+
+    let schedules: Vec<_> = [
+        ("(a) naive sequential", PipelineMode::Naive),
+        ("(b) coarse-grained (compute reordering)", PipelineMode::CoarseReordered),
+        ("(c) fine-grained (tiling + fusion)", PipelineMode::FineTiled),
+    ]
+    .into_iter()
+    .map(|(name, mode)| {
+        let cfg = AcceleratorConfig {
+            pipeline: mode,
+            ..base.clone()
+        };
+        (name, schedule_block(&model, &cfg))
+    })
+    .collect();
+
+    let naive_span = schedules[0].1.makespan as f64;
+    let rows: Vec<Vec<String>> = schedules
+        .iter()
+        .map(|(name, s)| {
+            vec![
+                name.to_string(),
+                s.makespan.to_string(),
+                format!("{:.1}%", 100.0 * (1.0 - s.makespan as f64 / naive_span)),
+                format!("{:.0}%", 100.0 * s.utilization()),
+                s.mmu_busy.to_string(),
+                s.ssmu_busy.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "scheme",
+                "block cycles",
+                "latency reduction",
+                "MMU utilization",
+                "MMU busy",
+                "SSMU busy",
+            ],
+            &rows,
+        )
+    );
+    println!();
+    let fine = &schedules[2].1;
+    println!(
+        "paper: reordering reduces total computation time by 32% and lifts utilization 58% -> 96%"
+    );
+    println!(
+        "measured: {} reduction, utilization {} -> {}",
+        fmt(100.0 * (1.0 - fine.makespan as f64 / naive_span), 1),
+        fmt(100.0 * schedules[0].1.utilization(), 0),
+        fmt(100.0 * fine.utilization(), 0),
+    );
+}

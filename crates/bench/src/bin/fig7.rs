@@ -1,0 +1,60 @@
+//! Fig. 7: fine-grained tiling and fusion — on-chip buffer inventory and
+//! the URAM reduction, plus a tile-size sweep.
+
+use lightmamba::report::render_table;
+use lightmamba_accel::arch::{AcceleratorConfig, TileConfig};
+use lightmamba_accel::platform::Platform;
+use lightmamba_accel::tiling::{tiled_buffers, untiled_buffers};
+use lightmamba_model::{MambaConfig, ModelPreset};
+
+fn main() {
+    lightmamba_bench::banner(
+        "Fig. 7",
+        "fine-grained tiling and fusion: buffer inventory and URAM usage",
+        "",
+    );
+    let model = MambaConfig::preset(ModelPreset::B2_7);
+    let platform = Platform::vck190();
+    let cfg = AcceleratorConfig::lightmamba_w4a4(&platform, &model);
+
+    for (title, report) in [
+        ("(a) tensor-by-tensor (no tiling)", untiled_buffers(&model, &cfg)),
+        (
+            "(b) tile-by-tile (pp=16, np=32, fused)",
+            tiled_buffers(&model, &cfg, cfg.tiling.expect("preset has tiling")),
+        ),
+    ] {
+        println!("{title}:");
+        let rows: Vec<Vec<String>> = report
+            .buffers
+            .iter()
+            .map(|(name, bytes)| {
+                vec![name.clone(), format!("{:.1} KB", bytes / 1024.0)]
+            })
+            .collect();
+        print!("{}", render_table(&["buffer", "size"], &rows));
+        println!(
+            "  total {:.2} MB -> {} URAM blocks\n",
+            report.total_bytes() / 1e6,
+            report.uram_blocks()
+        );
+    }
+
+    let untiled = untiled_buffers(&model, &cfg).uram_blocks();
+    let tiled = tiled_buffers(&model, &cfg, cfg.tiling.expect("preset has tiling")).uram_blocks();
+    println!(
+        "URAM reduction: {untiled} -> {tiled} ({:.1}x; paper: 246 -> 61, 4x)",
+        untiled as f64 / tiled as f64
+    );
+
+    println!();
+    println!("tile-size sweep (URAM blocks):");
+    let rows: Vec<Vec<String>> = [(8usize, 16usize), (16, 32), (32, 64), (64, 128)]
+        .into_iter()
+        .map(|(pp, np)| {
+            let r = tiled_buffers(&model, &cfg, TileConfig { pp, np });
+            vec![format!("{pp}x{np}"), r.uram_blocks().to_string()]
+        })
+        .collect();
+    print!("{}", render_table(&["tile (pp x np)", "URAM"], &rows));
+}

@@ -1,0 +1,41 @@
+//! Table I: qualitative comparison between accelerator paradigms.
+
+use lightmamba::report::render_table;
+use lightmamba_accel::baselines::paradigms;
+
+fn main() {
+    lightmamba_bench::banner(
+        "Table I",
+        "qualitative comparison between accelerator paradigms",
+        "",
+    );
+    let rows: Vec<Vec<String>> = paradigms()
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.work.to_string(),
+                p.architecture.to_string(),
+                p.model.to_string(),
+                p.bit_precision.to_string(),
+                p.latency.to_string(),
+                p.em_compatibility.to_string(),
+                p.mm_parallelism.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "work",
+                "architecture",
+                "model",
+                "bit precision",
+                "latency",
+                "EM compat",
+                "MM parallelism",
+            ],
+            &rows,
+        )
+    );
+}

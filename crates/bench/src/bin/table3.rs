@@ -1,0 +1,128 @@
+//! Table III: PTQ method comparison at W8A8 and W4A4.
+//!
+//! Paper metrics are WikiText2/LAMBADA perplexity and zero-shot accuracy
+//! on seven tasks; with synthetic weights those are replaced by fidelity
+//! against the FP reference (DESIGN.md §1): `ppl-factor = exp(mean KL)`
+//! (1.0 = lossless, like the FP16 row) and top-1 agreement (%). The
+//! paper's orderings to check:
+//!
+//! * W8A8: every method is near-lossless;
+//! * W4A4: RTN degrades, SQ does not beat RTN by much (scattered
+//!   outliers), OS+ collapses, LightMamba/LightMamba* win.
+
+use lightmamba::report::{fmt, render_table};
+use lightmamba_model::corpus::SyntheticCorpus;
+use lightmamba_model::eval::{compare_models, FidelityReport, ReferenceRunner};
+use lightmamba_model::{MambaConfig, MambaModel};
+use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GROUP: usize = 32;
+const SEEDS: [u64; 3] = [11, 22, 33];
+
+fn evaluate(
+    reference: &MambaModel,
+    method: Method,
+    spec: &QuantSpec,
+    calib: &[Vec<u32>],
+    eval: &[Vec<u32>],
+) -> FidelityReport {
+    let mut q = quantize_model(reference, method, spec, calib).expect("quantization");
+    let mut r = ReferenceRunner::new(reference.clone());
+    compare_models(&mut r, &mut q, eval).expect("evaluation")
+}
+
+fn main() {
+    lightmamba_bench::banner(
+        "Table III",
+        "PTQ method comparison on Mamba2 (scaled-down synthetic model)",
+        "ppl-factor = exp(mean KL to FP reference) replaces absolute perplexity; agreement replaces task accuracy",
+    );
+    let cfg = MambaConfig::small();
+    let corpus = SyntheticCorpus::for_vocab(cfg.vocab_size);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    rows.push(vec![
+        "FP16".into(),
+        "-".into(),
+        "1.000".into(),
+        "100.0".into(),
+        "(paper: ppl 4.10, avg acc 60.2)".into(),
+    ]);
+
+    let paper_notes = |method: Method, w4: bool| -> &'static str {
+        match (method, w4) {
+            (Method::Rtn, false) => "(paper: ppl 4.26, acc 59.6)",
+            (Method::SmoothQuant, false) => "(paper: ppl 4.28, acc 59.7)",
+            (Method::OutlierSuppressionPlus, false) => "(paper: ppl 4.01, acc 60.1)",
+            (Method::LightMamba, false) => "(paper: ppl 4.07, acc 60.2)",
+            (Method::LightMambaStar, false) => "(paper: ppl 4.03, acc 60.2)",
+            (Method::Rtn, true) => "(paper: ppl 17.46, acc 51.6)",
+            (Method::SmoothQuant, true) => "(paper: ppl 8.26, acc 55.5)",
+            (Method::OutlierSuppressionPlus, true) => "(paper: ppl >100, acc 30.3)",
+            (Method::LightMamba, true) => "(paper: ppl 6.48, acc 56.3)",
+            (Method::LightMambaStar, true) => "(paper: ppl 6.35, acc 55.9)",
+        }
+    };
+
+    for (precision_name, spec) in [
+        ("W8A8", QuantSpec::w8a8()),
+        ("W4A4", QuantSpec::w4a4_grouped(GROUP)),
+    ] {
+        for method in Method::ALL {
+            let mut ppl_sum = 0.0f64;
+            let mut acc_sum = 0.0f64;
+            for &seed in &SEEDS {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let reference =
+                    MambaModel::synthetic(cfg.clone(), &mut rng).expect("valid config");
+                let calib = corpus.calibration_set(&mut rng, 4, 12);
+                let eval = corpus.calibration_set(&mut rng, 6, 24);
+                let rep = evaluate(&reference, method, &spec, &calib, &eval);
+                ppl_sum += rep.ppl_factor as f64;
+                acc_sum += rep.agreement as f64 * 100.0;
+            }
+            let n = SEEDS.len() as f64;
+            rows.push(vec![
+                method.name().into(),
+                precision_name.into(),
+                fmt(ppl_sum / n, 3),
+                fmt(acc_sum / n, 1),
+                paper_notes(method, precision_name == "W4A4").into(),
+            ]);
+        }
+    }
+
+    print!(
+        "{}",
+        render_table(
+            &[
+                "method",
+                "precision",
+                "ppl-factor (1=lossless)",
+                "agreement %",
+                "paper reference",
+            ],
+            &rows,
+        )
+    );
+    println!();
+    println!("shape checks (W4A4, averaged over {} seeds):", SEEDS.len());
+    let get = |name: &str| -> f64 {
+        rows.iter()
+            .filter(|r| r[0] == name && r[1] == "W4A4")
+            .map(|r| r[2].parse::<f64>().unwrap())
+            .next()
+            .unwrap()
+    };
+    let rtn = get("RTN");
+    let sq = get("SQ");
+    let osp = get("OS+");
+    let lm = get("LightMamba");
+    let lms = get("LightMamba*");
+    println!("  LightMamba beats RTN:  {}", lm < rtn);
+    println!("  LightMamba beats SQ:   {}", lm < sq);
+    println!("  OS+ is the worst:      {}", osp > rtn && osp > sq && osp > lm);
+    println!("  LightMamba* ~= LightMamba: {}", (lms / lm) < 1.25);
+}

@@ -1,0 +1,81 @@
+//! Table IV: hardware comparison — LightMamba on VCK190/U280 vs GPUs.
+
+use lightmamba::codesign::{CoDesign, Target};
+use lightmamba::report::{fmt, render_table};
+use lightmamba_accel::gpu::GpuModel;
+use lightmamba_accel::platform::GpuDevice;
+use lightmamba_model::{MambaConfig, ModelPreset};
+
+fn main() {
+    lightmamba_bench::banner(
+        "Table IV",
+        "hardware comparison with GPU (Mamba2-2.7B decode)",
+        "FPGA rows from the cycle-level simulator; GPU rows from the roofline model",
+    );
+    let model = MambaConfig::preset(ModelPreset::B2_7);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    let paper = [
+        (Target::Vck190W4A4, 7.21, 2.25, 228u64, 107_000u64, 61u64),
+        (Target::Vck190W8A8, 3.61, 1.45, 228, 111_000, 61),
+        (Target::U280W4A4, 93.0, f64::NAN, 1164, 297_000, 61),
+    ];
+
+    for (target, p_tps, p_eff, p_dsp, p_lut, p_uram) in paper {
+        let design = CoDesign::new(target, ModelPreset::B2_7);
+        let r = design.hardware_report();
+        let platform = target.platform();
+        rows.push(vec![
+            target.name().into(),
+            format!("{:.0} MHz", platform.freq_hz / 1e6),
+            format!("{:.0} GB/s", platform.bandwidth_bytes_per_s / 1e9),
+            format!("{} (paper {})", r.resources.lut, p_lut),
+            format!("{} (paper {})", r.resources.dsp, p_dsp),
+            format!("{}", r.resources.bram),
+            format!("{} (paper {})", r.resources.uram, p_uram),
+            format!("{} (paper {})", fmt(r.decode.tokens_per_s, 2), p_tps),
+            if p_eff.is_nan() {
+                fmt(r.power.tokens_per_joule, 2).to_string()
+            } else {
+                format!("{} (paper {})", fmt(r.power.tokens_per_joule, 2), p_eff)
+            },
+        ]);
+    }
+
+    for (device, p_tps, p_eff) in [
+        (GpuDevice::rtx2070(), 65.0, 0.371),
+        (GpuDevice::rtx4090(), 138.0, 0.484),
+    ] {
+        let name = device.name.clone();
+        let g = GpuModel::new(device).decode_report(&model);
+        rows.push(vec![
+            format!("{name} (FP16)"),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("{} (paper {})", fmt(g.tokens_per_s, 1), p_tps),
+            format!("{} (paper {})", fmt(g.tokens_per_joule, 3), p_eff),
+        ]);
+    }
+
+    print!(
+        "{}",
+        render_table(
+            &[
+                "platform",
+                "freq",
+                "bandwidth",
+                "LUT",
+                "DSP",
+                "BRAM",
+                "URAM",
+                "tokens/s",
+                "tokens/J",
+            ],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,28 @@
+//! Shared helpers for the experiment harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! LightMamba paper (see DESIGN.md §4 for the index) and prints paper
+//! values next to measured values so the comparison is auditable.
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, title: &str, substitution_note: &str) {
+    println!("==========================================================================");
+    println!("LightMamba reproduction — {id}: {title}");
+    if !substitution_note.is_empty() {
+        println!("note: {substitution_note}");
+    }
+    println!("==========================================================================");
+}
+
+/// Formats a paper-vs-measured pair.
+pub fn paper_vs(paper: &str, measured: &str) -> String {
+    format!("paper {paper} | measured {measured}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn paper_vs_format() {
+        assert_eq!(super::paper_vs("7.21", "7.33"), "paper 7.21 | measured 7.33");
+    }
+}

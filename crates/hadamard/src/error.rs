@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or applying Hadamard transforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HadamardError {
+    /// No construction is known for the requested order in this crate
+    /// (orders must factor as `2^k × m` with `m ∈ {1, 12, 20}` or be a
+    /// direct Paley order `q + 1`).
+    UnsupportedOrder(usize),
+    /// Paley construction requires a prime `q ≡ 3 (mod 4)`.
+    InvalidPaleyPrime(usize),
+    /// The slice length passed to a transform does not match its order.
+    LengthMismatch {
+        /// Transform order.
+        order: usize,
+        /// Provided slice length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for HadamardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HadamardError::UnsupportedOrder(n) => {
+                write!(f, "no hadamard construction available for order {n}")
+            }
+            HadamardError::InvalidPaleyPrime(q) => write!(
+                f,
+                "paley construction requires a prime q with q % 4 == 3, got {q}"
+            ),
+            HadamardError::LengthMismatch { order, len } => {
+                write!(f, "slice length {len} does not match transform order {order}")
+            }
+        }
+    }
+}
+
+impl Error for HadamardError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(HadamardError::UnsupportedOrder(7)
+            .to_string()
+            .contains("order 7"));
+        assert!(HadamardError::InvalidPaleyPrime(8).to_string().contains('8'));
+        assert!(HadamardError::LengthMismatch { order: 4, len: 3 }
+            .to_string()
+            .contains("length 3"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HadamardError>();
+    }
+}

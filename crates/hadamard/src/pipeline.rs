@@ -1,0 +1,236 @@
+//! Structural model of the FHT butterfly pipeline (paper Fig. 5d).
+//!
+//! The hardware 128-point HTU is seven stages, each "containing a
+//! Butterfly Core and two FIFOs": stage `s` pairs elements `distance
+//! `2^(stages−1−s)` apart, buffering the first half of each block in its
+//! input FIFO until the partner elements arrive. [`StreamingFht`]
+//! implements exactly that element-at-a-time dataflow — not a recursive
+//! transform — and the tests prove it is bit-identical to the flat
+//! [`crate::fwht`]. The cycle model in `lightmamba-accel::htu` charges
+//! latency for precisely this structure.
+
+use std::collections::VecDeque;
+
+use crate::fht;
+
+/// One butterfly stage: holds the leading half-block until partners arrive.
+#[derive(Debug, Clone)]
+struct ButterflyStage {
+    /// Pairing distance (half the block size this stage operates on).
+    half: usize,
+    /// Input FIFO holding the first `half` elements of the current block.
+    fifo: VecDeque<f32>,
+    /// Output-side FIFO holding the `a−b` results to emit after the
+    /// `a+b` results.
+    pending: VecDeque<f32>,
+    /// Position within the current block.
+    pos: usize,
+}
+
+impl ButterflyStage {
+    fn new(half: usize) -> Self {
+        ButterflyStage {
+            half,
+            fifo: VecDeque::with_capacity(half),
+            pending: VecDeque::with_capacity(half),
+            pos: 0,
+        }
+    }
+
+    /// Pushes one element; returns the elements the stage emits this step
+    /// (zero, one, or — at block boundaries — queued differences).
+    fn push(&mut self, x: f32, out: &mut Vec<f32>) {
+        if self.pos < self.half {
+            // Leading half: buffer and wait for partners.
+            self.fifo.push_back(x);
+        } else {
+            // Trailing half: compute the butterfly against the buffered
+            // partner; sums flow out immediately, differences queue.
+            let a = self.fifo.pop_front().expect("partner buffered");
+            out.push(a + x);
+            self.pending.push_back(a - x);
+        }
+        self.pos += 1;
+        if self.pos == 2 * self.half {
+            // Block complete: drain the differences, reset.
+            out.extend(self.pending.drain(..));
+            self.pos = 0;
+        }
+    }
+}
+
+/// A streaming fast Walsh–Hadamard transform over blocks of `n` points.
+///
+/// Feed elements one at a time with [`StreamingFht::push`]; transformed
+/// elements emerge in order once each stage's block fills. The element
+/// order out of a chain of block-halving butterflies is the same natural
+/// order `fwht` produces, because every stage re-emits sums then
+/// differences over its own block.
+///
+/// # Example
+///
+/// ```
+/// use lightmamba_hadamard::pipeline::StreamingFht;
+///
+/// let mut fht = StreamingFht::new(4);
+/// let mut out = Vec::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     out.extend(fht.push(x));
+/// }
+/// assert_eq!(out, vec![10.0, -2.0, -4.0, 0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingFht {
+    stages: Vec<ButterflyStage>,
+    n: usize,
+}
+
+impl StreamingFht {
+    /// Builds the pipeline for power-of-two block size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            fht::is_power_of_two(n),
+            "streaming fht requires a power-of-two block, got {n}"
+        );
+        // Stage s pairs at distance n/2, n/4, … 1 — matching the flat
+        // fwht's h = n/2 … 1 ordering when blocks stream contiguously.
+        let mut stages = Vec::new();
+        let mut half = n / 2;
+        while half >= 1 {
+            stages.push(ButterflyStage::new(half));
+            half /= 2;
+        }
+        StreamingFht { stages, n }
+    }
+
+    /// Block size of the pipeline.
+    pub fn block_size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of butterfly stages (`log2(n)`, 7 for the 128-point HTU).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Pushes one element through the pipeline, returning any elements
+    /// that emerge from the final stage this step.
+    pub fn push(&mut self, x: f32) -> Vec<f32> {
+        let mut wave = vec![x];
+        for stage in &mut self.stages {
+            let mut next = Vec::new();
+            for v in wave {
+                stage.push(v, &mut next);
+            }
+            wave = next;
+        }
+        wave
+    }
+
+    /// Convenience: streams a whole slice and returns the transformed
+    /// output (unnormalized, like [`crate::fwht`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len()` is not a multiple of the block size.
+    pub fn transform(&mut self, xs: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            xs.len() % self.n,
+            0,
+            "input length must be a multiple of the block size"
+        );
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            out.extend(self.push(x));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fwht;
+
+    #[test]
+    fn single_block_matches_flat_fwht() {
+        for n in [2usize, 4, 8, 32, 128] {
+            let xs: Vec<f32> = (0..n).map(|i| ((i * 37 % 19) as f32) - 9.0).collect();
+            let mut reference = xs.clone();
+            fwht(&mut reference);
+            let mut pipe = StreamingFht::new(n);
+            let got = pipe.transform(&xs);
+            assert_eq!(got.len(), n);
+            for (a, b) in got.iter().zip(reference.iter()) {
+                assert!((a - b).abs() < 1e-4, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn seven_stages_for_128_points() {
+        let pipe = StreamingFht::new(128);
+        assert_eq!(pipe.stage_count(), 7);
+        assert_eq!(pipe.block_size(), 128);
+    }
+
+    #[test]
+    fn consecutive_blocks_stream_independently() {
+        // 5120 = 40 blocks of 128: the d_inner stream of Mamba2-2.7B.
+        let n = 128;
+        let blocks = 40;
+        let xs: Vec<f32> = (0..n * blocks).map(|i| (i as f32 * 0.013).sin()).collect();
+        let mut pipe = StreamingFht::new(n);
+        let got = pipe.transform(&xs);
+        for b in 0..blocks {
+            let mut reference = xs[b * n..(b + 1) * n].to_vec();
+            fwht(&mut reference);
+            for (a, r) in got[b * n..(b + 1) * n].iter().zip(reference.iter()) {
+                assert!((a - r).abs() < 1e-3, "block {b}: {a} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_overlaps_consecutive_blocks() {
+        // The first output of a block (the all-sum) mathematically needs
+        // every input of that block, so it appears exactly at the block's
+        // last input — and from then on the pipeline keeps emitting while
+        // the *next* block streams in, which is the throughput win over a
+        // batch MM transform.
+        let n = 64;
+        let mut pipe = StreamingFht::new(n);
+        let mut first_emit = None;
+        let mut emitted = 0usize;
+        for i in 0..2 * n {
+            let out = pipe.push((i as f32 * 0.1).sin());
+            if !out.is_empty() && first_emit.is_none() {
+                first_emit = Some(i);
+            }
+            // While feeding the second block, the first block's results
+            // must still be draining (overlap).
+            if i == n + n / 2 {
+                assert!(emitted > 0, "no overlap with the next block");
+            }
+            emitted += out.len();
+        }
+        assert_eq!(first_emit, Some(n - 1));
+        assert_eq!(emitted, 2 * n, "all outputs must drain by stream end");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        StreamingFht::new(40);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the block size")]
+    fn rejects_partial_blocks() {
+        StreamingFht::new(8).transform(&[1.0; 12]);
+    }
+}

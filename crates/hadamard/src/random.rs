@@ -1,0 +1,178 @@
+//! Randomized Hadamard rotation (QuaRot/SpinQuant style).
+//!
+//! The residual-stream rotation `Q` of the paper's Fig. 4a is a *randomized*
+//! orthonormal Hadamard: a random ±1 diagonal `D` composed with the
+//! deterministic Hadamard, `Q = H·D/√n`. The random signs decorrelate the
+//! rotation from any fixed structure in the weights while keeping `Q`
+//! exactly orthogonal, so `X Q · Qᵀ W = X W` holds to rounding error.
+
+use rand::Rng;
+
+use lightmamba_tensor::Tensor;
+
+use crate::{FactoredHadamard, Result};
+
+/// A randomized orthonormal Hadamard rotation `Q = H·D/√n`.
+#[derive(Debug, Clone)]
+pub struct RandomizedHadamard {
+    inner: FactoredHadamard,
+    /// Random ±1 diagonal applied before the Hadamard.
+    diag: Vec<f32>,
+}
+
+impl RandomizedHadamard {
+    /// Creates a randomized rotation of dimension `n` using `rng` for the
+    /// sign diagonal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HadamardError::UnsupportedOrder`] when `n` has no
+    /// Hadamard construction.
+    pub fn new<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Self> {
+        let inner = FactoredHadamard::new(n)?;
+        let diag = (0..n)
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        Ok(RandomizedHadamard { inner, diag })
+    }
+
+    /// Creates the rotation with an all-ones diagonal (plain Hadamard) —
+    /// useful for deterministic tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HadamardError::UnsupportedOrder`] when `n` has no
+    /// Hadamard construction.
+    pub fn deterministic(n: usize) -> Result<Self> {
+        let inner = FactoredHadamard::new(n)?;
+        Ok(RandomizedHadamard {
+            inner,
+            diag: vec![1.0; n],
+        })
+    }
+
+    /// Rotation dimension.
+    pub fn len(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Whether the rotation is zero-dimensional (never produced by the
+    /// constructors).
+    pub fn is_empty(&self) -> bool {
+        self.diag.is_empty()
+    }
+
+    /// Applies `Q·x` in place (`D` then orthonormal Hadamard).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len()` differs from the rotation dimension.
+    pub fn apply(&self, x: &mut [f32]) {
+        assert_eq!(x.len(), self.diag.len(), "rotation length mismatch");
+        for (v, &d) in x.iter_mut().zip(self.diag.iter()) {
+            *v *= d;
+        }
+        self.inner.apply(x);
+    }
+
+    /// Applies the inverse rotation `Qᵀ·x = D·Hᵀx/√n` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len()` differs from the rotation dimension.
+    pub fn apply_inverse(&self, x: &mut [f32]) {
+        assert_eq!(x.len(), self.diag.len(), "rotation length mismatch");
+        // Orthonormal Hadamard is symmetric only in the pure Sylvester
+        // case; the factored form is still orthogonal, so the inverse is
+        // the transpose. Using the dense transpose keeps this exact.
+        let m = self.to_tensor();
+        let mt = m.transpose().expect("rotation tensor is square");
+        let y = mt.matvec(x).expect("length checked above");
+        x.copy_from_slice(&y);
+    }
+
+    /// Dense orthonormal matrix form `Q` (for weight fusion).
+    pub fn to_tensor(&self) -> Tensor {
+        let h = self.inner.to_tensor();
+        // Q = H·D: scale column j of H by diag[j].
+        let n = self.diag.len();
+        Tensor::from_fn(&[n, n], |idx| h.data()[idx] * self.diag[idx % n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rotation_is_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = RandomizedHadamard::new(48, &mut rng).unwrap();
+        let m = q.to_tensor();
+        let prod = m.matmul(&m.transpose().unwrap()).unwrap();
+        let eye = Tensor::eye(48);
+        for (a, b) in prod.data().iter().zip(eye.data().iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn apply_matches_dense_matvec() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = RandomizedHadamard::new(24, &mut rng).unwrap();
+        let x: Vec<f32> = (0..24).map(|i| (i as f32 * 0.7).sin()).collect();
+        let mut via_apply = x.clone();
+        q.apply(&mut via_apply);
+        let via_dense = q.to_tensor().matvec(&x).unwrap();
+        for (a, b) in via_apply.iter().zip(via_dense.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_apply() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = RandomizedHadamard::new(40, &mut rng).unwrap();
+        let orig: Vec<f32> = (0..40).map(|i| i as f32 * 0.1 - 2.0).collect();
+        let mut x = orig.clone();
+        q.apply(&mut x);
+        q.apply_inverse(&mut x);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rotation_amortizes_outliers() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = RandomizedHadamard::new(256, &mut rng).unwrap();
+        let mut x = vec![0.01f32; 256];
+        x[33] = 50.0;
+        q.apply(&mut x);
+        let max = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(max < 10.0, "outlier should be amortized, max {max}");
+    }
+
+    #[test]
+    fn deterministic_variant_is_plain_hadamard() {
+        let q = RandomizedHadamard::deterministic(8).unwrap();
+        let mut x = vec![0.0f32; 8];
+        x[0] = 1.0;
+        q.apply(&mut x);
+        let expect = 1.0 / (8.0f32).sqrt();
+        for v in &x {
+            assert!((v - expect).abs() < 1e-5);
+        }
+        assert_eq!(q.len(), 8);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_give_different_rotations() {
+        let a = RandomizedHadamard::new(16, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = RandomizedHadamard::new(16, &mut StdRng::seed_from_u64(2)).unwrap();
+        assert_ne!(a.to_tensor().data(), b.to_tensor().data());
+    }
+}

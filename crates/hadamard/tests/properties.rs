@@ -1,0 +1,82 @@
+//! Property-based tests for Hadamard transforms.
+
+use lightmamba_hadamard::{fwht_normalized, FactoredHadamard, HadamardMatrix, RandomizedHadamard};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn fwht_preserves_energy(k in 0u32..8, vals in proptest::collection::vec(-50.0f32..50.0, 256)) {
+        let n = 1usize << k;
+        let mut x: Vec<f32> = vals[..n].to_vec();
+        let before: f32 = x.iter().map(|v| v * v).sum();
+        fwht_normalized(&mut x);
+        let after: f32 = x.iter().map(|v| v * v).sum();
+        prop_assert!((before - after).abs() <= 1e-3 * before.max(1.0));
+    }
+
+    #[test]
+    fn fwht_is_linear(k in 1u32..6, seed in 0u64..100) {
+        use rand::Rng;
+        let n = 1usize << k;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let mut sum: Vec<f32> = a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect();
+        fwht_normalized(&mut sum);
+        let mut ha = a;
+        fwht_normalized(&mut ha);
+        let mut hb = b;
+        fwht_normalized(&mut hb);
+        for ((s, x), y) in sum.iter().zip(ha.iter()).zip(hb.iter()) {
+            prop_assert!((s - (x + y)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn paley_orders_valid(q in prop::sample::select(vec![3usize, 7, 11, 19, 23, 31])) {
+        let h = HadamardMatrix::paley(q).unwrap();
+        prop_assert!(h.is_valid());
+    }
+
+    #[test]
+    fn randomized_rotation_roundtrip(seed in 0u64..50, n in prop::sample::select(vec![16usize, 24, 40, 48, 64])) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = RandomizedHadamard::new(n, &mut rng).unwrap();
+        let orig: Vec<f32> = (0..n).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+        let mut x = orig.clone();
+        q.apply(&mut x);
+        q.apply_inverse(&mut x);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            prop_assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn factored_energy_preserved(n in prop::sample::select(vec![12usize, 20, 40, 48, 80, 96, 160])) {
+        let h = FactoredHadamard::new(n).unwrap();
+        let x: Vec<f32> = (0..n).map(|i| ((i * 31 % 13) as f32) - 6.0).collect();
+        let before: f32 = x.iter().map(|v| v * v).sum();
+        let mut y = x;
+        h.apply(&mut y);
+        let after: f32 = y.iter().map(|v| v * v).sum();
+        prop_assert!((before - after).abs() <= 1e-3 * before.max(1.0));
+    }
+
+    #[test]
+    fn rotation_reduces_peak_of_sparse_outlier(seed in 0u64..30) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 128usize;
+        let q = RandomizedHadamard::new(n, &mut rng).unwrap();
+        let mut x = vec![0.0f32; n];
+        let pos = rng.gen_range(0..n);
+        x[pos] = 100.0;
+        q.apply(&mut x);
+        let max = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        // A lone outlier of magnitude M becomes M/sqrt(n) everywhere.
+        prop_assert!((max - 100.0 / (n as f32).sqrt()).abs() < 1e-2);
+    }
+}

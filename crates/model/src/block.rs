@@ -1,0 +1,229 @@
+//! One Mamba2 block: pre-norm, input projection, conv1d, SSM, gated norm,
+//! output projection, residual add.
+
+use lightmamba_tensor::{activation, norm};
+
+use crate::ssm::{ssm_step, SsmDims};
+use crate::state::LayerState;
+use crate::weights::{BlockWeights, InProjSplit};
+use crate::{MambaConfig, Result};
+
+/// Optional per-step activation taps used by quantization calibration and
+/// the Fig. 2 distribution study.
+#[derive(Debug, Clone, Default)]
+pub struct BlockCapture {
+    /// Input of the input projection (post pre-norm residual stream).
+    pub in_proj_input: Option<Vec<f32>>,
+    /// Input of the output projection (post gated norm) — the activation
+    /// whose scattered outliers motivate the paper (Fig. 2).
+    pub out_proj_input: Option<Vec<f32>>,
+    /// Raw SSM output `y` before the gate.
+    pub ssm_output: Option<Vec<f32>>,
+}
+
+/// A Mamba2 block bound to its weights.
+///
+/// The block borrows nothing at rest; [`MambaBlock::forward_step`] takes
+/// the residual-stream vector and the layer state and returns the updated
+/// residual vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MambaBlock {
+    cfg: MambaConfig,
+    split: InProjSplit,
+    dims: SsmDims,
+    weights: BlockWeights,
+}
+
+impl MambaBlock {
+    /// Binds validated weights to a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelError::InvalidConfig`] when the weights do not
+    /// match `cfg`.
+    pub fn new(cfg: MambaConfig, weights: BlockWeights) -> Result<Self> {
+        weights.validate(&cfg)?;
+        let split = InProjSplit::new(&cfg);
+        let dims = SsmDims::new(&cfg);
+        Ok(MambaBlock {
+            cfg,
+            split,
+            dims,
+            weights,
+        })
+    }
+
+    /// The block's weights.
+    pub fn weights(&self) -> &BlockWeights {
+        &self.weights
+    }
+
+    /// Mutable access to the block's weights (used by the quantizer's
+    /// fusion passes, which rewrite projections in place).
+    pub fn weights_mut(&mut self) -> &mut BlockWeights {
+        &mut self.weights
+    }
+
+    /// The configuration the block was built for.
+    pub fn config(&self) -> &MambaConfig {
+        &self.cfg
+    }
+
+    /// One decode step: consumes the residual-stream vector `x_resid`
+    /// (length `d_model`) and returns the new residual vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying kernels; these indicate
+    /// a state object built for a different configuration.
+    pub fn forward_step(&self, x_resid: &[f32], state: &mut LayerState) -> Result<Vec<f32>> {
+        self.forward_step_captured(x_resid, state, &mut BlockCapture::default())
+    }
+
+    /// [`MambaBlock::forward_step`] with activation taps recorded into
+    /// `capture` (calibration / outlier-study path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MambaBlock::forward_step`].
+    pub fn forward_step_captured(
+        &self,
+        x_resid: &[f32],
+        state: &mut LayerState,
+        capture: &mut BlockCapture,
+    ) -> Result<Vec<f32>> {
+        let w = &self.weights;
+        // Pre-norm.
+        let mut normed = x_resid.to_vec();
+        norm::rms_norm(&mut normed, &w.norm_gamma, 1e-5);
+        capture.in_proj_input = Some(normed.clone());
+
+        // Input projection: z | x | B | C | Δ.
+        let proj = w.w_in.vecmat(&normed)?;
+        let s = &self.split;
+        let z = &proj[s.z.0..s.z.1];
+        let x_pre = &proj[s.x.0..s.x.1];
+        let b_pre = &proj[s.b.0..s.b.1];
+        let c_pre = &proj[s.c.0..s.c.1];
+        let dt_raw = &proj[s.dt.0..s.dt.1];
+
+        // Causal conv over (x, B, C), then SiLU on the conv output.
+        let mut conv_in = Vec::with_capacity(self.cfg.conv_dim());
+        conv_in.extend_from_slice(x_pre);
+        conv_in.extend_from_slice(b_pre);
+        conv_in.extend_from_slice(c_pre);
+        let mut conv_out = state.conv.step(&conv_in, &w.conv_weight, &w.conv_bias)?;
+        activation::silu_slice(&mut conv_out);
+        let di = self.cfg.d_inner();
+        let g = self.cfg.ngroups * self.cfg.d_state;
+        let x_ssm = &conv_out[0..di];
+        let b_ssm = &conv_out[di..di + g];
+        let c_ssm = &conv_out[di + g..di + 2 * g];
+
+        // SSM recurrence.
+        let mut y = ssm_step(
+            self.dims, x_ssm, b_ssm, c_ssm, dt_raw, &w.a_log, &w.dt_bias, &w.d_skip, &mut state.h,
+        )?;
+        capture.ssm_output = Some(y.clone());
+
+        // Gated RMSNorm, then output projection.
+        norm::gated_rms_norm(&mut y, z, &w.gate_norm_gamma, 1e-5);
+        capture.out_proj_input = Some(y.clone());
+        let out = w.w_out.vecmat(&y)?;
+
+        // Residual add.
+        Ok(x_resid
+            .iter()
+            .zip(out.iter())
+            .map(|(&r, &o)| r + o)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_block() -> (MambaBlock, LayerState) {
+        let cfg = MambaConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = synth::synthetic_block(&cfg, &mut rng);
+        let state = LayerState::new(&cfg);
+        (MambaBlock::new(cfg, w).unwrap(), state)
+    }
+
+    #[test]
+    fn forward_preserves_dimension() {
+        let (block, mut state) = test_block();
+        let x = vec![0.1f32; block.config().d_model];
+        let y = block.forward_step(&x, &mut state).unwrap();
+        assert_eq!(y.len(), block.config().d_model);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let (block, mut s1) = test_block();
+        let mut s2 = s1.clone();
+        let x = vec![0.3f32; block.config().d_model];
+        let y1 = block.forward_step(&x, &mut s1).unwrap();
+        let y2 = block.forward_step(&x, &mut s2).unwrap();
+        assert_eq!(y1, y2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn state_carries_history() {
+        let (block, mut state) = test_block();
+        let x = vec![0.5f32; block.config().d_model];
+        let y1 = block.forward_step(&x, &mut state).unwrap();
+        let y2 = block.forward_step(&x, &mut state).unwrap();
+        // Same input, different state → different output.
+        assert_ne!(y1, y2);
+    }
+
+    #[test]
+    fn capture_records_taps() {
+        let (block, mut state) = test_block();
+        let x = vec![0.2f32; block.config().d_model];
+        let mut cap = BlockCapture::default();
+        block.forward_step_captured(&x, &mut state, &mut cap).unwrap();
+        assert_eq!(
+            cap.in_proj_input.as_ref().unwrap().len(),
+            block.config().d_model
+        );
+        assert_eq!(
+            cap.out_proj_input.as_ref().unwrap().len(),
+            block.config().d_inner()
+        );
+        assert_eq!(
+            cap.ssm_output.as_ref().unwrap().len(),
+            block.config().d_inner()
+        );
+    }
+
+    #[test]
+    fn residual_passes_through_zero_block() {
+        // With a zero output projection the block must be the identity.
+        let cfg = MambaConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = synth::synthetic_block(&cfg, &mut rng);
+        w.w_out = lightmamba_tensor::Tensor::zeros(&[cfg.d_inner(), cfg.d_model]);
+        let block = MambaBlock::new(cfg.clone(), w).unwrap();
+        let mut state = LayerState::new(&cfg);
+        let x: Vec<f32> = (0..cfg.d_model).map(|i| i as f32 * 0.01).collect();
+        let y = block.forward_step(&x, &mut state).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn new_rejects_mismatched_weights() {
+        let cfg = MambaConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = synth::synthetic_block(&MambaConfig::small(), &mut rng);
+        assert!(MambaBlock::new(cfg, w).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+use lightmamba_tensor::TensorError;
+
+/// Errors produced by model construction and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A configuration constraint was violated (e.g. `headdim` does not
+    /// divide `d_inner`).
+    InvalidConfig(String),
+    /// A token id exceeded the vocabulary.
+    TokenOutOfRange {
+        /// The offending token id.
+        token: u32,
+        /// The vocabulary size.
+        vocab: usize,
+    },
+    /// A state object was built for a different configuration.
+    StateMismatch(String),
+    /// An underlying tensor kernel failed (shape mismatch in weights).
+    Tensor(TensorError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
+            ModelError::TokenOutOfRange { token, vocab } => {
+                write!(f, "token id {token} out of range for vocabulary of {vocab}")
+            }
+            ModelError::StateMismatch(msg) => write!(f, "state mismatch: {msg}"),
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ModelError {
+    fn from(e: TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ModelError::Tensor(TensorError::InvalidArgument("x".into()));
+        assert!(e.to_string().contains("tensor error"));
+        assert!(Error::source(&e).is_some());
+        let e2 = ModelError::TokenOutOfRange { token: 9, vocab: 4 };
+        assert!(e2.to_string().contains('9'));
+        assert!(Error::source(&e2).is_none());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,164 @@
+//! Token sampling strategies for decode.
+//!
+//! Greedy decoding is what the throughput experiments use; temperature and
+//! top-k sampling make the examples behave like a real inference server
+//! and exercise the logits interface.
+
+use rand::Rng;
+
+use lightmamba_tensor::activation::softmax;
+
+/// A decoding strategy over next-token logits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum Sampler {
+    /// Always pick the argmax.
+    #[default]
+    Greedy,
+    /// Sample from `softmax(logits / temperature)`.
+    ///
+    /// Temperatures ≤ 0 are clamped to a small positive value.
+    Temperature(f32),
+    /// Keep the `k` highest logits, renormalize, then sample with the
+    /// given temperature.
+    TopK {
+        /// Number of candidates kept.
+        k: usize,
+        /// Softmax temperature over the kept candidates.
+        temperature: f32,
+    },
+}
+
+impl Sampler {
+    /// Draws a token id from `logits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `logits` is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, logits: &[f32], rng: &mut R) -> u32 {
+        assert!(!logits.is_empty(), "cannot sample from empty logits");
+        match *self {
+            Sampler::Greedy => argmax(logits) as u32,
+            Sampler::Temperature(t) => {
+                let t = t.max(1e-4);
+                let scaled: Vec<f32> = logits.iter().map(|&l| l / t).collect();
+                categorical(&softmax(&scaled), rng) as u32
+            }
+            Sampler::TopK { k, temperature } => {
+                let k = k.clamp(1, logits.len());
+                let mut idx: Vec<usize> = (0..logits.len()).collect();
+                idx.sort_by(|&a, &b| {
+                    logits[b]
+                        .partial_cmp(&logits[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                idx.truncate(k);
+                let t = temperature.max(1e-4);
+                let scaled: Vec<f32> = idx.iter().map(|&i| logits[i] / t).collect();
+                let choice = categorical(&softmax(&scaled), rng);
+                idx[choice] as u32
+            }
+        }
+    }
+}
+
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn categorical<R: Rng + ?Sized>(probs: &[f32], rng: &mut R) -> usize {
+    let u: f32 = rng.gen();
+    let mut acc = 0.0f32;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = [0.1f32, 5.0, -1.0, 4.9];
+        assert_eq!(Sampler::Greedy.sample(&logits, &mut rng), 1);
+    }
+
+    #[test]
+    fn low_temperature_approaches_greedy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let logits = [0.0f32, 3.0, 1.0];
+        let s = Sampler::Temperature(0.01);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&logits, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn high_temperature_spreads_mass() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let logits = [0.0f32, 1.0, 0.5];
+        let s = Sampler::Temperature(50.0);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[s.sample(&logits, &mut rng) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 500), "{counts:?}");
+    }
+
+    #[test]
+    fn top_k_restricts_support() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let logits = [10.0f32, 9.0, -50.0, -60.0];
+        let s = Sampler::TopK {
+            k: 2,
+            temperature: 1.0,
+        };
+        for _ in 0..200 {
+            let tok = s.sample(&logits, &mut rng);
+            assert!(tok < 2, "sampled outside top-2: {tok}");
+        }
+    }
+
+    #[test]
+    fn top_k_of_one_is_greedy() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let logits = [0.3f32, 0.1, 2.0];
+        let s = Sampler::TopK {
+            k: 1,
+            temperature: 5.0,
+        };
+        assert_eq!(s.sample(&logits, &mut rng), 2);
+    }
+
+    #[test]
+    fn oversized_k_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let logits = [0.0f32, 1.0];
+        let s = Sampler::TopK {
+            k: 99,
+            temperature: 1.0,
+        };
+        let tok = s.sample(&logits, &mut rng);
+        assert!(tok < 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty logits")]
+    fn empty_logits_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        Sampler::Greedy.sample(&[], &mut rng);
+    }
+}

@@ -1,0 +1,386 @@
+//! A minimal Transformer decoder with a KV cache — the *contrast*
+//! substrate.
+//!
+//! The paper's introduction motivates Mamba by the Transformer's
+//! linearly-growing key–value cache and the resulting per-token cost
+//! growth (the decaying FlightLLM/DFX curves of Fig. 9a). This module
+//! implements the smallest faithful version of that mechanism — causal
+//! multi-head attention over an append-only KV cache with a two-layer
+//! MLP — so the contrast can be *measured* on real code rather than only
+//! asserted analytically:
+//!
+//! * [`KvCache::bytes`] grows linearly with decoded length while
+//!   [`crate::ModelState::total_state_bytes`] is constant;
+//! * [`TransformerModel::step_flops`] grows linearly with context while
+//!   Mamba's per-step work is constant.
+
+use rand::Rng;
+
+use lightmamba_tensor::activation::{silu, softmax};
+use lightmamba_tensor::norm;
+use lightmamba_tensor::rng::normal;
+use lightmamba_tensor::Tensor;
+
+use crate::{ModelError, Result};
+
+/// Hyper-parameters of the contrast Transformer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Residual width.
+    pub d_model: usize,
+    /// Decoder layers.
+    pub n_layer: usize,
+    /// Attention heads (`d_model` must be divisible).
+    pub n_head: usize,
+    /// MLP hidden width.
+    pub d_ff: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+}
+
+impl TransformerConfig {
+    /// A laptop-scale configuration comparable to [`crate::MambaConfig::tiny`].
+    pub fn tiny() -> Self {
+        TransformerConfig {
+            d_model: 48,
+            n_layer: 2,
+            n_head: 4,
+            d_ff: 96,
+            vocab_size: 256,
+        }
+    }
+
+    /// Validates divisibility and non-zero dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] on violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.d_model == 0 || self.n_layer == 0 || self.n_head == 0 || self.vocab_size == 0 {
+            return Err(ModelError::InvalidConfig(
+                "all transformer dimensions must be non-zero".into(),
+            ));
+        }
+        if !self.d_model.is_multiple_of(self.n_head) {
+            return Err(ModelError::InvalidConfig(format!(
+                "n_head {} must divide d_model {}",
+                self.n_head, self.d_model
+            )));
+        }
+        Ok(())
+    }
+
+    /// Head width.
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.n_head
+    }
+}
+
+/// Append-only key/value cache (per layer).
+#[derive(Debug, Clone, Default)]
+pub struct KvCache {
+    /// Per layer: concatenated keys, one `d_model` row per past token.
+    keys: Vec<Vec<f32>>,
+    /// Per layer: concatenated values.
+    values: Vec<Vec<f32>>,
+}
+
+impl KvCache {
+    /// Empty cache for `n_layer` layers.
+    pub fn new(n_layer: usize) -> Self {
+        KvCache {
+            keys: vec![Vec::new(); n_layer],
+            values: vec![Vec::new(); n_layer],
+        }
+    }
+
+    /// Number of cached positions (same for every layer).
+    pub fn len(&self) -> usize {
+        self.keys
+            .first()
+            .map(|k| k.len())
+            .unwrap_or(0)
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache footprint in bytes at `bits` per element — the quantity that
+    /// grows with sequence length, unlike Mamba's state.
+    pub fn bytes(&self, bits: f64) -> f64 {
+        let elems: usize = self
+            .keys
+            .iter()
+            .zip(self.values.iter())
+            .map(|(k, v)| k.len() + v.len())
+            .sum();
+        elems as f64 * bits / 8.0
+    }
+
+    /// Clears the cache (new sequence).
+    pub fn reset(&mut self) {
+        for (k, v) in self.keys.iter_mut().zip(self.values.iter_mut()) {
+            k.clear();
+            v.clear();
+        }
+    }
+}
+
+struct LayerWeights {
+    norm1: Vec<f32>,
+    wq: Tensor,
+    wk: Tensor,
+    wv: Tensor,
+    wo: Tensor,
+    norm2: Vec<f32>,
+    w_up: Tensor,
+    w_down: Tensor,
+}
+
+/// The contrast Transformer decoder.
+pub struct TransformerModel {
+    cfg: TransformerConfig,
+    embedding: Tensor,
+    layers: Vec<LayerWeights>,
+    final_norm: Vec<f32>,
+}
+
+impl TransformerModel {
+    /// Builds a model with synthetic weights (same spirit as
+    /// [`crate::synth`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for invalid configs.
+    pub fn synthetic<R: Rng + ?Sized>(cfg: TransformerConfig, rng: &mut R) -> Result<Self> {
+        cfg.validate()?;
+        let d = cfg.d_model;
+        let std = 1.0 / (d as f32).sqrt();
+        let proj = |rows: usize, cols: usize, r: &mut R| {
+            Tensor::from_fn(&[rows, cols], |_| std * normal(r, 0.0, 1.0))
+        };
+        let layers = (0..cfg.n_layer)
+            .map(|_| LayerWeights {
+                norm1: vec![1.0; d],
+                wq: proj(d, d, rng),
+                wk: proj(d, d, rng),
+                wv: proj(d, d, rng),
+                wo: proj(d, d, rng),
+                norm2: vec![1.0; d],
+                w_up: proj(d, cfg.d_ff, rng),
+                w_down: proj(cfg.d_ff, d, rng),
+            })
+            .collect();
+        let embedding = Tensor::from_fn(&[cfg.vocab_size, d], |_| 0.02 * normal(rng, 0.0, 1.0));
+        Ok(TransformerModel {
+            final_norm: vec![1.0; d],
+            cfg,
+            embedding,
+            layers,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// Fresh empty cache.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::new(self.cfg.n_layer)
+    }
+
+    /// FLOPs of one decode step at context length `ctx` — linear in `ctx`
+    /// through the attention term (the mechanism behind Fig. 9a's decay).
+    pub fn step_flops(&self, ctx: usize) -> f64 {
+        let d = self.cfg.d_model as f64;
+        let ff = self.cfg.d_ff as f64;
+        let per_layer = 2.0 * (4.0 * d * d + 2.0 * d * ff) // projections + MLP
+            + 4.0 * d * ctx as f64; // QK^T and attn·V over the cache
+        self.cfg.n_layer as f64 * per_layer + 2.0 * d * self.cfg.vocab_size as f64
+    }
+
+    /// One decode step: appends to the cache and returns next-token logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TokenOutOfRange`] for invalid ids and
+    /// [`ModelError::StateMismatch`] for a cache of the wrong layer count.
+    pub fn forward_step(&self, token: u32, cache: &mut KvCache) -> Result<Vec<f32>> {
+        if token as usize >= self.cfg.vocab_size {
+            return Err(ModelError::TokenOutOfRange {
+                token,
+                vocab: self.cfg.vocab_size,
+            });
+        }
+        if cache.keys.len() != self.cfg.n_layer {
+            return Err(ModelError::StateMismatch(format!(
+                "cache has {} layers, model has {}",
+                cache.keys.len(),
+                self.cfg.n_layer
+            )));
+        }
+        let d = self.cfg.d_model;
+        let hd = self.cfg.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+        let mut x = self.embedding.row(token as usize)?.to_vec();
+
+        for (l, w) in self.layers.iter().enumerate() {
+            let mut normed = x.clone();
+            norm::rms_norm(&mut normed, &w.norm1, 1e-5);
+            let q = w.wq.vecmat(&normed)?;
+            let k = w.wk.vecmat(&normed)?;
+            let v = w.wv.vecmat(&normed)?;
+            cache.keys[l].extend_from_slice(&k);
+            cache.values[l].extend_from_slice(&v);
+            let positions = cache.keys[l].len() / d;
+
+            // Causal attention over the cache, per head.
+            let mut attn_out = vec![0.0f32; d];
+            for h in 0..self.cfg.n_head {
+                let qh = &q[h * hd..(h + 1) * hd];
+                let mut scores = Vec::with_capacity(positions);
+                for p in 0..positions {
+                    let kh = &cache.keys[l][p * d + h * hd..p * d + (h + 1) * hd];
+                    let dot: f32 = qh.iter().zip(kh.iter()).map(|(a, b)| a * b).sum();
+                    scores.push(dot * scale);
+                }
+                let probs = softmax(&scores);
+                for (p, &pr) in probs.iter().enumerate() {
+                    let vh = &cache.values[l][p * d + h * hd..p * d + (h + 1) * hd];
+                    for (o, &vv) in attn_out[h * hd..(h + 1) * hd].iter_mut().zip(vh.iter()) {
+                        *o += pr * vv;
+                    }
+                }
+            }
+            let attn_proj = w.wo.vecmat(&attn_out)?;
+            for (xi, ai) in x.iter_mut().zip(attn_proj.iter()) {
+                *xi += ai;
+            }
+
+            // MLP.
+            let mut normed2 = x.clone();
+            norm::rms_norm(&mut normed2, &w.norm2, 1e-5);
+            let mut hidden = w.w_up.vecmat(&normed2)?;
+            for hv in &mut hidden {
+                *hv = silu(*hv);
+            }
+            let mlp = w.w_down.vecmat(&hidden)?;
+            for (xi, mi) in x.iter_mut().zip(mlp.iter()) {
+                *xi += mi;
+            }
+        }
+        norm::rms_norm(&mut x, &self.final_norm, 1e-5);
+        Ok(self.embedding.matvec(&x)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> TransformerModel {
+        TransformerModel::synthetic(TransformerConfig::tiny(), &mut StdRng::seed_from_u64(3))
+            .unwrap()
+    }
+
+    #[test]
+    fn logits_are_finite_and_vocab_sized() {
+        let m = model();
+        let mut cache = m.new_cache();
+        let logits = m.forward_step(5, &mut cache).unwrap();
+        assert_eq!(logits.len(), 256);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn kv_cache_grows_linearly() {
+        let m = model();
+        let mut cache = m.new_cache();
+        m.forward_step(1, &mut cache).unwrap();
+        let b1 = cache.bytes(16.0);
+        for t in 0..9 {
+            m.forward_step(t, &mut cache).unwrap();
+        }
+        let b10 = cache.bytes(16.0);
+        assert!((b10 / b1 - 10.0).abs() < 1e-6, "{b1} -> {b10}");
+    }
+
+    #[test]
+    fn mamba_state_is_constant_where_kv_grows() {
+        // The motivating contrast, measured on both substrates.
+        let t = model();
+        let mut kv = t.new_cache();
+        let mamba = crate::MambaModel::synthetic(
+            crate::MambaConfig::tiny(),
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+        let mut state = mamba.new_state();
+        let mut kv_sizes = Vec::new();
+        let mut mamba_sizes = Vec::new();
+        for tok in 0..32u32 {
+            t.forward_step(tok % 256, &mut kv).unwrap();
+            mamba.forward_step(tok % 256, &mut state).unwrap();
+            kv_sizes.push(kv.bytes(16.0));
+            mamba_sizes.push(state.total_state_bytes(16.0));
+        }
+        assert!(kv_sizes.last().unwrap() > &(kv_sizes[0] * 30.0));
+        assert_eq!(mamba_sizes[0], *mamba_sizes.last().unwrap());
+    }
+
+    #[test]
+    fn step_flops_grow_with_context() {
+        let m = model();
+        let f0 = m.step_flops(1);
+        let f4096 = m.step_flops(4096);
+        assert!(f4096 > f0);
+        // The growth is the attention term: linear in ctx.
+        let f2048 = m.step_flops(2048);
+        let slope1 = f4096 - f2048;
+        let slope2 = f2048 - m.step_flops(0);
+        assert!((slope1 / slope2 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn attention_attends_to_history() {
+        // Same final token, different history → different logits (the KV
+        // cache is actually read).
+        let m = model();
+        let mut c1 = m.new_cache();
+        m.forward_step(10, &mut c1).unwrap();
+        let l1 = m.forward_step(42, &mut c1).unwrap();
+        let mut c2 = m.new_cache();
+        m.forward_step(200, &mut c2).unwrap();
+        let l2 = m.forward_step(42, &mut c2).unwrap();
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let m = model();
+        let mut cache = m.new_cache();
+        let fresh = m.forward_step(7, &mut cache).unwrap();
+        m.forward_step(8, &mut cache).unwrap();
+        cache.reset();
+        assert!(cache.is_empty());
+        let again = m.forward_step(7, &mut cache).unwrap();
+        assert_eq!(fresh, again);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut cfg = TransformerConfig::tiny();
+        cfg.n_head = 5; // does not divide 48
+        assert!(cfg.validate().is_err());
+        let m = model();
+        let mut cache = m.new_cache();
+        assert!(m.forward_step(9999, &mut cache).is_err());
+        let mut wrong = KvCache::new(1);
+        assert!(m.forward_step(1, &mut wrong).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the Mamba2 substrate.
+
+use lightmamba_model::ssm::{head_coeffs, ssm_step, SsmDims};
+use lightmamba_model::{MambaConfig, MambaModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decay_always_in_unit_interval(raw in -20.0f32..20.0, bias in -5.0f32..5.0, a_log in -3.0f32..3.0) {
+        let c = head_coeffs(raw, bias, a_log);
+        // decay = exp(-A·Δ) ∈ [0, 1]; it underflows to exactly 0 in f32
+        // for very large A·Δ, which hardware also clamps to zero.
+        prop_assert!(c.decay >= 0.0 && c.decay <= 1.0, "decay {}", c.decay);
+        prop_assert!(c.dt >= 0.0 && c.dt.is_finite());
+    }
+
+    #[test]
+    fn ssm_output_is_finite_and_linear_in_c(
+        seed in 0u64..100,
+        scale in 0.1f32..4.0,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = SsmDims { nheads: 2, headdim: 3, d_state: 4, ngroups: 1 };
+        let x: Vec<f32> = (0..dims.inner_len()).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let b: Vec<f32> = (0..dims.bc_len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let c: Vec<f32> = (0..dims.bc_len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let dt = vec![0.5f32; 2];
+        let a_log = vec![0.3f32; 2];
+        let dt_bias = vec![0.0f32; 2];
+        let d_skip = vec![0.0f32; 2];
+
+        // Same state evolution, C scaled -> y scales identically (readout
+        // is linear in C when D = 0).
+        let mut s1 = vec![0.1f32; dims.state_len()];
+        let mut s2 = s1.clone();
+        let y1 = ssm_step(dims, &x, &b, &c, &dt, &a_log, &dt_bias, &d_skip, &mut s1).unwrap();
+        let c_scaled: Vec<f32> = c.iter().map(|v| v * scale).collect();
+        let y2 = ssm_step(dims, &x, &b, &c_scaled, &dt, &a_log, &dt_bias, &d_skip, &mut s2).unwrap();
+        for (a, b2) in y1.iter().zip(y2.iter()) {
+            prop_assert!(a.is_finite());
+            prop_assert!((a * scale - b2).abs() < 1e-3 + scale * 1e-4, "{a} vs {b2}");
+        }
+        // State evolution is independent of C.
+        for (a, b2) in s1.iter().zip(s2.iter()) {
+            prop_assert!((a - b2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn state_norm_is_bounded_under_bounded_input(seed in 0u64..50) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = SsmDims { nheads: 1, headdim: 2, d_state: 4, ngroups: 1 };
+        let b: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let c = vec![0.5f32; 4];
+        let dt = [rng.gen_range(-1.0f32..2.0)];
+        let a_log = [rng.gen_range(0.0f32..2.0)];
+        let dt_bias = [0.0f32];
+        let d_skip = [0.0f32];
+        let mut state = vec![0.0f32; dims.state_len()];
+        // With |x| <= 1, the state is a geometric series bounded by
+        // dt·|B| / (1 - decay).
+        let coeffs = head_coeffs(dt[0], dt_bias[0], a_log[0]);
+        let bound = if coeffs.decay < 1.0 {
+            coeffs.dt * 1.0 / (1.0 - coeffs.decay) + 1.0
+        } else {
+            f32::INFINITY
+        };
+        for _ in 0..200 {
+            let x = [rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)];
+            ssm_step(dims, &x, &b, &c, &dt, &a_log, &dt_bias, &d_skip, &mut state).unwrap();
+        }
+        let max = state.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        prop_assert!(max <= bound, "state {max} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn prefill_equals_stepwise_for_any_prompt(prompt in proptest::collection::vec(0u32..256, 1..12)) {
+        let model = MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(1)).unwrap();
+        let mut s1 = model.new_state();
+        let via_prefill = model.prefill(&prompt, &mut s1).unwrap();
+        let mut s2 = model.new_state();
+        let mut last = Vec::new();
+        for &t in &prompt {
+            last = model.forward_step(t, &mut s2).unwrap();
+        }
+        prop_assert_eq!(via_prefill, last);
+    }
+
+    #[test]
+    fn logits_always_finite(token in 0u32..256, seed in 0u64..20) {
+        let model = MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(seed)).unwrap();
+        let mut state = model.new_state();
+        let logits = model.forward_step(token, &mut state).unwrap();
+        prop_assert!(logits.iter().all(|v| v.is_finite()));
+    }
+}

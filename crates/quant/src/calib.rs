@@ -1,0 +1,189 @@
+//! Calibration: collects activation statistics from the FP reference.
+//!
+//! The channel-wise methods (SmoothQuant, OS+) derive their factors from
+//! calibration activations — "128 random samples from WikiText2" in the
+//! paper, the synthetic corpus here. The rotation method needs no
+//! calibration, which is itself part of why it survives scattered
+//! outliers.
+
+use lightmamba_model::{Capture, MambaModel, Result as ModelResult};
+use lightmamba_tensor::Tensor;
+
+use crate::{QuantError, Result};
+
+/// Per-channel activation statistics at one tap point of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    /// Per-channel maximum absolute value over all calibration tokens.
+    pub absmax: Vec<f32>,
+    /// Per-channel minimum value.
+    pub min: Vec<f32>,
+    /// Per-channel maximum value.
+    pub max: Vec<f32>,
+    /// Number of token positions observed.
+    pub samples: usize,
+}
+
+impl ChannelStats {
+    fn new(channels: usize) -> Self {
+        ChannelStats {
+            absmax: vec![0.0; channels],
+            min: vec![f32::INFINITY; channels],
+            max: vec![f32::NEG_INFINITY; channels],
+            samples: 0,
+        }
+    }
+
+    fn update(&mut self, row: &[f32]) {
+        debug_assert_eq!(row.len(), self.absmax.len());
+        for (c, &v) in row.iter().enumerate() {
+            self.absmax[c] = self.absmax[c].max(v.abs());
+            self.min[c] = self.min[c].min(v);
+            self.max[c] = self.max[c].max(v);
+        }
+        self.samples += 1;
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.absmax.len()
+    }
+}
+
+/// Calibration statistics for every layer of a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationStats {
+    /// Stats of the in_proj input (post pre-norm), one per layer.
+    pub in_proj: Vec<ChannelStats>,
+    /// Stats of the out_proj input (post gated norm), one per layer.
+    pub out_proj: Vec<ChannelStats>,
+}
+
+/// Runs the reference model over `sequences` and accumulates per-channel
+/// statistics at both linear-layer inputs.
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidCalibration`] for empty input and
+/// propagates model step errors.
+pub fn collect(model: &MambaModel, sequences: &[Vec<u32>]) -> Result<CalibrationStats> {
+    if sequences.is_empty() || sequences.iter().all(|s| s.is_empty()) {
+        return Err(QuantError::InvalidCalibration(
+            "calibration requires at least one non-empty sequence".into(),
+        ));
+    }
+    let cfg = model.config();
+    let mut stats = CalibrationStats {
+        in_proj: (0..cfg.n_layer)
+            .map(|_| ChannelStats::new(cfg.d_model))
+            .collect(),
+        out_proj: (0..cfg.n_layer)
+            .map(|_| ChannelStats::new(cfg.d_inner()))
+            .collect(),
+    };
+    let mut state = model.new_state();
+    let mut cap = Capture::default();
+    for seq in sequences {
+        state.reset();
+        for &tok in seq {
+            model.forward_step_captured(tok, &mut state, Some(&mut cap))?;
+            for (l, bc) in cap.blocks.iter().enumerate() {
+                if let Some(a) = &bc.in_proj_input {
+                    stats.in_proj[l].update(a);
+                }
+                if let Some(a) = &bc.out_proj_input {
+                    stats.out_proj[l].update(a);
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Collects the raw out_proj input activations of one layer as a
+/// `(tokens, d_inner)` matrix — the dataset behind Table II and Fig. 2.
+///
+/// # Errors
+///
+/// Propagates model step errors.
+pub fn collect_out_proj_activations(
+    model: &MambaModel,
+    sequences: &[Vec<u32>],
+    layer: usize,
+) -> ModelResult<Tensor> {
+    let cfg = model.config();
+    let mut rows: Vec<f32> = Vec::new();
+    let mut count = 0usize;
+    let mut state = model.new_state();
+    let mut cap = Capture::default();
+    for seq in sequences {
+        state.reset();
+        for &tok in seq {
+            model.forward_step_captured(tok, &mut state, Some(&mut cap))?;
+            if let Some(a) = cap.blocks.get(layer).and_then(|b| b.out_proj_input.as_ref()) {
+                rows.extend_from_slice(a);
+                count += 1;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(rows, &[count, cfg.d_inner()]).expect("rows are d_inner wide"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightmamba_model::corpus::SyntheticCorpus;
+    use lightmamba_model::MambaConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (MambaModel, Vec<Vec<u32>>) {
+        let model =
+            MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(0)).unwrap();
+        let seqs =
+            SyntheticCorpus::for_vocab(256).calibration_set(&mut StdRng::seed_from_u64(1), 2, 8);
+        (model, seqs)
+    }
+
+    #[test]
+    fn stats_have_expected_shape() {
+        let (model, seqs) = setup();
+        let stats = collect(&model, &seqs).unwrap();
+        let cfg = model.config();
+        assert_eq!(stats.in_proj.len(), cfg.n_layer);
+        assert_eq!(stats.out_proj.len(), cfg.n_layer);
+        assert_eq!(stats.in_proj[0].channels(), cfg.d_model);
+        assert_eq!(stats.out_proj[0].channels(), cfg.d_inner());
+        assert_eq!(stats.in_proj[0].samples, 16);
+    }
+
+    #[test]
+    fn absmax_bounds_min_max() {
+        let (model, seqs) = setup();
+        let stats = collect(&model, &seqs).unwrap();
+        for cs in stats.in_proj.iter().chain(stats.out_proj.iter()) {
+            for c in 0..cs.channels() {
+                assert!(cs.min[c] <= cs.max[c]);
+                assert!(cs.absmax[c] + 1e-6 >= cs.max[c].abs());
+                assert!(cs.absmax[c] + 1e-6 >= cs.min[c].abs());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_calibration_rejected() {
+        let (model, _) = setup();
+        assert!(matches!(
+            collect(&model, &[]),
+            Err(QuantError::InvalidCalibration(_))
+        ));
+        assert!(collect(&model, &[vec![]]).is_err());
+    }
+
+    #[test]
+    fn raw_activations_matrix_shape() {
+        let (model, seqs) = setup();
+        let acts = collect_out_proj_activations(&model, &seqs, 0).unwrap();
+        assert_eq!(acts.dims(), &[16, model.config().d_inner()]);
+    }
+}

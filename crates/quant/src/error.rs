@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use lightmamba_hadamard::HadamardError;
+use lightmamba_model::ModelError;
+use lightmamba_tensor::TensorError;
+
+/// Errors produced by the quantization stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// An unsupported bit-width or granularity combination was requested.
+    InvalidScheme(String),
+    /// Calibration data was empty or malformed.
+    InvalidCalibration(String),
+    /// The model dimension admits no Hadamard rotation.
+    Rotation(HadamardError),
+    /// An underlying model operation failed.
+    Model(ModelError),
+    /// An underlying tensor kernel failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidScheme(m) => write!(f, "invalid quantization scheme: {m}"),
+            QuantError::InvalidCalibration(m) => write!(f, "invalid calibration data: {m}"),
+            QuantError::Rotation(e) => write!(f, "rotation error: {e}"),
+            QuantError::Model(e) => write!(f, "model error: {e}"),
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for QuantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuantError::Rotation(e) => Some(e),
+            QuantError::Model(e) => Some(e),
+            QuantError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HadamardError> for QuantError {
+    fn from(e: HadamardError) -> Self {
+        QuantError::Rotation(e)
+    }
+}
+
+impl From<ModelError> for QuantError {
+    fn from(e: ModelError) -> Self {
+        QuantError::Model(e)
+    }
+}
+
+impl From<TensorError> for QuantError {
+    fn from(e: TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: QuantError = HadamardError::UnsupportedOrder(7).into();
+        assert!(e.to_string().contains("rotation"));
+        assert!(Error::source(&e).is_some());
+        let s = QuantError::InvalidScheme("x".into());
+        assert!(Error::source(&s).is_none());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantError>();
+    }
+}

@@ -1,0 +1,248 @@
+//! Integer-exact linear layer: the arithmetic the MMU actually performs.
+//!
+//! The fake-quantized path in [`crate::qmodel`] computes in f32 on
+//! dequantized values, which is the standard way to *evaluate* PTQ
+//! accuracy. This module implements the other half of the story — the
+//! INT×INT→INT32 GEMV with per-block rescaling that the FPGA datapath
+//! executes — and proves the two agree: for symmetric quantization the
+//! integer dot product followed by scale multiplication is **bit-exact**
+//! with the f32 product of the dequantized operands (both compute
+//! `Σ qa·qw · sa·sw`, the integer path just factors the scales out of the
+//! reduction, which is exactly what the DSP-packing MMU of Fig. 5b does).
+
+use lightmamba_tensor::Tensor;
+
+use crate::quantizer::{Granularity, QuantScheme, QuantizedTensor};
+use crate::{QuantError, Result};
+
+/// A weight matrix held in integer form for integer-exact GEMV.
+///
+/// Layout matches the FP path: `(in_features, out_features)`, activations
+/// multiply from the left.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntLinear {
+    codes: Vec<i8>,
+    /// One scale per (row, group) block, `groups_per_row` per row.
+    scales: Vec<f32>,
+    groups_per_row: usize,
+    group: usize,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl IntLinear {
+    /// Quantizes a weight matrix at per-group granularity along the
+    /// *input* dimension (each column segment of length `group` in a
+    /// column shares a scale — the reduction-friendly blocking the MMU
+    /// uses, transposed from the activation view).
+    ///
+    /// For implementation simplicity the codes are produced by the shared
+    /// [`QuantizedTensor`] on the transposed matrix, so this path is
+    /// guaranteed consistent with the fake-quant path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidScheme`] for invalid bits/groups.
+    pub fn quantize(weight: &Tensor, bits: u8, group: usize) -> Result<Self> {
+        let (in_features, out_features) = weight.as_matrix_dims()?;
+        // Transpose so rows are output channels and groups run along the
+        // reduction (input) dimension.
+        let wt = weight.transpose()?;
+        let scheme = QuantScheme {
+            bits,
+            granularity: Granularity::PerGroup(group),
+            pot_scale: false,
+        };
+        let q = QuantizedTensor::quantize(&wt, scheme)?;
+        let groups_per_row = in_features.div_ceil(group);
+        Ok(IntLinear {
+            codes: q.codes().to_vec(),
+            scales: q.scales().to_vec(),
+            groups_per_row,
+            group,
+            in_features,
+            out_features,
+        })
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Integer-exact GEMV: quantizes the activation per group, performs the
+    /// INT×INT→i32 dot products, and rescales per block — returning f32
+    /// outputs identical (to f32 rounding) with the dequantized-f32 path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidScheme`] when `x.len()` differs from
+    /// `in_features` or schemes are invalid.
+    pub fn forward(&self, x: &[f32], act_bits: u8) -> Result<Vec<f32>> {
+        if x.len() != self.in_features {
+            return Err(QuantError::InvalidScheme(format!(
+                "input length {} does not match in_features {}",
+                x.len(),
+                self.in_features
+            )));
+        }
+        let act_scheme = QuantScheme {
+            bits: act_bits,
+            granularity: Granularity::PerGroup(self.group),
+            pot_scale: false,
+        };
+        let xt = Tensor::from_vec(x.to_vec(), &[x.len()])?;
+        let qx = QuantizedTensor::quantize(&xt, act_scheme)?;
+        let x_codes = qx.codes();
+        let x_scales = qx.scales();
+
+        let mut out = vec![0.0f32; self.out_features];
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.codes[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = 0.0f32;
+            for (g, &x_scale) in x_scales.iter().enumerate().take(self.groups_per_row) {
+                let start = g * self.group;
+                let end = (start + self.group).min(self.in_features);
+                // The integer reduction the DSP tree performs.
+                let mut isum: i32 = 0;
+                for i in start..end {
+                    isum += row[i] as i32 * x_codes[i] as i32;
+                }
+                // One rescale per (row, group) block.
+                acc += isum as f32 * self.scales[o * self.groups_per_row + g] * x_scale;
+            }
+            *out_v = acc;
+        }
+        Ok(out)
+    }
+
+    /// The f32 reference for [`IntLinear::forward`]: dequantize both
+    /// operands and multiply in f32 (what `qmodel` does).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IntLinear::forward`].
+    pub fn forward_dequantized(&self, x: &[f32], act_bits: u8) -> Result<Vec<f32>> {
+        let act_scheme = QuantScheme {
+            bits: act_bits,
+            granularity: Granularity::PerGroup(self.group),
+            pot_scale: false,
+        };
+        let xt = Tensor::from_vec(x.to_vec(), &[x.len()])?;
+        let dq_x = QuantizedTensor::quantize(&xt, act_scheme)?.dequantize();
+        let w = self.dequantized_weight();
+        Ok(w.vecmat(dq_x.data())?)
+    }
+
+    /// The dequantized weight in `(in, out)` layout.
+    pub fn dequantized_weight(&self) -> Tensor {
+        let mut w = Tensor::zeros(&[self.in_features, self.out_features]);
+        let data = w.data_mut();
+        for o in 0..self.out_features {
+            for i in 0..self.in_features {
+                let s = self.scales[o * self.groups_per_row + i / self.group];
+                data[i * self.out_features + o] =
+                    self.codes[o * self.in_features + i] as f32 * s;
+            }
+        }
+        w
+    }
+
+    /// Storage bits (codes at the weight width plus FP16 scales).
+    pub fn storage_bits(&self, bits: u8) -> usize {
+        self.codes.len() * bits as usize + self.scales.len() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightmamba_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_weight(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+        Tensor::from_fn(&[rows, cols], |_| rng.gen_range(-0.5f32..0.5))
+    }
+
+    #[test]
+    fn integer_path_matches_dequantized_path() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = random_weight(&mut rng, 64, 48);
+        let lin = IntLinear::quantize(&w, 4, 16).unwrap();
+        let x: Vec<f32> = (0..64).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let int_out = lin.forward(&x, 4).unwrap();
+        let fp_out = lin.forward_dequantized(&x, 4).unwrap();
+        for (a, b) in int_out.iter().zip(fp_out.iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn int8_path_matches_too() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = random_weight(&mut rng, 96, 32);
+        let lin = IntLinear::quantize(&w, 8, 32).unwrap();
+        let x: Vec<f32> = (0..96).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let int_out = lin.forward(&x, 8).unwrap();
+        let fp_out = lin.forward_dequantized(&x, 8).unwrap();
+        for (a, b) in int_out.iter().zip(fp_out.iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_output_approximates_fp_output() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = random_weight(&mut rng, 64, 64);
+        let lin = IntLinear::quantize(&w, 8, 16).unwrap();
+        let x: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let int_out = lin.forward(&x, 8).unwrap();
+        let exact = w.vecmat(&x).unwrap();
+        let err: f32 = int_out
+            .iter()
+            .zip(exact.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / 64.0;
+        let scale: f32 =
+            exact.iter().map(|v| v.abs()).sum::<f32>() / 64.0;
+        assert!(err < 0.05 * scale.max(0.1), "mean err {err} vs scale {scale}");
+    }
+
+    #[test]
+    fn dequantized_weight_roundtrip_is_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = random_weight(&mut rng, 32, 24);
+        let lin = IntLinear::quantize(&w, 8, 8).unwrap();
+        let dq = lin.dequantized_weight();
+        assert_eq!(dq.dims(), w.dims());
+        for (a, b) in w.data().iter().zip(dq.data().iter()) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_input_length() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = random_weight(&mut rng, 16, 8);
+        let lin = IntLinear::quantize(&w, 4, 8).unwrap();
+        assert!(lin.forward(&[0.0; 15], 4).is_err());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = random_weight(&mut rng, 32, 16);
+        let lin = IntLinear::quantize(&w, 4, 16).unwrap();
+        // 512 codes × 4 bits + (16 rows × 2 groups) × 16-bit scales.
+        assert_eq!(lin.storage_bits(4), 512 * 4 + 32 * 16);
+        assert_eq!(lin.in_features(), 32);
+        assert_eq!(lin.out_features(), 16);
+    }
+}

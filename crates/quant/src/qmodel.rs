@@ -1,0 +1,447 @@
+//! Fake-quantized Mamba2 execution.
+//!
+//! Weights are quantized once at construction; activations are quantized
+//! dynamically at every linear-layer input (and, for the `LightMamba*`
+//! configuration, around the SSM's element-wise chain). Compute happens in
+//! f32 on the *dequantized* values — standard "fake quantization", which is
+//! bit-faithful to integer inference for the accuracy questions Table III
+//! asks while keeping the reference path auditable.
+
+use lightmamba_model::eval::StepModel;
+use lightmamba_model::ssm::{ssm_step, SsmDims};
+use lightmamba_model::weights::InProjSplit;
+use lightmamba_model::{MambaConfig, ModelError, ModelState};
+use lightmamba_tensor::{activation, norm, Tensor};
+
+use crate::prepared::PreparedModel;
+use crate::quantizer::{fake_quant, fake_quant_slice, QuantScheme, QuantizedTensor};
+use crate::Result;
+
+/// Precision configuration for quantized execution.
+///
+/// Each field is optional: `None` keeps that tensor class in floating
+/// point. [`Precision::fp`] (all `None`) executes the prepared model
+/// exactly, which is how the rotation-invariance tests verify that the
+/// weight rewrites preserve the FP function.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Precision {
+    /// Weight quantization scheme (`None` = FP weights).
+    pub weight: Option<QuantScheme>,
+    /// Activation quantization scheme applied at linear inputs
+    /// (`None` = FP activations).
+    pub act: Option<QuantScheme>,
+    /// SSM quantization scheme (`None` leaves the SSM in FP, as the
+    /// baselines do; `Some` is the paper's `LightMamba*`).
+    pub ssm: Option<QuantScheme>,
+}
+
+impl Precision {
+    /// Full floating-point execution (exact prepared-model semantics).
+    pub fn fp() -> Self {
+        Precision::default()
+    }
+
+    /// The paper's W8A8 recipe: per-channel weights, per-token activations.
+    pub fn w8a8() -> Self {
+        Precision {
+            weight: Some(QuantScheme::weight_per_channel(8)),
+            act: Some(QuantScheme::act_per_token(8)),
+            ssm: None,
+        }
+    }
+
+    /// The paper's W4A4 recipe: per-group weights and activations.
+    pub fn w4a4(group: usize) -> Self {
+        Precision {
+            weight: Some(QuantScheme::weight_per_group(4, group)),
+            act: Some(QuantScheme::act_per_group(4, group)),
+            ssm: None,
+        }
+    }
+
+    /// Adds the PoT INT8 SSM quantization (`LightMamba*`).
+    pub fn with_ssm_pot(mut self, group: usize) -> Self {
+        self.ssm = Some(QuantScheme::ssm_pot(group));
+        self
+    }
+
+    /// Mean weight bits per parameter implied by this precision (16 when
+    /// weights stay FP) — used by the bandwidth model.
+    pub fn weight_bits(&self) -> f64 {
+        self.weight.map_or(16.0, |s| s.bits as f64)
+    }
+}
+
+/// One quantized block: dequantized compute weights plus storage metadata.
+#[derive(Debug, Clone)]
+struct QBlock {
+    norm_gamma: Vec<f32>,
+    w_in: Tensor,
+    w_in_bias: Option<Vec<f32>>,
+    in_act_scale: Option<Vec<f32>>,
+    in_act_shift: Option<Vec<f32>>,
+    conv_weight: Tensor,
+    conv_bias: Vec<f32>,
+    a_log: Vec<f32>,
+    dt_bias: Vec<f32>,
+    d_skip: Vec<f32>,
+    gate_norm_gamma: Vec<f32>,
+    online_hadamard: Option<lightmamba_hadamard::FactoredHadamard>,
+    out_act_scale: Option<Vec<f32>>,
+    out_act_shift: Option<Vec<f32>>,
+    w_out: Tensor,
+    w_out_bias: Option<Vec<f32>>,
+}
+
+/// A quantized Mamba2 model implementing [`StepModel`].
+#[derive(Debug, Clone)]
+pub struct QuantizedMamba {
+    cfg: MambaConfig,
+    split: InProjSplit,
+    dims: SsmDims,
+    precision: Precision,
+    embedding: Tensor,
+    lm_head: Tensor,
+    final_norm_gamma: Vec<f32>,
+    blocks: Vec<QBlock>,
+    state: ModelState,
+    /// Total weight storage in bits after quantization (drives the DMA
+    /// traffic model in `lightmamba-accel`).
+    weight_storage_bits: usize,
+}
+
+impl QuantizedMamba {
+    /// Quantizes a prepared model's weights under `precision`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheme validation and shape errors.
+    pub fn new(prepared: PreparedModel, precision: Precision) -> Result<Self> {
+        if let Some(s) = precision.weight {
+            s.validate()?;
+        }
+        if let Some(s) = precision.act {
+            s.validate()?;
+        }
+        if let Some(s) = precision.ssm {
+            s.validate()?;
+        }
+        let mut storage_bits = 0usize;
+        let mut quant_weight = |t: &Tensor| -> Result<Tensor> {
+            match precision.weight {
+                Some(scheme) => {
+                    let q = QuantizedTensor::quantize(t, scheme)?;
+                    storage_bits += q.storage_bits();
+                    Ok(q.dequantize())
+                }
+                None => {
+                    storage_bits += t.len() * 16;
+                    Ok(t.clone())
+                }
+            }
+        };
+
+        let mut blocks = Vec::with_capacity(prepared.blocks.len());
+        for b in &prepared.blocks {
+            blocks.push(QBlock {
+                norm_gamma: b.norm_gamma.clone(),
+                w_in: quant_weight(&b.w_in)?,
+                w_in_bias: b.w_in_bias.clone(),
+                in_act_scale: b.in_act_scale.clone(),
+                in_act_shift: b.in_act_shift.clone(),
+                conv_weight: b.conv_weight.clone(),
+                conv_bias: b.conv_bias.clone(),
+                a_log: b.a_log.clone(),
+                dt_bias: b.dt_bias.clone(),
+                d_skip: b.d_skip.clone(),
+                gate_norm_gamma: b.gate_norm_gamma.clone(),
+                online_hadamard: b.online_hadamard.clone(),
+                out_act_scale: b.out_act_scale.clone(),
+                out_act_shift: b.out_act_shift.clone(),
+                w_out: quant_weight(&b.w_out)?,
+                w_out_bias: b.w_out_bias.clone(),
+            });
+        }
+        let lm_head = quant_weight(&prepared.lm_head)?;
+        let state = ModelState::new(&prepared.cfg);
+        Ok(QuantizedMamba {
+            split: InProjSplit::new(&prepared.cfg),
+            dims: SsmDims::new(&prepared.cfg),
+            cfg: prepared.cfg,
+            precision,
+            embedding: prepared.embedding,
+            lm_head,
+            final_norm_gamma: prepared.final_norm_gamma,
+            blocks,
+            state,
+            weight_storage_bits: storage_bits,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &MambaConfig {
+        &self.cfg
+    }
+
+    /// The precision this model runs at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Quantized weight storage in bits (codes + scales).
+    pub fn weight_storage_bits(&self) -> usize {
+        self.weight_storage_bits
+    }
+
+    fn step_inner(&mut self, token: u32) -> Result<Vec<f32>> {
+        if token as usize >= self.cfg.vocab_size {
+            return Err(ModelError::TokenOutOfRange {
+                token,
+                vocab: self.cfg.vocab_size,
+            }
+            .into());
+        }
+        let mut x = self.embedding.row(token as usize)?.to_vec();
+        let act = self.precision.act;
+        let ssm_scheme = self.precision.ssm;
+        let maybe_fq = |xs: &mut Vec<f32>, scheme: Option<QuantScheme>| -> Result<()> {
+            if let Some(s) = scheme {
+                fake_quant_slice(xs, s)?;
+            }
+            Ok(())
+        };
+        let di = self.cfg.d_inner();
+        let g = self.cfg.ngroups * self.cfg.d_state;
+
+        for (block, lstate) in self.blocks.iter().zip(self.state.layers.iter_mut()) {
+            // Pre-norm + method-specific activation conditioning.
+            let mut normed = x.clone();
+            norm::rms_norm(&mut normed, &block.norm_gamma, 1e-5);
+            if let Some(shift) = &block.in_act_shift {
+                for (v, s) in normed.iter_mut().zip(shift.iter()) {
+                    *v -= s;
+                }
+            }
+            if let Some(scale) = &block.in_act_scale {
+                for (v, s) in normed.iter_mut().zip(scale.iter()) {
+                    *v /= s;
+                }
+            }
+            maybe_fq(&mut normed, act)?;
+
+            let mut proj = block.w_in.vecmat(&normed)?;
+            if let Some(bias) = &block.w_in_bias {
+                for (p, b) in proj.iter_mut().zip(bias.iter()) {
+                    *p += b;
+                }
+            }
+            let s = &self.split;
+            let z = proj[s.z.0..s.z.1].to_vec();
+            let x_pre = &proj[s.x.0..s.x.1];
+            let b_pre = &proj[s.b.0..s.b.1];
+            let c_pre = &proj[s.c.0..s.c.1];
+            let dt_raw = proj[s.dt.0..s.dt.1].to_vec();
+
+            let mut conv_in = Vec::with_capacity(self.cfg.conv_dim());
+            conv_in.extend_from_slice(x_pre);
+            conv_in.extend_from_slice(b_pre);
+            conv_in.extend_from_slice(c_pre);
+            let mut conv_out = lstate
+                .conv
+                .step(&conv_in, &block.conv_weight, &block.conv_bias)?;
+            activation::silu_slice(&mut conv_out);
+
+            let mut x_ssm = conv_out[0..di].to_vec();
+            let mut b_ssm = conv_out[di..di + g].to_vec();
+            let mut c_ssm = conv_out[di + g..di + 2 * g].to_vec();
+
+            // SSM quantization (LightMamba*): quantize the element-wise
+            // chain's operands and re-quantize state and output, modelling
+            // the INT8 per-group PoT dataflow of the SSMU.
+            if let Some(sq) = ssm_scheme {
+                fake_quant_slice(&mut x_ssm, sq)?;
+                fake_quant_slice(&mut b_ssm, sq)?;
+                fake_quant_slice(&mut c_ssm, sq)?;
+            }
+            let mut y = ssm_step(
+                self.dims,
+                &x_ssm,
+                &b_ssm,
+                &c_ssm,
+                &dt_raw,
+                &block.a_log,
+                &block.dt_bias,
+                &block.d_skip,
+                &mut lstate.h,
+            )?;
+            if let Some(sq) = ssm_scheme {
+                fake_quant_slice(&mut lstate.h, sq)?;
+                fake_quant_slice(&mut y, sq)?;
+            }
+
+            // Gated norm (scale kept unfused per Fig. 4b), online rotation,
+            // method-specific conditioning, activation quantization.
+            norm::gated_rms_norm(&mut y, &z, &block.gate_norm_gamma, 1e-5);
+            if let Some(h) = &block.online_hadamard {
+                h.apply(&mut y);
+            }
+            if let Some(shift) = &block.out_act_shift {
+                for (v, s) in y.iter_mut().zip(shift.iter()) {
+                    *v -= s;
+                }
+            }
+            if let Some(scale) = &block.out_act_scale {
+                for (v, s) in y.iter_mut().zip(scale.iter()) {
+                    *v /= s;
+                }
+            }
+            maybe_fq(&mut y, act)?;
+
+            let mut out = block.w_out.vecmat(&y)?;
+            if let Some(bias) = &block.w_out_bias {
+                for (o, b) in out.iter_mut().zip(bias.iter()) {
+                    *o += b;
+                }
+            }
+            for (xi, oi) in x.iter_mut().zip(out.iter()) {
+                *xi += oi;
+            }
+        }
+
+        norm::rms_norm(&mut x, &self.final_norm_gamma, 1e-5);
+        maybe_fq(&mut x, act)?;
+        Ok(self.lm_head.vecmat(&x)?)
+    }
+}
+
+impl StepModel for QuantizedMamba {
+    fn reset(&mut self) {
+        self.state.reset();
+    }
+
+    fn step(&mut self, token: u32) -> lightmamba_model::Result<Vec<f32>> {
+        self.step_inner(token).map_err(|e| match e {
+            crate::QuantError::Model(m) => m,
+            crate::QuantError::Tensor(t) => ModelError::Tensor(t),
+            other => ModelError::InvalidConfig(other.to_string()),
+        })
+    }
+}
+
+/// Quantizes a single weight tensor and reports the fake-quant result —
+/// convenience used by the error-metric experiments.
+///
+/// # Errors
+///
+/// Propagates scheme validation errors.
+pub fn fake_quant_weight(t: &Tensor, scheme: QuantScheme) -> Result<Tensor> {
+    fake_quant(t, scheme)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightmamba_model::eval::{compare_models, ReferenceRunner};
+    use lightmamba_model::{corpus::SyntheticCorpus, MambaModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reference() -> MambaModel {
+        MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(11)).unwrap()
+    }
+
+    fn precision(wbits: u8, abits: u8) -> Precision {
+        Precision {
+            weight: Some(QuantScheme::weight_per_channel(wbits)),
+            act: Some(QuantScheme::act_per_token(abits)),
+            ssm: None,
+        }
+    }
+
+    fn sequences() -> Vec<Vec<u32>> {
+        SyntheticCorpus::for_vocab(256).calibration_set(&mut StdRng::seed_from_u64(5), 2, 10)
+    }
+
+    #[test]
+    fn w8a8_is_near_lossless() {
+        let model = reference();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let mut q = QuantizedMamba::new(prepared, precision(8, 8)).unwrap();
+        let mut r = ReferenceRunner::new(model);
+        let rep = compare_models(&mut r, &mut q, &sequences()).unwrap();
+        assert!(rep.mean_kl < 0.1, "W8A8 KL too high: {}", rep.mean_kl);
+        assert!(rep.agreement > 0.8, "W8A8 agreement {}", rep.agreement);
+    }
+
+    #[test]
+    fn lower_precision_is_worse() {
+        let model = reference();
+        let seqs = sequences();
+        let kl_at = |wbits, abits| {
+            let prepared = PreparedModel::from_reference(&model).unwrap();
+            let mut q = QuantizedMamba::new(prepared, precision(wbits, abits)).unwrap();
+            let mut r = ReferenceRunner::new(model.clone());
+            compare_models(&mut r, &mut q, &seqs).unwrap().mean_kl
+        };
+        let kl8 = kl_at(8, 8);
+        let kl4 = kl_at(4, 4);
+        let kl2 = kl_at(2, 2);
+        assert!(kl4 > kl8, "kl4 {kl4} vs kl8 {kl8}");
+        assert!(kl2 > kl4, "kl2 {kl2} vs kl4 {kl4}");
+    }
+
+    #[test]
+    fn ssm_quantization_adds_bounded_error() {
+        let model = reference();
+        let seqs = sequences();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let mut with_ssm = QuantizedMamba::new(
+            prepared.clone(),
+            Precision {
+                ssm: Some(QuantScheme::ssm_pot(16)),
+                ..precision(8, 8)
+            },
+        )
+        .unwrap();
+        let mut r = ReferenceRunner::new(model);
+        let rep = compare_models(&mut r, &mut with_ssm, &seqs).unwrap();
+        // INT8 PoT SSM should stay usable (paper: LightMamba* W8A8 ≈ FP16).
+        assert!(rep.mean_kl < 0.5, "SSM-quantized KL {}", rep.mean_kl);
+    }
+
+    #[test]
+    fn storage_bits_track_precision() {
+        let model = reference();
+        let p4 = QuantizedMamba::new(
+            PreparedModel::from_reference(&model).unwrap(),
+            Precision::w4a4(16),
+        )
+        .unwrap();
+        let p8 = QuantizedMamba::new(
+            PreparedModel::from_reference(&model).unwrap(),
+            precision(8, 8),
+        )
+        .unwrap();
+        assert!(p4.weight_storage_bits() < p8.weight_storage_bits());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let model = reference();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let mut q = QuantizedMamba::new(prepared, precision(8, 8)).unwrap();
+        let first = q.step(3).unwrap();
+        q.step(4).unwrap();
+        q.reset();
+        let again = q.step(3).unwrap();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn rejects_bad_token() {
+        let model = reference();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let mut q = QuantizedMamba::new(prepared, precision(8, 8)).unwrap();
+        assert!(q.step(100_000).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Round-to-nearest (RTN) baseline.
+//!
+//! RTN is the no-conditioning baseline of Table II / Table III: weights and
+//! activations are quantized directly with symmetric round-to-nearest at
+//! the chosen granularity. It needs no calibration and no rewrite — the
+//! "apply" pass is the identity, recorded for provenance.
+
+use crate::prepared::PreparedModel;
+use crate::Result;
+
+/// Marks the prepared model as RTN (no rewrite is performed).
+///
+/// # Errors
+///
+/// Infallible today; the `Result` keeps the method signatures uniform
+/// across outlier-handling passes.
+pub fn apply(prepared: &mut PreparedModel) -> Result<()> {
+    prepared.log_rewrite("rtn: no conditioning (round-to-nearest baseline)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightmamba_model::{MambaConfig, MambaModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn apply_is_identity_on_weights() {
+        let model =
+            MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(0)).unwrap();
+        let mut p = crate::PreparedModel::from_reference(&model).unwrap();
+        let before = p.blocks[0].w_out.clone();
+        apply(&mut p).unwrap();
+        assert_eq!(p.blocks[0].w_out, before);
+        assert!(p.blocks[0].in_act_scale.is_none());
+        assert_eq!(p.rewrites.len(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Scalar activation functions used by Mamba2.
+//!
+//! The SSM layer (paper Fig. 1) uses `SiLU` on the gate `z`, `Softplus` on
+//! the timestep `Δ`, and `exp` for the state decay `Ā = exp(Δ·A)`. All are
+//! provided as plain scalar functions plus slice helpers so both the FP32
+//! reference and the quantized fixed-point paths can call them.
+
+/// Logistic sigmoid `1 / (1 + e^(-x))`.
+///
+/// # Example
+///
+/// ```
+/// let y = lightmamba_tensor::activation::sigmoid(0.0);
+/// assert!((y - 0.5).abs() < 1e-6);
+/// ```
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// SiLU (a.k.a. swish): `x * sigmoid(x)` — the `σ` gate of the Mamba block.
+pub fn silu(x: f32) -> f32 {
+    x * sigmoid(x)
+}
+
+/// Softplus `ln(1 + e^x)`, numerically stable for large `|x|`.
+///
+/// Applied to the timestep projection `Δ` before the SSM recurrence.
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        // e^-x underflows the addend; softplus(x) = x + ln(1+e^-x) ≈ x.
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Applies [`silu`] to every element of a slice in place.
+pub fn silu_slice(xs: &mut [f32]) {
+    for x in xs {
+        *x = silu(*x);
+    }
+}
+
+/// Applies [`softplus`] to every element of a slice in place.
+pub fn softplus_slice(xs: &mut [f32]) {
+    for x in xs {
+        *x = softplus(*x);
+    }
+}
+
+/// Numerically stable softmax over a slice, returning a new vector.
+///
+/// Used by the LM-head evaluation to turn logits into next-token
+/// distributions for the KL-based perplexity proxy.
+pub fn softmax(xs: &[f32]) -> Vec<f32> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Log-softmax over a slice, returning a new vector.
+pub fn log_softmax(xs: &[f32]) -> Vec<f32> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = xs.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+    xs.iter().map(|&x| x - max - log_sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        for &x in &[-10.0f32, -1.0, 0.0, 1.0, 10.0] {
+            let s = sigmoid(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_stable_for_extremes() {
+        assert!(sigmoid(-100.0).is_finite());
+        assert!(sigmoid(100.0).is_finite());
+        assert!(sigmoid(-100.0) < 1e-20);
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn silu_known_values() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!((silu(1.0) - 0.731_058_6).abs() < 1e-5);
+        // SiLU is bounded below by roughly -0.2785.
+        assert!(silu(-1.278_46) > -0.3);
+    }
+
+    #[test]
+    fn softplus_known_values_and_stability() {
+        assert!((softplus(0.0) - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!((softplus(50.0) - 50.0).abs() < 1e-4);
+        assert!(softplus(-50.0) >= 0.0);
+        assert!(softplus(-50.0) < 1e-20);
+    }
+
+    #[test]
+    fn softplus_is_monotone() {
+        let mut prev = softplus(-30.0);
+        let mut x = -30.0f32;
+        while x < 30.0 {
+            x += 0.5;
+            let y = softplus(x);
+            assert!(y >= prev);
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn slice_helpers_apply_elementwise() {
+        let mut xs = [0.0f32, 1.0];
+        silu_slice(&mut xs);
+        assert_eq!(xs[0], 0.0);
+        assert!((xs[1] - silu(1.0)).abs() < 1e-7);
+        let mut ys = [0.0f32];
+        softplus_slice(&mut ys);
+        assert!((ys[0] - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let xs = [0.3f32, -1.2, 2.0, 0.0];
+        let p = softmax(&xs);
+        let lp = log_softmax(&xs);
+        for (pi, lpi) in p.iter().zip(lp.iter()) {
+            assert!((pi.ln() - lpi).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        assert!(softmax(&[]).is_empty());
+        assert!(log_softmax(&[]).is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Scenario: architecture design-space exploration with the cycle-level
+//! simulator — the kind of pre-RTL study the paper's accelerator went
+//! through (MMU sizing, EMU parallelism, pipeline mode) on both platforms.
+//!
+//! Run with: `cargo run --example design_space`
+
+use lightmamba_repro::accel::arch::{AcceleratorConfig, PipelineMode};
+use lightmamba_repro::accel::platform::Platform;
+use lightmamba_repro::accel::resources;
+use lightmamba_repro::accel::sim::DecodeSimulator;
+use lightmamba_repro::model::{MambaConfig, ModelPreset};
+
+fn main() {
+    let model = MambaConfig::preset(ModelPreset::B2_7);
+    println!("design-space exploration: Mamba2-2.7B decode\n");
+
+    for platform in [Platform::vck190(), Platform::u280()] {
+        println!(
+            "platform {} ({:.0} GB/s, {} DSP budget):",
+            platform.name,
+            platform.bandwidth_bytes_per_s / 1e9,
+            platform.dsp_total
+        );
+        println!(
+            "  {:>5} {:>5} {:>4} | {:>9} {:>10} | {:>6} {:>9}",
+            "din", "dout", "emu", "tokens/s", "bound", "DSP", "fits?"
+        );
+        let base = AcceleratorConfig::lightmamba_w4a4(&platform, &model);
+        for (din, dout, emu) in [
+            (4usize, 4usize, 2usize),
+            (8, 8, 2),
+            (16, 16, 8),
+            (32, 32, 32),
+            (64, 64, 64),
+        ] {
+            let cfg = AcceleratorConfig {
+                mmu_din: din,
+                mmu_dout: dout,
+                emu_parallelism: emu,
+                pipeline: PipelineMode::FineTiled,
+                ..base.clone()
+            };
+            let res = resources::estimate(&model, &cfg);
+            let fits = res.check_fits(&platform).is_ok();
+            let report =
+                DecodeSimulator::new(platform.clone(), model.clone(), cfg).decode_report();
+            println!(
+                "  {:>5} {:>5} {:>4} | {:>9.2} {:>10} | {:>6} {:>9}",
+                din,
+                dout,
+                emu,
+                report.tokens_per_s,
+                if report.memory_bound { "memory" } else { "compute" },
+                res.dsp,
+                if fits { "yes" } else { "NO" },
+            );
+        }
+        println!();
+    }
+
+    println!("observations (matching the paper's design choices):");
+    println!("  - on VCK190 the 12 GB/s LPDDR caps throughput: past a small MMU, more DSPs buy nothing");
+    println!("  - on U280 the design scales with compute until the HBM roof, hence the 5x bigger datapath");
+}

@@ -1,0 +1,52 @@
+//! Scenario: Mamba vs Transformer at long output lengths — the paper's
+//! motivating contrast (Sec. I and Fig. 9a), measured on real substrates
+//! rather than asserted.
+//!
+//! Run with: `cargo run --example mamba_vs_transformer --release`
+
+use lightmamba_repro::model::transformer::{TransformerConfig, TransformerModel};
+use lightmamba_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mamba = MambaModel::synthetic(MambaConfig::tiny(), &mut rng)?;
+    let transformer = TransformerModel::synthetic(TransformerConfig::tiny(), &mut rng)?;
+
+    println!("decoding 256 tokens on matched tiny models (d_model 48, 2 layers):\n");
+    println!(
+        "{:>6} | {:>16} {:>16} | {:>16} {:>16}",
+        "step", "mamba state B", "mamba step flops", "kv cache B", "attn step flops"
+    );
+
+    let mut state = mamba.new_state();
+    let mut cache = transformer.new_cache();
+    // Mamba per-step work is configuration-only; estimate it once.
+    let m_cfg = mamba.config();
+    let mamba_flops = 2.0
+        * (m_cfg.d_model * m_cfg.d_in_proj()
+            + m_cfg.d_inner() * m_cfg.d_model
+            + 3 * m_cfg.nheads() * m_cfg.headdim * m_cfg.d_state) as f64;
+
+    for step in 0..256u32 {
+        mamba.forward_step(step % 250, &mut state)?;
+        transformer.forward_step(step % 250, &mut cache)?;
+        if step % 64 == 63 || step == 0 {
+            println!(
+                "{:>6} | {:>16.0} {:>16.0} | {:>16.0} {:>16.0}",
+                step + 1,
+                state.total_state_bytes(16.0),
+                mamba_flops,
+                cache.bytes(16.0),
+                transformer.step_flops(step as usize + 1),
+            );
+        }
+    }
+
+    println!();
+    println!("Mamba columns are constant; Transformer columns grow linearly with the");
+    println!("generated length — the mechanism behind the flat vs decaying curves of Fig. 9a");
+    println!("and the reason LightMamba's accelerator needs no KV-cache memory system.");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: quantize a Mamba2 model with LightMamba's rotation-assisted
+//! PTQ, check fidelity against the FP reference, and simulate the paper's
+//! FPGA design points.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lightmamba_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A laptop-scale Mamba2 with synthetic (scattered-outlier) weights.
+    let mut rng = StdRng::seed_from_u64(42);
+    let cfg = MambaConfig::small();
+    let reference = MambaModel::synthetic(cfg.clone(), &mut rng)?;
+    println!(
+        "model: d_model={} d_inner={} layers={} ({} params)",
+        cfg.d_model,
+        cfg.d_inner(),
+        cfg.n_layer,
+        cfg.param_count()
+    );
+
+    // 2. Quantize to W4A4 with rotation-assisted PTQ + PoT SSM quantization.
+    let corpus = lightmamba_repro::model::corpus::SyntheticCorpus::for_vocab(cfg.vocab_size);
+    let eval = corpus.calibration_set(&mut rng, 4, 24);
+    let mut quantized = quantize_model(
+        &reference,
+        Method::LightMambaStar,
+        &QuantSpec::w4a4_grouped(32),
+        &[],
+    )?;
+
+    // 3. Fidelity against the FP32 reference.
+    let mut runner = ReferenceRunner::new(reference);
+    let fidelity = compare_models(&mut runner, &mut quantized, &eval)?;
+    println!(
+        "W4A4 LightMamba*: ppl-factor {:.3}, top-1 agreement {:.1}%, logit cosine {:.3}",
+        fidelity.ppl_factor,
+        fidelity.agreement * 100.0,
+        fidelity.logit_cosine
+    );
+
+    // 4. Hardware: the paper's three Table IV design points on Mamba2-2.7B.
+    println!("\nhardware design points (Mamba2-2.7B decode):");
+    for target in Target::ALL {
+        let report = CoDesign::new(target, ModelPreset::B2_7).hardware_report();
+        println!(
+            "  {:12} {:6.2} tokens/s | {:5.2} tokens/J | {} DSP | {} URAM | {}",
+            target.name(),
+            report.decode.tokens_per_s,
+            report.power.tokens_per_joule,
+            report.resources.dsp,
+            report.resources.uram,
+            if report.decode.memory_bound {
+                "bandwidth-bound"
+            } else {
+                "compute-bound"
+            },
+        );
+    }
+    Ok(())
+}
