@@ -183,7 +183,9 @@ impl AcceleratorConfig {
         }
         if let Some(t) = self.tiling {
             if t.pp == 0 || t.np == 0 {
-                return Err(AccelError::InvalidConfig("tile extents must be non-zero".into()));
+                return Err(AccelError::InvalidConfig(
+                    "tile extents must be non-zero".into(),
+                ));
             }
             if t.pp > model.headdim || t.np > model.d_state {
                 return Err(AccelError::InvalidConfig(format!(

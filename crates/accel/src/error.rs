@@ -42,7 +42,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(AccelError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(AccelError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
         let e = AccelError::ResourceOverflow {
             resource: "DSP",
             required: 2000,

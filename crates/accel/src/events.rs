@@ -190,8 +190,20 @@ mod tests {
     #[test]
     fn serial_jobs_sum_up() {
         let jobs = vec![
-            Job { id: 0, engine: Engine::Mmu, cycles: 10, deps: vec![], ready_delay: 0 },
-            Job { id: 1, engine: Engine::Mmu, cycles: 5, deps: vec![0], ready_delay: 0 },
+            Job {
+                id: 0,
+                engine: Engine::Mmu,
+                cycles: 10,
+                deps: vec![],
+                ready_delay: 0,
+            },
+            Job {
+                id: 1,
+                engine: Engine::Mmu,
+                cycles: 5,
+                deps: vec![0],
+                ready_delay: 0,
+            },
         ];
         let out = run(&jobs);
         assert_eq!(out.makespan, 15);
@@ -201,8 +213,20 @@ mod tests {
     #[test]
     fn independent_engines_overlap() {
         let jobs = vec![
-            Job { id: 0, engine: Engine::Mmu, cycles: 10, deps: vec![], ready_delay: 0 },
-            Job { id: 1, engine: Engine::Ssmu, cycles: 8, deps: vec![], ready_delay: 0 },
+            Job {
+                id: 0,
+                engine: Engine::Mmu,
+                cycles: 10,
+                deps: vec![],
+                ready_delay: 0,
+            },
+            Job {
+                id: 1,
+                engine: Engine::Ssmu,
+                cycles: 8,
+                deps: vec![],
+                ready_delay: 0,
+            },
         ];
         assert_eq!(run(&jobs).makespan, 10);
     }
@@ -210,8 +234,20 @@ mod tests {
     #[test]
     fn ready_delay_shifts_start() {
         let jobs = vec![
-            Job { id: 0, engine: Engine::Mmu, cycles: 10, deps: vec![], ready_delay: 0 },
-            Job { id: 1, engine: Engine::Ssmu, cycles: 1, deps: vec![0], ready_delay: 7 },
+            Job {
+                id: 0,
+                engine: Engine::Mmu,
+                cycles: 10,
+                deps: vec![],
+                ready_delay: 0,
+            },
+            Job {
+                id: 1,
+                engine: Engine::Ssmu,
+                cycles: 1,
+                deps: vec![0],
+                ready_delay: 7,
+            },
         ];
         assert_eq!(run(&jobs).makespan, 18);
     }

@@ -36,7 +36,10 @@ pub fn simulate_fifo(
     consume_rate: usize,
     consumer_delay: u64,
 ) -> FifoAnalysis {
-    assert!(produce_rate > 0 && consume_rate > 0, "rates must be non-zero");
+    assert!(
+        produce_rate > 0 && consume_rate > 0,
+        "rates must be non-zero"
+    );
     let mut occupancy = 0usize;
     let mut peak = 0usize;
     let mut produced = 0usize;

@@ -15,6 +15,9 @@
 //!   Fig. 7;
 //! * [`sim`] — decode-token latency combining compute makespan with the
 //!   DMA weight-streaming model (double-buffered);
+//! * [`batch`] — batch-aware step costing for multi-sequence serving
+//!   (one shared weight stream per step, compute scaled per resident
+//!   sequence) with the URAM bound on residency;
 //! * [`fifo`] — FIFO occupancy simulation for the SSMU's operator chain
 //!   (the paper's minimum-depth balancing);
 //! * [`resources`], [`power`] — LUT/FF/DSP/BRAM/URAM and power/energy
@@ -40,6 +43,7 @@ mod error;
 
 pub mod arch;
 pub mod baselines;
+pub mod batch;
 pub mod emu;
 pub mod events;
 pub mod fifo;

@@ -93,7 +93,11 @@ mod tests {
             p.tokens_per_joule
         );
         // Absolute power stays in the single-digit watts.
-        assert!(p.avg_power_w > 1.0 && p.avg_power_w < 8.0, "{}", p.avg_power_w);
+        assert!(
+            p.avg_power_w > 1.0 && p.avg_power_w < 8.0,
+            "{}",
+            p.avg_power_w
+        );
     }
 
     #[test]

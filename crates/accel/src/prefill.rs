@@ -68,9 +68,8 @@ impl PrefillSimulator {
         let (mm, ssm) = self.layer_cycles(prompt_len);
         // Weights stream once for the whole prompt (double-buffered across
         // layers), so DMA amortizes over L tokens.
-        let weight_bytes = self.model.param_count() as f64
-            * f64::from(self.cfg.precision.weight_bits())
-            / 8.0;
+        let weight_bytes =
+            self.model.param_count() as f64 * f64::from(self.cfg.precision.weight_bits()) / 8.0;
         let dma = self.platform.dma_cycles(weight_bytes);
         // MMU and SSMU overlap under the reordered pipeline; the layer
         // cost is the max of the two engines, plus the amortized DMA.

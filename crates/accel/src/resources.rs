@@ -135,8 +135,14 @@ mod tests {
         // Table IV: W8A8 differs by only a few hundred LUT/FF.
         let model = MambaConfig::preset(ModelPreset::B2_7);
         let platform = Platform::vck190();
-        let w4 = estimate(&model, &AcceleratorConfig::lightmamba_w4a4(&platform, &model));
-        let w8 = estimate(&model, &AcceleratorConfig::lightmamba_w8a8(&platform, &model));
+        let w4 = estimate(
+            &model,
+            &AcceleratorConfig::lightmamba_w4a4(&platform, &model),
+        );
+        let w8 = estimate(
+            &model,
+            &AcceleratorConfig::lightmamba_w8a8(&platform, &model),
+        );
         assert_eq!(w4.dsp, w8.dsp);
         assert!(within(w8.lut, w4.lut, 0.10));
     }

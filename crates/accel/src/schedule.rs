@@ -104,7 +104,10 @@ pub fn schedule_block(model: &MambaConfig, cfg: &AcceleratorConfig) -> LayerSche
     match cfg.pipeline {
         PipelineMode::Naive => naive(&w),
         PipelineMode::CoarseReordered => coarse(&w),
-        PipelineMode::FineTiled => fine(&w, cfg.hadamard != crate::arch::HadamardImpl::MatrixMultiply),
+        PipelineMode::FineTiled => fine(
+            &w,
+            cfg.hadamard != crate::arch::HadamardImpl::MatrixMultiply,
+        ),
     }
 }
 

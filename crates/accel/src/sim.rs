@@ -98,20 +98,29 @@ impl DecodeSimulator {
         mmu.matvec_cycles(self.model.d_model, self.model.vocab_size)
     }
 
-    /// Full decode report for one token.
-    pub fn decode_report(&self) -> DecodeReport {
-        let layer = self.layer_schedule();
-        let n_layer = self.model.n_layer as f64;
+    /// DMA cycles to stream one layer's weights (scale overhead included).
+    pub fn layer_dma_cycles(&self) -> f64 {
         let layer_weights = self.model.params_per_layer() as f64
             * f64::from(self.cfg.precision.weight_bits())
             / 8.0
             * (1.0 + scale_overhead(self.cfg.precision.weight_bits()));
+        self.platform.dma_cycles(layer_weights)
+    }
+
+    /// DMA cycles to stream the LM-head (tied embedding) weights.
+    pub fn head_dma_cycles(&self) -> f64 {
         let head_weights = (self.model.vocab_size * self.model.d_model) as f64
             * f64::from(self.cfg.precision.weight_bits())
             / 8.0;
+        self.platform.dma_cycles(head_weights)
+    }
 
-        let layer_dma = self.platform.dma_cycles(layer_weights);
-        let head_dma = self.platform.dma_cycles(head_weights);
+    /// Full decode report for one token.
+    pub fn decode_report(&self) -> DecodeReport {
+        let layer = self.layer_schedule();
+        let n_layer = self.model.n_layer as f64;
+        let layer_dma = self.layer_dma_cycles();
+        let head_dma = self.head_dma_cycles();
         let layer_compute = layer.makespan as f64;
         let head_compute = self.lm_head_cycles() as f64;
 

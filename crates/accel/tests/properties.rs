@@ -1,7 +1,9 @@
 //! Property-based tests for the accelerator model: scheduler invariants,
 //! resource monotonicity, and simulator consistency.
 
-use lightmamba_accel::arch::{AcceleratorConfig, HadamardImpl, HwPrecision, PipelineMode, TileConfig};
+use lightmamba_accel::arch::{
+    AcceleratorConfig, HadamardImpl, HwPrecision, PipelineMode, TileConfig,
+};
 use lightmamba_accel::fifo;
 use lightmamba_accel::platform::Platform;
 use lightmamba_accel::resources;
@@ -28,16 +30,18 @@ fn any_config() -> impl Strategy<Value = AcceleratorConfig> {
             HadamardImpl::Fht,
         ]),
     )
-        .prop_map(|(precision, din, dout, emu, pot, hadamard)| AcceleratorConfig {
-            precision,
-            mmu_din: din,
-            mmu_dout: dout,
-            emu_parallelism: emu,
-            pot_requant: pot,
-            hadamard,
-            pipeline: PipelineMode::Naive,
-            tiling: Some(TileConfig { pp: 16, np: 32 }),
-        })
+        .prop_map(
+            |(precision, din, dout, emu, pot, hadamard)| AcceleratorConfig {
+                precision,
+                mmu_din: din,
+                mmu_dout: dout,
+                emu_parallelism: emu,
+                pot_requant: pot,
+                hadamard,
+                pipeline: PipelineMode::Naive,
+                tiling: Some(TileConfig { pp: 16, np: 32 }),
+            },
+        )
 }
 
 fn model() -> MambaConfig {

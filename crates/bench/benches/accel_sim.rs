@@ -21,7 +21,9 @@ fn bench_decode_reports(c: &mut Criterion) {
     for target in Target::ALL {
         let model = MambaConfig::preset(ModelPreset::B2_7);
         let sim = DecodeSimulator::new(target.platform(), model.clone(), target.config(&model));
-        group.bench_function(target.name(), |b| b.iter(|| black_box(&sim).decode_report()));
+        group.bench_function(target.name(), |b| {
+            b.iter(|| black_box(&sim).decode_report())
+        });
     }
     group.finish();
 }

@@ -19,7 +19,9 @@ fn bench_fp_decode_step(c: &mut Criterion) {
         let mut state = model.new_state();
         let mut tok = 1u32;
         b.iter(|| {
-            let logits = model.forward_step(black_box(tok), &mut state).expect("step");
+            let logits = model
+                .forward_step(black_box(tok), &mut state)
+                .expect("step");
             tok = (MambaModel::argmax(&logits) as u32) % 512;
             logits
         })
@@ -29,9 +31,13 @@ fn bench_fp_decode_step(c: &mut Criterion) {
 fn bench_quantized_decode_step(c: &mut Criterion) {
     use lightmamba_model::eval::StepModel;
     let model = reference();
-    let mut q: QuantizedMamba =
-        quantize_model(&model, Method::LightMamba, &QuantSpec::w4a4_grouped(32), &[])
-            .expect("quantize");
+    let mut q: QuantizedMamba = quantize_model(
+        &model,
+        Method::LightMamba,
+        &QuantSpec::w4a4_grouped(32),
+        &[],
+    )
+    .expect("quantize");
     c.bench_function("w4a4_rotated_decode_step_small", |b| {
         let mut tok = 1u32;
         b.iter(|| {

@@ -56,5 +56,10 @@ fn bench_pot_requant(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_quantize_recipes, bench_dequantize, bench_pot_requant);
+criterion_group!(
+    benches,
+    bench_quantize_recipes,
+    bench_dequantize,
+    bench_pot_requant
+);
 criterion_main!(benches);

@@ -39,9 +39,18 @@ fn main() {
     println!();
     println!("shape checks:");
     let t = |i: usize| rows_data[i].tokens_per_s;
-    println!("  quantization raises throughput:         {}", t(1) > t(0) && t(2) > t(1));
-    println!("  MM-rotation dips, FHT recovers:         {}", t(3) < t(2) && t(4) > t(3));
-    println!("  reordering raises further, tiling holds: {}", t(5) > t(4) && (t(6) - t(5)).abs() < 0.5);
+    println!(
+        "  quantization raises throughput:         {}",
+        t(1) > t(0) && t(2) > t(1)
+    );
+    println!(
+        "  MM-rotation dips, FHT recovers:         {}",
+        t(3) < t(2) && t(4) > t(3)
+    );
+    println!(
+        "  reordering raises further, tiling holds: {}",
+        t(5) > t(4) && (t(6) - t(5)).abs() < 0.5
+    );
     println!(
         "  tiling slashes URAM ~4x:                 {}",
         rows_data[6].uram * 3 < rows_data[5].uram

@@ -74,7 +74,10 @@ fn main() {
     let rotated = rotate_all(&mamba_like);
 
     let rows: Vec<Vec<String>> = [
-        ("(a) Transformer-style (fixed channels)", profile(&transformer_like)),
+        (
+            "(a) Transformer-style (fixed channels)",
+            profile(&transformer_like),
+        ),
         ("(c) Mamba out_proj input (scattered)", profile(&mamba_like)),
         ("(d) after rotation", profile(&rotated)),
     ]
@@ -106,7 +109,10 @@ fn main() {
     println!();
     println!("per-channel absmax histogram (log-ish bins):");
     let bins = [0.0f32, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
-    for (name, acts) in [("before rotation", &mamba_like), ("after rotation", &rotated)] {
+    for (name, acts) in [
+        ("before rotation", &mamba_like),
+        ("after rotation", &rotated),
+    ] {
         let absmax = stats::per_channel_absmax(acts);
         println!("  {name}:");
         for w in bins.windows(2) {

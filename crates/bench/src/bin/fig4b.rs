@@ -39,7 +39,9 @@ fn main() {
     let mut fuse_rotate = Vec::with_capacity(LAYERS);
     for _ in 0..LAYERS {
         let std = 1.0 / (D_INNER as f32).sqrt();
-        let w = Tensor::from_fn(&[D_INNER, D_MODEL], |_| std * heavy_tailed(&mut rng, 0.002, 8.0));
+        let w = Tensor::from_fn(&[D_INNER, D_MODEL], |_| {
+            std * heavy_tailed(&mut rng, 0.002, 8.0)
+        });
         let gamma: Vec<f32> = (0..D_INNER)
             .map(|_| 1.0 + 0.15 * heavy_tailed(&mut rng, 0.02, 6.0).abs())
             .collect();

@@ -19,8 +19,14 @@ fn main() {
 
     let schedules: Vec<_> = [
         ("(a) naive sequential", PipelineMode::Naive),
-        ("(b) coarse-grained (compute reordering)", PipelineMode::CoarseReordered),
-        ("(c) fine-grained (tiling + fusion)", PipelineMode::FineTiled),
+        (
+            "(b) coarse-grained (compute reordering)",
+            PipelineMode::CoarseReordered,
+        ),
+        (
+            "(c) fine-grained (tiling + fusion)",
+            PipelineMode::FineTiled,
+        ),
     ]
     .into_iter()
     .map(|(name, mode)| {

@@ -18,7 +18,10 @@ fn main() {
     let cfg = AcceleratorConfig::lightmamba_w4a4(&platform, &model);
 
     for (title, report) in [
-        ("(a) tensor-by-tensor (no tiling)", untiled_buffers(&model, &cfg)),
+        (
+            "(a) tensor-by-tensor (no tiling)",
+            untiled_buffers(&model, &cfg),
+        ),
         (
             "(b) tile-by-tile (pp=16, np=32, fused)",
             tiled_buffers(&model, &cfg, cfg.tiling.expect("preset has tiling")),
@@ -28,9 +31,7 @@ fn main() {
         let rows: Vec<Vec<String>> = report
             .buffers
             .iter()
-            .map(|(name, bytes)| {
-                vec![name.clone(), format!("{:.1} KB", bytes / 1024.0)]
-            })
+            .map(|(name, bytes)| vec![name.clone(), format!("{:.1} KB", bytes / 1024.0)])
             .collect();
         print!("{}", render_table(&["buffer", "size"], &rows));
         println!(

@@ -1,0 +1,149 @@
+//! Serving traffic study: aggregate throughput and tail latency of the
+//! continuous-batching engine across traffic scenarios, batch sizes, and
+//! admission policies, costed on the paper's accelerator design points.
+//!
+//! This is the batched-serving extension of Fig. 9a: where the paper
+//! projects one decode stream (7.21 tokens/s W4A4 on VCK190), this bench
+//! projects a multi-tenant engine sharing each weight stream across all
+//! resident sequences.
+
+use lightmamba::report::render_table;
+use lightmamba_accel::arch::AcceleratorConfig;
+use lightmamba_accel::platform::Platform;
+use lightmamba_accel::sim::DecodeSimulator;
+use lightmamba_model::{MambaConfig, MambaModel, ModelPreset};
+use lightmamba_serve::accel_cost::StepCostModel;
+use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+use lightmamba_serve::scheduler::{ContinuousBatching, Scheduler, StaticBatching};
+use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SLOT_SWEEP: [usize; 4] = [1, 4, 16, 64];
+
+fn main() {
+    lightmamba_bench::banner(
+        "serve_traffic",
+        "continuous batching vs static batching under synthetic traffic",
+        "engine runs a tiny synthetic model; step traces are costed on the 2.7B design points",
+    );
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let cfg = MambaConfig::tiny();
+    let model = MambaModel::synthetic(cfg.clone(), &mut rng).expect("tiny config is valid");
+
+    let big = MambaConfig::preset(ModelPreset::B2_7);
+    let vck_platform = Platform::vck190();
+    let vck_cfg = AcceleratorConfig::lightmamba_w4a4(&vck_platform, &big);
+
+    // Scenario sweep under continuous batching at 16 slots.
+    let mut rows = Vec::new();
+    for scenario in [
+        TrafficScenario::burst(64),
+        TrafficScenario::chat(0.4),
+        TrafficScenario::mixed(0.25),
+    ] {
+        let name = scenario.name;
+        let mut traffic = TrafficGenerator::new(scenario, cfg.vocab_size, 7);
+        let requests = traffic.generate(600);
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 16,
+                max_steps: 1_000_000,
+            },
+        )
+        .expect("non-zero slots");
+        engine.submit(requests).expect("generator output is sorted");
+        let report = engine.run(&mut ContinuousBatching).expect("run drains");
+        let sim = DecodeSimulator::new(vck_platform.clone(), big.clone(), vck_cfg.clone());
+        let run = StepCostModel::new(sim).cost_run(&report, engine.completions());
+        rows.push(vec![
+            name.to_string(),
+            report.completed.to_string(),
+            format!("{:.0}%", report.mean_occupancy * 100.0),
+            format!("{:.2}", run.tokens_per_s),
+            format!("{:.2}", run.processed_tokens_per_s),
+            format!("{:.2}x", run.speedup_vs_single_stream),
+            format!("{:.1}", run.ttft_s.p99),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "completed",
+                "occupancy",
+                "tok/s gen",
+                "tok/s all",
+                "vs 1-stream",
+                "TTFT p99 (s)",
+            ],
+            &rows,
+        )
+    );
+
+    // Slot sweep, both schedulers, burst workload.
+    println!();
+    let mut rows = Vec::new();
+    for slots in SLOT_SWEEP {
+        for (label, sched) in [
+            ("continuous", &mut ContinuousBatching as &mut dyn Scheduler),
+            ("static", &mut StaticBatching as &mut dyn Scheduler),
+        ] {
+            let mut traffic = TrafficGenerator::new(TrafficScenario::burst(64), cfg.vocab_size, 7);
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig {
+                    slots,
+                    max_steps: 1_000_000,
+                },
+            )
+            .expect("non-zero slots");
+            engine
+                .submit(traffic.generate(1))
+                .expect("generator output is sorted");
+            let report = engine.run(sched).expect("run drains");
+            let sim = DecodeSimulator::new(vck_platform.clone(), big.clone(), vck_cfg.clone());
+            let run = StepCostModel::new(sim).cost_run(&report, engine.completions());
+            rows.push(vec![
+                slots.to_string(),
+                label.to_string(),
+                report.steps.to_string(),
+                format!("{:.2}", run.processed_tokens_per_s),
+                format!("{:.2}x", run.speedup_vs_single_stream),
+                format!("{:.1}", run.ttft_s.p50),
+                format!("{:.1}", run.e2e_s.p99),
+                if run.residency_ok {
+                    "yes".into()
+                } else {
+                    format!("no (max {})", run.max_resident_batch)
+                },
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "slots",
+                "scheduler",
+                "steps",
+                "tok/s all",
+                "vs 1-stream",
+                "TTFT p50 (s)",
+                "e2e p99 (s)",
+                "state fits URAM",
+            ],
+            &rows,
+        )
+    );
+    println!();
+    println!(
+        "single-stream W4A4 VCK190 baseline: {:.2} tokens/s (paper 7.21)",
+        DecodeSimulator::new(vck_platform, big, vck_cfg)
+            .decode_report()
+            .tokens_per_s
+    );
+}

@@ -102,10 +102,16 @@ fn main() {
         },
     );
     // Calibration half / evaluation half.
-    let calib = Tensor::from_vec(acts.data()[..TOKENS * CHANNELS].to_vec(), &[TOKENS, CHANNELS])
-        .expect("shape");
-    let eval = Tensor::from_vec(acts.data()[TOKENS * CHANNELS..].to_vec(), &[TOKENS, CHANNELS])
-        .expect("shape");
+    let calib = Tensor::from_vec(
+        acts.data()[..TOKENS * CHANNELS].to_vec(),
+        &[TOKENS, CHANNELS],
+    )
+    .expect("shape");
+    let eval = Tensor::from_vec(
+        acts.data()[TOKENS * CHANNELS..].to_vec(),
+        &[TOKENS, CHANNELS],
+    )
+    .expect("shape");
     let scheme = QuantScheme::act_per_group(4, SCHEME_GROUP);
 
     let rtn = transformed_error(&eval, None, None, scheme);
@@ -119,7 +125,9 @@ fn main() {
         .collect();
     let calib_max: Vec<f32> = (0..CHANNELS)
         .map(|c| {
-            (0..TOKENS).fold(f32::NEG_INFINITY, |m, t| m.max(calib.data()[t * CHANNELS + c]))
+            (0..TOKENS).fold(f32::NEG_INFINITY, |m, t| {
+                m.max(calib.data()[t * CHANNELS + c])
+            })
         })
         .collect();
     let ss = shift_scale(&calib_min, &calib_max);
@@ -136,7 +144,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_table(&["method", "paper quant error", "measured quant error"], &rows)
+        render_table(
+            &["method", "paper quant error", "measured quant error"],
+            &rows
+        )
     );
     println!();
     println!(

@@ -75,8 +75,7 @@ fn main() {
             let mut acc_sum = 0.0f64;
             for &seed in &SEEDS {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let reference =
-                    MambaModel::synthetic(cfg.clone(), &mut rng).expect("valid config");
+                let reference = MambaModel::synthetic(cfg.clone(), &mut rng).expect("valid config");
                 let calib = corpus.calibration_set(&mut rng, 4, 12);
                 let eval = corpus.calibration_set(&mut rng, 6, 24);
                 let rep = evaluate(&reference, method, &spec, &calib, &eval);
@@ -123,6 +122,9 @@ fn main() {
     let lms = get("LightMamba*");
     println!("  LightMamba beats RTN:  {}", lm < rtn);
     println!("  LightMamba beats SQ:   {}", lm < sq);
-    println!("  OS+ is the worst:      {}", osp > rtn && osp > sq && osp > lm);
+    println!(
+        "  OS+ is the worst:      {}",
+        osp > rtn && osp > sq && osp > lm
+    );
     println!("  LightMamba* ~= LightMamba: {}", (lms / lm) < 1.25);
 }

@@ -23,6 +23,9 @@ pub fn paper_vs(paper: &str, measured: &str) -> String {
 mod tests {
     #[test]
     fn paper_vs_format() {
-        assert_eq!(super::paper_vs("7.21", "7.33"), "paper 7.21 | measured 7.33");
+        assert_eq!(
+            super::paper_vs("7.21", "7.33"),
+            "paper 7.21 | measured 7.33"
+        );
     }
 }

@@ -154,9 +154,7 @@ fn stage_accuracy(stage: AblationStage, seed: u64) -> f64 {
     let eval = corpus.calibration_set(&mut rng, 6, 24);
     let group = 32usize;
 
-    let agreement = |mut cand: lightmamba_quant::QuantizedMamba,
-                     reference: &MambaModel|
-     -> f64 {
+    let agreement = |mut cand: lightmamba_quant::QuantizedMamba, reference: &MambaModel| -> f64 {
         let mut runner = ReferenceRunner::new(reference.clone());
         compare_models(&mut runner, &mut cand, &eval)
             .map(|r| r.agreement as f64)
@@ -178,8 +176,13 @@ fn stage_accuracy(stage: AblationStage, seed: u64) -> f64 {
             agreement(q, &reference)
         }
         AblationStage::W4A4 => {
-            let q = quantize_model(&reference, Method::Rtn, &QuantSpec::w4a4_grouped(group), &[])
-                .expect("rtn");
+            let q = quantize_model(
+                &reference,
+                Method::Rtn,
+                &QuantSpec::w4a4_grouped(group),
+                &[],
+            )
+            .expect("rtn");
             agreement(q, &reference)
         }
         // Rotation fixes the accuracy; the later hardware stages reuse it.

@@ -111,8 +111,8 @@ impl CoDesign {
         let platform = self.target.platform();
         let cfg = self.target.config(&self.model);
         let resources = resources::estimate(&self.model, &cfg);
-        let decode = DecodeSimulator::new(platform.clone(), self.model.clone(), cfg)
-            .decode_report();
+        let decode =
+            DecodeSimulator::new(platform.clone(), self.model.clone(), cfg).decode_report();
         let power = power::estimate(&platform, &resources, &decode);
         HardwareReport {
             decode,

@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn fmt_and_bar() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(bar(5.0, 10.0, 10), "#####");
         assert_eq!(bar(20.0, 10.0, 10), "##########");
         assert_eq!(bar(1.0, 0.0, 10), "");

@@ -30,7 +30,10 @@ impl fmt::Display for HadamardError {
                 "paley construction requires a prime q with q % 4 == 3, got {q}"
             ),
             HadamardError::LengthMismatch { order, len } => {
-                write!(f, "slice length {len} does not match transform order {order}")
+                write!(
+                    f,
+                    "slice length {len} does not match transform order {order}"
+                )
             }
         }
     }
@@ -47,7 +50,9 @@ mod tests {
         assert!(HadamardError::UnsupportedOrder(7)
             .to_string()
             .contains("order 7"));
-        assert!(HadamardError::InvalidPaleyPrime(8).to_string().contains('8'));
+        assert!(HadamardError::InvalidPaleyPrime(8)
+            .to_string()
+            .contains('8'));
         assert!(HadamardError::LengthMismatch { order: 4, len: 3 }
             .to_string()
             .contains("length 3"));

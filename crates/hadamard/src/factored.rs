@@ -176,12 +176,7 @@ mod tests {
         let orig: Vec<f32> = (0..96).map(|i| ((i * 37 % 17) as f32) - 8.0).collect();
         let mut x = orig.clone();
         h.apply(&mut x);
-        let back = h
-            .to_tensor()
-            .transpose()
-            .unwrap()
-            .matvec(&x)
-            .unwrap();
+        let back = h.to_tensor().transpose().unwrap().matvec(&x).unwrap();
         for (a, b) in back.iter().zip(orig.iter()) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }

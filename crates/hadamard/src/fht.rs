@@ -145,6 +145,9 @@ mod tests {
         x[7] = 100.0;
         fwht_normalized(&mut x);
         let max = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-        assert!(max < 100.0 / 8.0, "outlier should shrink by ~sqrt(n): {max}");
+        assert!(
+            max < 100.0 / 8.0,
+            "outlier should shrink by ~sqrt(n): {max}"
+        );
     }
 }

@@ -1,0 +1,290 @@
+//! Batched decode over independent sequences.
+//!
+//! Mamba2 sequences share no cross-sequence state, so a batched step is
+//! semantically just N independent [`MambaModel::forward_step`] calls.
+//! The implementation here reorders the loops — *layer outer, sequence
+//! inner* — so each block's weights are touched once per step no matter
+//! how many sequences are resident. That is the software analogue of the
+//! accelerator's shared weight stream (`lightmamba_accel::batch`) and the
+//! hot path `lightmamba_serve`'s continuous batcher drives.
+//!
+//! Per-sequence arithmetic is performed in exactly the same order as the
+//! single-stream path, so batched logits are bit-for-bit identical to
+//! sequential decode — a property the serve crate's tests pin down.
+
+use crate::state::ModelState;
+use crate::{MambaModel, ModelError, Result};
+
+impl MambaModel {
+    /// One decode step for a batch: `items[k] = (state_index, token)`
+    /// advances `states[state_index]` by `token` and yields that
+    /// sequence's next-token logits as `(state_index, logits)`.
+    ///
+    /// Indices select which resident sequences participate this step —
+    /// exactly what a continuous batcher needs when sequences join and
+    /// leave mid-flight. Results are returned in `items` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::StateMismatch`] when an index is out of
+    /// bounds or repeated, and [`ModelError::TokenOutOfRange`] for
+    /// invalid tokens. States are not advanced on error.
+    pub fn forward_step_batch_indexed(
+        &self,
+        items: &[(usize, u32)],
+        states: &mut [ModelState],
+    ) -> Result<Vec<(usize, Vec<f32>)>> {
+        // Validate everything up front so no state is half-advanced.
+        let dims = crate::ssm::SsmDims::new(self.config());
+        let conv_dim = self.config().conv_dim();
+        let d_conv = self.config().d_conv;
+        let mut seen = vec![false; states.len()];
+        for &(slot, token) in items {
+            let state = states.get(slot).ok_or_else(|| {
+                ModelError::StateMismatch(format!(
+                    "batch references state {slot}, only {} exist",
+                    states.len()
+                ))
+            })?;
+            if std::mem::replace(&mut seen[slot], true) {
+                return Err(ModelError::StateMismatch(format!(
+                    "state {slot} appears twice in one batch step"
+                )));
+            }
+            if state.layers.len() != self.blocks().len() {
+                return Err(ModelError::StateMismatch(format!(
+                    "state {slot} has {} layers, model has {}",
+                    state.layers.len(),
+                    self.blocks().len()
+                )));
+            }
+            for (li, layer) in state.layers.iter().enumerate() {
+                if layer.h.len() != dims.state_len()
+                    || layer.conv.channels() != conv_dim
+                    || layer.conv.kernel() != d_conv
+                {
+                    return Err(ModelError::StateMismatch(format!(
+                        "state {slot} layer {li} shaped for a different config"
+                    )));
+                }
+            }
+            if token as usize >= self.config().vocab_size {
+                return Err(ModelError::TokenOutOfRange {
+                    token,
+                    vocab: self.config().vocab_size,
+                });
+            }
+        }
+
+        // Embed every token, then sweep layer-outer / sequence-inner so
+        // each block's weights stay hot across the whole batch.
+        let mut xs: Vec<Vec<f32>> = items
+            .iter()
+            .map(|&(_, token)| self.embed(token))
+            .collect::<Result<_>>()?;
+        for (layer, block) in self.blocks().iter().enumerate() {
+            for (x, &(slot, _)) in xs.iter_mut().zip(items) {
+                let lstate = &mut states[slot].layers[layer];
+                *x = block.forward_step(x, lstate)?;
+            }
+        }
+
+        items
+            .iter()
+            .zip(xs)
+            .map(|(&(slot, _), mut x)| {
+                lightmamba_tensor::norm::rms_norm(&mut x, self.final_norm_gamma(), 1e-5);
+                Ok((slot, self.embedding().matvec(&x)?))
+            })
+            .collect()
+    }
+
+    /// One decode step for every sequence: `tokens` and `states` are
+    /// parallel slices. Returns one logits vector per sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::StateMismatch`] when the slices disagree in
+    /// length, plus the conditions of
+    /// [`MambaModel::forward_step_batch_indexed`].
+    pub fn forward_step_batch(
+        &self,
+        tokens: &[u32],
+        states: &mut [ModelState],
+    ) -> Result<Vec<Vec<f32>>> {
+        if tokens.len() != states.len() {
+            return Err(ModelError::StateMismatch(format!(
+                "{} tokens for {} states",
+                tokens.len(),
+                states.len()
+            )));
+        }
+        let items: Vec<(usize, u32)> = tokens.iter().copied().enumerate().collect();
+        Ok(self
+            .forward_step_batch_indexed(&items, states)?
+            .into_iter()
+            .map(|(_, logits)| logits)
+            .collect())
+    }
+
+    /// Batched prefill over ragged prompts: consumes `prompts[k]` into
+    /// `states[k]` position-by-position (all sequences advance together,
+    /// sharing each layer's weights per position) and returns each
+    /// sequence's logits after its final prompt token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] when any prompt is empty or
+    /// the slice lengths disagree; propagates step errors.
+    pub fn prefill_batch(
+        &self,
+        prompts: &[&[u32]],
+        states: &mut [ModelState],
+    ) -> Result<Vec<Vec<f32>>> {
+        if prompts.len() != states.len() {
+            return Err(ModelError::InvalidConfig(format!(
+                "{} prompts for {} states",
+                prompts.len(),
+                states.len()
+            )));
+        }
+        if prompts.iter().any(|p| p.is_empty()) {
+            return Err(ModelError::InvalidConfig(
+                "prefill needs at least one token per prompt".into(),
+            ));
+        }
+        let max_len = prompts.iter().map(|p| p.len()).max().unwrap_or(0);
+        let mut finals: Vec<Option<Vec<f32>>> = vec![None; prompts.len()];
+        for pos in 0..max_len {
+            let items: Vec<(usize, u32)> = prompts
+                .iter()
+                .enumerate()
+                .filter_map(|(k, p)| p.get(pos).map(|&t| (k, t)))
+                .collect();
+            for (slot, logits) in self.forward_step_batch_indexed(&items, states)? {
+                if pos + 1 == prompts[slot].len() {
+                    finals[slot] = Some(logits);
+                }
+            }
+        }
+        Ok(finals
+            .into_iter()
+            .map(|l| l.expect("prompt non-empty"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MambaConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> MambaModel {
+        MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap()
+    }
+
+    #[test]
+    fn batch_step_matches_sequential_bitwise() {
+        let m = tiny_model();
+        let prompts: [&[u32]; 3] = [&[5, 9, 2], &[40, 1], &[7, 7, 7, 7]];
+
+        // Sequential reference.
+        let mut seq_states: Vec<_> = (0..3).map(|_| m.new_state()).collect();
+        let mut seq_logits = Vec::new();
+        for (k, p) in prompts.iter().enumerate() {
+            m.prefill(p, &mut seq_states[k]).unwrap();
+            seq_logits.push(m.forward_step(0, &mut seq_states[k]).unwrap());
+        }
+
+        // Batched path.
+        let mut states: Vec<_> = (0..3).map(|_| m.new_state()).collect();
+        m.prefill_batch(&prompts, &mut states).unwrap();
+        let batched = m.forward_step_batch(&[0, 0, 0], &mut states).unwrap();
+
+        for k in 0..3 {
+            assert_eq!(batched[k], seq_logits[k], "sequence {k} diverged");
+            assert_eq!(states[k], seq_states[k], "state {k} diverged");
+        }
+    }
+
+    #[test]
+    fn prefill_batch_matches_prefill() {
+        let m = tiny_model();
+        let prompts: [&[u32]; 2] = [&[1, 2, 3, 4], &[200, 100]];
+        let mut states: Vec<_> = (0..2).map(|_| m.new_state()).collect();
+        let batched = m.prefill_batch(&prompts, &mut states).unwrap();
+        for (k, p) in prompts.iter().enumerate() {
+            let mut st = m.new_state();
+            let single = m.prefill(p, &mut st).unwrap();
+            assert_eq!(batched[k], single);
+        }
+    }
+
+    #[test]
+    fn indexed_step_advances_only_selected_slots() {
+        let m = tiny_model();
+        let mut states: Vec<_> = (0..3).map(|_| m.new_state()).collect();
+        let untouched = states[1].clone();
+        let out = m
+            .forward_step_batch_indexed(&[(2, 4), (0, 9)], &mut states)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 2);
+        assert_eq!(out[1].0, 0);
+        assert_eq!(states[1], untouched);
+        assert_ne!(states[0], untouched);
+    }
+
+    #[test]
+    fn duplicate_slot_is_rejected_before_any_advance() {
+        let m = tiny_model();
+        let mut states: Vec<_> = (0..2).map(|_| m.new_state()).collect();
+        let before = states.clone();
+        let err = m.forward_step_batch_indexed(&[(0, 1), (0, 2)], &mut states);
+        assert!(matches!(err, Err(ModelError::StateMismatch(_))));
+        assert_eq!(states, before, "states must be untouched on error");
+    }
+
+    #[test]
+    fn foreign_config_state_rejected_before_any_advance() {
+        let m = tiny_model();
+        // Same layer count as tiny(), different inner shapes.
+        let mut other_cfg = MambaConfig::tiny();
+        other_cfg.d_state = 32;
+        let other = MambaModel::synthetic(other_cfg, &mut StdRng::seed_from_u64(2)).unwrap();
+        let mut states = vec![m.new_state(), other.new_state()];
+        let before = states.clone();
+        let err = m.forward_step_batch_indexed(&[(0, 1), (1, 2)], &mut states);
+        assert!(matches!(err, Err(ModelError::StateMismatch(_))));
+        assert_eq!(states, before, "states must be untouched on error");
+    }
+
+    #[test]
+    fn out_of_range_token_rejected_before_any_advance() {
+        let m = tiny_model();
+        let bad = m.config().vocab_size as u32;
+        let mut states: Vec<_> = (0..2).map(|_| m.new_state()).collect();
+        let before = states.clone();
+        let err = m.forward_step_batch_indexed(&[(0, 1), (1, bad)], &mut states);
+        assert!(matches!(err, Err(ModelError::TokenOutOfRange { .. })));
+        assert_eq!(states, before);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let m = tiny_model();
+        let mut states: Vec<ModelState> = Vec::new();
+        let out = m.forward_step_batch(&[], &mut states).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_prompt_in_batch_rejected() {
+        let m = tiny_model();
+        let prompts: [&[u32]; 2] = [&[1], &[]];
+        let mut states: Vec<_> = (0..2).map(|_| m.new_state()).collect();
+        assert!(m.prefill_batch(&prompts, &mut states).is_err());
+    }
+}

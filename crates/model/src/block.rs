@@ -122,7 +122,15 @@ impl MambaBlock {
 
         // SSM recurrence.
         let mut y = ssm_step(
-            self.dims, x_ssm, b_ssm, c_ssm, dt_raw, &w.a_log, &w.dt_bias, &w.d_skip, &mut state.h,
+            self.dims,
+            x_ssm,
+            b_ssm,
+            c_ssm,
+            dt_raw,
+            &w.a_log,
+            &w.dt_bias,
+            &w.d_skip,
+            &mut state.h,
         )?;
         capture.ssm_output = Some(y.clone());
 
@@ -190,7 +198,9 @@ mod tests {
         let (block, mut state) = test_block();
         let x = vec![0.2f32; block.config().d_model];
         let mut cap = BlockCapture::default();
-        block.forward_step_captured(&x, &mut state, &mut cap).unwrap();
+        block
+            .forward_step_captured(&x, &mut state, &mut cap)
+            .unwrap();
         assert_eq!(
             cap.in_proj_input.as_ref().unwrap().len(),
             block.config().d_model

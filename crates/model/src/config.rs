@@ -200,9 +200,8 @@ impl MambaConfig {
 
     /// Total parameter count including embedding (LM head is tied).
     pub fn param_count(&self) -> usize {
-        self.vocab_size * self.d_model
-            + self.n_layer * self.params_per_layer()
-            + self.d_model // final norm
+        self.vocab_size * self.d_model + self.n_layer * self.params_per_layer() + self.d_model
+        // final norm
     }
 
     /// Model size in bytes at the given weight bit-width (the quantity that

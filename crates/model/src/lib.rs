@@ -31,6 +31,7 @@
 //! # }
 //! ```
 
+mod batch;
 mod block;
 mod config;
 mod error;

@@ -305,8 +305,8 @@ mod tests {
     #[test]
     fn state_mismatch_detected() {
         let m = tiny_model();
-        let other = MambaModel::synthetic(MambaConfig::small(), &mut StdRng::seed_from_u64(1))
-            .unwrap();
+        let other =
+            MambaModel::synthetic(MambaConfig::small(), &mut StdRng::seed_from_u64(1)).unwrap();
         let mut wrong = other.new_state();
         assert!(matches!(
             m.forward_step(0, &mut wrong),

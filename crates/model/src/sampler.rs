@@ -9,8 +9,7 @@ use rand::Rng;
 use lightmamba_tensor::activation::softmax;
 
 /// A decoding strategy over next-token logits.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Sampler {
     /// Always pick the argmax.
     #[default]
@@ -61,7 +60,6 @@ impl Sampler {
         }
     }
 }
-
 
 fn argmax(xs: &[f32]) -> usize {
     xs.iter()

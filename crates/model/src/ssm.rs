@@ -308,7 +308,15 @@ mod tests {
         let mut s1 = [0.2f32, -0.1, 0.05, 0.3];
         for x in [1.0f32, -0.5] {
             ssm_step(
-                dims, &[x], &b, &c, &dt_raw, &a_log, &dt_bias, &d_skip, &mut s1,
+                dims,
+                &[x],
+                &b,
+                &c,
+                &dt_raw,
+                &a_log,
+                &dt_bias,
+                &d_skip,
+                &mut s1,
             )
             .unwrap();
         }
@@ -320,7 +328,15 @@ mod tests {
         let b_rot = hadamard4(&b);
         for x in [1.0f32, -0.5] {
             ssm_step(
-                dims, &[x], &b_rot, &c, &dt_raw, &a_log, &dt_bias, &d_skip, &mut s2,
+                dims,
+                &[x],
+                &b_rot,
+                &c,
+                &dt_raw,
+                &a_log,
+                &dt_bias,
+                &d_skip,
+                &mut s2,
             )
             .unwrap();
         }
@@ -340,7 +356,7 @@ mod tests {
             .zip(s2.iter())
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(state_diff < 1e-4 || state_diff > 1e-4); // recorded either way
+        assert!(state_diff.is_finite()); // recorded either way
     }
 
     /// Local 4-point Hadamard used only by the non-equivariance test, to

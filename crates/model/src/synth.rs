@@ -45,15 +45,13 @@ pub fn synthetic_block<R: Rng + ?Sized>(cfg: &MambaConfig, rng: &mut R) -> Block
     let w_out = Tensor::from_fn(&[di, d], |_| std_out * heavy_tailed(rng, 0.002, 8.0));
 
     // Conv taps small and centered; bias near zero.
-    let conv_weight = Tensor::from_fn(&[cfg.conv_dim(), cfg.d_conv], |_| {
-        normal(rng, 0.0, 0.35)
-    });
-    let conv_bias = (0..cfg.conv_dim()).map(|_| normal(rng, 0.0, 0.02)).collect();
+    let conv_weight = Tensor::from_fn(&[cfg.conv_dim(), cfg.d_conv], |_| normal(rng, 0.0, 0.35));
+    let conv_bias = (0..cfg.conv_dim())
+        .map(|_| normal(rng, 0.0, 0.02))
+        .collect();
 
     // A ∈ [1, 16] uniformly (Mamba2 init), stored as log.
-    let a_log = (0..h)
-        .map(|_| rng.gen_range(1.0f32..16.0).ln())
-        .collect();
+    let a_log = (0..h).map(|_| rng.gen_range(1.0f32..16.0).ln()).collect();
     // Δ bias: softplus^{-1}(u) for u ∈ [1e-3, 1e-1] log-uniform.
     let dt_bias = (0..h)
         .map(|_| {
@@ -91,7 +89,9 @@ pub fn synthetic_weights<R: Rng + ?Sized>(cfg: &MambaConfig, rng: &mut R) -> Mod
     let embedding = Tensor::from_fn(&[cfg.vocab_size, cfg.d_model], |_| {
         0.02 * heavy_tailed(rng, 0.005, 6.0)
     });
-    let blocks = (0..cfg.n_layer).map(|_| synthetic_block(cfg, rng)).collect();
+    let blocks = (0..cfg.n_layer)
+        .map(|_| synthetic_block(cfg, rng))
+        .collect();
     let final_norm_gamma = (0..cfg.d_model).map(|_| normal(rng, 1.0, 0.05)).collect();
     ModelWeights {
         embedding,
@@ -246,10 +246,7 @@ mod tests {
         );
         let ps = channel_persistence(&scattered, 4);
         let pf = channel_persistence(&fixed, 4);
-        assert!(
-            ps < 0.2,
-            "scattered persistence should be low, got {ps}"
-        );
+        assert!(ps < 0.2, "scattered persistence should be low, got {ps}");
         assert!(pf > 0.6, "fixed persistence should be high, got {pf}");
     }
 

@@ -96,10 +96,7 @@ impl KvCache {
 
     /// Number of cached positions (same for every layer).
     pub fn len(&self) -> usize {
-        self.keys
-            .first()
-            .map(|k| k.len())
-            .unwrap_or(0)
+        self.keys.first().map(|k| k.len()).unwrap_or(0)
     }
 
     /// Whether nothing has been cached yet.
@@ -315,11 +312,9 @@ mod tests {
         // The motivating contrast, measured on both substrates.
         let t = model();
         let mut kv = t.new_cache();
-        let mamba = crate::MambaModel::synthetic(
-            crate::MambaConfig::tiny(),
-            &mut StdRng::seed_from_u64(3),
-        )
-        .unwrap();
+        let mamba =
+            crate::MambaModel::synthetic(crate::MambaConfig::tiny(), &mut StdRng::seed_from_u64(3))
+                .unwrap();
         let mut state = mamba.new_state();
         let mut kv_sizes = Vec::new();
         let mut mamba_sizes = Vec::new();

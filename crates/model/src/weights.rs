@@ -53,10 +53,7 @@ impl BlockWeights {
             }
         };
         check("norm_gamma", self.norm_gamma.len() == cfg.d_model)?;
-        check(
-            "w_in",
-            self.w_in.dims() == [cfg.d_model, cfg.d_in_proj()],
-        )?;
+        check("w_in", self.w_in.dims() == [cfg.d_model, cfg.d_in_proj()])?;
         check(
             "conv_weight",
             self.conv_weight.dims() == [cfg.conv_dim(), cfg.d_conv],
@@ -69,10 +66,7 @@ impl BlockWeights {
             "gate_norm_gamma",
             self.gate_norm_gamma.len() == cfg.d_inner(),
         )?;
-        check(
-            "w_out",
-            self.w_out.dims() == [cfg.d_inner(), cfg.d_model],
-        )?;
+        check("w_out", self.w_out.dims() == [cfg.d_inner(), cfg.d_model])?;
         Ok(())
     }
 }

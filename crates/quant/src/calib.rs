@@ -120,7 +120,11 @@ pub fn collect_out_proj_activations(
         state.reset();
         for &tok in seq {
             model.forward_step_captured(tok, &mut state, Some(&mut cap))?;
-            if let Some(a) = cap.blocks.get(layer).and_then(|b| b.out_proj_input.as_ref()) {
+            if let Some(a) = cap
+                .blocks
+                .get(layer)
+                .and_then(|b| b.out_proj_input.as_ref())
+            {
                 rows.extend_from_slice(a);
                 count += 1;
             }

@@ -146,8 +146,7 @@ impl IntLinear {
         for o in 0..self.out_features {
             for i in 0..self.in_features {
                 let s = self.scales[o * self.groups_per_row + i / self.group];
-                data[i * self.out_features + o] =
-                    self.codes[o * self.in_features + i] as f32 * s;
+                data[i * self.out_features + o] = self.codes[o * self.in_features + i] as f32 * s;
             }
         }
         w
@@ -210,9 +209,11 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .sum::<f32>()
             / 64.0;
-        let scale: f32 =
-            exact.iter().map(|v| v.abs()).sum::<f32>() / 64.0;
-        assert!(err < 0.05 * scale.max(0.1), "mean err {err} vs scale {scale}");
+        let scale: f32 = exact.iter().map(|v| v.abs()).sum::<f32>() / 64.0;
+        assert!(
+            err < 0.05 * scale.max(0.1),
+            "mean err {err} vs scale {scale}"
+        );
     }
 
     #[test]

@@ -28,9 +28,7 @@ pub fn quant_error(t: &Tensor, scheme: QuantScheme) -> Result<f32> {
 ///
 /// Propagates scheme validation errors.
 pub fn activation_quant_error(acts: &Tensor, scheme: QuantScheme) -> Result<f32> {
-    let (tokens, _) = acts
-        .as_matrix_dims()
-        .map_err(crate::QuantError::Tensor)?;
+    let (tokens, _) = acts.as_matrix_dims().map_err(crate::QuantError::Tensor)?;
     let total = quant_error(acts, scheme)?;
     Ok(total / tokens.max(1) as f32)
 }

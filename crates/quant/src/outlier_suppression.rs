@@ -42,9 +42,11 @@ pub fn shift_scale(min: &[f32], max: &[f32]) -> ShiftScale {
         .zip(max.iter())
         .map(|(&lo, &hi)| ((hi - lo) / 2.0).max(EPS))
         .collect();
-    let mean_range =
-        (half_range.iter().sum::<f32>() / half_range.len().max(1) as f32).max(EPS);
-    let scale = half_range.iter().map(|&r| (r / mean_range).max(EPS)).collect();
+    let mean_range = (half_range.iter().sum::<f32>() / half_range.len().max(1) as f32).max(EPS);
+    let scale = half_range
+        .iter()
+        .map(|&r| (r / mean_range).max(EPS))
+        .collect();
     ShiftScale { shift, scale }
 }
 
@@ -66,8 +68,7 @@ fn scale_rows(t: &mut Tensor, factors: &[f32]) {
 /// Returns [`QuantError::InvalidCalibration`] when `stats` does not match
 /// the model shape.
 pub fn apply(prepared: &mut PreparedModel, stats: &CalibrationStats) -> Result<()> {
-    if stats.in_proj.len() != prepared.blocks.len()
-        || stats.out_proj.len() != prepared.blocks.len()
+    if stats.in_proj.len() != prepared.blocks.len() || stats.out_proj.len() != prepared.blocks.len()
     {
         return Err(QuantError::InvalidCalibration(format!(
             "calibration covers {} layers, model has {}",

@@ -222,7 +222,7 @@ mod tests {
         for method in Method::ALL {
             let mut q = quantize_model(&model, method, &spec, &seqs).unwrap();
             let mut r = ReferenceRunner::new(model.clone());
-            let rep = compare_models(&mut r, &mut q, &seqs[..1].to_vec()).unwrap();
+            let rep = compare_models(&mut r, &mut q, &seqs[..1]).unwrap();
             assert!(rep.mean_kl.is_finite(), "{method} produced NaN divergence");
         }
     }
@@ -256,8 +256,7 @@ mod tests {
     #[test]
     fn w8a8_rotation_is_near_lossless_end_to_end() {
         let (model, seqs) = setup();
-        let mut q =
-            quantize_model(&model, Method::LightMamba, &QuantSpec::w8a8(), &seqs).unwrap();
+        let mut q = quantize_model(&model, Method::LightMamba, &QuantSpec::w8a8(), &seqs).unwrap();
         let mut r = ReferenceRunner::new(model);
         let rep = compare_models(&mut r, &mut q, &seqs).unwrap();
         assert!(rep.mean_kl < 0.1, "kl {}", rep.mean_kl);

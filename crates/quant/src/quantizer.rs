@@ -101,7 +101,9 @@ impl QuantScheme {
             )));
         }
         if let Granularity::PerGroup(0) = self.granularity {
-            return Err(QuantError::InvalidScheme("group size must be non-zero".into()));
+            return Err(QuantError::InvalidScheme(
+                "group size must be non-zero".into(),
+            ));
         }
         Ok(())
     }
@@ -160,9 +162,7 @@ impl QuantizedTensor {
 
         let mut quant_block = |idx: &mut dyn Iterator<Item = usize>| {
             let indices: Vec<usize> = idx.collect();
-            let absmax = indices
-                .iter()
-                .fold(0.0f32, |m, &i| m.max(data[i].abs()));
+            let absmax = indices.iter().fold(0.0f32, |m, &i| m.max(data[i].abs()));
             let scale = scheme.scale_for(absmax);
             for &i in &indices {
                 let q = (data[i] / scale).round().clamp(-qmax, qmax);
@@ -294,11 +294,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Tensor {
-        Tensor::from_vec(
-            vec![0.5, -1.0, 2.0, 8.0, -0.25, 0.75, -4.0, 1.5],
-            &[2, 4],
-        )
-        .unwrap()
+        Tensor::from_vec(vec![0.5, -1.0, 2.0, 8.0, -0.25, 0.75, -4.0, 1.5], &[2, 4]).unwrap()
     }
 
     #[test]

@@ -64,8 +64,7 @@ fn scale_rows(t: &mut lightmamba_tensor::Tensor, factors: &[f32]) {
 /// Returns [`QuantError::InvalidCalibration`] when `stats` does not match
 /// the model's layer count or channel widths.
 pub fn apply(prepared: &mut PreparedModel, stats: &CalibrationStats, alpha: f32) -> Result<()> {
-    if stats.in_proj.len() != prepared.blocks.len()
-        || stats.out_proj.len() != prepared.blocks.len()
+    if stats.in_proj.len() != prepared.blocks.len() || stats.out_proj.len() != prepared.blocks.len()
     {
         return Err(QuantError::InvalidCalibration(format!(
             "calibration covers {} layers, model has {}",
@@ -99,7 +98,9 @@ pub fn apply(prepared: &mut PreparedModel, stats: &CalibrationStats, alpha: f32)
         }
         scale_rows(&mut block.w_out, &s_out);
     }
-    prepared.log_rewrite(format!("smoothquant: alpha={alpha}, folded into norm scales"));
+    prepared.log_rewrite(format!(
+        "smoothquant: alpha={alpha}, folded into norm scales"
+    ));
     Ok(())
 }
 

@@ -1,0 +1,652 @@
+//! The serving engine: a virtual-time loop joining admission, batched
+//! prefill/decode, sampling, and eviction.
+//!
+//! One engine *step* is one batched model invocation: every active
+//! sequence advances by exactly one token — the next prompt token while
+//! prefilling, the previously sampled token while decoding. Prefill and
+//! decode therefore interleave freely inside a step, which is what makes
+//! the batcher "continuous": a sequence admitted at step `t` starts
+//! consuming its prompt at `t` regardless of what its batch-mates are
+//! doing. The recurrence makes token-level prefill exact (no attention
+//! window to re-scan), so this is the natural Mamba2 serving loop.
+//!
+//! Sampling is per-request deterministic (each request carries its own
+//! seeded RNG), so a request's output tokens are independent of the
+//! admission policy and batch composition — the engine's equivalence
+//! tests pin batched-vs-sequential outputs bit-for-bit.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lightmamba_model::MambaModel;
+
+use crate::error::ServeError;
+use crate::metrics::{Percentiles, RunTrace, ServeReport};
+use crate::request::{Completion, FinishReason, GenRequest};
+use crate::scheduler::Scheduler;
+use crate::slots::SlotPool;
+
+/// One resident sequence.
+#[derive(Debug)]
+struct ActiveSeq {
+    req: GenRequest,
+    slot: usize,
+    /// Prompt tokens consumed so far; decode starts at `prompt.len()`.
+    pos: usize,
+    generated: Vec<u32>,
+    rng: StdRng,
+    admitted_step: u64,
+    first_token_step: Option<u64>,
+}
+
+impl ActiveSeq {
+    fn next_input(&self) -> u32 {
+        if self.pos < self.req.prompt.len() {
+            self.req.prompt[self.pos]
+        } else {
+            *self
+                .generated
+                .last()
+                .expect("decode implies a sampled token")
+        }
+    }
+}
+
+/// Engine limits.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Slot-pool capacity (maximum resident sequences).
+    pub slots: usize,
+    /// Step budget; `run` stops here even with work outstanding.
+    pub max_steps: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            slots: 16,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// The multi-tenant serving engine over one model.
+pub struct ServeEngine<'m> {
+    model: &'m MambaModel,
+    pool: SlotPool,
+    cfg: EngineConfig,
+    /// Future arrivals, sorted by `arrival_step` (then id).
+    pending: VecDeque<GenRequest>,
+    /// FIFO waiting queue of arrived, unadmitted requests.
+    waiting: VecDeque<GenRequest>,
+    active: Vec<ActiveSeq>,
+    clock: u64,
+    completions: Vec<Completion>,
+    trace: RunTrace,
+    total_prefill_tokens: u64,
+    total_decode_tokens: u64,
+}
+
+impl<'m> ServeEngine<'m> {
+    /// Builds an engine with a fresh slot pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a zero-slot pool.
+    pub fn new(model: &'m MambaModel, cfg: EngineConfig) -> Result<Self, ServeError> {
+        if cfg.slots == 0 {
+            return Err(ServeError::InvalidConfig("slot pool of size 0".into()));
+        }
+        Ok(ServeEngine {
+            model,
+            pool: SlotPool::new(model, cfg.slots),
+            cfg,
+            pending: VecDeque::new(),
+            waiting: VecDeque::new(),
+            active: Vec::new(),
+            clock: 0,
+            completions: Vec::new(),
+            trace: RunTrace::default(),
+            total_prefill_tokens: 0,
+            total_decode_tokens: 0,
+        })
+    }
+
+    /// Submits requests; they enter the waiting queue at their
+    /// `arrival_step`. Must be sorted by arrival step (generators
+    /// produce them that way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for empty prompts or
+    /// out-of-order arrivals.
+    pub fn submit(&mut self, requests: Vec<GenRequest>) -> Result<(), ServeError> {
+        for r in requests {
+            if r.prompt.is_empty() {
+                return Err(ServeError::InvalidConfig(format!(
+                    "request {} has an empty prompt",
+                    r.id
+                )));
+            }
+            if let Some(back) = self.pending.back() {
+                if r.arrival_step < back.arrival_step {
+                    return Err(ServeError::InvalidConfig(
+                        "submissions must be sorted by arrival step".into(),
+                    ));
+                }
+            }
+            self.pending.push_back(r);
+        }
+        Ok(())
+    }
+
+    /// Completed/evicted requests so far.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Current virtual time in steps.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Slot-pool capacity.
+    pub fn capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// Currently free slots.
+    pub fn free_slots(&self) -> usize {
+        self.pool.free_count()
+    }
+
+    /// Currently resident sequences.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether any request is pending, waiting, or resident.
+    pub fn has_work(&self) -> bool {
+        !self.pending.is_empty() || !self.waiting.is_empty() || !self.active.is_empty()
+    }
+
+    /// Runs until all submitted work drains or the step budget is hit,
+    /// then returns the run report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model step errors (invalid tokens, state mismatch).
+    pub fn run(&mut self, scheduler: &mut dyn Scheduler) -> Result<ServeReport, ServeError> {
+        while self.has_work() && self.clock < self.cfg.max_steps {
+            self.step(scheduler)?;
+        }
+        Ok(self.report(scheduler.name()))
+    }
+
+    /// Executes one engine step: arrivals → admission → batched model
+    /// step → sampling/finish/evict bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model step errors.
+    pub fn step(&mut self, scheduler: &mut dyn Scheduler) -> Result<(), ServeError> {
+        // 1. Arrivals whose time has come join the FIFO queue.
+        while self
+            .pending
+            .front()
+            .is_some_and(|r| r.arrival_step <= self.clock)
+        {
+            let r = self.pending.pop_front().expect("front checked");
+            self.waiting.push_back(r);
+        }
+
+        // 2. Evict deadline-expired requests still waiting — they must
+        //    not burn a slot or a batched model step on admission.
+        {
+            let clock = self.clock;
+            let completions = &mut self.completions;
+            self.waiting.retain(|r| {
+                let expired = r
+                    .deadline_steps
+                    .is_some_and(|d| clock.saturating_sub(r.arrival_step) >= d);
+                if expired {
+                    completions.push(Completion {
+                        id: r.id,
+                        tokens: Vec::new(),
+                        finish: FinishReason::DeadlineExceeded,
+                        arrival_step: r.arrival_step,
+                        admitted_step: None,
+                        first_token_step: None,
+                        finished_step: clock,
+                    });
+                }
+                !expired
+            });
+        }
+
+        // 3. Evict resident sequences whose deadline lapsed before this
+        //    step — the same pre-step rule as the waiting queue, so an
+        //    expired sequence never joins another batched model step.
+        {
+            let clock = self.clock;
+            let pool = &mut self.pool;
+            let completions = &mut self.completions;
+            self.active.retain_mut(|seq| {
+                let expired = seq
+                    .req
+                    .deadline_steps
+                    .is_some_and(|d| clock.saturating_sub(seq.req.arrival_step) >= d);
+                if !expired {
+                    return true;
+                }
+                pool.release(seq.slot);
+                completions.push(Completion {
+                    id: seq.req.id,
+                    tokens: std::mem::take(&mut seq.generated),
+                    finish: FinishReason::DeadlineExceeded,
+                    arrival_step: seq.req.arrival_step,
+                    admitted_step: Some(seq.admitted_step),
+                    first_token_step: seq.first_token_step,
+                    finished_step: clock,
+                });
+                false
+            });
+        }
+
+        // 4. Admission: the policy picks a count, the queue's FIFO order
+        //    picks which.
+        let n_admit = scheduler
+            .admit(
+                self.waiting.len(),
+                self.pool.free_count(),
+                self.active.len(),
+            )
+            .min(self.waiting.len())
+            .min(self.pool.free_count());
+        for _ in 0..n_admit {
+            let req = self.waiting.pop_front().expect("count bounded above");
+            let slot = self.pool.alloc().expect("count bounded above");
+            let rng = StdRng::seed_from_u64(req.seed);
+            self.active.push(ActiveSeq {
+                slot,
+                pos: 0,
+                generated: Vec::with_capacity(req.max_new_tokens),
+                rng,
+                admitted_step: self.clock,
+                first_token_step: None,
+                req,
+            });
+        }
+
+        // 5. One batched model step over every resident sequence.
+        let items: Vec<(usize, u32)> = self
+            .active
+            .iter()
+            .map(|s| (s.slot, s.next_input()))
+            .collect();
+        let mut prefill_tokens = 0usize;
+        let mut decode_tokens = 0usize;
+        if !items.is_empty() {
+            let results = self
+                .model
+                .forward_step_batch_indexed(&items, self.pool.states_mut())?;
+
+            // 6. Bookkeeping per sequence, in batch order.
+            for (seq, (slot, logits)) in self.active.iter_mut().zip(&results) {
+                debug_assert_eq!(seq.slot, *slot);
+                if seq.pos < seq.req.prompt.len() {
+                    prefill_tokens += 1;
+                }
+                seq.pos += 1;
+                if seq.pos >= seq.req.prompt.len() {
+                    // The step that consumed the final prompt token (or a
+                    // decode step) yields the next sampled token.
+                    let token = seq.req.sampler.sample(logits, &mut seq.rng);
+                    if seq.first_token_step.is_none() {
+                        seq.first_token_step = Some(self.clock);
+                    }
+                    seq.generated.push(token);
+                    decode_tokens += 1;
+                }
+            }
+        }
+
+        // 7. Retire finished sequences (deadline expiry is handled
+        //    pre-step, in 3).
+        let clock = self.clock;
+        let pool = &mut self.pool;
+        let completions = &mut self.completions;
+        self.active.retain_mut(|seq| {
+            let hit_eos = seq
+                .req
+                .eos_token
+                .is_some_and(|eos| seq.generated.last() == Some(&eos));
+            let done = seq.generated.len() >= seq.req.max_new_tokens || hit_eos;
+            if !done {
+                return true;
+            }
+            let finish = if hit_eos {
+                FinishReason::Eos
+            } else {
+                FinishReason::MaxTokens
+            };
+            pool.release(seq.slot);
+            completions.push(Completion {
+                id: seq.req.id,
+                tokens: std::mem::take(&mut seq.generated),
+                finish,
+                arrival_step: seq.req.arrival_step,
+                admitted_step: Some(seq.admitted_step),
+                first_token_step: seq.first_token_step,
+                finished_step: clock,
+            });
+            false
+        });
+
+        // 8. Trace for the cost models. `batch_per_step` is also the
+        //    tokens *processed* (one input per resident sequence);
+        //    `tokens_per_step` counts sampled outputs.
+        self.total_prefill_tokens += prefill_tokens as u64;
+        self.total_decode_tokens += decode_tokens as u64;
+        self.trace.batch_per_step.push(items.len());
+        self.trace.tokens_per_step.push(decode_tokens);
+        self.trace.queue_depth_per_step.push(self.waiting.len());
+
+        debug_assert_eq!(
+            self.pool.free_count() + self.active.len(),
+            self.pool.capacity(),
+            "slot conservation violated"
+        );
+
+        self.clock += 1;
+        Ok(())
+    }
+
+    /// Builds the aggregate report for the run so far.
+    pub fn report(&self, scheduler: &'static str) -> ServeReport {
+        let finished: Vec<&Completion> = self
+            .completions
+            .iter()
+            .filter(|c| c.finish != FinishReason::DeadlineExceeded)
+            .collect();
+        let evicted = self.completions.len() - finished.len();
+        let ttft: Vec<f64> = finished
+            .iter()
+            .filter_map(|c| c.ttft_steps().map(|t| t as f64))
+            .collect();
+        let e2e: Vec<f64> = finished.iter().map(|c| c.e2e_steps() as f64).collect();
+        let queue: Vec<f64> = finished
+            .iter()
+            .filter_map(|c| c.queue_steps().map(|q| q as f64))
+            .collect();
+
+        ServeReport {
+            scheduler,
+            completed: finished.len(),
+            evicted,
+            steps: self.clock,
+            generated_tokens: self.total_decode_tokens,
+            prefill_tokens: self.total_prefill_tokens,
+            ttft_steps: Percentiles::of(&ttft),
+            e2e_steps: Percentiles::of(&e2e),
+            queue_steps: Percentiles::of(&queue),
+            mean_occupancy: self.trace.mean_batch() / self.pool.capacity() as f64,
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{ContinuousBatching, StaticBatching};
+    use lightmamba_model::MambaConfig;
+
+    fn tiny_model() -> MambaModel {
+        MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap()
+    }
+
+    fn burst_requests(n: u64, prompt_len: usize, gen_len: usize) -> Vec<GenRequest> {
+        (0..n)
+            .map(|id| GenRequest::greedy(id, vec![(id % 200) as u32 + 1; prompt_len], gen_len))
+            .collect()
+    }
+
+    #[test]
+    fn drains_a_burst_and_matches_sequential_outputs() {
+        let model = tiny_model();
+        let reqs = burst_requests(6, 4, 5);
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 3,
+                max_steps: 10_000,
+            },
+        )
+        .unwrap();
+        engine.submit(reqs.clone()).unwrap();
+        let report = engine.run(&mut ContinuousBatching).unwrap();
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.evicted, 0);
+
+        for req in &reqs {
+            let done = engine
+                .completions()
+                .iter()
+                .find(|c| c.id == req.id)
+                .unwrap();
+            // Sequential single-stream reference.
+            let mut state = model.new_state();
+            let mut rng = StdRng::seed_from_u64(req.seed);
+            let mut logits = model.prefill(&req.prompt, &mut state).unwrap();
+            let mut expect = Vec::new();
+            for _ in 0..req.max_new_tokens {
+                let t = req.sampler.sample(&logits, &mut rng);
+                expect.push(t);
+                logits = model.forward_step(t, &mut state).unwrap();
+            }
+            assert_eq!(done.tokens, expect, "request {} diverged", req.id);
+        }
+    }
+
+    #[test]
+    fn continuous_beats_static_on_ttft() {
+        let model = tiny_model();
+        // Mixed lengths: static batching strands short requests behind
+        // long batch-mates and late arrivals behind the whole batch.
+        let mut reqs = Vec::new();
+        for id in 0..12u64 {
+            let gen_len = if id % 3 == 0 { 24 } else { 4 };
+            let mut r = GenRequest::greedy(id, vec![3; 4], gen_len);
+            r.arrival_step = id; // staggered arrivals
+            reqs.push(r);
+        }
+        let run = |sched: &mut dyn Scheduler| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig {
+                    slots: 4,
+                    max_steps: 10_000,
+                },
+            )
+            .unwrap();
+            engine.submit(reqs.clone()).unwrap();
+            engine.run(sched).unwrap()
+        };
+        let cont = run(&mut ContinuousBatching);
+        let stat = run(&mut StaticBatching);
+        assert_eq!(cont.completed, 12);
+        assert_eq!(stat.completed, 12);
+        assert!(
+            cont.ttft_steps.mean < stat.ttft_steps.mean,
+            "continuous {:?} vs static {:?}",
+            cont.ttft_steps,
+            stat.ttft_steps
+        );
+        assert!(cont.steps <= stat.steps);
+    }
+
+    #[test]
+    fn outputs_do_not_depend_on_scheduler() {
+        let model = tiny_model();
+        let reqs = burst_requests(5, 3, 6);
+        let run = |sched: &mut dyn Scheduler| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig {
+                    slots: 2,
+                    max_steps: 10_000,
+                },
+            )
+            .unwrap();
+            engine.submit(reqs.clone()).unwrap();
+            engine.run(sched).unwrap();
+            let mut out: Vec<(u64, Vec<u32>)> = engine
+                .completions()
+                .iter()
+                .map(|c| (c.id, c.tokens.clone()))
+                .collect();
+            out.sort();
+            out
+        };
+        assert_eq!(run(&mut ContinuousBatching), run(&mut StaticBatching));
+    }
+
+    #[test]
+    fn fifo_admission_order_holds() {
+        let model = tiny_model();
+        let reqs = burst_requests(9, 2, 3);
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 10_000,
+            },
+        )
+        .unwrap();
+        engine.submit(reqs).unwrap();
+        engine.run(&mut ContinuousBatching).unwrap();
+        let mut admissions: Vec<(u64, u64)> = engine
+            .completions()
+            .iter()
+            .map(|c| (c.admitted_step.expect("completed implies admitted"), c.id))
+            .collect();
+        admissions.sort();
+        let ids: Vec<u64> = admissions.iter().map(|&(_, id)| id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "later requests admitted before earlier ones");
+    }
+
+    #[test]
+    fn deadline_eviction_frees_the_slot() {
+        let model = tiny_model();
+        let mut hog = GenRequest::greedy(0, vec![1; 4], 500);
+        hog.deadline_steps = Some(10);
+        let quick = GenRequest::greedy(1, vec![2; 2], 2);
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 1,
+                max_steps: 1_000,
+            },
+        )
+        .unwrap();
+        engine.submit(vec![hog, quick]).unwrap();
+        let report = engine.run(&mut ContinuousBatching).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.completed, 1);
+        let evicted = &engine.completions()[0];
+        assert_eq!(evicted.id, 0);
+        assert_eq!(evicted.finish, FinishReason::DeadlineExceeded);
+    }
+
+    #[test]
+    fn queued_expiry_is_evicted_without_burning_a_slot_or_step() {
+        let model = tiny_model();
+        // One hog holds the only slot far past the quick request's
+        // deadline; the quick request must expire in the queue, never
+        // occupying the slot or joining a batched step.
+        let hog = GenRequest::greedy(0, vec![1; 4], 40);
+        let mut quick = GenRequest::greedy(1, vec![2; 2], 2);
+        quick.deadline_steps = Some(5);
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 1,
+                max_steps: 1_000,
+            },
+        )
+        .unwrap();
+        engine.submit(vec![hog, quick]).unwrap();
+        let report = engine.run(&mut ContinuousBatching).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.completed, 1);
+        let evicted = engine
+            .completions()
+            .iter()
+            .find(|c| c.id == 1)
+            .expect("quick request recorded");
+        assert_eq!(evicted.finish, FinishReason::DeadlineExceeded);
+        assert!(evicted.tokens.is_empty());
+        assert_eq!(evicted.first_token_step, None);
+        assert_eq!(evicted.finished_step, 5);
+        // Every executed step ran batch 1 (the hog alone): the expired
+        // request never inflated a batch.
+        assert!(report.trace.batch_per_step.iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn eos_token_stops_generation_early() {
+        let model = tiny_model();
+        // Find the greedy first token, then make it the EOS.
+        let mut state = model.new_state();
+        let logits = model.prefill(&[5, 6], &mut state).unwrap();
+        let eos = MambaModel::argmax(&logits) as u32;
+        let mut req = GenRequest::greedy(0, vec![5, 6], 50);
+        req.eos_token = Some(eos);
+        let mut engine = ServeEngine::new(&model, EngineConfig::default()).unwrap();
+        engine.submit(vec![req]).unwrap();
+        let report = engine.run(&mut ContinuousBatching).unwrap();
+        assert_eq!(report.completed, 1);
+        let c = &engine.completions()[0];
+        assert_eq!(c.finish, FinishReason::Eos);
+        assert_eq!(c.tokens, vec![eos]);
+    }
+
+    #[test]
+    fn step_budget_stops_the_run() {
+        let model = tiny_model();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 5,
+            },
+        )
+        .unwrap();
+        engine.submit(burst_requests(4, 8, 50)).unwrap();
+        let report = engine.run(&mut ContinuousBatching).unwrap();
+        assert_eq!(report.steps, 5);
+        assert!(engine.has_work());
+    }
+
+    #[test]
+    fn rejects_empty_prompt_and_zero_slots() {
+        let model = tiny_model();
+        assert!(ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 0,
+                max_steps: 1
+            }
+        )
+        .is_err());
+        let mut engine = ServeEngine::new(&model, EngineConfig::default()).unwrap();
+        assert!(engine
+            .submit(vec![GenRequest::greedy(0, vec![], 4)])
+            .is_err());
+    }
+}

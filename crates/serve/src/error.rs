@@ -1,0 +1,36 @@
+//! Error type of the serving subsystem.
+
+use lightmamba_model::ModelError;
+
+/// Errors produced by the serving engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The underlying model rejected a step.
+    Model(ModelError),
+    /// The engine was configured inconsistently.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            ServeError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> Self {
+        ServeError::Model(e)
+    }
+}

@@ -1,0 +1,60 @@
+//! `lightmamba-serve`: continuous-batching serving over the Mamba2
+//! substrate, with accelerator-costed throughput projection.
+//!
+//! The paper's systems insight is that Mamba2's decode state is *fixed
+//! size* — no KV cache growing with sequence length (the flat curve of
+//! Fig. 9a). This crate builds the serving layer that insight makes
+//! cheap: every resident sequence costs one statically-sized slot
+//! ([`slots::SlotPool`]), so admission control is slot counting, and the
+//! batched step ([`lightmamba_model::MambaModel::forward_step_batch_indexed`])
+//! shares each layer's weights across all resident sequences — the
+//! software analogue of the accelerator's shared weight stream.
+//!
+//! * [`request`] — generation requests and completion records;
+//! * [`traffic`] — synthetic Poisson traffic over chat / summarization /
+//!   code-completion profiles;
+//! * [`slots`] — the fixed pool of per-sequence recurrent states;
+//! * [`scheduler`] — continuous batching plus the static-batching
+//!   baseline (admission policy only; FIFO order is engine-fixed);
+//! * [`engine`] — the virtual-time serving loop (token-level
+//!   prefill/decode interleaving, join/evict per step);
+//! * [`metrics`] — TTFT / e2e / queueing percentiles, occupancy, traces;
+//! * [`accel_cost`] — projects a run onto VCK190/U280 seconds via
+//!   `lightmamba_accel`'s batch-aware cycle model.
+//!
+//! # Example
+//!
+//! ```
+//! use lightmamba_model::{MambaConfig, MambaModel};
+//! use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+//! use lightmamba_serve::scheduler::ContinuousBatching;
+//! use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let model = MambaModel::synthetic(MambaConfig::tiny(), &mut rng)?;
+//! let mut traffic =
+//!     TrafficGenerator::new(TrafficScenario::burst(8), model.config().vocab_size, 1);
+//! let mut engine = ServeEngine::new(&model, EngineConfig { slots: 4, max_steps: 50_000 })?;
+//! engine.submit(traffic.generate(1))?;
+//! let report = engine.run(&mut ContinuousBatching)?;
+//! assert_eq!(report.completed, 8);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+
+pub mod accel_cost;
+pub mod engine;
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+pub mod slots;
+pub mod traffic;
+
+pub use error::ServeError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,168 @@
+//! Latency/throughput aggregation for engine runs.
+//!
+//! All raw timestamps are in *engine steps* (one batched model step).
+//! Steps map to wall time only through a cost model — engine-side
+//! metrics stay hardware-free, and `crate::accel_cost` converts a run's
+//! trace to projected seconds on a concrete accelerator.
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes stats over `samples` (returns zeros when empty).
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Percentiles {
+                n: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pick = |q: f64| -> f64 {
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        Percentiles {
+            n: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: pick(0.50),
+            p90: pick(0.90),
+            p99: pick(0.99),
+            max: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Per-step observations the engine records (consumed by the cost model).
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// Batch size (active sequences) of each executed step — also the
+    /// tokens *processed* by the step, one input per resident sequence.
+    pub batch_per_step: Vec<usize>,
+    /// Decode tokens *sampled* by each step (the boundary step that
+    /// consumes the final prompt token also samples, so this can exceed
+    /// the step's decode-input count).
+    pub tokens_per_step: Vec<usize>,
+    /// Waiting-queue depth after admissions, per step.
+    pub queue_depth_per_step: Vec<usize>,
+}
+
+impl RunTrace {
+    /// Number of executed steps.
+    pub fn steps(&self) -> usize {
+        self.batch_per_step.len()
+    }
+
+    /// Largest batch any step ran.
+    pub fn peak_batch(&self) -> usize {
+        self.batch_per_step.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean batch size over non-idle steps.
+    pub fn mean_batch(&self) -> f64 {
+        let busy: Vec<usize> = self
+            .batch_per_step
+            .iter()
+            .copied()
+            .filter(|&b| b > 0)
+            .collect();
+        if busy.is_empty() {
+            0.0
+        } else {
+            busy.iter().sum::<usize>() as f64 / busy.len() as f64
+        }
+    }
+}
+
+/// Aggregate outcome of an engine run (step-denominated).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Admission policy that produced the run.
+    pub scheduler: &'static str,
+    /// Requests completed (max-tokens or EOS).
+    pub completed: usize,
+    /// Requests evicted on deadline.
+    pub evicted: usize,
+    /// Steps executed.
+    pub steps: u64,
+    /// Generated (decode) tokens across all requests.
+    pub generated_tokens: u64,
+    /// Prompt tokens consumed across all requests.
+    pub prefill_tokens: u64,
+    /// Time-to-first-token stats in steps (arrival → first token).
+    pub ttft_steps: Percentiles,
+    /// End-to-end latency stats in steps.
+    pub e2e_steps: Percentiles,
+    /// Queueing delay stats in steps (arrival → admission).
+    pub queue_steps: Percentiles,
+    /// Slot occupancy (mean batch / capacity).
+    pub mean_occupancy: f64,
+    /// Per-step observations for cost models.
+    pub trace: RunTrace,
+}
+
+impl ServeReport {
+    /// Decode tokens per engine step — the hardware-free throughput.
+    pub fn tokens_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.generated_tokens as f64 / self.steps as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_set() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let p = Percentiles::of(&xs);
+        assert_eq!(p.n, 100);
+        assert!((p.mean - 50.5).abs() < 1e-9);
+        assert!((p.p50 - 51.0).abs() <= 1.0);
+        assert!((p.p90 - 90.0).abs() <= 1.0);
+        assert!((p.p99 - 99.0).abs() <= 1.0);
+        assert_eq!(p.max, 100.0);
+    }
+
+    #[test]
+    fn empty_samples_yield_zeros() {
+        let p = Percentiles::of(&[]);
+        assert_eq!(p.n, 0);
+        assert_eq!(p.max, 0.0);
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let t = RunTrace {
+            batch_per_step: vec![0, 2, 4, 0, 6],
+            tokens_per_step: vec![0, 2, 4, 0, 6],
+            queue_depth_per_step: vec![5, 3, 1, 0, 0],
+        };
+        assert_eq!(t.steps(), 5);
+        assert_eq!(t.peak_batch(), 6);
+        assert!((t.mean_batch() - 4.0).abs() < 1e-9);
+    }
+}

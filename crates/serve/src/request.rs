@@ -1,0 +1,96 @@
+//! Generation requests and their lifecycle records.
+
+use lightmamba_model::sampler::Sampler;
+
+/// Unique id of a request within one engine run.
+pub type RequestId = u64;
+
+/// A user generation request as admitted by the engine.
+#[derive(Debug, Clone)]
+pub struct GenRequest {
+    /// Unique id (admission FIFO ties break on it).
+    pub id: RequestId,
+    /// Prompt token ids (must be non-empty).
+    pub prompt: Vec<u32>,
+    /// Number of tokens to generate after the prompt.
+    pub max_new_tokens: usize,
+    /// Decoding strategy.
+    pub sampler: Sampler,
+    /// Seed of the request's private sampling RNG. Keeping sampling
+    /// per-request makes outputs independent of how the scheduler
+    /// interleaves sequences — the property the equivalence tests pin.
+    pub seed: u64,
+    /// Engine step at which the request arrives.
+    pub arrival_step: u64,
+    /// Optional latency budget in engine steps from arrival; the engine
+    /// evicts requests that exceed it.
+    pub deadline_steps: Option<u64>,
+    /// Optional stop token ending generation early.
+    pub eos_token: Option<u32>,
+}
+
+impl GenRequest {
+    /// A greedy-decoded request with no deadline, arriving at step 0.
+    pub fn greedy(id: RequestId, prompt: Vec<u32>, max_new_tokens: usize) -> Self {
+        GenRequest {
+            id,
+            prompt,
+            max_new_tokens,
+            sampler: Sampler::Greedy,
+            seed: id,
+            arrival_step: 0,
+            deadline_steps: None,
+            eos_token: None,
+        }
+    }
+}
+
+/// Why a request left the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// Generated `max_new_tokens`.
+    MaxTokens,
+    /// Produced the request's stop token.
+    Eos,
+    /// Evicted after exceeding its deadline.
+    DeadlineExceeded,
+}
+
+/// Completion record of one request, timestamped in engine steps.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The request's id.
+    pub id: RequestId,
+    /// Generated tokens (prompt excluded).
+    pub tokens: Vec<u32>,
+    /// Why generation ended.
+    pub finish: FinishReason,
+    /// Step the request arrived.
+    pub arrival_step: u64,
+    /// Step the request was admitted to a slot (`None` when it expired
+    /// in the waiting queue without ever being admitted).
+    pub admitted_step: Option<u64>,
+    /// Step the first generated token appeared (`None` when evicted
+    /// during prefill).
+    pub first_token_step: Option<u64>,
+    /// Step the request left the engine.
+    pub finished_step: u64,
+}
+
+impl Completion {
+    /// Time-to-first-token in engine steps (arrival → first token).
+    pub fn ttft_steps(&self) -> Option<u64> {
+        self.first_token_step.map(|t| t - self.arrival_step)
+    }
+
+    /// Queueing delay in engine steps (arrival → admission; `None` when
+    /// the request was never admitted).
+    pub fn queue_steps(&self) -> Option<u64> {
+        self.admitted_step.map(|a| a - self.arrival_step)
+    }
+
+    /// End-to-end latency in engine steps.
+    pub fn e2e_steps(&self) -> u64 {
+        self.finished_step - self.arrival_step
+    }
+}

@@ -1,0 +1,74 @@
+//! Admission policies: continuous batching vs the static baseline.
+//!
+//! The engine always admits from the front of a FIFO waiting queue —
+//! schedulers only decide *how many* requests may join this step, which
+//! is the whole policy surface once states are fixed-size. Continuous
+//! batching admits whenever a slot is free, so sequences join and leave
+//! the running batch token-by-token. Static batching (the baseline every
+//! serving paper compares against) waits for the running batch to drain
+//! completely before admitting the next one, so short sequences idle
+//! their slots while the longest member finishes.
+
+/// An admission policy.
+pub trait Scheduler {
+    /// How many requests to admit this step, given the queue depth,
+    /// free slots, and currently active sequences.
+    fn admit(&mut self, waiting: usize, free_slots: usize, active: usize) -> usize;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Token-level continuous batching: fill every free slot, every step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContinuousBatching;
+
+impl Scheduler for ContinuousBatching {
+    fn admit(&mut self, waiting: usize, free_slots: usize, _active: usize) -> usize {
+        waiting.min(free_slots)
+    }
+
+    fn name(&self) -> &'static str {
+        "continuous"
+    }
+}
+
+/// Static batching: admit a full batch only when the engine is idle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticBatching;
+
+impl Scheduler for StaticBatching {
+    fn admit(&mut self, waiting: usize, free_slots: usize, active: usize) -> usize {
+        if active == 0 {
+            waiting.min(free_slots)
+        } else {
+            0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_fills_free_slots() {
+        let mut s = ContinuousBatching;
+        assert_eq!(s.admit(10, 4, 12), 4);
+        assert_eq!(s.admit(2, 4, 12), 2);
+        assert_eq!(s.admit(0, 4, 12), 0);
+        assert_eq!(s.admit(10, 0, 16), 0);
+    }
+
+    #[test]
+    fn static_waits_for_drain() {
+        let mut s = StaticBatching;
+        assert_eq!(s.admit(10, 4, 1), 0, "batch still running");
+        assert_eq!(s.admit(10, 16, 0), 10);
+        assert_eq!(s.admit(32, 16, 0), 16);
+    }
+}

@@ -1,0 +1,152 @@
+//! The fixed slot pool of per-sequence recurrent states.
+//!
+//! Because Mamba2's decode state is fixed-size (`LayerState` holds a conv
+//! window plus the SSM hidden state, independent of sequence length),
+//! admission control degenerates to slot counting: every resident
+//! sequence costs the same, statically known number of bytes. This is
+//! the contrast with paged-KV transformer serving, where admission must
+//! reason about growing, length-dependent cache footprints.
+
+use lightmamba_model::{MambaModel, ModelState};
+
+/// A fixed pool of `ModelState`s with O(1) slot alloc/free (allocation
+/// zeroes the fixed-size state; no heap traffic after construction).
+#[derive(Debug, Clone)]
+pub struct SlotPool {
+    states: Vec<ModelState>,
+    free: Vec<usize>,
+    in_use: Vec<bool>,
+}
+
+impl SlotPool {
+    /// Builds a pool of `capacity` zeroed states shaped for `model`.
+    pub fn new(model: &MambaModel, capacity: usize) -> Self {
+        SlotPool {
+            states: (0..capacity).map(|_| model.new_state()).collect(),
+            free: (0..capacity).rev().collect(),
+            in_use: vec![false; capacity],
+        }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Currently free slots.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Currently occupied slots.
+    pub fn in_use_count(&self) -> usize {
+        self.capacity() - self.free_count()
+    }
+
+    /// Claims a slot, resetting its state for a fresh sequence. Returns
+    /// `None` when the pool is exhausted.
+    pub fn alloc(&mut self) -> Option<usize> {
+        let slot = self.free.pop()?;
+        self.in_use[slot] = true;
+        self.states[slot].reset();
+        Some(slot)
+    }
+
+    /// Returns a slot to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free or out-of-range slots — both are engine
+    /// bugs, not recoverable conditions.
+    pub fn release(&mut self, slot: usize) {
+        assert!(slot < self.capacity(), "slot {slot} out of range");
+        assert!(self.in_use[slot], "double free of slot {slot}");
+        self.in_use[slot] = false;
+        self.free.push(slot);
+    }
+
+    /// The backing states, indexed by slot (the batched forward API
+    /// takes this slice plus `(slot, token)` pairs).
+    pub fn states_mut(&mut self) -> &mut [ModelState] {
+        &mut self.states
+    }
+
+    /// Bytes of recurrent state one slot keeps at `bits` bits/element —
+    /// the per-sequence admission cost.
+    pub fn state_bytes_per_slot(&self, bits: f64) -> f64 {
+        self.states
+            .first()
+            .map(|s| s.total_state_bytes(bits))
+            .unwrap_or(0.0)
+    }
+
+    /// Bytes across the whole pool at `bits` bits/element.
+    pub fn total_state_bytes(&self, bits: f64) -> f64 {
+        self.state_bytes_per_slot(bits) * self.capacity() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightmamba_model::MambaConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool(capacity: usize) -> SlotPool {
+        let model =
+            MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(1)).unwrap();
+        SlotPool::new(&model, capacity)
+    }
+
+    #[test]
+    fn alloc_free_conserves_slots() {
+        let mut p = pool(4);
+        assert_eq!(p.free_count(), 4);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.in_use_count(), 2);
+        p.release(a);
+        assert_eq!(p.free_count(), 3);
+        let c = p.alloc().unwrap();
+        assert_eq!(c, a, "LIFO reuse of the freed slot");
+        assert_eq!(p.free_count() + p.in_use_count(), p.capacity());
+    }
+
+    #[test]
+    fn exhausted_pool_returns_none() {
+        let mut p = pool(2);
+        assert!(p.alloc().is_some());
+        assert!(p.alloc().is_some());
+        assert!(p.alloc().is_none());
+    }
+
+    #[test]
+    fn alloc_resets_state() {
+        let mut p = pool(1);
+        let s = p.alloc().unwrap();
+        p.states_mut()[s].layers[0].h[0] = 42.0;
+        p.release(s);
+        let s2 = p.alloc().unwrap();
+        assert_eq!(s2, s);
+        assert_eq!(p.states_mut()[s2].layers[0].h[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut p = pool(2);
+        let s = p.alloc().unwrap();
+        p.release(s);
+        p.release(s);
+    }
+
+    #[test]
+    fn state_bytes_accounting_is_per_slot_constant() {
+        let p = pool(8);
+        let per = p.state_bytes_per_slot(16.0);
+        assert!(per > 0.0);
+        assert_eq!(p.total_state_bytes(16.0), per * 8.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Synthetic multi-user traffic: Poisson arrivals over workload profiles.
+//!
+//! Real serving traffic mixes short chatty exchanges with long-document
+//! summarization and bursty code completion. The profiles here bound
+//! prompt/output lengths per class and a scenario mixes them with
+//! weights; arrivals follow a Poisson process in engine steps. Token ids
+//! are uniform over the model vocabulary — the engine's cost is length-
+//! and batch-shaped, not content-shaped, so uniform tokens exercise the
+//! same scheduling behavior as natural text.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lightmamba_model::sampler::Sampler;
+
+use crate::request::GenRequest;
+
+/// Length bounds and arrival rate of one workload class.
+#[derive(Debug, Clone)]
+pub struct TrafficProfile {
+    /// Class name (reports group by it).
+    pub name: &'static str,
+    /// Prompt length range in tokens.
+    pub prompt_len: Range<usize>,
+    /// Generation length range in tokens.
+    pub gen_len: Range<usize>,
+    /// Decoding strategy requests of this class use.
+    pub sampler: Sampler,
+}
+
+impl TrafficProfile {
+    /// Chat turns: short prompts, short replies.
+    pub fn chat() -> Self {
+        TrafficProfile {
+            name: "chat",
+            prompt_len: 8..48,
+            gen_len: 8..48,
+            sampler: Sampler::TopK {
+                k: 16,
+                temperature: 0.8,
+            },
+        }
+    }
+
+    /// Summarization: long prompts, short outputs.
+    pub fn summarization() -> Self {
+        TrafficProfile {
+            name: "summarization",
+            prompt_len: 96..256,
+            gen_len: 8..32,
+            sampler: Sampler::Greedy,
+        }
+    }
+
+    /// Code completion: medium prompts, medium outputs, low temperature.
+    pub fn code_completion() -> Self {
+        TrafficProfile {
+            name: "code",
+            prompt_len: 32..128,
+            gen_len: 16..64,
+            sampler: Sampler::Temperature(0.2),
+        }
+    }
+}
+
+/// How requests arrive over the run horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Open-loop Poisson arrivals at rate λ per engine step.
+    Poisson(f64),
+    /// Closed-loop burst: all `n` requests arrive at step 0 (the
+    /// classic offline-throughput workload).
+    BurstAtStart(usize),
+}
+
+/// A weighted mixture of profiles plus an arrival process.
+#[derive(Debug, Clone)]
+pub struct TrafficScenario {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Profiles with mixture weights (need not sum to 1).
+    pub profiles: Vec<(f64, TrafficProfile)>,
+    /// How requests arrive.
+    pub arrivals: ArrivalProcess,
+}
+
+impl TrafficScenario {
+    /// Pure chat traffic.
+    pub fn chat(arrivals_per_step: f64) -> Self {
+        TrafficScenario {
+            name: "chat",
+            profiles: vec![(1.0, TrafficProfile::chat())],
+            arrivals: ArrivalProcess::Poisson(arrivals_per_step),
+        }
+    }
+
+    /// The mixed production-like scenario: mostly chat, some code, a
+    /// trickle of long summarizations.
+    pub fn mixed(arrivals_per_step: f64) -> Self {
+        TrafficScenario {
+            name: "mixed",
+            profiles: vec![
+                (0.6, TrafficProfile::chat()),
+                (0.3, TrafficProfile::code_completion()),
+                (0.1, TrafficProfile::summarization()),
+            ],
+            arrivals: ArrivalProcess::Poisson(arrivals_per_step),
+        }
+    }
+
+    /// A closed-loop burst of `n` chat requests.
+    pub fn burst(n: usize) -> Self {
+        TrafficScenario {
+            name: "burst",
+            profiles: vec![(1.0, TrafficProfile::chat())],
+            arrivals: ArrivalProcess::BurstAtStart(n),
+        }
+    }
+}
+
+/// Deterministic request generator over a scenario.
+#[derive(Debug)]
+pub struct TrafficGenerator {
+    scenario: TrafficScenario,
+    vocab_size: usize,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl TrafficGenerator {
+    /// Builds a generator; `vocab_size` bounds sampled token ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scenario has no profiles or a zero vocabulary —
+    /// both unserviceable configurations.
+    pub fn new(scenario: TrafficScenario, vocab_size: usize, seed: u64) -> Self {
+        assert!(
+            !scenario.profiles.is_empty(),
+            "traffic scenario {:?} needs at least one profile",
+            scenario.name
+        );
+        assert!(vocab_size > 0, "vocab_size must be non-zero");
+        TrafficGenerator {
+            scenario,
+            vocab_size,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// Draws a Poisson count via inversion (rates here are ≲ a few
+    /// arrivals per step, where this is exact and fast).
+    fn poisson(&mut self, lambda: f64) -> usize {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        let limit = (-lambda).exp();
+        let mut product: f64 = self.rng.gen();
+        let mut count = 0usize;
+        while product > limit && count < 10_000 {
+            count += 1;
+            product *= self.rng.gen::<f64>();
+        }
+        count
+    }
+
+    fn sample_profile(&mut self) -> TrafficProfile {
+        let total: f64 = self.scenario.profiles.iter().map(|(w, _)| w).sum();
+        let mut pick = self.rng.gen::<f64>() * total;
+        for (w, p) in &self.scenario.profiles {
+            pick -= w;
+            if pick <= 0.0 {
+                return p.clone();
+            }
+        }
+        self.scenario.profiles[0].1.clone()
+    }
+
+    fn make_request(&mut self, arrival_step: u64) -> GenRequest {
+        let profile = self.sample_profile();
+        let prompt_len = self.rng.gen_range(profile.prompt_len.clone());
+        let gen_len = self.rng.gen_range(profile.gen_len.clone());
+        let prompt = (0..prompt_len.max(1))
+            .map(|_| self.rng.gen_range(0..self.vocab_size) as u32)
+            .collect();
+        let id = self.next_id;
+        self.next_id += 1;
+        GenRequest {
+            id,
+            prompt,
+            max_new_tokens: gen_len.max(1),
+            sampler: profile.sampler,
+            seed: id.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            arrival_step,
+            deadline_steps: None,
+            eos_token: None,
+        }
+    }
+
+    /// Generates all arrivals over `steps` engine steps
+    /// ([`ArrivalProcess::BurstAtStart`] ignores the horizon and emits
+    /// everything at step 0).
+    pub fn generate(&mut self, steps: u64) -> Vec<GenRequest> {
+        let mut out = Vec::new();
+        match self.scenario.arrivals {
+            ArrivalProcess::BurstAtStart(n) => {
+                for _ in 0..n {
+                    out.push(self.make_request(0));
+                }
+            }
+            ArrivalProcess::Poisson(lambda) => {
+                for step in 0..steps {
+                    let n = self.poisson(lambda);
+                    for _ in 0..n {
+                        out.push(self.make_request(step));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = TrafficGenerator::new(TrafficScenario::mixed(0.5), 256, 7);
+        let mut b = TrafficGenerator::new(TrafficScenario::mixed(0.5), 256, 7);
+        let ra = a.generate(200);
+        let rb = b.generate(200);
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.prompt, y.prompt);
+            assert_eq!(x.arrival_step, y.arrival_step);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_lambda() {
+        let mut g = TrafficGenerator::new(TrafficScenario::chat(0.5), 256, 3);
+        let reqs = g.generate(4000);
+        let rate = reqs.len() as f64 / 4000.0;
+        assert!((0.4..0.6).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn burst_arrives_all_at_once() {
+        let mut g = TrafficGenerator::new(TrafficScenario::burst(64), 256, 1);
+        let reqs = g.generate(10);
+        assert_eq!(reqs.len(), 64);
+        assert!(reqs.iter().all(|r| r.arrival_step == 0));
+    }
+
+    #[test]
+    fn prompts_respect_vocab_and_lengths() {
+        let mut g = TrafficGenerator::new(TrafficScenario::mixed(1.0), 512, 9);
+        for r in g.generate(300) {
+            assert!(!r.prompt.is_empty());
+            assert!(r.max_new_tokens >= 1);
+            assert!(r.prompt.iter().all(|&t| (t as usize) < 512));
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_ordered_by_arrival() {
+        let mut g = TrafficGenerator::new(TrafficScenario::mixed(0.8), 256, 11);
+        let reqs = g.generate(500);
+        for w in reqs.windows(2) {
+            assert!(w[0].id < w[1].id);
+            assert!(w[0].arrival_step <= w[1].arrival_step);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based invariants of the serving subsystem: FIFO liveness,
+//! slot conservation, and batched/sequential equivalence.
+
+use lightmamba_model::{MambaConfig, MambaModel};
+use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+use lightmamba_serve::request::GenRequest;
+use lightmamba_serve::scheduler::{ContinuousBatching, Scheduler, StaticBatching};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_model() -> MambaModel {
+    MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap()
+}
+
+/// Random request workloads: (arrival gap, prompt len, gen len, seed).
+fn workload() -> impl Strategy<Value = Vec<(u64, Vec<u32>, usize, u64)>> {
+    proptest::collection::vec(
+        (
+            0u64..4,
+            proptest::collection::vec(0u32..256, 1..6),
+            1usize..6,
+            0u64..1_000_000,
+        ),
+        1..14,
+    )
+}
+
+fn build_requests(spec: &[(u64, Vec<u32>, usize, u64)]) -> Vec<GenRequest> {
+    let mut arrival = 0u64;
+    spec.iter()
+        .enumerate()
+        .map(|(id, (gap, prompt, gen_len, seed))| {
+            arrival += gap;
+            let mut r = GenRequest::greedy(id as u64, prompt.clone(), *gen_len);
+            r.arrival_step = arrival;
+            r.seed = *seed;
+            r
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_request_starves_under_fifo(spec in workload(), slots in 1usize..5) {
+        let model = tiny_model();
+        let requests = build_requests(&spec);
+        let n = requests.len();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig { slots, max_steps: 200_000 },
+        ).unwrap();
+        engine.submit(requests).unwrap();
+        let report = engine.run(&mut ContinuousBatching).unwrap();
+
+        // Liveness: every submitted request completes.
+        prop_assert_eq!(report.completed, n);
+        prop_assert_eq!(report.evicted, 0);
+        prop_assert!(!engine.has_work());
+
+        // FIFO: requests are admitted in id order (ids are arrival-sorted).
+        let mut admissions: Vec<(u64, u64)> = engine
+            .completions()
+            .iter()
+            .map(|c| (c.admitted_step.expect("completed implies admitted"), c.id))
+            .collect();
+        admissions.sort();
+        let ids: Vec<u64> = admissions.iter().map(|&(_, id)| id).collect();
+        let mut sorted_ids = ids.clone();
+        sorted_ids.sort();
+        prop_assert_eq!(ids, sorted_ids);
+    }
+
+    #[test]
+    fn slots_are_conserved_across_join_and_evict(spec in workload(), slots in 1usize..5) {
+        let model = tiny_model();
+        let requests = build_requests(&spec);
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig { slots, max_steps: 200_000 },
+        ).unwrap();
+        engine.submit(requests).unwrap();
+        let mut sched = ContinuousBatching;
+        let mut steps = 0u64;
+        while engine.has_work() && steps < 200_000 {
+            engine.step(&mut sched).unwrap();
+            steps += 1;
+            // Conservation at every step boundary, while sequences join
+            // and leave mid-flight.
+            prop_assert_eq!(
+                engine.free_slots() + engine.active_count(),
+                engine.capacity()
+            );
+            prop_assert!(engine.active_count() <= slots);
+        }
+        // Drained: every slot is back in the pool.
+        prop_assert_eq!(engine.free_slots(), engine.capacity());
+    }
+
+    #[test]
+    fn batched_step_matches_sequential_bit_for_bit(
+        prompts in proptest::collection::vec(
+            proptest::collection::vec(0u32..256, 1..8),
+            1..6,
+        ),
+        gen_len in 1usize..6,
+    ) {
+        let model = tiny_model();
+
+        // Sequential single-stream reference.
+        let mut expected = Vec::new();
+        for p in &prompts {
+            let mut state = model.new_state();
+            let mut logits = model.prefill(p, &mut state).unwrap();
+            let mut toks = Vec::new();
+            for _ in 0..gen_len {
+                let t = MambaModel::argmax(&logits) as u32;
+                toks.push(t);
+                logits = model.forward_step(t, &mut state).unwrap();
+            }
+            expected.push(toks);
+        }
+
+        // Batched decode of all sequences together.
+        let mut states: Vec<_> = prompts.iter().map(|_| model.new_state()).collect();
+        let slices: Vec<&[u32]> = prompts.iter().map(|p| p.as_slice()).collect();
+        let mut logits = model.prefill_batch(&slices, &mut states).unwrap();
+        let mut got: Vec<Vec<u32>> = vec![Vec::new(); prompts.len()];
+        for _ in 0..gen_len {
+            let tokens: Vec<u32> = logits
+                .iter()
+                .map(|l| MambaModel::argmax(l) as u32)
+                .collect();
+            for (k, &t) in tokens.iter().enumerate() {
+                got[k].push(t);
+            }
+            logits = model.forward_step_batch(&tokens, &mut states).unwrap();
+        }
+
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn scheduler_choice_never_changes_outputs(spec in workload(), slots in 1usize..5) {
+        let model = tiny_model();
+        let requests = build_requests(&spec);
+        let run = |sched: &mut dyn Scheduler| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig { slots, max_steps: 200_000 },
+            ).unwrap();
+            engine.submit(requests.clone()).unwrap();
+            engine.run(sched).unwrap();
+            let mut out: Vec<(u64, Vec<u32>)> = engine
+                .completions()
+                .iter()
+                .map(|c| (c.id, c.tokens.clone()))
+                .collect();
+            out.sort();
+            out
+        };
+        prop_assert_eq!(run(&mut ContinuousBatching), run(&mut StaticBatching));
+    }
+}

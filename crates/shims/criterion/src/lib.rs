@@ -1,0 +1,130 @@
+//! Offline shim of `criterion 0.5`: a calibrated timing loop with the
+//! upstream macro/entry-point surface, no statistical analysis.
+//!
+//! `cargo bench` with this shim prints one `name ... mean ns/iter` line
+//! per benchmark. Swapping in real criterion restores full reports with
+//! no source changes.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per benchmark (calibration + measurement).
+const TARGET_MEASURE: Duration = Duration::from_millis(120);
+
+/// Runs closures under a timing loop, printing one line per benchmark.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Measures `f` under the benchmark `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&id.into(), f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with the group name.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` does the measuring.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_named<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: grow the iteration count until one batch is long enough
+    // to time reliably, or until the calibration budget is spent.
+    let mut iters: u64 = 1;
+    let calibration_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_MEASURE / 4
+            || calibration_start.elapsed() >= TARGET_MEASURE
+            || iters >= 1 << 30
+        {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    println!("{name:<48} {per_iter:>14.1} ns/iter  ({iters} iters)");
+}
+
+/// Declares a function that runs each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

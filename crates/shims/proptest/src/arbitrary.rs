@@ -1,0 +1,47 @@
+//! The [`any`] entry point and [`Arbitrary`] implementations.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (whole domain for `bool` and integers,
+/// `[0, 1)` for floats in this shim).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy produced by [`any`] for primitives.
+pub struct StandardAny<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Strategy for StandardAny<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = StandardAny<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                StandardAny { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+impl_arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);

@@ -1,0 +1,140 @@
+//! Offline shim of `proptest 1`: random-generation property testing
+//! without shrinking.
+//!
+//! Implements the combinator and macro surface this workspace's property
+//! tests use. Each failing case prints its seed so it can be replayed by
+//! temporarily pinning the seed in the runner loop. Upstream proptest is
+//! a drop-in replacement when registry access exists.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The items property tests conventionally glob-import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the process) so the runner can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, "{:?} != {:?}", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Rejects the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests: each `pat in strategy` binding is sampled per
+/// case, and the body runs for `ProptestConfig::cases` accepted cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])+
+        fn $name:ident( $($bound:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let __max_attempts = __config.cases.saturating_mul(16).max(64);
+                let mut __accepted: u32 = 0;
+                let mut __attempt: u32 = 0;
+                while __accepted < __config.cases && __attempt < __max_attempts {
+                    __attempt += 1;
+                    let __seed = $crate::test_runner::case_seed(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __attempt,
+                    );
+                    let mut __rng = $crate::test_runner::rng_for_seed(__seed);
+                    let __outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(
+                            let $bound = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
+                        )+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => __accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed (seed {:#x}, case {}): {}",
+                                __seed, __attempt, msg
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    __accepted >= __config.cases.min(1),
+                    "proptest rejected every generated case"
+                );
+            }
+        )*
+    };
+}

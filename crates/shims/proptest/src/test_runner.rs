@@ -1,0 +1,67 @@
+//! Runner configuration and case outcome types used by the `proptest!`
+//! macro expansion.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG property strategies draw from.
+pub type TestRng = StdRng;
+
+/// Runner configuration (shim: only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the shim trims to keep the full
+        // workspace test suite fast in CI.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was filtered out by `prop_assume!`.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure outcome.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection outcome.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic per-test, per-case seed (FNV-1a over the test path,
+/// mixed with the case index).
+pub fn case_seed(test_path: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h ^ (u64::from(case)).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Builds the RNG for one case.
+pub fn rng_for_seed(seed: u64) -> TestRng {
+    StdRng::seed_from_u64(seed)
+}

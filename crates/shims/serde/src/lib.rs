@@ -1,0 +1,13 @@
+//! Offline shim of `serde 1`: marker traits plus no-op derives.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no data is
+//! serialized yet), so marker traits are enough for everything to
+//! compile. The real crate is a drop-in replacement.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

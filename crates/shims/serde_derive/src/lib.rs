@@ -1,0 +1,20 @@
+//! Offline shim of `serde_derive`: the derives expand to nothing.
+//!
+//! Nothing in this workspace serializes yet — the derives exist so that
+//! `#[derive(Serialize, Deserialize)]` on model/accel types compiles.
+//! Swapping in the real `serde_derive` restores full functionality with
+//! no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

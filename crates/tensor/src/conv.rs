@@ -195,14 +195,9 @@ mod tests {
         let mut st = ConvState::new(2, 3);
         for t in 0..10 {
             let got = st.step(input.row(t).unwrap(), &w, &bias).unwrap();
-            for c in 0..2 {
+            for (c, &g) in got.iter().enumerate().take(2) {
                 let want = full.get(&[t, c]).unwrap();
-                assert!(
-                    (got[c] - want).abs() < 1e-6,
-                    "t={t} c={c}: {} vs {}",
-                    got[c],
-                    want
-                );
+                assert!((g - want).abs() < 1e-6, "t={t} c={c}: {g} vs {want}");
             }
         }
     }

@@ -85,7 +85,10 @@ mod tests {
         let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
         let m4 = samples.iter().map(|v| (v - mean).powi(4)).sum::<f32>() / n as f32;
         let kurtosis = m4 / (var * var);
-        assert!(kurtosis > 5.0, "kurtosis {kurtosis} should exceed gaussian 3");
+        assert!(
+            kurtosis > 5.0,
+            "kurtosis {kurtosis} should exceed gaussian 3"
+        );
     }
 
     #[test]

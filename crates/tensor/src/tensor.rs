@@ -156,7 +156,10 @@ impl Tensor {
     pub fn row(&self, i: usize) -> Result<&[f32]> {
         let (rows, cols) = self.as_matrix_dims()?;
         if i >= rows {
-            return Err(TensorError::IndexOutOfBounds { index: i, len: rows });
+            return Err(TensorError::IndexOutOfBounds {
+                index: i,
+                len: rows,
+            });
         }
         Ok(&self.data[i * cols..(i + 1) * cols])
     }
@@ -169,7 +172,10 @@ impl Tensor {
     pub fn row_mut(&mut self, i: usize) -> Result<&mut [f32]> {
         let (rows, cols) = self.as_matrix_dims()?;
         if i >= rows {
-            return Err(TensorError::IndexOutOfBounds { index: i, len: rows });
+            return Err(TensorError::IndexOutOfBounds {
+                index: i,
+                len: rows,
+            });
         }
         Ok(&mut self.data[i * cols..(i + 1) * cols])
     }

@@ -42,15 +42,18 @@ fn main() {
             };
             let res = resources::estimate(&model, &cfg);
             let fits = res.check_fits(&platform).is_ok();
-            let report =
-                DecodeSimulator::new(platform.clone(), model.clone(), cfg).decode_report();
+            let report = DecodeSimulator::new(platform.clone(), model.clone(), cfg).decode_report();
             println!(
                 "  {:>5} {:>5} {:>4} | {:>9.2} {:>10} | {:>6} {:>9}",
                 din,
                 dout,
                 emu,
                 report.tokens_per_s,
-                if report.memory_bound { "memory" } else { "compute" },
+                if report.memory_bound {
+                    "memory"
+                } else {
+                    "compute"
+                },
                 res.dsp,
                 if fits { "yes" } else { "NO" },
             );
@@ -59,6 +62,8 @@ fn main() {
     }
 
     println!("observations (matching the paper's design choices):");
-    println!("  - on VCK190 the 12 GB/s LPDDR caps throughput: past a small MMU, more DSPs buy nothing");
+    println!(
+        "  - on VCK190 the 12 GB/s LPDDR caps throughput: past a small MMU, more DSPs buy nothing"
+    );
     println!("  - on U280 the design scales with compute until the HBM roof, hence the 5x bigger datapath");
 }

@@ -73,7 +73,11 @@ fn study(name: &str, pattern: OutlierPattern, rng: &mut StdRng) {
     println!("  4-bit error  RTN {rtn:10.1} | SmoothQuant {sq:10.1} | rotation {rot:10.1}");
     println!(
         "  channel-wise scaling {} ({}x vs RTN); rotation {}x vs RTN\n",
-        if sq < 0.8 * rtn { "works" } else { "fails to beat RTN" },
+        if sq < 0.8 * rtn {
+            "works"
+        } else {
+            "fails to beat RTN"
+        },
         sq / rtn,
         rot / rtn,
     );
@@ -98,5 +102,7 @@ fn main() {
         &mut rng,
     );
     println!("conclusion: calibrated channel factors require persistent outlier channels;");
-    println!("rotation amortizes outliers regardless of where they appear — the premise of LightMamba.");
+    println!(
+        "rotation amortizes outliers regardless of where they appear — the premise of LightMamba."
+    );
 }

@@ -8,7 +8,9 @@
 //! * [`model`] — the Mamba2 inference substrate;
 //! * [`quant`] — the LightMamba PTQ stack and its baselines;
 //! * [`accel`] — the FPGA accelerator cycle/resource/power models;
-//! * [`core`] — the co-design pipeline and Fig. 10 ablation.
+//! * [`core`] — the co-design pipeline and Fig. 10 ablation;
+//! * [`serve`] — the continuous-batching serving engine with
+//!   accelerator-costed throughput projection.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@ pub use lightmamba_accel as accel;
 pub use lightmamba_hadamard as hadamard;
 pub use lightmamba_model as model;
 pub use lightmamba_quant as quant;
+pub use lightmamba_serve as serve;
 pub use lightmamba_tensor as tensor;
 
 /// The most commonly used items, one `use` away.
@@ -49,4 +52,8 @@ pub mod prelude {
     pub use lightmamba_model::{MambaConfig, MambaModel, ModelPreset};
     pub use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
     pub use lightmamba_quant::qmodel::{Precision, QuantizedMamba};
+    pub use lightmamba_serve::accel_cost::StepCostModel;
+    pub use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+    pub use lightmamba_serve::scheduler::{ContinuousBatching, Scheduler, StaticBatching};
+    pub use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
 }

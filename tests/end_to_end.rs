@@ -17,10 +17,12 @@ fn small_setup(seed: u64) -> (MambaModel, Vec<Vec<u32>>, Vec<Vec<u32>>) {
 
 fn kl_for(method: Method, seed: u64) -> f32 {
     let (reference, calib, eval) = small_setup(seed);
-    let mut q = quantize_model(&reference, method, &QuantSpec::w4a4_grouped(32), &calib)
-        .expect("quantize");
+    let mut q =
+        quantize_model(&reference, method, &QuantSpec::w4a4_grouped(32), &calib).expect("quantize");
     let mut r = ReferenceRunner::new(reference);
-    compare_models(&mut r, &mut q, &eval).expect("compare").mean_kl
+    compare_models(&mut r, &mut q, &eval)
+        .expect("compare")
+        .mean_kl
 }
 
 #[test]
@@ -62,7 +64,11 @@ fn w8a8_is_near_lossless_for_all_methods() {
             "{method} W8A8 KL {} too high",
             rep.mean_kl
         );
-        assert!(rep.agreement > 0.7, "{method} W8A8 agreement {}", rep.agreement);
+        assert!(
+            rep.agreement > 0.7,
+            "{method} W8A8 agreement {}",
+            rep.agreement
+        );
     }
 }
 
@@ -76,11 +82,15 @@ fn rotation_is_fp_invariant_end_to_end() {
         &lightmamba_repro::quant::rotation::RotationConfig::default(),
     )
     .expect("rotate");
-    let mut fp = lightmamba_repro::quant::QuantizedMamba::new(prepared, Precision::fp())
-        .expect("fp model");
+    let mut fp =
+        lightmamba_repro::quant::QuantizedMamba::new(prepared, Precision::fp()).expect("fp model");
     let mut r = ReferenceRunner::new(reference);
     let rep = compare_models(&mut r, &mut fp, &eval).expect("compare");
-    assert!(rep.mean_kl < 1e-3, "rotation changed the FP function: {}", rep.mean_kl);
+    assert!(
+        rep.mean_kl < 1e-3,
+        "rotation changed the FP function: {}",
+        rep.mean_kl
+    );
     assert!(rep.agreement > 0.99);
 }
 

@@ -73,8 +73,14 @@ fn fig2_shape_rotation_flattens_distribution() {
         row.copy_from_slice(&v);
     }
     let after = stats::kurtosis(rotated.data());
-    assert!(before > 30.0, "synthetic outliers should be heavy: {before}");
-    assert!(after < 6.0, "rotated activations should be near-gaussian: {after}");
+    assert!(
+        before > 30.0,
+        "synthetic outliers should be heavy: {before}"
+    );
+    assert!(
+        after < 6.0,
+        "rotated activations should be near-gaussian: {after}"
+    );
 }
 
 /// Table IV's headline: VCK190 numbers land near 7.21 / 3.61 tokens/s and
@@ -84,9 +90,21 @@ fn table4_shape_throughput_and_efficiency() {
     let w4 = CoDesign::new(Target::Vck190W4A4, ModelPreset::B2_7).hardware_report();
     let w8 = CoDesign::new(Target::Vck190W8A8, ModelPreset::B2_7).hardware_report();
     let u280 = CoDesign::new(Target::U280W4A4, ModelPreset::B2_7).hardware_report();
-    assert!((5.5..9.0).contains(&w4.decode.tokens_per_s), "{}", w4.decode.tokens_per_s);
-    assert!((2.8..4.5).contains(&w8.decode.tokens_per_s), "{}", w8.decode.tokens_per_s);
-    assert!((65.0..125.0).contains(&u280.decode.tokens_per_s), "{}", u280.decode.tokens_per_s);
+    assert!(
+        (5.5..9.0).contains(&w4.decode.tokens_per_s),
+        "{}",
+        w4.decode.tokens_per_s
+    );
+    assert!(
+        (2.8..4.5).contains(&w8.decode.tokens_per_s),
+        "{}",
+        w8.decode.tokens_per_s
+    );
+    assert!(
+        (65.0..125.0).contains(&u280.decode.tokens_per_s),
+        "{}",
+        u280.decode.tokens_per_s
+    );
 
     let model = MambaConfig::preset(ModelPreset::B2_7);
     let gpu2070 = GpuModel::new(GpuDevice::rtx2070()).decode_report(&model);
@@ -174,5 +192,8 @@ fn fig4b_shape_fusion_hurts() {
             worse += 1;
         }
     }
-    assert!(worse >= layers * 3 / 4, "fusion worse on only {worse}/{layers} layers");
+    assert!(
+        worse >= layers * 3 / 4,
+        "fusion worse on only {worse}/{layers} layers"
+    );
 }
