@@ -1,19 +1,30 @@
 //! Serving traffic study: aggregate throughput and tail latency of the
-//! continuous-batching engine across traffic scenarios, batch sizes, and
-//! admission policies, costed on the paper's accelerator design points.
+//! continuous-batching engine across traffic scenarios, batch sizes,
+//! admission policies, and execution backends, costed on the paper's
+//! accelerator design points.
 //!
 //! This is the batched-serving extension of Fig. 9a: where the paper
 //! projects one decode stream (7.21 tokens/s W4A4 on VCK190), this bench
 //! projects a multi-tenant engine sharing each weight stream across all
-//! resident sequences.
+//! resident sequences — and, with `--models N`, several named backends
+//! multiplexed on one slot pool, each priced with its own stream width.
+//!
+//! Flags: `--backend fp|w4a4|both` (default `both`) selects the
+//! single-backend comparison runs; `--models N` (default 2) sizes the
+//! multiplexed registry (backends alternate fp/w4a4). A final
+//! `BENCH_JSON` line captures the FP-vs-W4A4 serving gap.
 
 use lightmamba::report::render_table;
 use lightmamba_accel::arch::AcceleratorConfig;
 use lightmamba_accel::platform::Platform;
 use lightmamba_accel::sim::DecodeSimulator;
 use lightmamba_model::{MambaConfig, MambaModel, ModelPreset};
-use lightmamba_serve::accel_cost::StepCostModel;
+use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
+use lightmamba_quant::QuantizedMamba;
+use lightmamba_serve::accel_cost::{ModelCost, MultiplexCostModel, StepCostModel};
+use lightmamba_serve::backend::{FpBackend, W4A4Backend};
 use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+use lightmamba_serve::registry::ModelRegistry;
 use lightmamba_serve::scheduler::{ContinuousBatching, Scheduler, StaticBatching};
 use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
 use rand::rngs::StdRng;
@@ -21,22 +32,64 @@ use rand::SeedableRng;
 
 const SLOT_SWEEP: [usize; 4] = [1, 4, 16, 64];
 
+struct Args {
+    backend: String,
+    models: usize,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        backend: "both".into(),
+        models: 2,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--backend" => {
+                args.backend = argv
+                    .get(i + 1)
+                    .expect("--backend needs a value: fp | w4a4 | both")
+                    .clone();
+                i += 2;
+            }
+            "--models" => {
+                args.models = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--models needs a positive integer");
+                i += 2;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(
+        ["fp", "w4a4", "both"].contains(&args.backend.as_str()),
+        "--backend must be fp, w4a4, or both"
+    );
+    assert!(args.models > 0, "--models must be positive");
+    args
+}
+
 fn main() {
+    let args = parse_args();
     lightmamba_bench::banner(
         "serve_traffic",
-        "continuous batching vs static batching under synthetic traffic",
+        "continuous batching across execution backends under synthetic traffic",
         "engine runs a tiny synthetic model; step traces are costed on the 2.7B design points",
     );
 
     let mut rng = StdRng::seed_from_u64(42);
     let cfg = MambaConfig::tiny();
     let model = MambaModel::synthetic(cfg.clone(), &mut rng).expect("tiny config is valid");
+    let quantized = quantize_model(&model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[])
+        .expect("tiny model quantizes");
 
     let big = MambaConfig::preset(ModelPreset::B2_7);
     let vck_platform = Platform::vck190();
     let vck_cfg = AcceleratorConfig::lightmamba_w4a4(&vck_platform, &big);
 
-    // Scenario sweep under continuous batching at 16 slots.
+    // Scenario sweep under continuous batching at 16 slots (W4A4 path).
     let mut rows = Vec::new();
     for scenario in [
         TrafficScenario::burst(64),
@@ -84,7 +137,7 @@ fn main() {
         )
     );
 
-    // Slot sweep, both schedulers, burst workload.
+    // Slot sweep, both schedulers, burst workload (W4A4 path).
     println!();
     let mut rows = Vec::new();
     for slots in SLOT_SWEEP {
@@ -139,6 +192,117 @@ fn main() {
             &rows,
         )
     );
+
+    // Backend comparison: the same burst served by each backend alone,
+    // each priced with its own weight-stream width (`--backend` picks).
+    println!();
+    let picks: Vec<&str> = match args.backend.as_str() {
+        "both" => vec!["fp", "w4a4"],
+        one => vec![one],
+    };
+    let mut rows = Vec::new();
+    let mut json_single = Vec::new();
+    for pick in &picks {
+        let m = single_backend_run(pick, &model, &quantized, &vck_platform, &big);
+        json_single.push(format!(
+            "\"{}\":{{\"tok_s\":{:.3},\"ttft_p99_s\":{:.3},\"single_stream_tok_s\":{:.3}}}",
+            m.model, m.processed_tokens_per_s, m.ttft_s.p99, m.single_stream_tokens_per_s
+        ));
+        rows.push(vec![
+            m.model.clone(),
+            m.completed.to_string(),
+            format!("{:.2}", m.processed_tokens_per_s),
+            format!("{:.2}", m.single_stream_tokens_per_s),
+            format!("{:.2e}", m.weight_stream_bytes_per_step),
+            format!("{:.1}", m.ttft_s.p99),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "backend",
+                "completed",
+                "tok/s all",
+                "1-stream tok/s",
+                "stream B/step",
+                "TTFT p99 (s)",
+            ],
+            &rows,
+        )
+    );
+
+    // Multiplexed run: `--models N` backends (alternating fp/w4a4) on
+    // one slot pool, symmetric round-robin traffic.
+    println!();
+    println!(
+        "multiplex: {} backends on one 16-slot pool (burst of 64)",
+        args.models
+    );
+    let mut registry = ModelRegistry::new();
+    for k in 0..args.models {
+        if k % 2 == 0 {
+            registry
+                .register(format!("fp-{k}"), Box::new(FpBackend::new(&model)))
+                .expect("unique names");
+        } else {
+            registry
+                .register(
+                    format!("w4a4-{k}"),
+                    Box::new(W4A4Backend::new(quantized.clone())),
+                )
+                .expect("unique names");
+        }
+    }
+    let mut cost = MultiplexCostModel::for_registry(&registry, &vck_platform, &big)
+        .expect("non-empty registry");
+    let mut traffic = TrafficGenerator::new(TrafficScenario::burst(64), cfg.vocab_size, 7)
+        .with_models(args.models);
+    let mut engine = ServeEngine::with_registry(
+        registry,
+        EngineConfig {
+            slots: 16,
+            max_steps: 1_000_000,
+        },
+    )
+    .expect("non-zero slots");
+    engine
+        .submit(traffic.generate(1))
+        .expect("generator output is sorted");
+    let report = engine.run(&mut ContinuousBatching).expect("run drains");
+    let mux = cost
+        .cost_run(&report, engine.completions())
+        .expect("trace matches registry");
+    let mut rows = Vec::new();
+    let mut json_mux = Vec::new();
+    for m in &mux.per_model {
+        json_mux.push(format!(
+            "\"{}\":{{\"tok_s\":{:.3},\"ttft_p99_s\":{:.3}}}",
+            m.model, m.processed_tokens_per_s, m.ttft_s.p99
+        ));
+        rows.push(vec![
+            m.model.clone(),
+            m.completed.to_string(),
+            format!("{}", m.processed_tokens),
+            format!("{:.2}", m.seconds),
+            format!("{:.2}", m.processed_tokens_per_s),
+            format!("{:.1}", m.ttft_s.p99),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "model",
+                "completed",
+                "processed",
+                "attrib s",
+                "tok/s all",
+                "TTFT p99 (s)",
+            ],
+            &rows,
+        )
+    );
     println!();
     println!(
         "single-stream W4A4 VCK190 baseline: {:.2} tokens/s (paper 7.21)",
@@ -146,4 +310,53 @@ fn main() {
             .decode_report()
             .tokens_per_s
     );
+
+    // Machine-readable summary for the BENCH harness.
+    println!(
+        "BENCH_JSON {{\"bench\":\"serve_traffic\",\"models\":{},\"single\":{{{}}},\"multiplex\":{{{}}}}}",
+        args.models,
+        json_single.join(","),
+        json_mux.join(",")
+    );
+}
+
+/// Runs the burst workload on one backend alone and returns its costed
+/// per-model slice.
+fn single_backend_run(
+    pick: &str,
+    model: &MambaModel,
+    quantized: &QuantizedMamba,
+    platform: &Platform,
+    big: &MambaConfig,
+) -> ModelCost {
+    let mut registry = ModelRegistry::new();
+    if pick == "fp" {
+        registry
+            .register("fp", Box::new(FpBackend::new(model)))
+            .expect("fresh registry");
+    } else {
+        registry
+            .register("w4a4", Box::new(W4A4Backend::new(quantized.clone())))
+            .expect("fresh registry");
+    }
+    let mut cost =
+        MultiplexCostModel::for_registry(&registry, platform, big).expect("non-empty registry");
+    let mut traffic =
+        TrafficGenerator::new(TrafficScenario::burst(64), model.config().vocab_size, 7);
+    let mut engine = ServeEngine::with_registry(
+        registry,
+        EngineConfig {
+            slots: 16,
+            max_steps: 1_000_000,
+        },
+    )
+    .expect("non-zero slots");
+    engine
+        .submit(traffic.generate(1))
+        .expect("generator output is sorted");
+    let report = engine.run(&mut ContinuousBatching).expect("run drains");
+    let run = cost
+        .cost_run(&report, engine.completions())
+        .expect("trace matches registry");
+    run.per_model.into_iter().next().expect("one model priced")
 }

@@ -11,9 +11,169 @@
 //! Per-sequence arithmetic is performed in exactly the same order as the
 //! single-stream path, so batched logits are bit-for-bit identical to
 //! sequential decode — a property the serve crate's tests pin down.
+//!
+//! The orchestration (up-front validation so no state is half-advanced,
+//! the layer-outer sweep, ragged prefill) is exposed as generic drivers
+//! ([`validate_batch_items`], [`drive_step_batch_indexed`],
+//! [`drive_prefill_batch`]) so every execution path with the Mamba2
+//! decode contract — the FP model here, the quantized model in
+//! `lightmamba_quant` — shares one implementation and the guarantees
+//! cannot drift between them.
 
-use crate::state::ModelState;
-use crate::{MambaModel, ModelError, Result};
+use crate::state::{LayerState, ModelState};
+use crate::{MambaConfig, MambaModel, ModelError, Result};
+
+/// Validates a batch of `(state_index, token)` items against a model
+/// configuration: indices in bounds and unique, states shaped for `cfg`,
+/// tokens within the vocabulary. Callers run this before touching any
+/// state so a rejected batch leaves every state untouched.
+///
+/// # Errors
+///
+/// Returns [`ModelError::StateMismatch`] / [`ModelError::TokenOutOfRange`]
+/// describing the first offending item.
+pub fn validate_batch_items(
+    cfg: &MambaConfig,
+    items: &[(usize, u32)],
+    states: &[ModelState],
+) -> std::result::Result<(), ModelError> {
+    let dims = crate::ssm::SsmDims::new(cfg);
+    let conv_dim = cfg.conv_dim();
+    let d_conv = cfg.d_conv;
+    let mut seen = vec![false; states.len()];
+    for &(slot, token) in items {
+        let state = states.get(slot).ok_or_else(|| {
+            ModelError::StateMismatch(format!(
+                "batch references state {slot}, only {} exist",
+                states.len()
+            ))
+        })?;
+        if std::mem::replace(&mut seen[slot], true) {
+            return Err(ModelError::StateMismatch(format!(
+                "state {slot} appears twice in one batch step"
+            )));
+        }
+        if state.layers.len() != cfg.n_layer {
+            return Err(ModelError::StateMismatch(format!(
+                "state {slot} has {} layers, model has {}",
+                state.layers.len(),
+                cfg.n_layer
+            )));
+        }
+        for (li, layer) in state.layers.iter().enumerate() {
+            if layer.h.len() != dims.state_len()
+                || layer.conv.channels() != conv_dim
+                || layer.conv.kernel() != d_conv
+            {
+                return Err(ModelError::StateMismatch(format!(
+                    "state {slot} layer {li} shaped for a different config"
+                )));
+            }
+        }
+        if token as usize >= cfg.vocab_size {
+            return Err(ModelError::TokenOutOfRange {
+                token,
+                vocab: cfg.vocab_size,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Drives one batched decode step generically: validate everything up
+/// front (no state is half-advanced on error), `embed` every token, then
+/// sweep layer-outer / sequence-inner so each block's weights are
+/// touched once per step, and `finish` (final norm + LM head) each
+/// sequence. `block_step(layer, x, lstate)` advances one sequence
+/// through one block in place. Results are returned in `items` order.
+///
+/// # Errors
+///
+/// The conditions of [`validate_batch_items`], plus whatever the
+/// closures raise.
+pub fn drive_step_batch_indexed<E, Emb, Blk, Fin>(
+    cfg: &MambaConfig,
+    items: &[(usize, u32)],
+    states: &mut [ModelState],
+    mut embed: Emb,
+    mut block_step: Blk,
+    mut finish: Fin,
+) -> std::result::Result<Vec<(usize, Vec<f32>)>, E>
+where
+    E: From<ModelError>,
+    Emb: FnMut(u32) -> std::result::Result<Vec<f32>, E>,
+    Blk: FnMut(usize, &mut Vec<f32>, &mut LayerState) -> std::result::Result<(), E>,
+    Fin: FnMut(Vec<f32>) -> std::result::Result<Vec<f32>, E>,
+{
+    validate_batch_items(cfg, items, states)?;
+    let mut xs: Vec<Vec<f32>> = items
+        .iter()
+        .map(|&(_, token)| embed(token))
+        .collect::<std::result::Result<_, E>>()?;
+    for layer in 0..cfg.n_layer {
+        for (x, &(slot, _)) in xs.iter_mut().zip(items) {
+            block_step(layer, x, &mut states[slot].layers[layer])?;
+        }
+    }
+    items
+        .iter()
+        .zip(xs)
+        .map(|(&(slot, _), x)| Ok((slot, finish(x)?)))
+        .collect()
+}
+
+/// Drives batched ragged prefill generically: consumes `prompts[k]` into
+/// `states[k]` position-by-position through `step_batch` (all sequences
+/// advance together, sharing each layer's weights per position) and
+/// returns each sequence's logits after its final prompt token.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] when any prompt is empty or the
+/// slice lengths disagree; propagates step errors.
+pub fn drive_prefill_batch<E, Step>(
+    prompts: &[&[u32]],
+    states: &mut [ModelState],
+    mut step_batch: Step,
+) -> std::result::Result<Vec<Vec<f32>>, E>
+where
+    E: From<ModelError>,
+    Step:
+        FnMut(&[(usize, u32)], &mut [ModelState]) -> std::result::Result<Vec<(usize, Vec<f32>)>, E>,
+{
+    if prompts.len() != states.len() {
+        return Err(ModelError::InvalidConfig(format!(
+            "{} prompts for {} states",
+            prompts.len(),
+            states.len()
+        ))
+        .into());
+    }
+    if prompts.iter().any(|p| p.is_empty()) {
+        return Err(ModelError::InvalidConfig(
+            "prefill needs at least one token per prompt".into(),
+        )
+        .into());
+    }
+    let max_len = prompts.iter().map(|p| p.len()).max().unwrap_or(0);
+    let mut finals: Vec<Option<Vec<f32>>> = vec![None; prompts.len()];
+    for pos in 0..max_len {
+        let items: Vec<(usize, u32)> = prompts
+            .iter()
+            .enumerate()
+            .filter_map(|(k, p)| p.get(pos).map(|&t| (k, t)))
+            .collect();
+        for (slot, logits) in step_batch(&items, states)? {
+            if pos + 1 == prompts[slot].len() {
+                finals[slot] = Some(logits);
+            }
+        }
+    }
+    Ok(finals
+        .into_iter()
+        .map(|l| l.expect("prompt non-empty"))
+        .collect())
+}
 
 impl MambaModel {
     /// One decode step for a batch: `items[k] = (state_index, token)`
@@ -34,69 +194,20 @@ impl MambaModel {
         items: &[(usize, u32)],
         states: &mut [ModelState],
     ) -> Result<Vec<(usize, Vec<f32>)>> {
-        // Validate everything up front so no state is half-advanced.
-        let dims = crate::ssm::SsmDims::new(self.config());
-        let conv_dim = self.config().conv_dim();
-        let d_conv = self.config().d_conv;
-        let mut seen = vec![false; states.len()];
-        for &(slot, token) in items {
-            let state = states.get(slot).ok_or_else(|| {
-                ModelError::StateMismatch(format!(
-                    "batch references state {slot}, only {} exist",
-                    states.len()
-                ))
-            })?;
-            if std::mem::replace(&mut seen[slot], true) {
-                return Err(ModelError::StateMismatch(format!(
-                    "state {slot} appears twice in one batch step"
-                )));
-            }
-            if state.layers.len() != self.blocks().len() {
-                return Err(ModelError::StateMismatch(format!(
-                    "state {slot} has {} layers, model has {}",
-                    state.layers.len(),
-                    self.blocks().len()
-                )));
-            }
-            for (li, layer) in state.layers.iter().enumerate() {
-                if layer.h.len() != dims.state_len()
-                    || layer.conv.channels() != conv_dim
-                    || layer.conv.kernel() != d_conv
-                {
-                    return Err(ModelError::StateMismatch(format!(
-                        "state {slot} layer {li} shaped for a different config"
-                    )));
-                }
-            }
-            if token as usize >= self.config().vocab_size {
-                return Err(ModelError::TokenOutOfRange {
-                    token,
-                    vocab: self.config().vocab_size,
-                });
-            }
-        }
-
-        // Embed every token, then sweep layer-outer / sequence-inner so
-        // each block's weights stay hot across the whole batch.
-        let mut xs: Vec<Vec<f32>> = items
-            .iter()
-            .map(|&(_, token)| self.embed(token))
-            .collect::<Result<_>>()?;
-        for (layer, block) in self.blocks().iter().enumerate() {
-            for (x, &(slot, _)) in xs.iter_mut().zip(items) {
-                let lstate = &mut states[slot].layers[layer];
-                *x = block.forward_step(x, lstate)?;
-            }
-        }
-
-        items
-            .iter()
-            .zip(xs)
-            .map(|(&(slot, _), mut x)| {
+        drive_step_batch_indexed(
+            self.config(),
+            items,
+            states,
+            |token| self.embed(token),
+            |layer, x, lstate| {
+                *x = self.blocks()[layer].forward_step(x, lstate)?;
+                Ok(())
+            },
+            |mut x| {
                 lightmamba_tensor::norm::rms_norm(&mut x, self.final_norm_gamma(), 1e-5);
-                Ok((slot, self.embedding().matvec(&x)?))
-            })
-            .collect()
+                Ok(self.embedding().matvec(&x)?)
+            },
+        )
     }
 
     /// One decode step for every sequence: `tokens` and `states` are
@@ -141,36 +252,9 @@ impl MambaModel {
         prompts: &[&[u32]],
         states: &mut [ModelState],
     ) -> Result<Vec<Vec<f32>>> {
-        if prompts.len() != states.len() {
-            return Err(ModelError::InvalidConfig(format!(
-                "{} prompts for {} states",
-                prompts.len(),
-                states.len()
-            )));
-        }
-        if prompts.iter().any(|p| p.is_empty()) {
-            return Err(ModelError::InvalidConfig(
-                "prefill needs at least one token per prompt".into(),
-            ));
-        }
-        let max_len = prompts.iter().map(|p| p.len()).max().unwrap_or(0);
-        let mut finals: Vec<Option<Vec<f32>>> = vec![None; prompts.len()];
-        for pos in 0..max_len {
-            let items: Vec<(usize, u32)> = prompts
-                .iter()
-                .enumerate()
-                .filter_map(|(k, p)| p.get(pos).map(|&t| (k, t)))
-                .collect();
-            for (slot, logits) in self.forward_step_batch_indexed(&items, states)? {
-                if pos + 1 == prompts[slot].len() {
-                    finals[slot] = Some(logits);
-                }
-            }
-        }
-        Ok(finals
-            .into_iter()
-            .map(|l| l.expect("prompt non-empty"))
-            .collect())
+        drive_prefill_batch(prompts, states, |items, states| {
+            self.forward_step_batch_indexed(items, states)
+        })
     }
 }
 

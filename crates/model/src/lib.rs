@@ -31,7 +31,7 @@
 //! # }
 //! ```
 
-mod batch;
+pub mod batch;
 mod block;
 mod config;
 mod error;

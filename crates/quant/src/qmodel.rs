@@ -7,10 +7,11 @@
 //! bit-faithful to integer inference for the accuracy questions Table III
 //! asks while keeping the reference path auditable.
 
+use lightmamba_model::batch;
 use lightmamba_model::eval::StepModel;
 use lightmamba_model::ssm::{ssm_step, SsmDims};
 use lightmamba_model::weights::InProjSplit;
-use lightmamba_model::{MambaConfig, ModelError, ModelState};
+use lightmamba_model::{LayerState, MambaConfig, ModelError, ModelState};
 use lightmamba_tensor::{activation, norm, Tensor};
 
 use crate::prepared::PreparedModel;
@@ -108,6 +109,9 @@ pub struct QuantizedMamba {
     /// Total weight storage in bits after quantization (drives the DMA
     /// traffic model in `lightmamba-accel`).
     weight_storage_bits: usize,
+    /// Parameters passing through weight quantization (the denominator
+    /// of [`QuantizedMamba::mean_weight_bits`]).
+    weight_params: usize,
 }
 
 impl QuantizedMamba {
@@ -127,7 +131,9 @@ impl QuantizedMamba {
             s.validate()?;
         }
         let mut storage_bits = 0usize;
+        let mut weight_params = 0usize;
         let mut quant_weight = |t: &Tensor| -> Result<Tensor> {
+            weight_params += t.len();
             match precision.weight {
                 Some(scheme) => {
                     let q = QuantizedTensor::quantize(t, scheme)?;
@@ -175,6 +181,7 @@ impl QuantizedMamba {
             blocks,
             state,
             weight_storage_bits: storage_bits,
+            weight_params,
         })
     }
 
@@ -193,15 +200,31 @@ impl QuantizedMamba {
         self.weight_storage_bits
     }
 
-    fn step_inner(&mut self, token: u32) -> Result<Vec<f32>> {
-        if token as usize >= self.cfg.vocab_size {
-            return Err(ModelError::TokenOutOfRange {
-                token,
-                vocab: self.cfg.vocab_size,
-            }
-            .into());
+    /// Mean *stored* bits per quantized weight parameter, scales
+    /// included — e.g. ~5.0 for 4-bit group-16, ~4.125 for the paper's
+    /// group-128 recipe, 16.0 for FP weights. This is the honest
+    /// weight-stream width per parameter for bandwidth models.
+    pub fn mean_weight_bits(&self) -> f64 {
+        if self.weight_params == 0 {
+            16.0
+        } else {
+            self.weight_storage_bits as f64 / self.weight_params as f64
         }
-        let mut x = self.embedding.row(token as usize)?.to_vec();
+    }
+
+    /// Fresh zeroed decode state shaped for this model — the external
+    /// counterpart of the private [`StepModel`] state, used by the
+    /// serving slot pool.
+    pub fn new_state(&self) -> ModelState {
+        ModelState::new(&self.cfg)
+    }
+
+    /// Advances one block given the residual-stream input `x` and that
+    /// block's recurrent state. This is the shared per-sequence core of
+    /// the sequential and batched paths, so the two are bit-identical by
+    /// construction *per sequence* (their loop orders differ: sequential
+    /// is block-outer, batched is layer-outer/sequence-inner).
+    fn block_step(&self, block: &QBlock, x: &mut [f32], lstate: &mut LayerState) -> Result<()> {
         let act = self.precision.act;
         let ssm_scheme = self.precision.ssm;
         let maybe_fq = |xs: &mut Vec<f32>, scheme: Option<QuantScheme>| -> Result<()> {
@@ -213,104 +236,210 @@ impl QuantizedMamba {
         let di = self.cfg.d_inner();
         let g = self.cfg.ngroups * self.cfg.d_state;
 
-        for (block, lstate) in self.blocks.iter().zip(self.state.layers.iter_mut()) {
-            // Pre-norm + method-specific activation conditioning.
-            let mut normed = x.clone();
-            norm::rms_norm(&mut normed, &block.norm_gamma, 1e-5);
-            if let Some(shift) = &block.in_act_shift {
-                for (v, s) in normed.iter_mut().zip(shift.iter()) {
-                    *v -= s;
-                }
-            }
-            if let Some(scale) = &block.in_act_scale {
-                for (v, s) in normed.iter_mut().zip(scale.iter()) {
-                    *v /= s;
-                }
-            }
-            maybe_fq(&mut normed, act)?;
-
-            let mut proj = block.w_in.vecmat(&normed)?;
-            if let Some(bias) = &block.w_in_bias {
-                for (p, b) in proj.iter_mut().zip(bias.iter()) {
-                    *p += b;
-                }
-            }
-            let s = &self.split;
-            let z = proj[s.z.0..s.z.1].to_vec();
-            let x_pre = &proj[s.x.0..s.x.1];
-            let b_pre = &proj[s.b.0..s.b.1];
-            let c_pre = &proj[s.c.0..s.c.1];
-            let dt_raw = proj[s.dt.0..s.dt.1].to_vec();
-
-            let mut conv_in = Vec::with_capacity(self.cfg.conv_dim());
-            conv_in.extend_from_slice(x_pre);
-            conv_in.extend_from_slice(b_pre);
-            conv_in.extend_from_slice(c_pre);
-            let mut conv_out = lstate
-                .conv
-                .step(&conv_in, &block.conv_weight, &block.conv_bias)?;
-            activation::silu_slice(&mut conv_out);
-
-            let mut x_ssm = conv_out[0..di].to_vec();
-            let mut b_ssm = conv_out[di..di + g].to_vec();
-            let mut c_ssm = conv_out[di + g..di + 2 * g].to_vec();
-
-            // SSM quantization (LightMamba*): quantize the element-wise
-            // chain's operands and re-quantize state and output, modelling
-            // the INT8 per-group PoT dataflow of the SSMU.
-            if let Some(sq) = ssm_scheme {
-                fake_quant_slice(&mut x_ssm, sq)?;
-                fake_quant_slice(&mut b_ssm, sq)?;
-                fake_quant_slice(&mut c_ssm, sq)?;
-            }
-            let mut y = ssm_step(
-                self.dims,
-                &x_ssm,
-                &b_ssm,
-                &c_ssm,
-                &dt_raw,
-                &block.a_log,
-                &block.dt_bias,
-                &block.d_skip,
-                &mut lstate.h,
-            )?;
-            if let Some(sq) = ssm_scheme {
-                fake_quant_slice(&mut lstate.h, sq)?;
-                fake_quant_slice(&mut y, sq)?;
-            }
-
-            // Gated norm (scale kept unfused per Fig. 4b), online rotation,
-            // method-specific conditioning, activation quantization.
-            norm::gated_rms_norm(&mut y, &z, &block.gate_norm_gamma, 1e-5);
-            if let Some(h) = &block.online_hadamard {
-                h.apply(&mut y);
-            }
-            if let Some(shift) = &block.out_act_shift {
-                for (v, s) in y.iter_mut().zip(shift.iter()) {
-                    *v -= s;
-                }
-            }
-            if let Some(scale) = &block.out_act_scale {
-                for (v, s) in y.iter_mut().zip(scale.iter()) {
-                    *v /= s;
-                }
-            }
-            maybe_fq(&mut y, act)?;
-
-            let mut out = block.w_out.vecmat(&y)?;
-            if let Some(bias) = &block.w_out_bias {
-                for (o, b) in out.iter_mut().zip(bias.iter()) {
-                    *o += b;
-                }
-            }
-            for (xi, oi) in x.iter_mut().zip(out.iter()) {
-                *xi += oi;
+        // Pre-norm + method-specific activation conditioning.
+        let mut normed = x.to_vec();
+        norm::rms_norm(&mut normed, &block.norm_gamma, 1e-5);
+        if let Some(shift) = &block.in_act_shift {
+            for (v, s) in normed.iter_mut().zip(shift.iter()) {
+                *v -= s;
             }
         }
+        if let Some(scale) = &block.in_act_scale {
+            for (v, s) in normed.iter_mut().zip(scale.iter()) {
+                *v /= s;
+            }
+        }
+        maybe_fq(&mut normed, act)?;
 
+        let mut proj = block.w_in.vecmat(&normed)?;
+        if let Some(bias) = &block.w_in_bias {
+            for (p, b) in proj.iter_mut().zip(bias.iter()) {
+                *p += b;
+            }
+        }
+        let s = &self.split;
+        let z = proj[s.z.0..s.z.1].to_vec();
+        let x_pre = &proj[s.x.0..s.x.1];
+        let b_pre = &proj[s.b.0..s.b.1];
+        let c_pre = &proj[s.c.0..s.c.1];
+        let dt_raw = proj[s.dt.0..s.dt.1].to_vec();
+
+        let mut conv_in = Vec::with_capacity(self.cfg.conv_dim());
+        conv_in.extend_from_slice(x_pre);
+        conv_in.extend_from_slice(b_pre);
+        conv_in.extend_from_slice(c_pre);
+        let mut conv_out = lstate
+            .conv
+            .step(&conv_in, &block.conv_weight, &block.conv_bias)?;
+        activation::silu_slice(&mut conv_out);
+
+        let mut x_ssm = conv_out[0..di].to_vec();
+        let mut b_ssm = conv_out[di..di + g].to_vec();
+        let mut c_ssm = conv_out[di + g..di + 2 * g].to_vec();
+
+        // SSM quantization (LightMamba*): quantize the element-wise
+        // chain's operands and re-quantize state and output, modelling
+        // the INT8 per-group PoT dataflow of the SSMU.
+        if let Some(sq) = ssm_scheme {
+            fake_quant_slice(&mut x_ssm, sq)?;
+            fake_quant_slice(&mut b_ssm, sq)?;
+            fake_quant_slice(&mut c_ssm, sq)?;
+        }
+        let mut y = ssm_step(
+            self.dims,
+            &x_ssm,
+            &b_ssm,
+            &c_ssm,
+            &dt_raw,
+            &block.a_log,
+            &block.dt_bias,
+            &block.d_skip,
+            &mut lstate.h,
+        )?;
+        if let Some(sq) = ssm_scheme {
+            fake_quant_slice(&mut lstate.h, sq)?;
+            fake_quant_slice(&mut y, sq)?;
+        }
+
+        // Gated norm (scale kept unfused per Fig. 4b), online rotation,
+        // method-specific conditioning, activation quantization.
+        norm::gated_rms_norm(&mut y, &z, &block.gate_norm_gamma, 1e-5);
+        if let Some(h) = &block.online_hadamard {
+            h.apply(&mut y);
+        }
+        if let Some(shift) = &block.out_act_shift {
+            for (v, s) in y.iter_mut().zip(shift.iter()) {
+                *v -= s;
+            }
+        }
+        if let Some(scale) = &block.out_act_scale {
+            for (v, s) in y.iter_mut().zip(scale.iter()) {
+                *v /= s;
+            }
+        }
+        maybe_fq(&mut y, act)?;
+
+        let mut out = block.w_out.vecmat(&y)?;
+        if let Some(bias) = &block.w_out_bias {
+            for (o, b) in out.iter_mut().zip(bias.iter()) {
+                *o += b;
+            }
+        }
+        for (xi, oi) in x.iter_mut().zip(out.iter()) {
+            *xi += oi;
+        }
+        Ok(())
+    }
+
+    /// Final norm + optional activation quantization + LM head.
+    fn logits_from(&self, mut x: Vec<f32>) -> Result<Vec<f32>> {
         norm::rms_norm(&mut x, &self.final_norm_gamma, 1e-5);
-        maybe_fq(&mut x, act)?;
+        if let Some(s) = self.precision.act {
+            fake_quant_slice(&mut x, s)?;
+        }
         Ok(self.lm_head.vecmat(&x)?)
+    }
+
+    /// One decode step against an external state (the serving path; the
+    /// internal [`StepModel`] state is untouched).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::TokenOutOfRange`] / [`ModelError::StateMismatch`]
+    /// wrapped in [`crate::QuantError`] for invalid inputs.
+    pub fn forward_step_with(&self, token: u32, state: &mut ModelState) -> Result<Vec<f32>> {
+        batch::validate_batch_items(&self.cfg, &[(0, token)], std::slice::from_ref(state))?;
+        let mut x = self.embedding.row(token as usize)?.to_vec();
+        for (block, lstate) in self.blocks.iter().zip(state.layers.iter_mut()) {
+            self.block_step(block, &mut x, lstate)?;
+        }
+        self.logits_from(x)
+    }
+
+    /// One decode step for a batch: `items[k] = (state_index, token)`
+    /// advances `states[state_index]` by `token` and yields that
+    /// sequence's next-token logits as `(state_index, logits)` — the
+    /// quantized mirror of
+    /// [`lightmamba_model::MambaModel::forward_step_batch_indexed`],
+    /// layer-outer/sequence-inner so each block's (dequantized) weights
+    /// are touched once per step. Per-sequence arithmetic is bit-identical
+    /// to the sequential [`StepModel`] decode.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-bounds or duplicated indices, foreign-config states,
+    /// and invalid tokens; states are not advanced on error.
+    pub fn forward_step_batch_indexed(
+        &self,
+        items: &[(usize, u32)],
+        states: &mut [ModelState],
+    ) -> Result<Vec<(usize, Vec<f32>)>> {
+        batch::drive_step_batch_indexed(
+            &self.cfg,
+            items,
+            states,
+            |token| Ok(self.embedding.row(token as usize)?.to_vec()),
+            |layer, x, lstate| self.block_step(&self.blocks[layer], x, lstate),
+            |x| self.logits_from(x),
+        )
+    }
+
+    /// One decode step for every sequence: `tokens` and `states` are
+    /// parallel slices. Returns one logits vector per sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::StateMismatch`] when the slices disagree in
+    /// length, plus the conditions of
+    /// [`QuantizedMamba::forward_step_batch_indexed`].
+    pub fn forward_step_batch(
+        &self,
+        tokens: &[u32],
+        states: &mut [ModelState],
+    ) -> Result<Vec<Vec<f32>>> {
+        if tokens.len() != states.len() {
+            return Err(ModelError::StateMismatch(format!(
+                "{} tokens for {} states",
+                tokens.len(),
+                states.len()
+            ))
+            .into());
+        }
+        let items: Vec<(usize, u32)> = tokens.iter().copied().enumerate().collect();
+        Ok(self
+            .forward_step_batch_indexed(&items, states)?
+            .into_iter()
+            .map(|(_, logits)| logits)
+            .collect())
+    }
+
+    fn step_inner(&mut self, token: u32) -> Result<Vec<f32>> {
+        // Swap the private state out so the shared stateless core can
+        // borrow `self` immutably (no per-step allocation: the
+        // placeholder is an empty layer list).
+        let mut state = std::mem::replace(&mut self.state, ModelState { layers: Vec::new() });
+        let out = self.forward_step_with(token, &mut state);
+        self.state = state;
+        out
+    }
+
+    /// Batched prefill over ragged prompts: consumes `prompts[k]` into
+    /// `states[k]` position-by-position and returns each sequence's
+    /// logits after its final prompt token (mirrors
+    /// [`lightmamba_model::MambaModel::prefill_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] when any prompt is empty or
+    /// the slice lengths disagree; propagates step errors.
+    pub fn prefill_batch(
+        &self,
+        prompts: &[&[u32]],
+        states: &mut [ModelState],
+    ) -> Result<Vec<Vec<f32>>> {
+        batch::drive_prefill_batch(prompts, states, |items, states| {
+            self.forward_step_batch_indexed(items, states)
+        })
     }
 }
 
@@ -443,5 +572,76 @@ mod tests {
         let prepared = PreparedModel::from_reference(&model).unwrap();
         let mut q = QuantizedMamba::new(prepared, precision(8, 8)).unwrap();
         assert!(q.step(100_000).is_err());
+    }
+
+    #[test]
+    fn batched_decode_matches_sequential_bitwise() {
+        let model = reference();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let mut q = QuantizedMamba::new(prepared, Precision::w4a4(16)).unwrap();
+        let prompts: [&[u32]; 3] = [&[5, 9, 2], &[40, 1], &[7, 7, 7, 7]];
+
+        // Sequential reference through the StepModel interface.
+        let mut seq_logits = Vec::new();
+        for p in &prompts {
+            q.reset();
+            let mut last = Vec::new();
+            for &t in *p {
+                last = q.step(t).unwrap();
+            }
+            last = {
+                let next = lightmamba_model::MambaModel::argmax(&last) as u32;
+                q.step(next).unwrap()
+            };
+            seq_logits.push(last);
+        }
+
+        // Batched path over external states.
+        let mut states: Vec<_> = (0..3).map(|_| q.new_state()).collect();
+        let finals = q.prefill_batch(&prompts, &mut states).unwrap();
+        let tokens: Vec<(usize, u32)> = finals
+            .iter()
+            .enumerate()
+            .map(|(k, l)| (k, lightmamba_model::MambaModel::argmax(l) as u32))
+            .collect();
+        let batched = q.forward_step_batch_indexed(&tokens, &mut states).unwrap();
+        for (k, (slot, logits)) in batched.iter().enumerate() {
+            assert_eq!(*slot, k);
+            assert_eq!(logits, &seq_logits[k], "sequence {k} diverged");
+        }
+    }
+
+    #[test]
+    fn external_step_leaves_internal_state_untouched() {
+        let model = reference();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let mut q = QuantizedMamba::new(prepared, precision(8, 8)).unwrap();
+        let first = q.step(3).unwrap();
+        let mut external = q.new_state();
+        q.forward_step_with(7, &mut external).unwrap();
+        q.forward_step_with(9, &mut external).unwrap();
+        // The private StepModel state must still reflect only `step(3)`.
+        q.reset();
+        assert_eq!(q.step(3).unwrap(), first);
+    }
+
+    #[test]
+    fn batched_rejects_duplicate_slot_and_foreign_state() {
+        let model = reference();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let q = QuantizedMamba::new(prepared, precision(8, 8)).unwrap();
+        let mut states: Vec<_> = (0..2).map(|_| q.new_state()).collect();
+        let before = states.clone();
+        assert!(q
+            .forward_step_batch_indexed(&[(0, 1), (0, 2)], &mut states)
+            .is_err());
+        assert_eq!(states, before, "states must be untouched on error");
+        // A state shaped for a different config is rejected up front.
+        let mut other_cfg = MambaConfig::tiny();
+        other_cfg.d_state = 32;
+        let mut states = vec![q.new_state(), ModelState::new(&other_cfg)];
+        assert!(q
+            .forward_step_batch_indexed(&[(0, 1), (1, 2)], &mut states)
+            .is_err());
     }
 }

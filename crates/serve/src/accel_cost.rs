@@ -9,12 +9,26 @@
 //! reports 7.21 tokens/s for one W4A4 stream on VCK190, costing a
 //! batched trace shows how far dense continuous batching lifts aggregate
 //! tokens/s before the platform's compute roofline bites.
+//!
+//! Two pricing models live here. [`StepCostModel`] prices a single-model
+//! trace on one simulator. [`MultiplexCostModel`] prices a multi-model
+//! run: each registered backend gets its own simulator (same device
+//! geometry, that backend's [`crate::backend::CostProfile`] precision),
+//! and a step costs the *sum* of its per-model sub-batch costs — each
+//! sub-batch streams its own model's weights once. A W4A4 sub-batch
+//! streams ~4× fewer bytes than an FP16 one, so on a bandwidth-bound
+//! platform the quantized backend's projected tokens/s beats FP at equal
+//! batch.
 
 use std::collections::HashMap;
 
+use lightmamba_accel::platform::Platform;
 use lightmamba_accel::sim::DecodeSimulator;
+use lightmamba_model::MambaConfig;
 
+use crate::error::ServeError;
 use crate::metrics::{Percentiles, ServeReport};
+use crate::registry::ModelRegistry;
 use crate::request::{Completion, FinishReason};
 
 /// An engine run priced on one accelerator platform.
@@ -175,6 +189,232 @@ impl StepCostModel {
     }
 }
 
+/// One model's slice of a multiplexed costed run.
+#[derive(Debug, Clone)]
+pub struct ModelCost {
+    /// The model's registered name.
+    pub model: String,
+    /// Projected wall time attributed to this model's sub-batches.
+    pub seconds: f64,
+    /// Requests this model completed.
+    pub completed: usize,
+    /// Generated tokens of this model's finished requests.
+    pub generated_tokens: u64,
+    /// Tokens this model processed (Σ of its sub-batch sizes).
+    pub processed_tokens: u64,
+    /// Processed tokens per attributed second — the throughput of this
+    /// backend *while its weight stream runs*, the equal-batch basis for
+    /// comparing backends in one multiplexed run.
+    pub processed_tokens_per_s: f64,
+    /// Single-stream decode tokens/s of this backend's simulator (the
+    /// paper's per-precision figure).
+    pub single_stream_tokens_per_s: f64,
+    /// Weight bytes one of this model's sub-batches streams per step.
+    pub weight_stream_bytes_per_step: f64,
+    /// Time-to-first-token stats in projected seconds (on the shared
+    /// multiplexed time axis, so cross-model interference is included).
+    pub ttft_s: Percentiles,
+    /// End-to-end latency stats in projected seconds.
+    pub e2e_s: Percentiles,
+}
+
+/// A multiplexed engine run priced on one platform.
+#[derive(Debug, Clone)]
+pub struct MultiplexedRun {
+    /// Platform name (from the simulators).
+    pub platform: String,
+    /// Scheduler that produced the trace.
+    pub scheduler: &'static str,
+    /// Projected wall time of the whole run.
+    pub seconds: f64,
+    /// Aggregate generated tokens/s across all models.
+    pub tokens_per_s: f64,
+    /// Aggregate processed tokens/s across all models.
+    pub processed_tokens_per_s: f64,
+    /// Per-model slices, in registry order.
+    pub per_model: Vec<ModelCost>,
+    /// Largest total batch any step ran.
+    pub peak_batch: usize,
+    /// Largest batch whose per-layer state fits the platform's URAM
+    /// (state precision is backend-independent, so one bound covers all
+    /// models sharing the pool).
+    pub max_resident_batch: usize,
+    /// Whether every step's resident state fit on-chip.
+    pub residency_ok: bool,
+}
+
+/// Prices multiplexed engine traces: one [`StepCostModel`] per
+/// registered backend, a step costing the sum of its sub-batch costs.
+#[derive(Debug)]
+pub struct MultiplexCostModel {
+    models: Vec<(String, StepCostModel)>,
+}
+
+impl MultiplexCostModel {
+    /// Wraps named per-model simulators (registry order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when no simulator is given.
+    pub fn new(models: Vec<(String, DecodeSimulator)>) -> Result<Self, ServeError> {
+        if models.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "multiplex cost model needs at least one simulator".into(),
+            ));
+        }
+        Ok(MultiplexCostModel {
+            models: models
+                .into_iter()
+                .map(|(name, sim)| (name, StepCostModel::new(sim)))
+                .collect(),
+        })
+    }
+
+    /// Builds one simulator per registered backend: the same `platform`
+    /// and `design_model` checkpoint for all, each with that backend's
+    /// [`crate::backend::CostProfile`] precision — so backends differ
+    /// only in weight-stream width and MAC packing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an empty registry.
+    pub fn for_registry(
+        registry: &ModelRegistry<'_>,
+        platform: &Platform,
+        design_model: &MambaConfig,
+    ) -> Result<Self, ServeError> {
+        Self::new(
+            registry
+                .iter()
+                .map(|(_, name, backend)| {
+                    let cfg = backend
+                        .cost_profile()
+                        .accelerator_config(platform, design_model);
+                    (
+                        name.to_string(),
+                        DecodeSimulator::new(platform.clone(), design_model.clone(), cfg),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Prices a finished multiplexed run: each step costs the sum of its
+    /// per-model sub-batch costs (sub-batches execute back-to-back on one
+    /// device, each streaming its own model's weights), and every
+    /// completion's latencies are restated on the shared time axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the trace's sub-batch
+    /// shape disagrees with the number of simulators (the report must
+    /// come from an engine over the same registry).
+    pub fn cost_run(
+        &mut self,
+        report: &ServeReport,
+        completions: &[Completion],
+    ) -> Result<MultiplexedRun, ServeError> {
+        let n_models = self.models.len();
+        if report.trace.sub_batches_per_step.len() != report.trace.batch_per_step.len()
+            || report
+                .trace
+                .sub_batches_per_step
+                .iter()
+                .any(|s| s.len() != n_models)
+        {
+            return Err(ServeError::InvalidConfig(format!(
+                "trace sub-batches do not match {n_models} priced model(s)"
+            )));
+        }
+
+        // Shared time axis: time_at[t] = projected time when step t
+        // starts. Per-model seconds are attributed as the sub-batch costs
+        // accrue.
+        let mut time_at = Vec::with_capacity(report.trace.sub_batches_per_step.len() + 1);
+        let mut attributed = vec![0.0f64; n_models];
+        let mut processed = vec![0u64; n_models];
+        let mut now = 0.0f64;
+        time_at.push(0.0);
+        for sub in &report.trace.sub_batches_per_step {
+            for (m, &b) in sub.iter().enumerate() {
+                let s = self.models[m].1.step_seconds(b);
+                attributed[m] += s;
+                processed[m] += b as u64;
+                now += s;
+            }
+            time_at.push(now);
+        }
+        let start_of = |step: u64| -> f64 { time_at[(step as usize).min(time_at.len() - 1)] };
+        let end_of = |step: u64| -> f64 { time_at[(step as usize + 1).min(time_at.len() - 1)] };
+
+        let per_model: Vec<ModelCost> = self
+            .models
+            .iter()
+            .enumerate()
+            .map(|(m, (name, cost))| {
+                let mine: Vec<&Completion> = completions
+                    .iter()
+                    .filter(|c| c.model == m && c.finish != FinishReason::DeadlineExceeded)
+                    .collect();
+                let ttft: Vec<f64> = mine
+                    .iter()
+                    .filter_map(|c| {
+                        c.first_token_step
+                            .map(|f| end_of(f) - start_of(c.arrival_step))
+                    })
+                    .collect();
+                let e2e: Vec<f64> = mine
+                    .iter()
+                    .map(|c| end_of(c.finished_step) - start_of(c.arrival_step))
+                    .collect();
+                let sim = cost.simulator();
+                ModelCost {
+                    model: name.clone(),
+                    seconds: attributed[m],
+                    completed: mine.len(),
+                    generated_tokens: mine.iter().map(|c| c.tokens.len() as u64).sum(),
+                    processed_tokens: processed[m],
+                    processed_tokens_per_s: if attributed[m] > 0.0 {
+                        processed[m] as f64 / attributed[m]
+                    } else {
+                        0.0
+                    },
+                    single_stream_tokens_per_s: sim.decode_report().tokens_per_s,
+                    weight_stream_bytes_per_step: sim.weight_bytes_per_token(),
+                    ttft_s: Percentiles::of(&ttft),
+                    e2e_s: Percentiles::of(&e2e),
+                }
+            })
+            .collect();
+
+        let peak_batch = report.trace.peak_batch();
+        // The on-chip state bound is precision-independent (the SSM state
+        // is held at INT16 for every backend), so the first simulator
+        // speaks for the shared pool.
+        let max_resident_batch = self.models[0].1.simulator().max_resident_batch();
+        let total_processed: u64 = processed.iter().sum();
+        Ok(MultiplexedRun {
+            platform: self.models[0].1.simulator().platform().name.clone(),
+            scheduler: report.scheduler,
+            seconds: now,
+            tokens_per_s: if now > 0.0 {
+                report.generated_tokens as f64 / now
+            } else {
+                0.0
+            },
+            processed_tokens_per_s: if now > 0.0 {
+                total_processed as f64 / now
+            } else {
+                0.0
+            },
+            per_model,
+            peak_batch,
+            max_resident_batch,
+            residency_ok: peak_batch <= max_resident_batch,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +498,110 @@ mod tests {
         let run = costed_burst(3, 1);
         assert!(run.tokens_per_s <= run.single_stream_tokens_per_s * 1.001);
         assert!(run.tokens_per_s > run.single_stream_tokens_per_s * 0.4);
+    }
+
+    fn multiplexed_run(n: u64, slots: usize) -> MultiplexedRun {
+        use crate::backend::{FpBackend, W4A4Backend};
+        use crate::registry::ModelRegistry;
+        use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
+
+        let model =
+            MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap();
+        let q = quantize_model(&model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[]).unwrap();
+        let mut reg = ModelRegistry::new();
+        reg.register("fp", Box::new(FpBackend::new(&model)))
+            .unwrap();
+        reg.register("w4a4", Box::new(W4A4Backend::new(q))).unwrap();
+
+        let platform = Platform::vck190();
+        let big = MambaConfig::preset(lightmamba_model::ModelPreset::B2_7);
+        let mut cost = MultiplexCostModel::for_registry(&reg, &platform, &big).unwrap();
+
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig {
+                slots,
+                max_steps: 100_000,
+            },
+        )
+        .unwrap();
+        // Symmetric load: even ids on fp, odd ids on w4a4, same shapes.
+        let reqs: Vec<GenRequest> = (0..n)
+            .map(|id| {
+                GenRequest::greedy(id, vec![(id % 100) as u32; 6], 8).on_model((id % 2) as usize)
+            })
+            .collect();
+        engine.submit(reqs).unwrap();
+        let report = engine.run(&mut ContinuousBatching).unwrap();
+        assert_eq!(report.completed as u64, n);
+        cost.cost_run(&report, engine.completions()).unwrap()
+    }
+
+    #[test]
+    fn w4a4_backend_beats_fp_at_equal_batch() {
+        // The acceptance criterion: under symmetric multiplexed load the
+        // W4A4 sub-batches stream ~4× fewer weight bytes, so projected
+        // throughput-while-streaming beats FP on the bandwidth-bound
+        // VCK190 at equal sub-batch sizes.
+        let run = multiplexed_run(16, 8);
+        let fp = &run.per_model[0];
+        let w4 = &run.per_model[1];
+        assert_eq!((fp.model.as_str(), w4.model.as_str()), ("fp", "w4a4"));
+        assert_eq!(fp.completed, 8);
+        assert_eq!(w4.completed, 8);
+        // Round-robin over identical request shapes → equal batches.
+        assert_eq!(fp.processed_tokens, w4.processed_tokens);
+        assert!(
+            w4.processed_tokens_per_s >= fp.processed_tokens_per_s,
+            "w4a4 {} < fp {}",
+            w4.processed_tokens_per_s,
+            fp.processed_tokens_per_s
+        );
+        // The gap comes from the weight stream: 4-bit + group scales vs 16-bit.
+        let stream_ratio = fp.weight_stream_bytes_per_step / w4.weight_stream_bytes_per_step;
+        assert!((3.4..4.2).contains(&stream_ratio), "ratio {stream_ratio}");
+        assert!(w4.single_stream_tokens_per_s > fp.single_stream_tokens_per_s);
+        // Total time is the sum of the per-model attributions.
+        let sum: f64 = run.per_model.iter().map(|m| m.seconds).sum();
+        assert!((sum - run.seconds).abs() < 1e-9 * run.seconds.max(1.0));
+        assert!(run.residency_ok);
+    }
+
+    #[test]
+    fn multiplexed_latencies_share_one_time_axis() {
+        let run = multiplexed_run(12, 4);
+        for m in &run.per_model {
+            assert!(m.ttft_s.p50 > 0.0, "{m:?}");
+            assert!(m.e2e_s.p99 >= m.ttft_s.p50);
+            // No per-model latency can exceed the whole run.
+            assert!(m.e2e_s.max <= run.seconds * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn mismatched_registry_shape_is_rejected() {
+        let model =
+            MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap();
+        let mut engine = ServeEngine::new(&model, EngineConfig::default()).unwrap();
+        engine
+            .submit(vec![GenRequest::greedy(0, vec![1, 2], 3)])
+            .unwrap();
+        let report = engine.run(&mut ContinuousBatching).unwrap();
+        // Two simulators priced against a one-model trace must error.
+        let platform = Platform::vck190();
+        let big = MambaConfig::preset(lightmamba_model::ModelPreset::B2_7);
+        let sim = |p: &Platform| {
+            DecodeSimulator::new(
+                p.clone(),
+                big.clone(),
+                AcceleratorConfig::lightmamba_w4a4(p, &big),
+            )
+        };
+        let mut cost = MultiplexCostModel::new(vec![
+            ("a".into(), sim(&platform)),
+            ("b".into(), sim(&platform)),
+        ])
+        .unwrap();
+        assert!(cost.cost_run(&report, engine.completions()).is_err());
     }
 }

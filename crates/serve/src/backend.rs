@@ -1,0 +1,386 @@
+//! Pluggable execution backends for the serving engine.
+//!
+//! The engine (PR 1) drove the FP reference [`MambaModel`] directly; this
+//! module is the seam that lets it drive *any* model with the Mamba2
+//! decode contract. A [`DecodeBackend`] provides exactly what one engine
+//! step needs — state allocation, batched ragged prefill, and an indexed
+//! batched decode step — plus a [`CostProfile`] so the accelerator cost
+//! model can price each backend's steps with its own weight-stream bytes.
+//! Two implementations ship:
+//!
+//! * [`FpBackend`] — the FP16 reference path over
+//!   [`MambaModel::forward_step_batch_indexed`];
+//! * [`W4A4Backend`] — quantized execution over
+//!   [`QuantizedMamba::forward_step_batch_indexed`], closing the loop
+//!   between the paper's W4A4 quantization stack and the serving engine.
+//!   A W4A4 backend streams ~4× fewer weight bytes per step than FP16, so
+//!   on a bandwidth-bound platform its projected serving throughput beats
+//!   FP at equal batch — the headline the paper's Fig. 9a makes for
+//!   single-stream decode, extended to multi-tenant serving.
+//!
+//! Backends are multiplexed over one slot pool by
+//! [`crate::registry::ModelRegistry`]. To add a third backend (say a GPU
+//! or sparse path), implement this trait and register it — the engine,
+//! scheduler, and cost model need no changes.
+
+use lightmamba_accel::arch::{AcceleratorConfig, HwPrecision};
+use lightmamba_accel::platform::Platform;
+use lightmamba_model::{MambaConfig, MambaModel, ModelState};
+use lightmamba_quant::QuantizedMamba;
+
+use crate::error::ServeError;
+
+/// How one backend's engine steps map onto accelerator hardware.
+///
+/// The decode cost model (`lightmamba_accel::batch`) prices a step as
+/// `max(batch · compute, weight-stream DMA)` per layer; both terms depend
+/// on the datapath precision, so this profile is all the cost model needs
+/// to price a backend's sub-batches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProfile {
+    /// Datapath precision the backend's arithmetic maps to.
+    pub precision: HwPrecision,
+    /// Mean stored bits per weight parameter (quantization scales
+    /// included) — the weight-stream traffic per parameter per step.
+    pub weight_bits: f64,
+}
+
+impl CostProfile {
+    /// FP16 execution (the reference model's pricing).
+    pub fn fp16() -> Self {
+        CostProfile {
+            precision: HwPrecision::Fp16,
+            weight_bits: 16.0,
+        }
+    }
+
+    /// The paper's W4A4 recipe (group-128 scale overhead ≈ 3%).
+    pub fn w4a4() -> Self {
+        CostProfile {
+            precision: HwPrecision::W4A4,
+            weight_bits: 4.0 * (1.0 + 16.0 / (128.0 * 4.0)),
+        }
+    }
+
+    /// The paper's W8A8 recipe.
+    pub fn w8a8() -> Self {
+        CostProfile {
+            precision: HwPrecision::W8A8,
+            weight_bits: 8.0 * (1.0 + 16.0 / (128.0 * 8.0)),
+        }
+    }
+
+    /// Weight-stream bytes per engine step for a `params`-parameter
+    /// design-point model (streamed once per step, shared by the batch).
+    pub fn weight_stream_bytes(&self, params: u64) -> f64 {
+        params as f64 * self.weight_bits / 8.0
+    }
+
+    /// Accelerator configuration pricing this backend on `platform` for
+    /// the `design_model` checkpoint: the paper's VCK190/U280 datapath
+    /// geometry with this profile's precision swapped in, so FP and
+    /// quantized backends are compared on the *same device* and differ
+    /// only in stream width and per-DSP MAC packing.
+    pub fn accelerator_config(
+        &self,
+        platform: &Platform,
+        model: &MambaConfig,
+    ) -> AcceleratorConfig {
+        let mut cfg = AcceleratorConfig::lightmamba_w4a4(platform, model);
+        cfg.precision = self.precision;
+        if self.precision == HwPrecision::Fp16 {
+            // No integer re-quantization stage exists on the FP path.
+            cfg.pot_requant = false;
+        }
+        cfg
+    }
+}
+
+/// A model execution backend the serving engine can drive.
+///
+/// The contract mirrors the engine's step loop: every resident sequence
+/// owns one fixed-size [`ModelState`] slot, and one engine step advances
+/// a chosen subset of slots by one token each
+/// ([`DecodeBackend::forward_step_batch_indexed`]). Implementations must
+/// keep batched decode bit-identical to their sequential decode so
+/// request outputs are independent of batch composition — the invariant
+/// all engine equivalence tests pin.
+pub trait DecodeBackend {
+    /// Short backend name (`"fp"`, `"w4a4"`, …) used in reports.
+    fn name(&self) -> &str;
+
+    /// The model configuration this backend executes.
+    fn config(&self) -> &MambaConfig;
+
+    /// Fresh zeroed decode state shaped for this backend's model.
+    fn new_state(&self) -> ModelState;
+
+    /// Resets a state for a new sequence (slot reuse).
+    fn reset_state(&self, state: &mut ModelState) {
+        state.reset();
+    }
+
+    /// One batched decode step: `items[k] = (state_index, token)`
+    /// advances `states[state_index]` and yields `(state_index, logits)`
+    /// in `items` order. States not named in `items` must be untouched.
+    ///
+    /// # Errors
+    ///
+    /// Invalid tokens, out-of-range or duplicated indices, and
+    /// foreign-config states are rejected without advancing any state.
+    fn forward_step_batch_indexed(
+        &self,
+        items: &[(usize, u32)],
+        states: &mut [ModelState],
+    ) -> Result<Vec<(usize, Vec<f32>)>, ServeError>;
+
+    /// Batched ragged prefill: consumes `prompts[k]` into `states[k]`
+    /// and returns each sequence's logits after its final prompt token.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty prompts and mismatched slice lengths.
+    fn prefill_batch(
+        &self,
+        prompts: &[&[u32]],
+        states: &mut [ModelState],
+    ) -> Result<Vec<Vec<f32>>, ServeError>;
+
+    /// Pricing profile for the accelerator cost model.
+    fn cost_profile(&self) -> CostProfile;
+}
+
+/// The FP reference backend over [`MambaModel`]'s batched decode.
+#[derive(Debug, Clone, Copy)]
+pub struct FpBackend<'m> {
+    model: &'m MambaModel,
+}
+
+impl<'m> FpBackend<'m> {
+    /// Wraps a reference model.
+    pub fn new(model: &'m MambaModel) -> Self {
+        FpBackend { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &'m MambaModel {
+        self.model
+    }
+}
+
+impl DecodeBackend for FpBackend<'_> {
+    fn name(&self) -> &str {
+        "fp"
+    }
+
+    fn config(&self) -> &MambaConfig {
+        self.model.config()
+    }
+
+    fn new_state(&self) -> ModelState {
+        self.model.new_state()
+    }
+
+    fn forward_step_batch_indexed(
+        &self,
+        items: &[(usize, u32)],
+        states: &mut [ModelState],
+    ) -> Result<Vec<(usize, Vec<f32>)>, ServeError> {
+        Ok(self.model.forward_step_batch_indexed(items, states)?)
+    }
+
+    fn prefill_batch(
+        &self,
+        prompts: &[&[u32]],
+        states: &mut [ModelState],
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
+        Ok(self.model.prefill_batch(prompts, states)?)
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        CostProfile::fp16()
+    }
+}
+
+/// Quantized execution backend over [`QuantizedMamba`]'s batched decode.
+///
+/// Despite the name (the paper's headline W4A4 recipe), any
+/// [`lightmamba_quant::qmodel::Precision`] works; the cost profile is
+/// derived from the wrapped model: `weight_bits` is its actual mean
+/// stored bits per parameter ([`QuantizedMamba::mean_weight_bits`],
+/// scales included), and the datapath maps to the narrowest
+/// [`HwPrecision`] that hosts the declared widths (≤4-bit weights on the
+/// W4A4/W4A16 path, 5–8-bit on W8A8, FP weights on FP16).
+#[derive(Debug, Clone)]
+pub struct W4A4Backend {
+    model: QuantizedMamba,
+    name: String,
+    profile: CostProfile,
+}
+
+impl W4A4Backend {
+    /// Wraps a quantized model, deriving name and cost profile from its
+    /// precision.
+    pub fn new(model: QuantizedMamba) -> Self {
+        let precision = model.precision();
+        let act_bits = precision.act.map_or(16, |s| s.bits);
+        let (name, hw) = match precision.weight.map(|s| s.bits) {
+            None => ("quant-fp".to_string(), HwPrecision::Fp16),
+            Some(w) if w <= 4 && act_bits <= 4 => (format!("w{w}a{act_bits}"), HwPrecision::W4A4),
+            Some(w) if w <= 4 => (format!("w{w}a{act_bits}"), HwPrecision::W4A16),
+            Some(w) => (format!("w{w}a{act_bits}"), HwPrecision::W8A8),
+        };
+        let profile = CostProfile {
+            precision: hw,
+            weight_bits: model.mean_weight_bits(),
+        };
+        W4A4Backend {
+            model,
+            name,
+            profile,
+        }
+    }
+
+    /// The wrapped quantized model.
+    pub fn model(&self) -> &QuantizedMamba {
+        &self.model
+    }
+}
+
+impl DecodeBackend for W4A4Backend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn config(&self) -> &MambaConfig {
+        self.model.config()
+    }
+
+    fn new_state(&self) -> ModelState {
+        self.model.new_state()
+    }
+
+    fn forward_step_batch_indexed(
+        &self,
+        items: &[(usize, u32)],
+        states: &mut [ModelState],
+    ) -> Result<Vec<(usize, Vec<f32>)>, ServeError> {
+        Ok(self.model.forward_step_batch_indexed(items, states)?)
+    }
+
+    fn prefill_batch(
+        &self,
+        prompts: &[&[u32]],
+        states: &mut [ModelState],
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
+        Ok(self.model.prefill_batch(prompts, states)?)
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> MambaModel {
+        MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap()
+    }
+
+    #[test]
+    fn fp_backend_delegates_to_reference_model() {
+        let model = tiny_model();
+        let backend = FpBackend::new(&model);
+        assert_eq!(backend.name(), "fp");
+        let mut states = vec![backend.new_state(), backend.new_state()];
+        let prompts: [&[u32]; 2] = [&[1, 2, 3], &[9]];
+        let batched = backend.prefill_batch(&prompts, &mut states).unwrap();
+        let mut direct = model.new_state();
+        let expect = model.prefill(&[1, 2, 3], &mut direct).unwrap();
+        assert_eq!(batched[0], expect);
+        let out = backend
+            .forward_step_batch_indexed(&[(0, 4)], &mut states)
+            .unwrap();
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[0].1, model.forward_step(4, &mut direct).unwrap());
+    }
+
+    #[test]
+    fn w4a4_backend_names_and_prices_by_precision() {
+        let model = tiny_model();
+        let q4 = quantize_model(&model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[]).unwrap();
+        let b4 = W4A4Backend::new(q4);
+        assert_eq!(b4.name(), "w4a4");
+        assert_eq!(b4.cost_profile().precision, HwPrecision::W4A4);
+        // weight_bits is the model's *actual* stored width: 4-bit codes
+        // plus one 16-bit scale per group of 16 ≈ 5 bits/param, so the
+        // stream is ~3.2× narrower than FP16's — not the idealized 4×.
+        let wb = b4.cost_profile().weight_bits;
+        assert!((4.5..5.5).contains(&wb), "stored bits/param {wb}");
+        let params = 1_000_000u64;
+        let ratio = CostProfile::fp16().weight_stream_bytes(params)
+            / b4.cost_profile().weight_stream_bytes(params);
+        assert!((2.9..4.1).contains(&ratio), "stream ratio {ratio}");
+    }
+
+    #[test]
+    fn odd_precisions_map_to_hosting_datapath_not_fp16() {
+        use lightmamba_quant::qmodel::Precision;
+        use lightmamba_quant::quantizer::QuantScheme;
+        use lightmamba_quant::{PreparedModel, QuantizedMamba};
+
+        let model = tiny_model();
+        let build = |wbits, abits| {
+            let precision = Precision {
+                weight: Some(QuantScheme::weight_per_group(wbits, 16)),
+                act: Some(QuantScheme::act_per_token(abits)),
+                ssm: None,
+            };
+            let prepared = PreparedModel::from_reference(&model).unwrap();
+            W4A4Backend::new(QuantizedMamba::new(prepared, precision).unwrap())
+        };
+        // A 2-bit model rides the 4-bit datapath with its own (narrower)
+        // stream width — it must not silently price as FP16.
+        let b2 = build(2, 4);
+        assert_eq!(b2.name(), "w2a4");
+        assert_eq!(b2.cost_profile().precision, HwPrecision::W4A4);
+        assert!(b2.cost_profile().weight_bits < 4.0);
+        // 5–8-bit weights host on the W8A8 path.
+        let b6 = build(6, 8);
+        assert_eq!(b6.name(), "w6a8");
+        assert_eq!(b6.cost_profile().precision, HwPrecision::W8A8);
+        let wb = b6.cost_profile().weight_bits;
+        assert!((6.0..8.0).contains(&wb), "stored bits/param {wb}");
+    }
+
+    #[test]
+    fn backend_states_are_interchangeable_when_configs_match() {
+        let model = tiny_model();
+        let q = quantize_model(&model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[]).unwrap();
+        let fp = FpBackend::new(&model);
+        let w4 = W4A4Backend::new(q);
+        let sf = fp.new_state();
+        let sq = w4.new_state();
+        assert_eq!(sf.layers.len(), sq.layers.len());
+        assert_eq!(sf.layers[0].h.len(), sq.layers[0].h.len());
+        assert_eq!(sf.layers[0].conv.channels(), sq.layers[0].conv.channels());
+    }
+
+    #[test]
+    fn accelerator_config_swaps_precision_only() {
+        let platform = Platform::vck190();
+        let model = MambaConfig::tiny();
+        let w4 = CostProfile::w4a4().accelerator_config(&platform, &model);
+        let fp = CostProfile::fp16().accelerator_config(&platform, &model);
+        assert_eq!(w4.precision, HwPrecision::W4A4);
+        assert_eq!(fp.precision, HwPrecision::Fp16);
+        assert!(!fp.pot_requant);
+        assert_eq!(w4.mmu_din, fp.mmu_din);
+        assert_eq!(w4.tiling, fp.tiling);
+    }
+}

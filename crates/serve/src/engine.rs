@@ -10,10 +10,18 @@
 //! doing. The recurrence makes token-level prefill exact (no attention
 //! window to re-scan), so this is the natural Mamba2 serving loop.
 //!
+//! The engine is generic over execution backends: it drives a
+//! [`ModelRegistry`] of named [`crate::backend::DecodeBackend`]s sharing
+//! one slot pool, forming one sub-batch per model per step (each
+//! sub-batch is one shared weight stream on the accelerator, so the cost
+//! model prices them independently). A single-model engine is the
+//! one-entry special case ([`ServeEngine::new`]).
+//!
 //! Sampling is per-request deterministic (each request carries its own
 //! seeded RNG), so a request's output tokens are independent of the
-//! admission policy and batch composition — the engine's equivalence
-//! tests pin batched-vs-sequential outputs bit-for-bit.
+//! admission policy, batch composition, and which other models are
+//! multiplexed — the engine's equivalence tests pin
+//! batched-vs-sequential outputs bit-for-bit.
 
 use std::collections::VecDeque;
 
@@ -23,7 +31,8 @@ use rand::SeedableRng;
 use lightmamba_model::MambaModel;
 
 use crate::error::ServeError;
-use crate::metrics::{Percentiles, RunTrace, ServeReport};
+use crate::metrics::{ModelBreakdown, Percentiles, RunTrace, ServeReport};
+use crate::registry::ModelRegistry;
 use crate::request::{Completion, FinishReason, GenRequest};
 use crate::scheduler::Scheduler;
 use crate::slots::SlotPool;
@@ -72,9 +81,9 @@ impl Default for EngineConfig {
     }
 }
 
-/// The multi-tenant serving engine over one model.
+/// The multi-tenant serving engine over a registry of model backends.
 pub struct ServeEngine<'m> {
-    model: &'m MambaModel,
+    registry: ModelRegistry<'m>,
     pool: SlotPool,
     cfg: EngineConfig,
     /// Future arrivals, sorted by `arrival_step` (then id).
@@ -87,21 +96,45 @@ pub struct ServeEngine<'m> {
     trace: RunTrace,
     total_prefill_tokens: u64,
     total_decode_tokens: u64,
+    /// Tokens processed per model across all steps (Σ sub-batch sizes).
+    processed_per_model: Vec<u64>,
 }
 
 impl<'m> ServeEngine<'m> {
-    /// Builds an engine with a fresh slot pool.
+    /// Builds a single-model engine over the FP reference backend — the
+    /// one-entry special case of [`ServeEngine::with_registry`].
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] for a zero-slot pool.
     pub fn new(model: &'m MambaModel, cfg: EngineConfig) -> Result<Self, ServeError> {
+        Self::with_registry(ModelRegistry::single(model), cfg)
+    }
+
+    /// Builds an engine multiplexing every registered backend over one
+    /// fresh slot pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a zero-slot pool or an
+    /// empty registry.
+    pub fn with_registry(
+        registry: ModelRegistry<'m>,
+        cfg: EngineConfig,
+    ) -> Result<Self, ServeError> {
         if cfg.slots == 0 {
             return Err(ServeError::InvalidConfig("slot pool of size 0".into()));
         }
+        if registry.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "engine needs at least one registered model".into(),
+            ));
+        }
+        let template = registry.new_state();
+        let n_models = registry.len();
         Ok(ServeEngine {
-            model,
-            pool: SlotPool::new(model, cfg.slots),
+            registry,
+            pool: SlotPool::new(&template, cfg.slots),
             cfg,
             pending: VecDeque::new(),
             waiting: VecDeque::new(),
@@ -111,7 +144,13 @@ impl<'m> ServeEngine<'m> {
             trace: RunTrace::default(),
             total_prefill_tokens: 0,
             total_decode_tokens: 0,
+            processed_per_model: vec![0; n_models],
         })
+    }
+
+    /// The registry of backends this engine multiplexes.
+    pub fn registry(&self) -> &ModelRegistry<'m> {
+        &self.registry
     }
 
     /// Submits requests; they enter the waiting queue at their
@@ -121,13 +160,22 @@ impl<'m> ServeEngine<'m> {
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] for empty prompts or
-    /// out-of-order arrivals.
+    /// out-of-order arrivals, and [`ServeError::UnknownModel`] for a
+    /// request naming a model the registry does not hold.
     pub fn submit(&mut self, requests: Vec<GenRequest>) -> Result<(), ServeError> {
         for r in requests {
             if r.prompt.is_empty() {
                 return Err(ServeError::InvalidConfig(format!(
                     "request {} has an empty prompt",
                     r.id
+                )));
+            }
+            if r.model >= self.registry.len() {
+                return Err(ServeError::UnknownModel(format!(
+                    "request {} names model id {} but only {} model(s) are registered",
+                    r.id,
+                    r.model,
+                    self.registry.len()
                 )));
             }
             if let Some(back) = self.pending.back() {
@@ -182,7 +230,7 @@ impl<'m> ServeEngine<'m> {
         while self.has_work() && self.clock < self.cfg.max_steps {
             self.step(scheduler)?;
         }
-        Ok(self.report(scheduler.name()))
+        Ok(self.report(&*scheduler))
     }
 
     /// Executes one engine step: arrivals → admission → batched model
@@ -214,6 +262,7 @@ impl<'m> ServeEngine<'m> {
                 if expired {
                     completions.push(Completion {
                         id: r.id,
+                        model: r.model,
                         tokens: Vec::new(),
                         finish: FinishReason::DeadlineExceeded,
                         arrival_step: r.arrival_step,
@@ -244,6 +293,7 @@ impl<'m> ServeEngine<'m> {
                 pool.release(seq.slot);
                 completions.push(Completion {
                     id: seq.req.id,
+                    model: seq.req.model,
                     tokens: std::mem::take(&mut seq.generated),
                     finish: FinishReason::DeadlineExceeded,
                     arrival_step: seq.req.arrival_step,
@@ -280,36 +330,52 @@ impl<'m> ServeEngine<'m> {
             });
         }
 
-        // 5. One batched model step over every resident sequence.
-        let items: Vec<(usize, u32)> = self
-            .active
-            .iter()
-            .map(|s| (s.slot, s.next_input()))
-            .collect();
+        // 5. One batched step per model: sequences are grouped into
+        //    per-model sub-batches (each is one shared weight stream on
+        //    the accelerator), executed in registry order. Outputs land
+        //    per active sequence, so downstream bookkeeping is
+        //    multiplexing-agnostic.
+        let total_batch = self.active.len();
+        let mut sub_batches = vec![0usize; self.registry.len()];
+        let mut step_logits: Vec<Option<Vec<f32>>> = vec![None; total_batch];
         let mut prefill_tokens = 0usize;
         let mut decode_tokens = 0usize;
-        if !items.is_empty() {
-            let results = self
-                .model
-                .forward_step_batch_indexed(&items, self.pool.states_mut())?;
+        for (mid, _, backend) in self.registry.iter() {
+            let idxs: Vec<usize> = (0..self.active.len())
+                .filter(|&i| self.active[i].req.model == mid)
+                .collect();
+            if idxs.is_empty() {
+                continue;
+            }
+            let items: Vec<(usize, u32)> = idxs
+                .iter()
+                .map(|&i| (self.active[i].slot, self.active[i].next_input()))
+                .collect();
+            let results = backend.forward_step_batch_indexed(&items, self.pool.states_mut())?;
+            sub_batches[mid] = items.len();
+            self.processed_per_model[mid] += items.len() as u64;
+            for (&i, (slot, logits)) in idxs.iter().zip(results) {
+                debug_assert_eq!(self.active[i].slot, slot);
+                step_logits[i] = Some(logits);
+            }
+        }
 
-            // 6. Bookkeeping per sequence, in batch order.
-            for (seq, (slot, logits)) in self.active.iter_mut().zip(&results) {
-                debug_assert_eq!(seq.slot, *slot);
-                if seq.pos < seq.req.prompt.len() {
-                    prefill_tokens += 1;
+        // 6. Bookkeeping per sequence, in batch order.
+        for (seq, logits) in self.active.iter_mut().zip(&step_logits) {
+            let logits = logits.as_ref().expect("every active sequence stepped");
+            if seq.pos < seq.req.prompt.len() {
+                prefill_tokens += 1;
+            }
+            seq.pos += 1;
+            if seq.pos >= seq.req.prompt.len() {
+                // The step that consumed the final prompt token (or a
+                // decode step) yields the next sampled token.
+                let token = seq.req.sampler.sample(logits, &mut seq.rng);
+                if seq.first_token_step.is_none() {
+                    seq.first_token_step = Some(self.clock);
                 }
-                seq.pos += 1;
-                if seq.pos >= seq.req.prompt.len() {
-                    // The step that consumed the final prompt token (or a
-                    // decode step) yields the next sampled token.
-                    let token = seq.req.sampler.sample(logits, &mut seq.rng);
-                    if seq.first_token_step.is_none() {
-                        seq.first_token_step = Some(self.clock);
-                    }
-                    seq.generated.push(token);
-                    decode_tokens += 1;
-                }
+                seq.generated.push(token);
+                decode_tokens += 1;
             }
         }
 
@@ -335,6 +401,7 @@ impl<'m> ServeEngine<'m> {
             pool.release(seq.slot);
             completions.push(Completion {
                 id: seq.req.id,
+                model: seq.req.model,
                 tokens: std::mem::take(&mut seq.generated),
                 finish,
                 arrival_step: seq.req.arrival_step,
@@ -350,7 +417,8 @@ impl<'m> ServeEngine<'m> {
         //    `tokens_per_step` counts sampled outputs.
         self.total_prefill_tokens += prefill_tokens as u64;
         self.total_decode_tokens += decode_tokens as u64;
-        self.trace.batch_per_step.push(items.len());
+        self.trace.batch_per_step.push(total_batch);
+        self.trace.sub_batches_per_step.push(sub_batches);
         self.trace.tokens_per_step.push(decode_tokens);
         self.trace.queue_depth_per_step.push(self.waiting.len());
 
@@ -364,8 +432,9 @@ impl<'m> ServeEngine<'m> {
         Ok(())
     }
 
-    /// Builds the aggregate report for the run so far.
-    pub fn report(&self, scheduler: &'static str) -> ServeReport {
+    /// Builds the aggregate report for the run so far. The scheduler
+    /// names itself ([`Scheduler::name`]); no stringly-typed tag.
+    pub fn report(&self, scheduler: &dyn Scheduler) -> ServeReport {
         let finished: Vec<&Completion> = self
             .completions
             .iter()
@@ -382,8 +451,35 @@ impl<'m> ServeEngine<'m> {
             .filter_map(|c| c.queue_steps().map(|q| q as f64))
             .collect();
 
+        let per_model = self
+            .registry
+            .iter()
+            .map(|(mid, name, _)| {
+                let mine: Vec<&&Completion> = finished.iter().filter(|c| c.model == mid).collect();
+                let ttft: Vec<f64> = mine
+                    .iter()
+                    .filter_map(|c| c.ttft_steps().map(|t| t as f64))
+                    .collect();
+                let e2e: Vec<f64> = mine.iter().map(|c| c.e2e_steps() as f64).collect();
+                ModelBreakdown {
+                    model: mid,
+                    name: name.to_string(),
+                    completed: mine.len(),
+                    evicted: self
+                        .completions
+                        .iter()
+                        .filter(|c| c.model == mid && c.finish == FinishReason::DeadlineExceeded)
+                        .count(),
+                    generated_tokens: mine.iter().map(|c| c.tokens.len() as u64).sum(),
+                    processed_tokens: self.processed_per_model[mid],
+                    ttft_steps: Percentiles::of(&ttft),
+                    e2e_steps: Percentiles::of(&e2e),
+                }
+            })
+            .collect();
+
         ServeReport {
-            scheduler,
+            scheduler: scheduler.name(),
             completed: finished.len(),
             evicted,
             steps: self.clock,
@@ -393,6 +489,7 @@ impl<'m> ServeEngine<'m> {
             e2e_steps: Percentiles::of(&e2e),
             queue_steps: Percentiles::of(&queue),
             mean_occupancy: self.trace.mean_batch() / self.pool.capacity() as f64,
+            per_model,
             trace: self.trace.clone(),
         }
     }
@@ -631,6 +728,101 @@ mod tests {
         let report = engine.run(&mut ContinuousBatching).unwrap();
         assert_eq!(report.steps, 5);
         assert!(engine.has_work());
+    }
+
+    #[test]
+    fn multiplexed_outputs_match_single_model_runs() {
+        use crate::backend::{FpBackend, W4A4Backend};
+        use crate::registry::ModelRegistry;
+        use lightmamba_model::eval::StepModel;
+        use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
+
+        let model = tiny_model();
+        let quantized =
+            quantize_model(&model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[]).unwrap();
+        let mut reg = ModelRegistry::new();
+        reg.register("fp", Box::new(FpBackend::new(&model)))
+            .unwrap();
+        reg.register("w4a4", Box::new(W4A4Backend::new(quantized.clone())))
+            .unwrap();
+
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig {
+                slots: 3,
+                max_steps: 10_000,
+            },
+        )
+        .unwrap();
+        let reqs: Vec<GenRequest> = (0..8u64)
+            .map(|id| {
+                GenRequest::greedy(id, vec![(id % 200) as u32 + 1; 4], 5)
+                    .on_model((id % 2) as usize)
+            })
+            .collect();
+        engine.submit(reqs.clone()).unwrap();
+        let report = engine.run(&mut ContinuousBatching).unwrap();
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.per_model.len(), 2);
+        assert_eq!(report.per_model[0].completed, 4);
+        assert_eq!(report.per_model[1].completed, 4);
+        // Sub-batches are recorded per model and sum to the step batch.
+        for (sub, &total) in report
+            .trace
+            .sub_batches_per_step
+            .iter()
+            .zip(&report.trace.batch_per_step)
+        {
+            assert_eq!(sub.iter().sum::<usize>(), total);
+        }
+
+        // Every request's output equals its model's sequential decode,
+        // no matter what the other backend's sequences were doing.
+        let mut q = quantized;
+        for req in &reqs {
+            let done = engine
+                .completions()
+                .iter()
+                .find(|c| c.id == req.id)
+                .unwrap();
+            assert_eq!(done.model, req.model);
+            let mut rng = StdRng::seed_from_u64(req.seed);
+            let expect = if req.model == 0 {
+                let mut state = model.new_state();
+                let mut logits = model.prefill(&req.prompt, &mut state).unwrap();
+                let mut out = Vec::new();
+                for _ in 0..req.max_new_tokens {
+                    let t = req.sampler.sample(&logits, &mut rng);
+                    out.push(t);
+                    logits = model.forward_step(t, &mut state).unwrap();
+                }
+                out
+            } else {
+                q.reset();
+                let mut logits = Vec::new();
+                for &t in &req.prompt {
+                    logits = q.step(t).unwrap();
+                }
+                let mut out = Vec::new();
+                for _ in 0..req.max_new_tokens {
+                    let t = req.sampler.sample(&logits, &mut rng);
+                    out.push(t);
+                    logits = q.step(t).unwrap();
+                }
+                out
+            };
+            assert_eq!(done.tokens, expect, "request {} diverged", req.id);
+        }
+    }
+
+    #[test]
+    fn unknown_model_id_is_rejected_at_submit() {
+        let model = tiny_model();
+        let mut engine = ServeEngine::new(&model, EngineConfig::default()).unwrap();
+        let err = engine
+            .submit(vec![GenRequest::greedy(0, vec![1, 2], 3).on_model(5)])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownModel(_)), "{err:?}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Error type of the serving subsystem.
 
 use lightmamba_model::ModelError;
+use lightmamba_quant::QuantError;
 
 /// Errors produced by the serving engine.
 #[derive(Debug)]
@@ -9,6 +10,8 @@ pub enum ServeError {
     Model(ModelError),
     /// The engine was configured inconsistently.
     InvalidConfig(String),
+    /// A request or lookup named a model the registry does not hold.
+    UnknownModel(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -16,6 +19,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::UnknownModel(name) => write!(f, "unknown model: {name}"),
         }
     }
 }
@@ -24,7 +28,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Model(e) => Some(e),
-            ServeError::InvalidConfig(_) => None,
+            ServeError::InvalidConfig(_) | ServeError::UnknownModel(_) => None,
         }
     }
 }
@@ -32,5 +36,14 @@ impl std::error::Error for ServeError {
 impl From<ModelError> for ServeError {
     fn from(e: ModelError) -> Self {
         ServeError::Model(e)
+    }
+}
+
+impl From<QuantError> for ServeError {
+    fn from(e: QuantError) -> Self {
+        match e {
+            QuantError::Model(m) => ServeError::Model(m),
+            other => ServeError::InvalidConfig(format!("quantized backend: {other}")),
+        }
     }
 }

@@ -14,13 +14,20 @@
 //! * [`traffic`] — synthetic Poisson traffic over chat / summarization /
 //!   code-completion profiles;
 //! * [`slots`] — the fixed pool of per-sequence recurrent states;
+//! * [`backend`] — pluggable execution backends ([`backend::DecodeBackend`]):
+//!   the FP reference and the W4A4 quantized model, each with a
+//!   [`backend::CostProfile`] for accelerator pricing;
+//! * [`registry`] — named backends multiplexed over one slot pool;
 //! * [`scheduler`] — continuous batching plus the static-batching
 //!   baseline (admission policy only; FIFO order is engine-fixed);
 //! * [`engine`] — the virtual-time serving loop (token-level
-//!   prefill/decode interleaving, join/evict per step);
-//! * [`metrics`] — TTFT / e2e / queueing percentiles, occupancy, traces;
+//!   prefill/decode interleaving, join/evict per step, one sub-batch per
+//!   model per step);
+//! * [`metrics`] — TTFT / e2e / queueing percentiles, occupancy, traces,
+//!   per-model breakdowns;
 //! * [`accel_cost`] — projects a run onto VCK190/U280 seconds via
-//!   `lightmamba_accel`'s batch-aware cycle model.
+//!   `lightmamba_accel`'s batch-aware cycle model, pricing each model's
+//!   sub-batches with that backend's weight-stream bytes.
 //!
 //! # Example
 //!
@@ -47,8 +54,10 @@
 mod error;
 
 pub mod accel_cost;
+pub mod backend;
 pub mod engine;
 pub mod metrics;
+pub mod registry;
 pub mod request;
 pub mod scheduler;
 pub mod slots;

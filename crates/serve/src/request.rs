@@ -2,6 +2,8 @@
 
 use lightmamba_model::sampler::Sampler;
 
+use crate::registry::ModelId;
+
 /// Unique id of a request within one engine run.
 pub type RequestId = u64;
 
@@ -10,6 +12,10 @@ pub type RequestId = u64;
 pub struct GenRequest {
     /// Unique id (admission FIFO ties break on it).
     pub id: RequestId,
+    /// Which registered model serves this request (see
+    /// [`crate::registry::ModelRegistry`]); 0 is the first-registered
+    /// backend, so single-model engines need not set it.
+    pub model: ModelId,
     /// Prompt token ids (must be non-empty).
     pub prompt: Vec<u32>,
     /// Number of tokens to generate after the prompt.
@@ -34,6 +40,7 @@ impl GenRequest {
     pub fn greedy(id: RequestId, prompt: Vec<u32>, max_new_tokens: usize) -> Self {
         GenRequest {
             id,
+            model: 0,
             prompt,
             max_new_tokens,
             sampler: Sampler::Greedy,
@@ -42,6 +49,12 @@ impl GenRequest {
             deadline_steps: None,
             eos_token: None,
         }
+    }
+
+    /// Retargets the request at a registered model.
+    pub fn on_model(mut self, model: ModelId) -> Self {
+        self.model = model;
+        self
     }
 }
 
@@ -61,6 +74,8 @@ pub enum FinishReason {
 pub struct Completion {
     /// The request's id.
     pub id: RequestId,
+    /// The model that served (or would have served) the request.
+    pub model: ModelId,
     /// Generated tokens (prompt excluded).
     pub tokens: Vec<u32>,
     /// Why generation ended.

@@ -19,13 +19,27 @@ pub struct SlotPool {
 }
 
 impl SlotPool {
-    /// Builds a pool of `capacity` zeroed states shaped for `model`.
-    pub fn new(model: &MambaModel, capacity: usize) -> Self {
+    /// Builds a pool of `capacity` zeroed states shaped like `template`.
+    /// Taking a state (not a model) keeps the pool backend-agnostic: any
+    /// [`crate::backend::DecodeBackend`] whose states match the template
+    /// can host sequences in this pool.
+    pub fn new(template: &ModelState, capacity: usize) -> Self {
         SlotPool {
-            states: (0..capacity).map(|_| model.new_state()).collect(),
+            states: (0..capacity)
+                .map(|_| {
+                    let mut s = template.clone();
+                    s.reset();
+                    s
+                })
+                .collect(),
             free: (0..capacity).rev().collect(),
             in_use: vec![false; capacity],
         }
+    }
+
+    /// Convenience: a pool shaped for one reference model.
+    pub fn for_model(model: &MambaModel, capacity: usize) -> Self {
+        SlotPool::new(&model.new_state(), capacity)
     }
 
     /// Total slots.
@@ -96,7 +110,7 @@ mod tests {
     fn pool(capacity: usize) -> SlotPool {
         let model =
             MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(1)).unwrap();
-        SlotPool::new(&model, capacity)
+        SlotPool::for_model(&model, capacity)
     }
 
     #[test]

@@ -127,6 +127,8 @@ pub struct TrafficGenerator {
     vocab_size: usize,
     rng: StdRng,
     next_id: u64,
+    /// Registered models requests are spread over (round-robin by id).
+    models: usize,
 }
 
 impl TrafficGenerator {
@@ -148,7 +150,21 @@ impl TrafficGenerator {
             vocab_size,
             rng: StdRng::seed_from_u64(seed),
             next_id: 0,
+            models: 1,
         }
+    }
+
+    /// Spreads requests over `models` registered backends, round-robin
+    /// by request id — symmetric load, so per-model serving metrics are
+    /// directly comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero models.
+    pub fn with_models(mut self, models: usize) -> Self {
+        assert!(models > 0, "traffic needs at least one model");
+        self.models = models;
+        self
     }
 
     /// Draws a Poisson count via inversion (rates here are ≲ a few
@@ -190,6 +206,7 @@ impl TrafficGenerator {
         self.next_id += 1;
         GenRequest {
             id,
+            model: (id % self.models as u64) as usize,
             prompt,
             max_new_tokens: gen_len.max(1),
             sampler: profile.sampler,

@@ -1,8 +1,14 @@
 //! Property-based invariants of the serving subsystem: FIFO liveness,
-//! slot conservation, and batched/sequential equivalence.
+//! slot conservation (single- and multi-model), and batched/sequential
+//! equivalence for both the FP and the W4A4 quantized backends.
 
+use lightmamba_model::eval::StepModel;
 use lightmamba_model::{MambaConfig, MambaModel};
+use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
+use lightmamba_quant::QuantizedMamba;
+use lightmamba_serve::backend::{DecodeBackend, FpBackend, W4A4Backend};
 use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+use lightmamba_serve::registry::ModelRegistry;
 use lightmamba_serve::request::GenRequest;
 use lightmamba_serve::scheduler::{ContinuousBatching, Scheduler, StaticBatching};
 use proptest::prelude::*;
@@ -11,6 +17,10 @@ use rand::SeedableRng;
 
 fn tiny_model() -> MambaModel {
     MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap()
+}
+
+fn tiny_w4a4(model: &MambaModel) -> QuantizedMamba {
+    quantize_model(model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[]).unwrap()
 }
 
 /// Random request workloads: (arrival gap, prompt len, gen len, seed).
@@ -140,6 +150,114 @@ proptest! {
         }
 
         prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn w4a4_batched_decode_matches_sequential_bit_for_bit(
+        prompts in proptest::collection::vec(
+            proptest::collection::vec(0u32..256, 1..8),
+            1..5,
+        ),
+        gen_len in 1usize..5,
+    ) {
+        let model = tiny_model();
+        let mut q = tiny_w4a4(&model);
+        let backend = W4A4Backend::new(q.clone());
+
+        // Sequential reference: QuantizedMamba's own StepModel decode.
+        let mut expected = Vec::new();
+        for p in &prompts {
+            q.reset();
+            let mut logits = Vec::new();
+            for &t in p {
+                logits = q.step(t).unwrap();
+            }
+            let mut toks = Vec::new();
+            for _ in 0..gen_len {
+                let t = MambaModel::argmax(&logits) as u32;
+                toks.push(t);
+                logits = q.step(t).unwrap();
+            }
+            expected.push(toks);
+        }
+
+        // Batched decode through the backend trait over external states.
+        let mut states: Vec<_> = prompts.iter().map(|_| backend.new_state()).collect();
+        let slices: Vec<&[u32]> = prompts.iter().map(|p| p.as_slice()).collect();
+        let mut logits = backend.prefill_batch(&slices, &mut states).unwrap();
+        let mut got: Vec<Vec<u32>> = vec![Vec::new(); prompts.len()];
+        for _ in 0..gen_len {
+            let items: Vec<(usize, u32)> = logits
+                .iter()
+                .enumerate()
+                .map(|(k, l)| (k, MambaModel::argmax(l) as u32))
+                .collect();
+            for &(k, t) in &items {
+                got[k].push(t);
+            }
+            logits = backend
+                .forward_step_batch_indexed(&items, &mut states)
+                .unwrap()
+                .into_iter()
+                .map(|(_, l)| l)
+                .collect();
+        }
+
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn slots_are_conserved_when_two_models_multiplex(
+        spec in workload(),
+        slots in 1usize..5,
+    ) {
+        let model = tiny_model();
+        let q = tiny_w4a4(&model);
+        let mut reg = ModelRegistry::new();
+        reg.register("fp", Box::new(FpBackend::new(&model))).unwrap();
+        reg.register("w4a4", Box::new(W4A4Backend::new(q))).unwrap();
+
+        let mut requests = build_requests(&spec);
+        for r in &mut requests {
+            r.model = (r.id % 2) as usize; // interleave the two backends
+        }
+        let n = requests.len();
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig { slots, max_steps: 200_000 },
+        ).unwrap();
+        engine.submit(requests).unwrap();
+        let mut sched = ContinuousBatching;
+        let mut steps = 0u64;
+        while engine.has_work() && steps < 200_000 {
+            engine.step(&mut sched).unwrap();
+            steps += 1;
+            // Conservation at every step boundary while two models'
+            // sequences join and leave one shared pool.
+            prop_assert_eq!(
+                engine.free_slots() + engine.active_count(),
+                engine.capacity()
+            );
+            prop_assert!(engine.active_count() <= slots);
+        }
+        prop_assert_eq!(engine.free_slots(), engine.capacity());
+        let report = engine.report(&sched);
+        prop_assert_eq!(report.completed, n);
+        // Per-model accounting covers every request exactly once.
+        prop_assert_eq!(
+            report.per_model.iter().map(|m| m.completed).sum::<usize>(),
+            n
+        );
+        // Sub-batch traces partition each step's batch.
+        for (sub, &total) in report
+            .trace
+            .sub_batches_per_step
+            .iter()
+            .zip(&report.trace.batch_per_step)
+        {
+            prop_assert_eq!(sub.len(), 2);
+            prop_assert_eq!(sub.iter().sum::<usize>(), total);
+        }
     }
 
     #[test]

@@ -1,119 +1,159 @@
-//! Serving demo: drive the continuous-batching engine on synthetic chat
-//! traffic, compare it against static batching, and project throughput
-//! onto the paper's FPGA design points.
+//! Serving demo: drive the continuous-batching engine through pluggable
+//! execution backends — the FP reference, the W4A4 quantized model, or
+//! both multiplexed on one slot pool — and project throughput onto the
+//! paper's FPGA design points (each backend priced with its own
+//! weight-stream width).
 //!
-//! Run with: `cargo run --release --example serving_demo`
+//! Run with: `cargo run --release --example serving_demo [-- --backend fp|w4a4|mux]`
+//! (default `mux`: FP + W4A4 sharing one pool).
 
-use lightmamba_repro::accel::arch::AcceleratorConfig;
 use lightmamba_repro::accel::platform::Platform;
-use lightmamba_repro::accel::sim::DecodeSimulator;
 use lightmamba_repro::prelude::*;
-use lightmamba_repro::serve::accel_cost::CostedRun;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mode = parse_backend_arg()?;
+
     // 1. A laptop-scale Mamba2 stands in for the 2.7B checkpoint; the
-    //    engine trace (batch sizes, queueing) is what gets costed.
+    //    engine trace (batch sizes, queueing) is what gets costed. The
+    //    W4A4 backend is its RTN-quantized counterpart.
     let mut rng = StdRng::seed_from_u64(42);
     let cfg = MambaConfig::tiny();
     let model = MambaModel::synthetic(cfg.clone(), &mut rng)?;
+    let quantized = quantize_model(&model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[])?;
 
     // 2. Synthetic chat traffic: a closed-loop burst of 64 concurrent
-    //    requests, all arriving at step 0 (swap in
+    //    requests spread round-robin over the registered models (swap in
     //    `TrafficScenario::chat(rate)` for open-loop Poisson arrivals).
-    let scenario = TrafficScenario::burst(64);
-    let mut traffic = TrafficGenerator::new(scenario, cfg.vocab_size, 7);
+    let n_models = if mode == "mux" { 2 } else { 1 };
+    let mut traffic =
+        TrafficGenerator::new(TrafficScenario::burst(64), cfg.vocab_size, 7).with_models(n_models);
     let requests = traffic.generate(1);
     println!(
-        "traffic: {} requests, {} prompt tokens total",
+        "backend mode: {mode} | traffic: {} requests, {} prompt tokens total",
         requests.len(),
         requests.iter().map(|r| r.prompt.len()).sum::<usize>()
     );
 
-    // 3. Run the same workload under both admission policies.
-    let mut runs = Vec::new();
-    let schedulers: [&mut dyn Scheduler; 2] = [&mut ContinuousBatching, &mut StaticBatching];
-    for sched in schedulers {
+    // 3. Run the workload under both admission policies and price every
+    //    run per backend on the paper's VCK190 point.
+    let big = MambaConfig::preset(ModelPreset::B2_7);
+    let platform = Platform::vck190();
+    println!();
+    println!(
+        "{:<10} {:>8} {:>8} {:>12} {:>12} {:>12} {:>11}",
+        "scheduler", "model", "done", "attrib s", "tok/s (all)", "1-stream", "TTFT p99 s"
+    );
+    let mut mux_gap: Option<f64> = None;
+    for sched_pick in 0..2 {
+        // Registries borrow the FP model, so build one per run.
+        let mut registry = ModelRegistry::new();
+        match mode.as_str() {
+            "fp" => {
+                registry.register("fp", Box::new(FpBackend::new(&model)))?;
+            }
+            "w4a4" => {
+                registry.register("w4a4", Box::new(W4A4Backend::new(quantized.clone())))?;
+            }
+            _ => {
+                registry.register("fp", Box::new(FpBackend::new(&model)))?;
+                registry.register("w4a4", Box::new(W4A4Backend::new(quantized.clone())))?;
+            }
+        }
+        let mut cost = MultiplexCostModel::for_registry(&registry, &platform, &big)?;
+
         // 8 slots keeps the resident state inside VCK190's URAM bound
         // (~11 sequences at INT16 state for the 2.7B W4A4 point).
-        let mut engine = ServeEngine::new(
-            &model,
+        let mut engine = ServeEngine::with_registry(
+            registry,
             EngineConfig {
                 slots: 8,
                 max_steps: 1_000_000,
             },
         )?;
         engine.submit(requests.clone())?;
-        let report = engine.run(sched)?;
-        println!(
-            "{:>10}: {} completed in {} steps | occupancy {:.0}% | \
-             TTFT p50/p99 {:.0}/{:.0} steps | queue p99 {:.0} steps",
-            report.scheduler,
-            report.completed,
-            report.steps,
-            report.mean_occupancy * 100.0,
-            report.ttft_steps.p50,
-            report.ttft_steps.p99,
-            report.queue_steps.p99,
-        );
-
-        // 4. Project the run onto the paper's design points.
-        let big = MambaConfig::preset(ModelPreset::B2_7);
-        for (platform, acfg) in [
-            (
-                Platform::vck190(),
-                AcceleratorConfig::lightmamba_w4a4(&Platform::vck190(), &big),
-            ),
-            (
-                Platform::u280(),
-                AcceleratorConfig::lightmamba_u280(&Platform::u280(), &big),
-            ),
-        ] {
-            let sim = DecodeSimulator::new(platform, big.clone(), acfg);
-            let mut cost = StepCostModel::new(sim);
-            runs.push(cost.cost_run(&report, engine.completions()));
+        let report = if sched_pick == 0 {
+            engine.run(&mut ContinuousBatching)?
+        } else {
+            engine.run(&mut StaticBatching)?
+        };
+        let run = cost.cost_run(&report, engine.completions())?;
+        for m in &run.per_model {
+            println!(
+                "{:<10} {:>8} {:>8} {:>12.2} {:>12.2} {:>12.2} {:>11.2}{}",
+                run.scheduler,
+                m.model,
+                m.completed,
+                m.seconds,
+                m.processed_tokens_per_s,
+                m.single_stream_tokens_per_s,
+                m.ttft_s.p99,
+                if run.residency_ok {
+                    ""
+                } else {
+                    "  [!] state exceeds URAM"
+                },
+            );
+        }
+        if mode == "mux" && sched_pick == 0 {
+            let fp = &run.per_model[0];
+            let w4 = &run.per_model[1];
+            mux_gap = Some(w4.processed_tokens_per_s / fp.processed_tokens_per_s);
         }
     }
 
-    // 5. The report table.
+    // 4. The quantized-serving headline: at equal sub-batch sizes the
+    //    W4A4 backend streams ~4× fewer weight bytes per step, so its
+    //    projected serving throughput beats FP on the bandwidth-bound
+    //    VCK190 — the serving extension of the paper's Fig. 9a.
     println!();
-    println!(
-        "{:<10} {:>8} {:>12} {:>12} {:>9} {:>11} {:>11}",
-        "scheduler", "platform", "tok/s (gen)", "tok/s (all)", "speedup", "TTFT p99 s", "e2e p99 s"
-    );
-    for r in &runs {
-        print_row(r);
+    if let Some(gap) = mux_gap {
+        println!(
+            "multiplexed W4A4 vs FP at equal batch: {gap:.2}x tokens/s \
+             (weight stream is 4-bit + group scales vs 16-bit)"
+        );
+        assert!(
+            gap >= 1.0,
+            "W4A4 must not serve slower than FP at equal batch"
+        );
     }
-    println!();
     println!(
-        "single-stream baselines: VCK190 {:.2} tok/s, U280 {:.2} tok/s (paper: 7.21 / 93)",
-        runs.iter()
-            .find(|r| r.platform == "VCK190")
-            .map(|r| r.single_stream_tokens_per_s)
-            .unwrap_or(0.0),
-        runs.iter()
-            .find(|r| r.platform == "U280")
-            .map(|r| r.single_stream_tokens_per_s)
-            .unwrap_or(0.0),
+        "single-stream W4A4 VCK190 baseline: {:.2} tokens/s (paper: 7.21)",
+        CostProfile::w4a4()
+            .accelerator_config(&platform, &big)
+            .validate(&big)
+            .map(|()| {
+                lightmamba_repro::accel::sim::DecodeSimulator::new(
+                    platform.clone(),
+                    big.clone(),
+                    CostProfile::w4a4().accelerator_config(&platform, &big),
+                )
+                .decode_report()
+                .tokens_per_s
+            })?
     );
     Ok(())
 }
 
-fn print_row(r: &CostedRun) {
-    println!(
-        "{:<10} {:>8} {:>12.2} {:>12.2} {:>8.2}x {:>11.2} {:>11.2}{}",
-        r.scheduler,
-        r.platform,
-        r.tokens_per_s,
-        r.processed_tokens_per_s,
-        r.speedup_vs_single_stream,
-        r.ttft_s.p99,
-        r.e2e_s.p99,
-        if r.residency_ok {
-            ""
-        } else {
-            "  [!] state exceeds URAM"
-        },
-    );
+fn parse_backend_arg() -> Result<String, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = "mux".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                mode = args
+                    .get(i + 1)
+                    .ok_or("--backend needs a value: fp | w4a4 | mux")?
+                    .clone();
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+    if !["fp", "w4a4", "mux"].contains(&mode.as_str()) {
+        return Err(format!("--backend must be fp, w4a4, or mux (got {mode:?})").into());
+    }
+    Ok(mode)
 }

@@ -52,8 +52,10 @@ pub mod prelude {
     pub use lightmamba_model::{MambaConfig, MambaModel, ModelPreset};
     pub use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
     pub use lightmamba_quant::qmodel::{Precision, QuantizedMamba};
-    pub use lightmamba_serve::accel_cost::StepCostModel;
+    pub use lightmamba_serve::accel_cost::{MultiplexCostModel, StepCostModel};
+    pub use lightmamba_serve::backend::{CostProfile, DecodeBackend, FpBackend, W4A4Backend};
     pub use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+    pub use lightmamba_serve::registry::{ModelId, ModelRegistry};
     pub use lightmamba_serve::scheduler::{ContinuousBatching, Scheduler, StaticBatching};
     pub use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
 }
