@@ -9,10 +9,20 @@
 //! resident sequences — and, with `--models N`, several named backends
 //! multiplexed on one slot pool, each priced with its own stream width.
 //!
-//! Flags: `--backend fp|w4a4|both` (default `both`) selects the
-//! single-backend comparison runs; `--models N` (default 2) sizes the
-//! multiplexed registry (backends alternate fp/w4a4). A final
-//! `BENCH_JSON` line captures the FP-vs-W4A4 serving gap.
+//! Flags:
+//! * `--policy fifo|edf|priority|wfq` (default `fifo`) — which admission
+//!   policy headlines the deadline-heavy policy study (the comparison
+//!   table always shows all four on the same trace);
+//! * `--prefill-chunk K` (default 4) — prompt tokens one prefilling
+//!   sequence may consume per engine step;
+//! * `--backend fp|w4a4|both` (default `both`) — single-backend
+//!   comparison runs;
+//! * `--models N` (default 2) — size of the multiplexed registry
+//!   (backends alternate fp/w4a4);
+//! * `--smoke` — run only the policy study on a reduced horizon (CI).
+//!
+//! A final `BENCH_JSON` line captures the selected policy's
+//! deadline-hit-rate plus (full mode) the FP-vs-W4A4 serving gap.
 
 use lightmamba::report::render_table;
 use lightmamba_accel::arch::AcceleratorConfig;
@@ -25,16 +35,22 @@ use lightmamba_serve::accel_cost::{ModelCost, MultiplexCostModel, StepCostModel}
 use lightmamba_serve::backend::{FpBackend, W4A4Backend};
 use lightmamba_serve::engine::{EngineConfig, ServeEngine};
 use lightmamba_serve::registry::ModelRegistry;
-use lightmamba_serve::scheduler::{ContinuousBatching, Scheduler, StaticBatching};
+use lightmamba_serve::scheduler::{policy_by_name, Fifo, Policy, StaticBatching, WeightedFair};
 use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const SLOT_SWEEP: [usize; 4] = [1, 4, 16, 64];
+/// The policies the study compares (static batching is covered by the
+/// slot sweep instead).
+const POLICIES: [&str; 4] = ["fifo", "edf", "priority", "wfq"];
 
 struct Args {
     backend: String,
     models: usize,
+    policy: String,
+    prefill_chunk: usize,
+    smoke: bool,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +58,9 @@ fn parse_args() -> Args {
     let mut args = Args {
         backend: "both".into(),
         models: 2,
+        policy: "fifo".into(),
+        prefill_chunk: 4,
+        smoke: false,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -60,6 +79,24 @@ fn parse_args() -> Args {
                     .expect("--models needs a positive integer");
                 i += 2;
             }
+            "--policy" => {
+                args.policy = argv
+                    .get(i + 1)
+                    .expect("--policy needs a value: fifo | edf | priority | wfq")
+                    .clone();
+                i += 2;
+            }
+            "--prefill-chunk" => {
+                args.prefill_chunk = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--prefill-chunk needs a positive integer");
+                i += 2;
+            }
+            "--smoke" => {
+                args.smoke = true;
+                i += 1;
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -67,15 +104,29 @@ fn parse_args() -> Args {
         ["fp", "w4a4", "both"].contains(&args.backend.as_str()),
         "--backend must be fp, w4a4, or both"
     );
+    assert!(
+        POLICIES.contains(&args.policy.as_str()),
+        "--policy must be one of {POLICIES:?}"
+    );
     assert!(args.models > 0, "--models must be positive");
+    assert!(args.prefill_chunk > 0, "--prefill-chunk must be positive");
     args
+}
+
+fn make_policy(name: &str) -> Box<dyn Policy> {
+    if name == "wfq" {
+        // Favor the fp backend 2:1 so the per-model table shows the
+        // share split WFQ enforces (policy_by_name's wfq weighs equal).
+        return Box::new(WeightedFair::new(vec![2.0, 1.0]));
+    }
+    policy_by_name(name).expect("--policy is validated against POLICY_NAMES")
 }
 
 fn main() {
     let args = parse_args();
     lightmamba_bench::banner(
         "serve_traffic",
-        "continuous batching across execution backends under synthetic traffic",
+        "policy-aware continuous batching across execution backends under synthetic traffic",
         "engine runs a tiny synthetic model; step traces are costed on the 2.7B design points",
     );
 
@@ -89,26 +140,181 @@ fn main() {
     let vck_platform = Platform::vck190();
     let vck_cfg = AcceleratorConfig::lightmamba_w4a4(&vck_platform, &big);
 
-    // Scenario sweep under continuous batching at 16 slots (W4A4 path).
+    let mut json_fields: Vec<String> = vec![
+        "\"bench\":\"serve_traffic\"".into(),
+        format!("\"models\":{}", args.models),
+        format!("\"prefill_chunk\":{}", args.prefill_chunk),
+    ];
+
+    // Policy study: the deadline-heavy mix under every admission policy
+    // on the same trace; `--policy` picks which run headlines the JSON.
+    json_fields.push(policy_study(&args, &model, &quantized, &vck_platform, &big));
+
+    if !args.smoke {
+        scenario_sweep(&args, &cfg, &model, &vck_platform, &big, &vck_cfg);
+        slot_sweep(&args, &cfg, &model, &vck_platform, &big, &vck_cfg);
+        json_fields.push(backend_comparison(
+            &args,
+            &model,
+            &quantized,
+            &vck_platform,
+            &big,
+        ));
+        json_fields.push(multiplex_study(
+            &args,
+            &cfg,
+            &model,
+            &quantized,
+            &vck_platform,
+            &big,
+        ));
+        println!();
+        println!(
+            "single-stream W4A4 VCK190 baseline: {:.2} tokens/s (paper 7.21)",
+            DecodeSimulator::new(vck_platform, big, vck_cfg)
+                .decode_report()
+                .tokens_per_s
+        );
+    }
+
+    // Machine-readable summary for the BENCH harness.
+    println!("BENCH_JSON {{{}}}", json_fields.join(","));
+}
+
+/// Runs the deadline-heavy scenario under each policy (same traffic,
+/// same fp+w4a4 registry), prints the comparison table, and returns the
+/// selected policy's JSON fragment.
+fn policy_study(
+    args: &Args,
+    model: &MambaModel,
+    quantized: &QuantizedMamba,
+    platform: &Platform,
+    big: &MambaConfig,
+) -> String {
+    let horizon = if args.smoke { 150 } else { 400 };
+    println!();
+    println!(
+        "policy study: deadline_heavy traffic (0.5 req/step over {horizon} steps, 16 slots, \
+         fp+w4a4 pool, prefill chunk {})",
+        args.prefill_chunk
+    );
+
+    let mut rows = Vec::new();
+    let mut headline = None;
+    for name in POLICIES {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("fp", Box::new(FpBackend::new(model)))
+            .expect("fresh registry");
+        registry
+            .register("w4a4", Box::new(W4A4Backend::new(quantized.clone())))
+            .expect("fresh registry");
+        let mut cost =
+            MultiplexCostModel::for_registry(&registry, platform, big).expect("two backends");
+
+        let mut traffic = TrafficGenerator::new(
+            TrafficScenario::deadline_heavy(0.5),
+            model.config().vocab_size,
+            7,
+        )
+        .with_models(2);
+        let mut engine = ServeEngine::with_registry(
+            registry,
+            EngineConfig {
+                slots: 16,
+                max_steps: 1_000_000,
+                prefill_chunk: args.prefill_chunk,
+            },
+        )
+        .expect("valid config");
+        engine
+            .submit(traffic.generate(horizon))
+            .expect("generator output is sorted");
+        let mut policy = make_policy(name);
+        let report = engine.run(policy.as_mut()).expect("run drains");
+        let run = cost
+            .cost_run(&report, engine.completions())
+            .expect("trace matches registry");
+        let hit_rate = report.deadline_hit_rate().unwrap_or(0.0);
+        let interactive = &report.per_class[0];
+        rows.push(vec![
+            name.to_string(),
+            report.completed.to_string(),
+            report.evicted.to_string(),
+            format!(
+                "{:.0}% ({}/{})",
+                hit_rate * 100.0,
+                report.deadline_hits,
+                report.deadline_total
+            ),
+            format!("{:.1}", interactive.queue_steps.p90),
+            format!("{:.1}", report.ttft_steps.p50),
+            format!("{:.1}", run.seconds),
+        ]);
+        if name == args.policy {
+            headline = Some(format!(
+                "\"policy\":{{\"name\":\"{}\",\"deadline_hit_rate\":{:.4},\"completed\":{},\
+                 \"evicted\":{},\"worst_model_ttft_p99_s\":{:.3}}}",
+                name,
+                hit_rate,
+                report.completed,
+                report.evicted,
+                run.per_model
+                    .iter()
+                    .map(|m| m.ttft_s.p99)
+                    .fold(0.0f64, f64::max),
+            ));
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "policy",
+                "completed",
+                "evicted",
+                "deadline hits",
+                "chat queue p90",
+                "TTFT p50 (steps)",
+                "run (s)",
+            ],
+            &rows,
+        )
+    );
+    headline.expect("--policy is validated against POLICIES")
+}
+
+/// Scenario sweep under FIFO continuous batching at 16 slots.
+fn scenario_sweep(
+    args: &Args,
+    cfg: &MambaConfig,
+    model: &MambaModel,
+    vck_platform: &Platform,
+    big: &MambaConfig,
+    vck_cfg: &AcceleratorConfig,
+) {
+    println!();
     let mut rows = Vec::new();
     for scenario in [
         TrafficScenario::burst(64),
         TrafficScenario::chat(0.4),
         TrafficScenario::mixed(0.25),
+        TrafficScenario::deadline_heavy(0.25),
     ] {
         let name = scenario.name;
         let mut traffic = TrafficGenerator::new(scenario, cfg.vocab_size, 7);
         let requests = traffic.generate(600);
         let mut engine = ServeEngine::new(
-            &model,
+            model,
             EngineConfig {
                 slots: 16,
                 max_steps: 1_000_000,
+                prefill_chunk: args.prefill_chunk,
             },
         )
         .expect("non-zero slots");
         engine.submit(requests).expect("generator output is sorted");
-        let report = engine.run(&mut ContinuousBatching).expect("run drains");
+        let report = engine.run(&mut Fifo).expect("run drains");
         let sim = DecodeSimulator::new(vck_platform.clone(), big.clone(), vck_cfg.clone());
         let run = StepCostModel::new(sim).cost_run(&report, engine.completions());
         rows.push(vec![
@@ -136,33 +342,43 @@ fn main() {
             &rows,
         )
     );
+}
 
-    // Slot sweep, both schedulers, burst workload (W4A4 path).
+/// Slot sweep, FIFO vs static batching, burst workload.
+fn slot_sweep(
+    args: &Args,
+    cfg: &MambaConfig,
+    model: &MambaModel,
+    vck_platform: &Platform,
+    big: &MambaConfig,
+    vck_cfg: &AcceleratorConfig,
+) {
     println!();
     let mut rows = Vec::new();
     for slots in SLOT_SWEEP {
-        for (label, sched) in [
-            ("continuous", &mut ContinuousBatching as &mut dyn Scheduler),
-            ("static", &mut StaticBatching as &mut dyn Scheduler),
+        for policy in [
+            &mut Fifo as &mut dyn Policy,
+            &mut StaticBatching as &mut dyn Policy,
         ] {
             let mut traffic = TrafficGenerator::new(TrafficScenario::burst(64), cfg.vocab_size, 7);
             let mut engine = ServeEngine::new(
-                &model,
+                model,
                 EngineConfig {
                     slots,
                     max_steps: 1_000_000,
+                    prefill_chunk: args.prefill_chunk,
                 },
             )
             .expect("non-zero slots");
             engine
                 .submit(traffic.generate(1))
                 .expect("generator output is sorted");
-            let report = engine.run(sched).expect("run drains");
+            let report = engine.run(policy).expect("run drains");
             let sim = DecodeSimulator::new(vck_platform.clone(), big.clone(), vck_cfg.clone());
             let run = StepCostModel::new(sim).cost_run(&report, engine.completions());
             rows.push(vec![
                 slots.to_string(),
-                label.to_string(),
+                report.policy.to_string(),
                 report.steps.to_string(),
                 format!("{:.2}", run.processed_tokens_per_s),
                 format!("{:.2}x", run.speedup_vs_single_stream),
@@ -181,7 +397,7 @@ fn main() {
         render_table(
             &[
                 "slots",
-                "scheduler",
+                "policy",
                 "steps",
                 "tok/s all",
                 "vs 1-stream",
@@ -192,9 +408,18 @@ fn main() {
             &rows,
         )
     );
+}
 
-    // Backend comparison: the same burst served by each backend alone,
-    // each priced with its own weight-stream width (`--backend` picks).
+/// Backend comparison: the same burst served by each backend alone,
+/// each priced with its own weight-stream width (`--backend` picks).
+/// Returns the JSON fragment.
+fn backend_comparison(
+    args: &Args,
+    model: &MambaModel,
+    quantized: &QuantizedMamba,
+    vck_platform: &Platform,
+    big: &MambaConfig,
+) -> String {
     println!();
     let picks: Vec<&str> = match args.backend.as_str() {
         "both" => vec!["fp", "w4a4"],
@@ -203,7 +428,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut json_single = Vec::new();
     for pick in &picks {
-        let m = single_backend_run(pick, &model, &quantized, &vck_platform, &big);
+        let m = single_backend_run(pick, args, model, quantized, vck_platform, big);
         json_single.push(format!(
             "\"{}\":{{\"tok_s\":{:.3},\"ttft_p99_s\":{:.3},\"single_stream_tok_s\":{:.3}}}",
             m.model, m.processed_tokens_per_s, m.ttft_s.p99, m.single_stream_tokens_per_s
@@ -231,9 +456,19 @@ fn main() {
             &rows,
         )
     );
+    format!("\"single\":{{{}}}", json_single.join(","))
+}
 
-    // Multiplexed run: `--models N` backends (alternating fp/w4a4) on
-    // one slot pool, symmetric round-robin traffic.
+/// Multiplexed run: `--models N` backends (alternating fp/w4a4) on one
+/// slot pool, symmetric round-robin traffic. Returns the JSON fragment.
+fn multiplex_study(
+    args: &Args,
+    cfg: &MambaConfig,
+    model: &MambaModel,
+    quantized: &QuantizedMamba,
+    vck_platform: &Platform,
+    big: &MambaConfig,
+) -> String {
     println!();
     println!(
         "multiplex: {} backends on one 16-slot pool (burst of 64)",
@@ -243,7 +478,7 @@ fn main() {
     for k in 0..args.models {
         if k % 2 == 0 {
             registry
-                .register(format!("fp-{k}"), Box::new(FpBackend::new(&model)))
+                .register(format!("fp-{k}"), Box::new(FpBackend::new(model)))
                 .expect("unique names");
         } else {
             registry
@@ -254,8 +489,8 @@ fn main() {
                 .expect("unique names");
         }
     }
-    let mut cost = MultiplexCostModel::for_registry(&registry, &vck_platform, &big)
-        .expect("non-empty registry");
+    let mut cost =
+        MultiplexCostModel::for_registry(&registry, vck_platform, big).expect("non-empty registry");
     let mut traffic = TrafficGenerator::new(TrafficScenario::burst(64), cfg.vocab_size, 7)
         .with_models(args.models);
     let mut engine = ServeEngine::with_registry(
@@ -263,13 +498,14 @@ fn main() {
         EngineConfig {
             slots: 16,
             max_steps: 1_000_000,
+            prefill_chunk: args.prefill_chunk,
         },
     )
     .expect("non-zero slots");
     engine
         .submit(traffic.generate(1))
         .expect("generator output is sorted");
-    let report = engine.run(&mut ContinuousBatching).expect("run drains");
+    let report = engine.run(&mut Fifo).expect("run drains");
     let mux = cost
         .cost_run(&report, engine.completions())
         .expect("trace matches registry");
@@ -303,27 +539,14 @@ fn main() {
             &rows,
         )
     );
-    println!();
-    println!(
-        "single-stream W4A4 VCK190 baseline: {:.2} tokens/s (paper 7.21)",
-        DecodeSimulator::new(vck_platform, big, vck_cfg)
-            .decode_report()
-            .tokens_per_s
-    );
-
-    // Machine-readable summary for the BENCH harness.
-    println!(
-        "BENCH_JSON {{\"bench\":\"serve_traffic\",\"models\":{},\"single\":{{{}}},\"multiplex\":{{{}}}}}",
-        args.models,
-        json_single.join(","),
-        json_mux.join(",")
-    );
+    format!("\"multiplex\":{{{}}}", json_mux.join(","))
 }
 
 /// Runs the burst workload on one backend alone and returns its costed
 /// per-model slice.
 fn single_backend_run(
     pick: &str,
+    args: &Args,
     model: &MambaModel,
     quantized: &QuantizedMamba,
     platform: &Platform,
@@ -348,13 +571,14 @@ fn single_backend_run(
         EngineConfig {
             slots: 16,
             max_steps: 1_000_000,
+            prefill_chunk: args.prefill_chunk,
         },
     )
     .expect("non-zero slots");
     engine
         .submit(traffic.generate(1))
         .expect("generator output is sorted");
-    let report = engine.run(&mut ContinuousBatching).expect("run drains");
+    let report = engine.run(&mut Fifo).expect("run drains");
     let run = cost
         .cost_run(&report, engine.completions())
         .expect("trace matches registry");

@@ -36,8 +36,8 @@ use crate::request::{Completion, FinishReason};
 pub struct CostedRun {
     /// Platform name (from the simulator).
     pub platform: String,
-    /// Scheduler that produced the trace.
-    pub scheduler: &'static str,
+    /// Admission policy that produced the trace.
+    pub policy: &'static str,
     /// Projected wall time of the whole run.
     pub seconds: f64,
     /// Aggregate generated (decode-output) tokens/s across all sequences.
@@ -95,18 +95,25 @@ impl StepCostModel {
         &self.sim
     }
 
-    /// Projected duration of one engine step advancing `batch`
-    /// sequences. Idle steps (batch 0) are free: a real engine blocks on
-    /// the arrival queue instead of spinning.
-    pub fn step_seconds(&mut self, batch: usize) -> f64 {
-        if batch == 0 {
+    /// Projected duration of one engine step performing `tokens`
+    /// token-advances. With a prefill chunk of 1 this is the batch size
+    /// (one token per resident sequence); chunked-prefill steps carry
+    /// more tokens and are priced accordingly — the weight stream is
+    /// still shared once across all of a step's token-advances, whether
+    /// they belong to different sequences or to consecutive positions
+    /// of one prompt (the recurrence is evaluated layer-by-layer, so a
+    /// layer's weights serve its whole chunk). Idle steps (0 tokens)
+    /// are free: a real engine blocks on the arrival queue instead of
+    /// spinning.
+    pub fn step_seconds(&mut self, tokens: usize) -> f64 {
+        if tokens == 0 {
             return 0.0;
         }
         let sim = &self.sim;
         *self
             .step_seconds
-            .entry(batch)
-            .or_insert_with(|| sim.batch_report(batch).cycles_per_step / sim.platform().freq_hz)
+            .entry(tokens)
+            .or_insert_with(|| sim.batch_report(tokens).cycles_per_step / sim.platform().freq_hz)
     }
 
     /// Prices a finished run: maps every engine step to projected
@@ -114,12 +121,13 @@ impl StepCostModel {
     /// completion's latencies exactly on that axis.
     pub fn cost_run(&mut self, report: &ServeReport, completions: &[Completion]) -> CostedRun {
         // time_at[t] = projected time when step t starts;
-        // time_at[t + 1] = when it completes.
-        let mut time_at = Vec::with_capacity(report.trace.batch_per_step.len() + 1);
+        // time_at[t + 1] = when it completes. Steps are priced by their
+        // token-advances, so chunked-prefill steps cost their true work.
+        let mut time_at = Vec::with_capacity(report.trace.processed_per_step.len() + 1);
         let mut now = 0.0f64;
         time_at.push(0.0);
-        for &b in &report.trace.batch_per_step {
-            now += self.step_seconds(b);
+        for &tokens in &report.trace.processed_per_step {
+            now += self.step_seconds(tokens);
             time_at.push(now);
         }
         let start_of = |step: u64| -> f64 { time_at[(step as usize).min(time_at.len() - 1)] };
@@ -155,10 +163,16 @@ impl StepCostModel {
         } else {
             0.0
         };
-        // Inputs processed = Σ batch (one token per resident sequence
-        // per step) — the rate directly comparable to the single-stream
-        // tokens/s, which also counts one advanced token per step.
-        let processed: u64 = report.trace.batch_per_step.iter().map(|&b| b as u64).sum();
+        // Inputs processed = Σ token-advances (decode inputs plus
+        // prefill-chunk consumption) — the rate directly comparable to
+        // the single-stream tokens/s, which also counts one advanced
+        // token per step.
+        let processed: u64 = report
+            .trace
+            .processed_per_step
+            .iter()
+            .map(|&t| t as u64)
+            .sum();
         let processed_tokens_per_s = if now > 0.0 {
             processed as f64 / now
         } else {
@@ -168,7 +182,7 @@ impl StepCostModel {
         let max_resident_batch = self.sim.max_resident_batch();
         CostedRun {
             platform: self.sim.platform().name.clone(),
-            scheduler: report.scheduler,
+            policy: report.policy,
             seconds: now,
             tokens_per_s,
             processed_tokens_per_s,
@@ -200,7 +214,7 @@ pub struct ModelCost {
     pub completed: usize,
     /// Generated tokens of this model's finished requests.
     pub generated_tokens: u64,
-    /// Tokens this model processed (Σ of its sub-batch sizes).
+    /// Token-advances this model processed (Σ of its sub-batch tokens).
     pub processed_tokens: u64,
     /// Processed tokens per attributed second — the throughput of this
     /// backend *while its weight stream runs*, the equal-batch basis for
@@ -223,8 +237,8 @@ pub struct ModelCost {
 pub struct MultiplexedRun {
     /// Platform name (from the simulators).
     pub platform: String,
-    /// Scheduler that produced the trace.
-    pub scheduler: &'static str,
+    /// Admission policy that produced the trace.
+    pub policy: &'static str,
     /// Projected wall time of the whole run.
     pub seconds: f64,
     /// Aggregate generated tokens/s across all models.
@@ -315,10 +329,10 @@ impl MultiplexCostModel {
         completions: &[Completion],
     ) -> Result<MultiplexedRun, ServeError> {
         let n_models = self.models.len();
-        if report.trace.sub_batches_per_step.len() != report.trace.batch_per_step.len()
+        if report.trace.sub_processed_per_step.len() != report.trace.batch_per_step.len()
             || report
                 .trace
-                .sub_batches_per_step
+                .sub_processed_per_step
                 .iter()
                 .any(|s| s.len() != n_models)
         {
@@ -328,18 +342,19 @@ impl MultiplexCostModel {
         }
 
         // Shared time axis: time_at[t] = projected time when step t
-        // starts. Per-model seconds are attributed as the sub-batch costs
-        // accrue.
-        let mut time_at = Vec::with_capacity(report.trace.sub_batches_per_step.len() + 1);
+        // starts. Sub-batches are priced by their token-advances
+        // (chunked prefill included), and per-model seconds are
+        // attributed as the sub-batch costs accrue.
+        let mut time_at = Vec::with_capacity(report.trace.sub_processed_per_step.len() + 1);
         let mut attributed = vec![0.0f64; n_models];
         let mut processed = vec![0u64; n_models];
         let mut now = 0.0f64;
         time_at.push(0.0);
-        for sub in &report.trace.sub_batches_per_step {
-            for (m, &b) in sub.iter().enumerate() {
-                let s = self.models[m].1.step_seconds(b);
+        for sub in &report.trace.sub_processed_per_step {
+            for (m, &tokens) in sub.iter().enumerate() {
+                let s = self.models[m].1.step_seconds(tokens);
                 attributed[m] += s;
-                processed[m] += b as u64;
+                processed[m] += tokens as u64;
                 now += s;
             }
             time_at.push(now);
@@ -395,7 +410,7 @@ impl MultiplexCostModel {
         let total_processed: u64 = processed.iter().sum();
         Ok(MultiplexedRun {
             platform: self.models[0].1.simulator().platform().name.clone(),
-            scheduler: report.scheduler,
+            policy: report.policy,
             seconds: now,
             tokens_per_s: if now > 0.0 {
                 report.generated_tokens as f64 / now
@@ -420,7 +435,7 @@ mod tests {
     use super::*;
     use crate::engine::{EngineConfig, ServeEngine};
     use crate::request::GenRequest;
-    use crate::scheduler::ContinuousBatching;
+    use crate::scheduler::Fifo;
     use lightmamba_accel::arch::AcceleratorConfig;
     use lightmamba_accel::platform::Platform;
     use lightmamba_model::{MambaConfig, MambaModel};
@@ -428,6 +443,15 @@ mod tests {
     use rand::SeedableRng;
 
     fn costed_burst(n: u64, slots: usize) -> CostedRun {
+        costed_burst_chunk(n, slots, 1, 6)
+    }
+
+    fn costed_burst_chunk(
+        n: u64,
+        slots: usize,
+        prefill_chunk: usize,
+        prompt_len: usize,
+    ) -> CostedRun {
         let model =
             MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap();
         let mut engine = ServeEngine::new(
@@ -435,14 +459,15 @@ mod tests {
             EngineConfig {
                 slots,
                 max_steps: 100_000,
+                prefill_chunk,
             },
         )
         .unwrap();
         let reqs: Vec<GenRequest> = (0..n)
-            .map(|id| GenRequest::greedy(id, vec![(id % 100) as u32; 6], 8))
+            .map(|id| GenRequest::greedy(id, vec![(id % 100) as u32; prompt_len], 8))
             .collect();
         engine.submit(reqs).unwrap();
-        let report = engine.run(&mut ContinuousBatching).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
         assert_eq!(report.completed as u64, n);
 
         // Price the tiny-model trace on the paper's 2.7B/VCK190 point:
@@ -465,6 +490,27 @@ mod tests {
         );
         assert!(run.speedup_vs_single_stream > 1.0);
         assert!(run.tokens_per_s < run.processed_tokens_per_s);
+    }
+
+    #[test]
+    fn chunked_prefill_is_priced_and_cheaper_when_bandwidth_bound() {
+        // Same prompt-heavy workload, chunk 1 vs chunk 8: identical
+        // token-advances, but the chunked run folds each prompt into
+        // fewer steps, each sharing one weight stream across more
+        // tokens — so on the DMA-bound VCK190 the projected wall time
+        // strictly drops and TTFT improves.
+        let flat = costed_burst_chunk(12, 4, 1, 24);
+        let chunked = costed_burst_chunk(12, 4, 8, 24);
+        let work = |r: &CostedRun| r.processed_tokens_per_s * r.seconds;
+        assert!((work(&flat) - work(&chunked)).abs() < 1e-6 * work(&flat));
+        assert!(
+            chunked.seconds < flat.seconds,
+            "chunked {} s >= flat {} s",
+            chunked.seconds,
+            flat.seconds
+        );
+        assert!(chunked.ttft_s.p50 < flat.ttft_s.p50);
+        assert!(chunked.processed_tokens_per_s > flat.processed_tokens_per_s);
     }
 
     #[test]
@@ -522,6 +568,7 @@ mod tests {
             EngineConfig {
                 slots,
                 max_steps: 100_000,
+                prefill_chunk: 1,
             },
         )
         .unwrap();
@@ -532,7 +579,7 @@ mod tests {
             })
             .collect();
         engine.submit(reqs).unwrap();
-        let report = engine.run(&mut ContinuousBatching).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
         assert_eq!(report.completed as u64, n);
         cost.cost_run(&report, engine.completions()).unwrap()
     }
@@ -586,7 +633,7 @@ mod tests {
         engine
             .submit(vec![GenRequest::greedy(0, vec![1, 2], 3)])
             .unwrap();
-        let report = engine.run(&mut ContinuousBatching).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
         // Two simulators priced against a one-model trace must error.
         let platform = Platform::vck190();
         let big = MambaConfig::preset(lightmamba_model::ModelPreset::B2_7);

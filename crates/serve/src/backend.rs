@@ -146,6 +146,51 @@ pub trait DecodeBackend {
         states: &mut [ModelState],
     ) -> Result<Vec<Vec<f32>>, ServeError>;
 
+    /// Batched ragged advance — the chunked-prefill step. Each
+    /// `items[k] = (state_index, tokens)` feeds `tokens` (one or more)
+    /// into `states[state_index]` and yields `(state_index, logits)`
+    /// after the *final* fed token, in `items` order. A decode step is
+    /// the one-token case; a prefill chunk feeds several prompt tokens
+    /// without sampling in between. The recurrence is sequential per
+    /// token, so the default implementation drives
+    /// [`DecodeBackend::forward_step_batch_indexed`] once per token
+    /// position across the ragged batch — bit-identical to sequential
+    /// decode by construction, which keeps the engine's batched ≡
+    /// sequential invariant intact for any chunk size.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty token slices and whatever the underlying step
+    /// rejects (invalid tokens, bad indices, foreign states).
+    fn advance_batch_indexed(
+        &self,
+        items: &[(usize, &[u32])],
+        states: &mut [ModelState],
+    ) -> Result<Vec<(usize, Vec<f32>)>, ServeError> {
+        if let Some((slot, _)) = items.iter().find(|(_, toks)| toks.is_empty()) {
+            return Err(ServeError::InvalidConfig(format!(
+                "advance of state {slot} was given no tokens"
+            )));
+        }
+        let max_len = items.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+        let mut last: Vec<Option<Vec<f32>>> = vec![None; items.len()];
+        for j in 0..max_len {
+            let live: Vec<usize> = (0..items.len()).filter(|&k| j < items[k].1.len()).collect();
+            let step_items: Vec<(usize, u32)> =
+                live.iter().map(|&k| (items[k].0, items[k].1[j])).collect();
+            let results = self.forward_step_batch_indexed(&step_items, states)?;
+            for (&k, (slot, logits)) in live.iter().zip(results) {
+                debug_assert_eq!(items[k].0, slot);
+                last[k] = Some(logits);
+            }
+        }
+        Ok(items
+            .iter()
+            .zip(last)
+            .map(|(&(slot, _), logits)| (slot, logits.expect("every item fed at least one token")))
+            .collect())
+    }
+
     /// Pricing profile for the accelerator cost model.
     fn cost_profile(&self) -> CostProfile;
 }
@@ -308,6 +353,47 @@ mod tests {
             .unwrap();
         assert_eq!(out[0].0, 0);
         assert_eq!(out[0].1, model.forward_step(4, &mut direct).unwrap());
+    }
+
+    #[test]
+    fn ragged_advance_matches_whole_prompt_prefill() {
+        // Feeding a prompt in uneven chunks through advance_batch_indexed
+        // lands on exactly the logits one-shot prefill produces.
+        let model = tiny_model();
+        let backend = FpBackend::new(&model);
+        let prompt: Vec<u32> = vec![4, 9, 1, 7, 3, 2, 8];
+        let mut chunked = vec![backend.new_state(), backend.new_state()];
+        // Sequence 0 takes the prompt in chunks of 3/3/1; sequence 1
+        // (a shorter prompt) rides the same ragged batches.
+        let out1 = backend
+            .advance_batch_indexed(&[(0, &prompt[..3]), (1, &[5u32, 6][..])], &mut chunked)
+            .unwrap();
+        assert_eq!(out1.len(), 2);
+        let out2 = backend
+            .advance_batch_indexed(&[(0, &prompt[3..6])], &mut chunked)
+            .unwrap();
+        assert_eq!(out2[0].0, 0);
+        let out3 = backend
+            .advance_batch_indexed(&[(0, &prompt[6..])], &mut chunked)
+            .unwrap();
+
+        let mut reference = model.new_state();
+        let expect = model.prefill(&prompt, &mut reference).unwrap();
+        assert_eq!(out3[0].1, expect);
+        let mut ref1 = model.new_state();
+        let expect1 = model.prefill(&[5, 6], &mut ref1).unwrap();
+        assert_eq!(out1[1].1, expect1);
+    }
+
+    #[test]
+    fn advance_rejects_empty_token_slices() {
+        let model = tiny_model();
+        let backend = FpBackend::new(&model);
+        let mut states = vec![backend.new_state()];
+        let err = backend
+            .advance_batch_indexed(&[(0, &[][..])], &mut states)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err:?}");
     }
 
     #[test]

@@ -1,14 +1,24 @@
 //! The serving engine: a virtual-time loop joining admission, batched
 //! prefill/decode, sampling, and eviction.
 //!
-//! One engine *step* is one batched model invocation: every active
-//! sequence advances by exactly one token — the next prompt token while
-//! prefilling, the previously sampled token while decoding. Prefill and
-//! decode therefore interleave freely inside a step, which is what makes
-//! the batcher "continuous": a sequence admitted at step `t` starts
-//! consuming its prompt at `t` regardless of what its batch-mates are
-//! doing. The recurrence makes token-level prefill exact (no attention
-//! window to re-scan), so this is the natural Mamba2 serving loop.
+//! One engine *step* is one batched model invocation. A decoding
+//! sequence advances by exactly one token per step; a *prefilling*
+//! sequence consumes up to [`EngineConfig::prefill_chunk`] prompt
+//! tokens per step. Chunking bounds how much of a step's work any one
+//! prompt can claim, so a long prompt is spread across several steps
+//! interleaved with its batch-mates' decode — it can never stall
+//! already-running sequences for its whole prefill, yet still finishes
+//! `chunk×` faster than the one-token-per-step loop. The recurrence
+//! makes token-level prefill exact (no attention window to re-scan), so
+//! any chunk size yields bit-identical outputs.
+//!
+//! Admission is policy-driven ([`crate::scheduler::Policy`]): each step
+//! the policy sees the entire waiting queue and selects *which*
+//! requests join, not merely how many — FIFO, earliest-deadline-first,
+//! strict priority classes, or weighted fair queueing across models.
+//! Deadline-aware policies additionally ask the engine to evict doomed
+//! requests (deadline provably unmeetable) before admission, so a
+//! guaranteed miss never burns a slot or a batched step.
 //!
 //! The engine is generic over execution backends: it drives a
 //! [`ModelRegistry`] of named [`crate::backend::DecodeBackend`]s sharing
@@ -19,8 +29,8 @@
 //!
 //! Sampling is per-request deterministic (each request carries its own
 //! seeded RNG), so a request's output tokens are independent of the
-//! admission policy, batch composition, and which other models are
-//! multiplexed — the engine's equivalence tests pin
+//! admission policy, prefill chunking, batch composition, and which
+//! other models are multiplexed — the engine's equivalence tests pin
 //! batched-vs-sequential outputs bit-for-bit.
 
 use std::collections::VecDeque;
@@ -31,10 +41,10 @@ use rand::SeedableRng;
 use lightmamba_model::MambaModel;
 
 use crate::error::ServeError;
-use crate::metrics::{ModelBreakdown, Percentiles, RunTrace, ServeReport};
+use crate::metrics::{ClassBreakdown, ModelBreakdown, Percentiles, RunTrace, ServeReport};
 use crate::registry::ModelRegistry;
-use crate::request::{Completion, FinishReason, GenRequest};
-use crate::scheduler::Scheduler;
+use crate::request::{Completion, FinishReason, GenRequest, Priority};
+use crate::scheduler::{AdmissionCtx, Policy};
 use crate::slots::SlotPool;
 
 /// One resident sequence.
@@ -51,14 +61,19 @@ struct ActiveSeq {
 }
 
 impl ActiveSeq {
-    fn next_input(&self) -> u32 {
+    /// Tokens this sequence feeds into the next batched step: a prompt
+    /// chunk of at most `prefill_chunk` tokens while prefilling, the
+    /// previously sampled token while decoding.
+    fn feed(&self, prefill_chunk: usize) -> &[u32] {
         if self.pos < self.req.prompt.len() {
-            self.req.prompt[self.pos]
+            let end = (self.pos + prefill_chunk.max(1)).min(self.req.prompt.len());
+            &self.req.prompt[self.pos..end]
         } else {
-            *self
-                .generated
-                .last()
-                .expect("decode implies a sampled token")
+            std::slice::from_ref(
+                self.generated
+                    .last()
+                    .expect("decode implies a sampled token"),
+            )
         }
     }
 }
@@ -70,6 +85,11 @@ pub struct EngineConfig {
     pub slots: usize,
     /// Step budget; `run` stops here even with work outstanding.
     pub max_steps: u64,
+    /// Prompt tokens one prefilling sequence may consume per step
+    /// (≥ 1). 1 reproduces the strict one-token-per-step loop; larger
+    /// budgets speed prefill `chunk×` while bounding how long any one
+    /// prompt can monopolize a step's work.
+    pub prefill_chunk: usize,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +97,7 @@ impl Default for EngineConfig {
         EngineConfig {
             slots: 16,
             max_steps: 100_000,
+            prefill_chunk: 1,
         }
     }
 }
@@ -88,15 +109,16 @@ pub struct ServeEngine<'m> {
     cfg: EngineConfig,
     /// Future arrivals, sorted by `arrival_step` (then id).
     pending: VecDeque<GenRequest>,
-    /// FIFO waiting queue of arrived, unadmitted requests.
-    waiting: VecDeque<GenRequest>,
+    /// Arrived, unadmitted requests in arrival order. Policies select
+    /// from the whole queue, so this is a plain vector, not a FIFO.
+    waiting: Vec<GenRequest>,
     active: Vec<ActiveSeq>,
     clock: u64,
     completions: Vec<Completion>,
     trace: RunTrace,
     total_prefill_tokens: u64,
     total_decode_tokens: u64,
-    /// Tokens processed per model across all steps (Σ sub-batch sizes).
+    /// Token-advances per model across all steps (Σ sub-batch tokens).
     processed_per_model: Vec<u64>,
 }
 
@@ -106,7 +128,8 @@ impl<'m> ServeEngine<'m> {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] for a zero-slot pool.
+    /// Returns [`ServeError::InvalidConfig`] for a zero-slot pool or a
+    /// zero prefill chunk.
     pub fn new(model: &'m MambaModel, cfg: EngineConfig) -> Result<Self, ServeError> {
         Self::with_registry(ModelRegistry::single(model), cfg)
     }
@@ -116,14 +139,19 @@ impl<'m> ServeEngine<'m> {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::InvalidConfig`] for a zero-slot pool or an
-    /// empty registry.
+    /// Returns [`ServeError::InvalidConfig`] for a zero-slot pool, a
+    /// zero prefill chunk, or an empty registry.
     pub fn with_registry(
         registry: ModelRegistry<'m>,
         cfg: EngineConfig,
     ) -> Result<Self, ServeError> {
         if cfg.slots == 0 {
             return Err(ServeError::InvalidConfig("slot pool of size 0".into()));
+        }
+        if cfg.prefill_chunk == 0 {
+            return Err(ServeError::InvalidConfig(
+                "prefill chunk of 0 tokens per step".into(),
+            ));
         }
         if registry.is_empty() {
             return Err(ServeError::InvalidConfig(
@@ -137,7 +165,7 @@ impl<'m> ServeEngine<'m> {
             pool: SlotPool::new(&template, cfg.slots),
             cfg,
             pending: VecDeque::new(),
-            waiting: VecDeque::new(),
+            waiting: Vec::new(),
             active: Vec::new(),
             clock: 0,
             completions: Vec::new(),
@@ -226,28 +254,45 @@ impl<'m> ServeEngine<'m> {
     /// # Errors
     ///
     /// Propagates model step errors (invalid tokens, state mismatch).
-    pub fn run(&mut self, scheduler: &mut dyn Scheduler) -> Result<ServeReport, ServeError> {
+    pub fn run(&mut self, policy: &mut dyn Policy) -> Result<ServeReport, ServeError> {
         while self.has_work() && self.clock < self.cfg.max_steps {
-            self.step(scheduler)?;
+            self.step(policy)?;
         }
-        Ok(self.report(&*scheduler))
+        Ok(self.report(&*policy))
     }
 
-    /// Executes one engine step: arrivals → admission → batched model
-    /// step → sampling/finish/evict bookkeeping.
+    /// Records a waiting-queue eviction.
+    fn evict_waiting(completions: &mut Vec<Completion>, r: &GenRequest, clock: u64) {
+        completions.push(Completion {
+            id: r.id,
+            model: r.model,
+            priority: r.priority,
+            tokens: Vec::new(),
+            finish: FinishReason::DeadlineExceeded,
+            arrival_step: r.arrival_step,
+            deadline_steps: r.deadline_steps,
+            admitted_step: None,
+            first_token_step: None,
+            finished_step: clock,
+        });
+    }
+
+    /// Executes one engine step: arrivals → expiry/doomed eviction →
+    /// policy admission → batched model advance (chunked prefill +
+    /// decode) → sampling/finish/evict bookkeeping.
     ///
     /// # Errors
     ///
     /// Propagates model step errors.
-    pub fn step(&mut self, scheduler: &mut dyn Scheduler) -> Result<(), ServeError> {
-        // 1. Arrivals whose time has come join the FIFO queue.
+    pub fn step(&mut self, policy: &mut dyn Policy) -> Result<(), ServeError> {
+        // 1. Arrivals whose time has come join the waiting queue.
         while self
             .pending
             .front()
             .is_some_and(|r| r.arrival_step <= self.clock)
         {
             let r = self.pending.pop_front().expect("front checked");
-            self.waiting.push_back(r);
+            self.waiting.push(r);
         }
 
         // 2. Evict deadline-expired requests still waiting — they must
@@ -260,16 +305,7 @@ impl<'m> ServeEngine<'m> {
                     .deadline_steps
                     .is_some_and(|d| clock.saturating_sub(r.arrival_step) >= d);
                 if expired {
-                    completions.push(Completion {
-                        id: r.id,
-                        model: r.model,
-                        tokens: Vec::new(),
-                        finish: FinishReason::DeadlineExceeded,
-                        arrival_step: r.arrival_step,
-                        admitted_step: None,
-                        first_token_step: None,
-                        finished_step: clock,
-                    });
+                    Self::evict_waiting(completions, r, clock);
                 }
                 !expired
             });
@@ -294,9 +330,11 @@ impl<'m> ServeEngine<'m> {
                 completions.push(Completion {
                     id: seq.req.id,
                     model: seq.req.model,
+                    priority: seq.req.priority,
                     tokens: std::mem::take(&mut seq.generated),
                     finish: FinishReason::DeadlineExceeded,
                     arrival_step: seq.req.arrival_step,
+                    deadline_steps: seq.req.deadline_steps,
                     admitted_step: Some(seq.admitted_step),
                     first_token_step: seq.first_token_step,
                     finished_step: clock,
@@ -305,41 +343,75 @@ impl<'m> ServeEngine<'m> {
             });
         }
 
-        // 4. Admission: the policy picks a count, the queue's FIFO order
-        //    picks which.
-        let n_admit = scheduler
-            .admit(
-                self.waiting.len(),
-                self.pool.free_count(),
-                self.active.len(),
-            )
-            .min(self.waiting.len())
-            .min(self.pool.free_count());
-        for _ in 0..n_admit {
-            let req = self.waiting.pop_front().expect("count bounded above");
-            let slot = self.pool.alloc().expect("count bounded above");
-            let rng = StdRng::seed_from_u64(req.seed);
-            self.active.push(ActiveSeq {
-                slot,
-                pos: 0,
-                generated: Vec::with_capacity(req.max_new_tokens),
-                rng,
-                admitted_step: self.clock,
-                first_token_step: None,
-                req,
+        // 4. Doomed eviction (deadline-aware policies only): a waiting
+        //    request whose minimal completion no longer fits its budget
+        //    is a guaranteed miss — drop it *before* admission instead
+        //    of wasting slot steps discovering that at expiry.
+        if policy.evicts_doomed() {
+            let clock = self.clock;
+            let chunk = self.cfg.prefill_chunk;
+            let completions = &mut self.completions;
+            self.waiting.retain(|r| {
+                let doomed = r
+                    .absolute_deadline()
+                    .is_some_and(|abs| clock + r.min_steps_to_complete(chunk) > abs);
+                if doomed {
+                    Self::evict_waiting(completions, r, clock);
+                }
+                !doomed
             });
         }
 
-        // 5. One batched step per model: sequences are grouped into
+        // 5. Admission: the policy selects *which* waiting requests
+        //    join, in what order. The engine enforces the invariants
+        //    (bounds, uniqueness, free slots) so policies stay simple.
+        let mut active_per_model = vec![0usize; self.registry.len()];
+        for seq in &self.active {
+            active_per_model[seq.req.model] += 1;
+        }
+        let mut picks = policy.select(&AdmissionCtx {
+            waiting: &self.waiting,
+            clock: self.clock,
+            free_slots: self.pool.free_count(),
+            active: self.active.len(),
+            active_per_model: &active_per_model,
+            prefill_chunk: self.cfg.prefill_chunk,
+        });
+        {
+            let mut seen = vec![false; self.waiting.len()];
+            picks.retain(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true));
+            picks.truncate(self.pool.free_count());
+        }
+        if !picks.is_empty() {
+            let mut drained: Vec<Option<GenRequest>> = self.waiting.drain(..).map(Some).collect();
+            for &i in &picks {
+                let req = drained[i].take().expect("picks are unique and in range");
+                let slot = self.pool.alloc().expect("picks bounded by free slots");
+                let rng = StdRng::seed_from_u64(req.seed);
+                self.active.push(ActiveSeq {
+                    slot,
+                    pos: 0,
+                    generated: Vec::with_capacity(req.max_new_tokens),
+                    rng,
+                    admitted_step: self.clock,
+                    first_token_step: None,
+                    req,
+                });
+            }
+            self.waiting = drained.into_iter().flatten().collect();
+        }
+
+        // 6. One batched advance per model: sequences are grouped into
         //    per-model sub-batches (each is one shared weight stream on
-        //    the accelerator), executed in registry order. Outputs land
-        //    per active sequence, so downstream bookkeeping is
-        //    multiplexing-agnostic.
+        //    the accelerator); a prefilling sequence feeds its next
+        //    prompt chunk, a decoding one its previous sample. Outputs
+        //    land per active sequence, so downstream bookkeeping is
+        //    multiplexing- and chunking-agnostic.
         let total_batch = self.active.len();
+        let chunk = self.cfg.prefill_chunk;
         let mut sub_batches = vec![0usize; self.registry.len()];
+        let mut sub_processed = vec![0usize; self.registry.len()];
         let mut step_logits: Vec<Option<Vec<f32>>> = vec![None; total_batch];
-        let mut prefill_tokens = 0usize;
-        let mut decode_tokens = 0usize;
         for (mid, _, backend) in self.registry.iter() {
             let idxs: Vec<usize> = (0..self.active.len())
                 .filter(|&i| self.active[i].req.model == mid)
@@ -347,29 +419,36 @@ impl<'m> ServeEngine<'m> {
             if idxs.is_empty() {
                 continue;
             }
-            let items: Vec<(usize, u32)> = idxs
+            let items: Vec<(usize, &[u32])> = idxs
                 .iter()
-                .map(|&i| (self.active[i].slot, self.active[i].next_input()))
+                .map(|&i| (self.active[i].slot, self.active[i].feed(chunk)))
                 .collect();
-            let results = backend.forward_step_batch_indexed(&items, self.pool.states_mut())?;
-            sub_batches[mid] = items.len();
-            self.processed_per_model[mid] += items.len() as u64;
+            let fed: usize = items.iter().map(|(_, toks)| toks.len()).sum();
+            let results = backend.advance_batch_indexed(&items, self.pool.states_mut())?;
+            sub_batches[mid] = idxs.len();
+            sub_processed[mid] = fed;
+            self.processed_per_model[mid] += fed as u64;
             for (&i, (slot, logits)) in idxs.iter().zip(results) {
                 debug_assert_eq!(self.active[i].slot, slot);
                 step_logits[i] = Some(logits);
             }
         }
 
-        // 6. Bookkeeping per sequence, in batch order.
+        // 7. Bookkeeping per sequence, in batch order. The step that
+        //    consumes the final prompt chunk (or a decode step) yields
+        //    the next sampled token.
+        let mut prefill_tokens = 0usize;
+        let mut decode_tokens = 0usize;
         for (seq, logits) in self.active.iter_mut().zip(&step_logits) {
             let logits = logits.as_ref().expect("every active sequence stepped");
             if seq.pos < seq.req.prompt.len() {
-                prefill_tokens += 1;
+                let fed = (seq.req.prompt.len() - seq.pos).min(chunk);
+                prefill_tokens += fed;
+                seq.pos += fed;
+            } else {
+                seq.pos += 1;
             }
-            seq.pos += 1;
             if seq.pos >= seq.req.prompt.len() {
-                // The step that consumed the final prompt token (or a
-                // decode step) yields the next sampled token.
                 let token = seq.req.sampler.sample(logits, &mut seq.rng);
                 if seq.first_token_step.is_none() {
                     seq.first_token_step = Some(self.clock);
@@ -379,7 +458,7 @@ impl<'m> ServeEngine<'m> {
             }
         }
 
-        // 7. Retire finished sequences (deadline expiry is handled
+        // 8. Retire finished sequences (deadline expiry is handled
         //    pre-step, in 3).
         let clock = self.clock;
         let pool = &mut self.pool;
@@ -402,9 +481,11 @@ impl<'m> ServeEngine<'m> {
             completions.push(Completion {
                 id: seq.req.id,
                 model: seq.req.model,
+                priority: seq.req.priority,
                 tokens: std::mem::take(&mut seq.generated),
                 finish,
                 arrival_step: seq.req.arrival_step,
+                deadline_steps: seq.req.deadline_steps,
                 admitted_step: Some(seq.admitted_step),
                 first_token_step: seq.first_token_step,
                 finished_step: clock,
@@ -412,13 +493,17 @@ impl<'m> ServeEngine<'m> {
             false
         });
 
-        // 8. Trace for the cost models. `batch_per_step` is also the
-        //    tokens *processed* (one input per resident sequence);
-        //    `tokens_per_step` counts sampled outputs.
+        // 9. Trace for the cost models. `batch_per_step` is residency
+        //    (what URAM bounds); `processed_per_step` is token-advances
+        //    (what the weight stream is shared across, hence what a
+        //    step costs); `tokens_per_step` counts sampled outputs.
+        let processed: usize = sub_processed.iter().sum();
         self.total_prefill_tokens += prefill_tokens as u64;
         self.total_decode_tokens += decode_tokens as u64;
         self.trace.batch_per_step.push(total_batch);
+        self.trace.processed_per_step.push(processed);
         self.trace.sub_batches_per_step.push(sub_batches);
+        self.trace.sub_processed_per_step.push(sub_processed);
         self.trace.tokens_per_step.push(decode_tokens);
         self.trace.queue_depth_per_step.push(self.waiting.len());
 
@@ -432,9 +517,9 @@ impl<'m> ServeEngine<'m> {
         Ok(())
     }
 
-    /// Builds the aggregate report for the run so far. The scheduler
-    /// names itself ([`Scheduler::name`]); no stringly-typed tag.
-    pub fn report(&self, scheduler: &dyn Scheduler) -> ServeReport {
+    /// Builds the aggregate report for the run so far. The policy names
+    /// itself ([`Policy::name`]); no stringly-typed tag.
+    pub fn report(&self, policy: &dyn Policy) -> ServeReport {
         let finished: Vec<&Completion> = self
             .completions
             .iter()
@@ -450,6 +535,16 @@ impl<'m> ServeEngine<'m> {
             .iter()
             .filter_map(|c| c.queue_steps().map(|q| q as f64))
             .collect();
+        let deadline_total = self
+            .completions
+            .iter()
+            .filter(|c| c.deadline_steps.is_some())
+            .count();
+        let deadline_hits = self
+            .completions
+            .iter()
+            .filter(|c| c.deadline_hit() == Some(true))
+            .count();
 
         let per_model = self
             .registry
@@ -478,18 +573,58 @@ impl<'m> ServeEngine<'m> {
             })
             .collect();
 
+        let per_class = Priority::ALL
+            .iter()
+            .map(|&priority| {
+                let mine: Vec<&Completion> = self
+                    .completions
+                    .iter()
+                    .filter(|c| c.priority == priority)
+                    .collect();
+                let fin: Vec<&&Completion> = mine
+                    .iter()
+                    .filter(|c| c.finish != FinishReason::DeadlineExceeded)
+                    .collect();
+                let ttft: Vec<f64> = fin
+                    .iter()
+                    .filter_map(|c| c.ttft_steps().map(|t| t as f64))
+                    .collect();
+                let e2e: Vec<f64> = fin.iter().map(|c| c.e2e_steps() as f64).collect();
+                let queue: Vec<f64> = fin
+                    .iter()
+                    .filter_map(|c| c.queue_steps().map(|q| q as f64))
+                    .collect();
+                ClassBreakdown {
+                    priority,
+                    completed: fin.len(),
+                    evicted: mine.len() - fin.len(),
+                    deadline_total: mine.iter().filter(|c| c.deadline_steps.is_some()).count(),
+                    deadline_hits: mine
+                        .iter()
+                        .filter(|c| c.deadline_hit() == Some(true))
+                        .count(),
+                    ttft_steps: Percentiles::of(&ttft),
+                    e2e_steps: Percentiles::of(&e2e),
+                    queue_steps: Percentiles::of(&queue),
+                }
+            })
+            .collect();
+
         ServeReport {
-            scheduler: scheduler.name(),
+            policy: policy.name(),
             completed: finished.len(),
             evicted,
             steps: self.clock,
             generated_tokens: self.total_decode_tokens,
             prefill_tokens: self.total_prefill_tokens,
+            deadline_total,
+            deadline_hits,
             ttft_steps: Percentiles::of(&ttft),
             e2e_steps: Percentiles::of(&e2e),
             queue_steps: Percentiles::of(&queue),
             mean_occupancy: self.trace.mean_batch() / self.pool.capacity() as f64,
             per_model,
+            per_class,
             trace: self.trace.clone(),
         }
     }
@@ -498,7 +633,7 @@ impl<'m> ServeEngine<'m> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::{ContinuousBatching, StaticBatching};
+    use crate::scheduler::{Edf, Fifo, PriorityClasses, StaticBatching, WeightedFair};
     use lightmamba_model::MambaConfig;
 
     fn tiny_model() -> MambaModel {
@@ -511,6 +646,19 @@ mod tests {
             .collect()
     }
 
+    fn sequential_reference(model: &MambaModel, req: &GenRequest) -> Vec<u32> {
+        let mut state = model.new_state();
+        let mut rng = StdRng::seed_from_u64(req.seed);
+        let mut logits = model.prefill(&req.prompt, &mut state).unwrap();
+        let mut expect = Vec::new();
+        for _ in 0..req.max_new_tokens {
+            let t = req.sampler.sample(&logits, &mut rng);
+            expect.push(t);
+            logits = model.forward_step(t, &mut state).unwrap();
+        }
+        expect
+    }
+
     #[test]
     fn drains_a_burst_and_matches_sequential_outputs() {
         let model = tiny_model();
@@ -520,11 +668,12 @@ mod tests {
             EngineConfig {
                 slots: 3,
                 max_steps: 10_000,
+                prefill_chunk: 1,
             },
         )
         .unwrap();
         engine.submit(reqs.clone()).unwrap();
-        let report = engine.run(&mut ContinuousBatching).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
         assert_eq!(report.completed, 6);
         assert_eq!(report.evicted, 0);
 
@@ -534,18 +683,69 @@ mod tests {
                 .iter()
                 .find(|c| c.id == req.id)
                 .unwrap();
-            // Sequential single-stream reference.
-            let mut state = model.new_state();
-            let mut rng = StdRng::seed_from_u64(req.seed);
-            let mut logits = model.prefill(&req.prompt, &mut state).unwrap();
-            let mut expect = Vec::new();
-            for _ in 0..req.max_new_tokens {
-                let t = req.sampler.sample(&logits, &mut rng);
-                expect.push(t);
-                logits = model.forward_step(t, &mut state).unwrap();
-            }
-            assert_eq!(done.tokens, expect, "request {} diverged", req.id);
+            assert_eq!(
+                done.tokens,
+                sequential_reference(&model, req),
+                "request {} diverged",
+                req.id
+            );
         }
+    }
+
+    #[test]
+    fn chunked_prefill_is_bit_identical_and_cuts_steps() {
+        // The pinned invariant: per-request outputs do not depend on
+        // the prefill chunk size — and chunking actually speeds the
+        // run up in steps on prompt-heavy work.
+        let model = tiny_model();
+        let reqs = burst_requests(6, 24, 4);
+        let run = |chunk: usize| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig {
+                    slots: 3,
+                    max_steps: 10_000,
+                    prefill_chunk: chunk,
+                },
+            )
+            .unwrap();
+            engine.submit(reqs.clone()).unwrap();
+            let report = engine.run(&mut Fifo).unwrap();
+            let mut out: Vec<(u64, Vec<u32>)> = engine
+                .completions()
+                .iter()
+                .map(|c| (c.id, c.tokens.clone()))
+                .collect();
+            out.sort();
+            (report, out)
+        };
+        let (r1, out1) = run(1);
+        let (r8, out8) = run(8);
+        assert_eq!(out1, out8, "outputs depend on prefill chunk");
+        for req in &reqs {
+            let got = &out8.iter().find(|(id, _)| *id == req.id).unwrap().1;
+            assert_eq!(got, &sequential_reference(&model, req));
+        }
+        assert!(
+            r8.steps < r1.steps,
+            "chunk 8 took {} steps vs {} with chunk 1",
+            r8.steps,
+            r1.steps
+        );
+        // Same total work, fewer steps: the per-step processed counts
+        // must sum to the same token total.
+        let p1: usize = r1.trace.processed_per_step.iter().sum();
+        let p8: usize = r8.trace.processed_per_step.iter().sum();
+        assert_eq!(p1, p8);
+        assert_eq!(r1.prefill_tokens, r8.prefill_tokens);
+        // And chunked steps really do carry more than one token per
+        // resident sequence.
+        assert!(r8
+            .trace
+            .processed_per_step
+            .iter()
+            .zip(&r8.trace.batch_per_step)
+            .any(|(&p, &b)| p > b));
     }
 
     #[test]
@@ -560,19 +760,20 @@ mod tests {
             r.arrival_step = id; // staggered arrivals
             reqs.push(r);
         }
-        let run = |sched: &mut dyn Scheduler| {
+        let run = |policy: &mut dyn Policy| {
             let mut engine = ServeEngine::new(
                 &model,
                 EngineConfig {
                     slots: 4,
                     max_steps: 10_000,
+                    prefill_chunk: 1,
                 },
             )
             .unwrap();
             engine.submit(reqs.clone()).unwrap();
-            engine.run(sched).unwrap()
+            engine.run(policy).unwrap()
         };
-        let cont = run(&mut ContinuousBatching);
+        let cont = run(&mut Fifo);
         let stat = run(&mut StaticBatching);
         assert_eq!(cont.completed, 12);
         assert_eq!(stat.completed, 12);
@@ -586,20 +787,21 @@ mod tests {
     }
 
     #[test]
-    fn outputs_do_not_depend_on_scheduler() {
+    fn outputs_do_not_depend_on_policy() {
         let model = tiny_model();
         let reqs = burst_requests(5, 3, 6);
-        let run = |sched: &mut dyn Scheduler| {
+        let run = |policy: &mut dyn Policy| {
             let mut engine = ServeEngine::new(
                 &model,
                 EngineConfig {
                     slots: 2,
                     max_steps: 10_000,
+                    prefill_chunk: 2,
                 },
             )
             .unwrap();
             engine.submit(reqs.clone()).unwrap();
-            engine.run(sched).unwrap();
+            engine.run(policy).unwrap();
             let mut out: Vec<(u64, Vec<u32>)> = engine
                 .completions()
                 .iter()
@@ -608,7 +810,11 @@ mod tests {
             out.sort();
             out
         };
-        assert_eq!(run(&mut ContinuousBatching), run(&mut StaticBatching));
+        let fifo = run(&mut Fifo);
+        assert_eq!(fifo, run(&mut StaticBatching));
+        assert_eq!(fifo, run(&mut Edf));
+        assert_eq!(fifo, run(&mut PriorityClasses));
+        assert_eq!(fifo, run(&mut WeightedFair::equal()));
     }
 
     #[test]
@@ -620,11 +826,12 @@ mod tests {
             EngineConfig {
                 slots: 2,
                 max_steps: 10_000,
+                prefill_chunk: 1,
             },
         )
         .unwrap();
         engine.submit(reqs).unwrap();
-        engine.run(&mut ContinuousBatching).unwrap();
+        engine.run(&mut Fifo).unwrap();
         let mut admissions: Vec<(u64, u64)> = engine
             .completions()
             .iter()
@@ -638,6 +845,215 @@ mod tests {
     }
 
     #[test]
+    fn priority_classes_jump_the_queue() {
+        let model = tiny_model();
+        // One slot, a burst: FIFO would admit in id order; the priority
+        // policy admits the interactive stragglers first.
+        let reqs: Vec<GenRequest> = (0..6u64)
+            .map(|id| {
+                let prio = if id >= 4 {
+                    Priority::Interactive
+                } else {
+                    Priority::Batch
+                };
+                GenRequest::greedy(id, vec![2; 2], 2).with_priority(prio)
+            })
+            .collect();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 1,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        engine.submit(reqs).unwrap();
+        let report = engine.run(&mut PriorityClasses).unwrap();
+        assert_eq!(report.completed, 6);
+        let mut admissions: Vec<(u64, u64)> = engine
+            .completions()
+            .iter()
+            .map(|c| (c.admitted_step.unwrap(), c.id))
+            .collect();
+        admissions.sort();
+        let ids: Vec<u64> = admissions.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![4, 5, 0, 1, 2, 3]);
+        // The report slices by class.
+        let interactive = &report.per_class[0];
+        assert_eq!(interactive.priority, Priority::Interactive);
+        assert_eq!(interactive.completed, 2);
+        assert!(
+            interactive.queue_steps.mean < report.per_class[2].queue_steps.mean,
+            "interactive {:?} vs batch {:?}",
+            interactive.queue_steps,
+            report.per_class[2].queue_steps
+        );
+    }
+
+    #[test]
+    fn edf_beats_fifo_on_deadline_hits() {
+        // The acceptance scenario in miniature: a deadline-free hog
+        // arrives first, then tight-deadline requests. FIFO admits in
+        // arrival order and lets the deadlines starve; EDF reorders the
+        // queue and strictly wins on hit rate — outputs unchanged.
+        let model = tiny_model();
+        let mut reqs = vec![GenRequest::greedy(0, vec![1; 4], 30)];
+        for id in 1..5u64 {
+            reqs.push(GenRequest::greedy(id, vec![2; 2], 3).with_deadline(10));
+        }
+        let run = |policy: &mut dyn Policy| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig {
+                    slots: 2,
+                    max_steps: 10_000,
+                    prefill_chunk: 1,
+                },
+            )
+            .unwrap();
+            engine.submit(reqs.clone()).unwrap();
+            engine.run(policy).unwrap()
+        };
+        let fifo = run(&mut Fifo);
+        let edf = run(&mut Edf);
+        assert_eq!(fifo.deadline_total, 4);
+        assert_eq!(edf.deadline_total, 4);
+        assert!(
+            edf.deadline_hits > fifo.deadline_hits,
+            "edf {}/{} vs fifo {}/{}",
+            edf.deadline_hits,
+            edf.deadline_total,
+            fifo.deadline_hits,
+            fifo.deadline_total
+        );
+        assert!(edf.deadline_hit_rate() > fifo.deadline_hit_rate());
+    }
+
+    #[test]
+    fn doomed_requests_are_evicted_before_admission() {
+        let model = tiny_model();
+        // Needs 2 prefill + 9 decode steps but only has a 5-step budget:
+        // under EDF it must be dropped at arrival, not at expiry, and
+        // never occupy the (free!) slot.
+        let doomed = GenRequest::greedy(0, vec![1; 2], 10).with_deadline(5);
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 100,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        engine.submit(vec![doomed.clone()]).unwrap();
+        let report = engine.run(&mut Edf).unwrap();
+        assert_eq!(report.evicted, 1);
+        let c = &engine.completions()[0];
+        assert_eq!(c.finish, FinishReason::DeadlineExceeded);
+        assert_eq!(c.admitted_step, None);
+        assert_eq!(c.finished_step, 0, "evicted at arrival, not at expiry");
+        // FIFO admits it and burns 5 steps discovering the miss.
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 100,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        engine.submit(vec![doomed]).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert_eq!(engine.completions()[0].admitted_step, Some(0));
+        assert_eq!(engine.completions()[0].finished_step, 5);
+    }
+
+    #[test]
+    fn a_feasible_deadline_survives_doomed_eviction() {
+        let model = tiny_model();
+        // 2 prefill + 2 decode steps in a 10-step budget: feasible, and
+        // EDF must serve it to completion.
+        let req = GenRequest::greedy(0, vec![1; 2], 3).with_deadline(10);
+        let mut engine = ServeEngine::new(&model, EngineConfig::default()).unwrap();
+        engine.submit(vec![req]).unwrap();
+        let report = engine.run(&mut Edf).unwrap();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.deadline_hits, 1);
+    }
+
+    #[test]
+    fn wfq_shares_one_pool_by_weight() {
+        use crate::backend::FpBackend;
+        use crate::registry::ModelRegistry;
+
+        let model = tiny_model();
+        let mut reg = ModelRegistry::new();
+        reg.register("a", Box::new(FpBackend::new(&model))).unwrap();
+        reg.register("b", Box::new(FpBackend::new(&model))).unwrap();
+
+        // Saturation: far more equal-shape work per model than the step
+        // budget can finish, so shares reflect policy, not drain order.
+        let reqs: Vec<GenRequest> = (0..400u64)
+            .map(|id| GenRequest::greedy(id, vec![3; 2], 8).on_model((id % 2) as usize))
+            .collect();
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig {
+                slots: 8,
+                max_steps: 150,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        engine.submit(reqs).unwrap();
+        let mut wfq = WeightedFair::new(vec![3.0, 1.0]);
+        let report = engine.run(&mut wfq).unwrap();
+        assert!(engine.has_work(), "pool must stay saturated");
+        let a = report.per_model[0].processed_tokens as f64;
+        let b = report.per_model[1].processed_tokens as f64;
+        let share = a / (a + b);
+        assert!(
+            (0.65..0.85).contains(&share),
+            "weight-3 model took {share:.2} of the pool (want ≈ 0.75)"
+        );
+    }
+
+    #[test]
+    fn invalid_policy_picks_are_ignored() {
+        struct Rogue;
+        impl Policy for Rogue {
+            fn select(&mut self, ctx: &AdmissionCtx<'_>) -> Vec<usize> {
+                // Out-of-range, duplicated, and over-subscribed picks.
+                let mut v: Vec<usize> = (0..ctx.waiting.len() + 4).collect();
+                v.extend(0..ctx.waiting.len());
+                v
+            }
+            fn name(&self) -> &'static str {
+                "rogue"
+            }
+        }
+        let model = tiny_model();
+        let reqs = burst_requests(6, 2, 2);
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        engine.submit(reqs).unwrap();
+        let report = engine.run(&mut Rogue).unwrap();
+        // The engine clamps to free slots and unique indices: all six
+        // requests complete exactly once.
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.trace.peak_batch(), 2);
+    }
+
+    #[test]
     fn deadline_eviction_frees_the_slot() {
         let model = tiny_model();
         let mut hog = GenRequest::greedy(0, vec![1; 4], 500);
@@ -648,11 +1064,12 @@ mod tests {
             EngineConfig {
                 slots: 1,
                 max_steps: 1_000,
+                prefill_chunk: 1,
             },
         )
         .unwrap();
         engine.submit(vec![hog, quick]).unwrap();
-        let report = engine.run(&mut ContinuousBatching).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
         assert_eq!(report.evicted, 1);
         assert_eq!(report.completed, 1);
         let evicted = &engine.completions()[0];
@@ -674,11 +1091,12 @@ mod tests {
             EngineConfig {
                 slots: 1,
                 max_steps: 1_000,
+                prefill_chunk: 1,
             },
         )
         .unwrap();
         engine.submit(vec![hog, quick]).unwrap();
-        let report = engine.run(&mut ContinuousBatching).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
         assert_eq!(report.evicted, 1);
         assert_eq!(report.completed, 1);
         let evicted = engine
@@ -706,7 +1124,7 @@ mod tests {
         req.eos_token = Some(eos);
         let mut engine = ServeEngine::new(&model, EngineConfig::default()).unwrap();
         engine.submit(vec![req]).unwrap();
-        let report = engine.run(&mut ContinuousBatching).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
         assert_eq!(report.completed, 1);
         let c = &engine.completions()[0];
         assert_eq!(c.finish, FinishReason::Eos);
@@ -721,11 +1139,12 @@ mod tests {
             EngineConfig {
                 slots: 2,
                 max_steps: 5,
+                prefill_chunk: 1,
             },
         )
         .unwrap();
         engine.submit(burst_requests(4, 8, 50)).unwrap();
-        let report = engine.run(&mut ContinuousBatching).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
         assert_eq!(report.steps, 5);
         assert!(engine.has_work());
     }
@@ -751,6 +1170,7 @@ mod tests {
             EngineConfig {
                 slots: 3,
                 max_steps: 10_000,
+                prefill_chunk: 2,
             },
         )
         .unwrap();
@@ -761,17 +1181,26 @@ mod tests {
             })
             .collect();
         engine.submit(reqs.clone()).unwrap();
-        let report = engine.run(&mut ContinuousBatching).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
         assert_eq!(report.completed, 8);
         assert_eq!(report.per_model.len(), 2);
         assert_eq!(report.per_model[0].completed, 4);
         assert_eq!(report.per_model[1].completed, 4);
-        // Sub-batches are recorded per model and sum to the step batch.
+        // Sub-batches are recorded per model and sum to the step batch;
+        // per-model processed tokens sum to the step's token-advances.
         for (sub, &total) in report
             .trace
             .sub_batches_per_step
             .iter()
             .zip(&report.trace.batch_per_step)
+        {
+            assert_eq!(sub.iter().sum::<usize>(), total);
+        }
+        for (sub, &total) in report
+            .trace
+            .sub_processed_per_step
+            .iter()
+            .zip(&report.trace.processed_per_step)
         {
             assert_eq!(sub.iter().sum::<usize>(), total);
         }
@@ -788,15 +1217,7 @@ mod tests {
             assert_eq!(done.model, req.model);
             let mut rng = StdRng::seed_from_u64(req.seed);
             let expect = if req.model == 0 {
-                let mut state = model.new_state();
-                let mut logits = model.prefill(&req.prompt, &mut state).unwrap();
-                let mut out = Vec::new();
-                for _ in 0..req.max_new_tokens {
-                    let t = req.sampler.sample(&logits, &mut rng);
-                    out.push(t);
-                    logits = model.forward_step(t, &mut state).unwrap();
-                }
-                out
+                sequential_reference(&model, req)
             } else {
                 q.reset();
                 let mut logits = Vec::new();
@@ -826,13 +1247,23 @@ mod tests {
     }
 
     #[test]
-    fn rejects_empty_prompt_and_zero_slots() {
+    fn rejects_empty_prompt_zero_slots_and_zero_chunk() {
         let model = tiny_model();
         assert!(ServeEngine::new(
             &model,
             EngineConfig {
                 slots: 0,
-                max_steps: 1
+                max_steps: 1,
+                prefill_chunk: 1,
+            }
+        )
+        .is_err());
+        assert!(ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 1,
+                prefill_chunk: 0,
             }
         )
         .is_err());

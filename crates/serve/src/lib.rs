@@ -10,31 +10,36 @@
 //! shares each layer's weights across all resident sequences — the
 //! software analogue of the accelerator's shared weight stream.
 //!
-//! * [`request`] — generation requests and completion records;
+//! * [`request`] — generation requests (priority classes, deadlines)
+//!   and completion records;
 //! * [`traffic`] — synthetic Poisson traffic over chat / summarization /
-//!   code-completion profiles;
+//!   code-completion profiles, including the deadline-heavy mix
+//!   deadline-aware policies compete on;
 //! * [`slots`] — the fixed pool of per-sequence recurrent states;
 //! * [`backend`] — pluggable execution backends ([`backend::DecodeBackend`]):
 //!   the FP reference and the W4A4 quantized model, each with a
 //!   [`backend::CostProfile`] for accelerator pricing;
 //! * [`registry`] — named backends multiplexed over one slot pool;
-//! * [`scheduler`] — continuous batching plus the static-batching
-//!   baseline (admission policy only; FIFO order is engine-fixed);
-//! * [`engine`] — the virtual-time serving loop (token-level
-//!   prefill/decode interleaving, join/evict per step, one sub-batch per
-//!   model per step);
+//! * [`scheduler`] — admission policies ([`scheduler::Policy`]) that
+//!   select *which* waiting requests join each step: FIFO continuous
+//!   batching, the static-batching baseline, earliest-deadline-first,
+//!   strict priority classes, and weighted fair queueing across models;
+//! * [`engine`] — the virtual-time serving loop (chunked prefill
+//!   interleaved with decode, policy-ordered admission, doomed-request
+//!   eviction, join/evict per step, one sub-batch per model per step);
 //! * [`metrics`] — TTFT / e2e / queueing percentiles, occupancy, traces,
-//!   per-model breakdowns;
+//!   per-model and per-priority-class breakdowns, deadline-hit-rate;
 //! * [`accel_cost`] — projects a run onto VCK190/U280 seconds via
-//!   `lightmamba_accel`'s batch-aware cycle model, pricing each model's
-//!   sub-batches with that backend's weight-stream bytes.
+//!   `lightmamba_accel`'s batch-aware cycle model, pricing each step's
+//!   token-advances (chunked prefill included) with that backend's
+//!   weight-stream bytes.
 //!
 //! # Example
 //!
 //! ```
 //! use lightmamba_model::{MambaConfig, MambaModel};
 //! use lightmamba_serve::engine::{EngineConfig, ServeEngine};
-//! use lightmamba_serve::scheduler::ContinuousBatching;
+//! use lightmamba_serve::scheduler::Fifo;
 //! use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
 //! use rand::SeedableRng;
 //!
@@ -43,9 +48,12 @@
 //! let model = MambaModel::synthetic(MambaConfig::tiny(), &mut rng)?;
 //! let mut traffic =
 //!     TrafficGenerator::new(TrafficScenario::burst(8), model.config().vocab_size, 1);
-//! let mut engine = ServeEngine::new(&model, EngineConfig { slots: 4, max_steps: 50_000 })?;
+//! let mut engine = ServeEngine::new(
+//!     &model,
+//!     EngineConfig { slots: 4, max_steps: 50_000, prefill_chunk: 4 },
+//! )?;
 //! engine.submit(traffic.generate(1))?;
-//! let report = engine.run(&mut ContinuousBatching)?;
+//! let report = engine.run(&mut Fifo)?;
 //! assert_eq!(report.completed, 8);
 //! # Ok(())
 //! # }

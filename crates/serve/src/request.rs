@@ -7,15 +7,51 @@ use crate::registry::ModelId;
 /// Unique id of a request within one engine run.
 pub type RequestId = u64;
 
+/// Strict priority class of a request. Lower classes are more urgent:
+/// [`Priority::Interactive`] preempts [`Priority::Standard`] in the
+/// waiting queue under the priority policy, which preempts
+/// [`Priority::Batch`]. Classes only affect *admission order* — a
+/// resident sequence is never paused for a higher class (slots are
+/// non-preemptive), so starvation of low classes is bounded by request
+/// service times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-critical traffic (chat turns, autocompletions).
+    Interactive,
+    /// The default class.
+    #[default]
+    Standard,
+    /// Throughput traffic that tolerates queueing (offline
+    /// summarization, evals).
+    Batch,
+}
+
+impl Priority {
+    /// Every class, most urgent first (report order).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Class name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
 /// A user generation request as admitted by the engine.
 #[derive(Debug, Clone)]
 pub struct GenRequest {
-    /// Unique id (admission FIFO ties break on it).
+    /// Unique id (admission ties break on it).
     pub id: RequestId,
     /// Which registered model serves this request (see
     /// [`crate::registry::ModelRegistry`]); 0 is the first-registered
     /// backend, so single-model engines need not set it.
     pub model: ModelId,
+    /// Strict priority class (admission order under the priority
+    /// policy; ignored by FIFO/EDF/WFQ).
+    pub priority: Priority,
     /// Prompt token ids (must be non-empty).
     pub prompt: Vec<u32>,
     /// Number of tokens to generate after the prompt.
@@ -41,6 +77,7 @@ impl GenRequest {
         GenRequest {
             id,
             model: 0,
+            priority: Priority::Standard,
             prompt,
             max_new_tokens,
             sampler: Sampler::Greedy,
@@ -56,6 +93,42 @@ impl GenRequest {
         self.model = model;
         self
     }
+
+    /// Assigns a strict priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a latency budget in engine steps from arrival.
+    pub fn with_deadline(mut self, deadline_steps: u64) -> Self {
+        self.deadline_steps = Some(deadline_steps);
+        self
+    }
+
+    /// Absolute engine step at which the engine evicts this request
+    /// (`None` when it carries no deadline). EDF orders the queue by it.
+    pub fn absolute_deadline(&self) -> Option<u64> {
+        self.deadline_steps
+            .map(|d| self.arrival_step.saturating_add(d))
+    }
+
+    /// Fewest engine steps from admission to completion, given a
+    /// prefill-chunk budget of `prefill_chunk` prompt tokens per step:
+    /// `ceil(prompt / chunk)` prefill steps (the last of which samples
+    /// the first token) plus one step per remaining token. A request
+    /// with a stop token may finish after its first sample, so its
+    /// minimum is the prefill alone.
+    pub fn min_steps_to_complete(&self, prefill_chunk: usize) -> u64 {
+        let chunk = prefill_chunk.max(1);
+        let prefill_steps = self.prompt.len().div_ceil(chunk) as u64;
+        let min_new = if self.eos_token.is_some() {
+            1
+        } else {
+            self.max_new_tokens.max(1)
+        };
+        prefill_steps + (min_new as u64 - 1)
+    }
 }
 
 /// Why a request left the engine.
@@ -65,7 +138,8 @@ pub enum FinishReason {
     MaxTokens,
     /// Produced the request's stop token.
     Eos,
-    /// Evicted after exceeding its deadline.
+    /// Evicted after exceeding its deadline, or evicted early by a
+    /// deadline-aware policy that proved the deadline unmeetable.
     DeadlineExceeded,
 }
 
@@ -76,12 +150,17 @@ pub struct Completion {
     pub id: RequestId,
     /// The model that served (or would have served) the request.
     pub model: ModelId,
+    /// The request's priority class.
+    pub priority: Priority,
     /// Generated tokens (prompt excluded).
     pub tokens: Vec<u32>,
     /// Why generation ended.
     pub finish: FinishReason,
     /// Step the request arrived.
     pub arrival_step: u64,
+    /// The request's latency budget, if it carried one (deadline-hit
+    /// accounting keys on it).
+    pub deadline_steps: Option<u64>,
     /// Step the request was admitted to a slot (`None` when it expired
     /// in the waiting queue without ever being admitted).
     pub admitted_step: Option<u64>,
@@ -94,18 +173,107 @@ pub struct Completion {
 
 impl Completion {
     /// Time-to-first-token in engine steps (arrival → first token).
+    /// Returns `None` when no token was produced, or when a backend
+    /// mis-reports a first-token step before the arrival (debug builds
+    /// assert instead of silently wrapping).
     pub fn ttft_steps(&self) -> Option<u64> {
-        self.first_token_step.map(|t| t - self.arrival_step)
+        self.first_token_step.and_then(|t| {
+            let d = t.checked_sub(self.arrival_step);
+            debug_assert!(
+                d.is_some(),
+                "first_token_step {t} precedes arrival_step {}",
+                self.arrival_step
+            );
+            d
+        })
     }
 
     /// Queueing delay in engine steps (arrival → admission; `None` when
-    /// the request was never admitted).
+    /// the request was never admitted or the admission stamp precedes
+    /// the arrival — the latter asserts in debug builds).
     pub fn queue_steps(&self) -> Option<u64> {
-        self.admitted_step.map(|a| a - self.arrival_step)
+        self.admitted_step.and_then(|a| {
+            let d = a.checked_sub(self.arrival_step);
+            debug_assert!(
+                d.is_some(),
+                "admitted_step {a} precedes arrival_step {}",
+                self.arrival_step
+            );
+            d
+        })
     }
 
     /// End-to-end latency in engine steps.
     pub fn e2e_steps(&self) -> u64 {
         self.finished_step - self.arrival_step
+    }
+
+    /// Whether this request carried a deadline and met it (completed
+    /// without eviction).
+    pub fn deadline_hit(&self) -> Option<bool> {
+        self.deadline_steps
+            .map(|_| self.finish != FinishReason::DeadlineExceeded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_steps_accounts_for_chunked_prefill() {
+        let r = GenRequest::greedy(0, vec![1; 10], 4);
+        // Chunk 1: 10 prefill steps + 3 more decode steps.
+        assert_eq!(r.min_steps_to_complete(1), 13);
+        // Chunk 4: ceil(10/4)=3 prefill steps + 3 decode steps.
+        assert_eq!(r.min_steps_to_complete(4), 6);
+        // Chunk larger than the prompt: one prefill step.
+        assert_eq!(r.min_steps_to_complete(64), 4);
+        // A stop token can end generation at the first sample.
+        let mut early = r.clone();
+        early.eos_token = Some(7);
+        assert_eq!(early.min_steps_to_complete(64), 1);
+    }
+
+    #[test]
+    fn absolute_deadline_is_arrival_plus_budget() {
+        let mut r = GenRequest::greedy(0, vec![1], 1);
+        assert_eq!(r.absolute_deadline(), None);
+        r.arrival_step = 5;
+        r.deadline_steps = Some(10);
+        assert_eq!(r.absolute_deadline(), Some(15));
+    }
+
+    fn completion(arrival: u64, first: Option<u64>, admitted: Option<u64>) -> Completion {
+        Completion {
+            id: 0,
+            model: 0,
+            priority: Priority::Standard,
+            tokens: vec![1],
+            finish: FinishReason::MaxTokens,
+            arrival_step: arrival,
+            deadline_steps: None,
+            admitted_step: admitted,
+            first_token_step: first,
+            finished_step: 20,
+        }
+    }
+
+    #[test]
+    fn latency_accessors_measure_from_arrival() {
+        let c = completion(4, Some(9), Some(6));
+        assert_eq!(c.ttft_steps(), Some(5));
+        assert_eq!(c.queue_steps(), Some(2));
+        assert_eq!(c.e2e_steps(), 16);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn inconsistent_stamps_yield_none_instead_of_wrapping() {
+        // A backend reporting a first-token step before the arrival must
+        // not underflow into a ~u64::MAX latency.
+        let c = completion(10, Some(3), Some(2));
+        assert_eq!(c.ttft_steps(), None);
+        assert_eq!(c.queue_steps(), None);
     }
 }

@@ -1,48 +1,120 @@
-//! Admission policies: continuous batching vs the static baseline.
+//! Admission policies: *which* waiting requests join the batch, and in
+//! what order.
 //!
-//! The engine always admits from the front of a FIFO waiting queue —
-//! schedulers only decide *how many* requests may join this step, which
-//! is the whole policy surface once states are fixed-size. Continuous
-//! batching admits whenever a slot is free, so sequences join and leave
-//! the running batch token-by-token. Static batching (the baseline every
-//! serving paper compares against) waits for the running batch to drain
-//! completely before admitting the next one, so short sequences idle
-//! their slots while the longest member finishes.
+//! PR 1's scheduler only chose *how many* requests to admit from the
+//! front of one FIFO; everything latency-shaped (deadlines, priorities,
+//! per-model fairness) then had to be enforced after the fact by
+//! eviction. A [`Policy`] instead selects *which* requests to admit by
+//! returning indices into the full waiting queue, so ordering decisions
+//! move where they belong — ahead of admission:
+//!
+//! * [`Fifo`] — arrival order, fill every free slot (PR 1's continuous
+//!   batching);
+//! * [`StaticBatching`] — arrival order, but only when the engine is
+//!   idle (the static baseline every serving paper compares against);
+//! * [`Edf`] — earliest absolute deadline first; requests whose deadline
+//!   is provably unmeetable are evicted *before* admission
+//!   ([`Policy::evicts_doomed`]) so they never burn a slot;
+//! * [`PriorityClasses`] — strict [`crate::request::Priority`] classes,
+//!   FIFO within a class;
+//! * [`WeightedFair`] — weighted fair queueing across [`ModelId`]s
+//!   sharing one slot pool: long-run slot shares converge to the
+//!   configured weights while any backlogged model can always make
+//!   progress.
+//!
+//! Policies only reorder admission. Request *outputs* are policy-
+//! independent (each request samples with its own seeded RNG), which is
+//! the bit-identity invariant the engine's equivalence tests pin.
 
-/// An admission policy.
-pub trait Scheduler {
-    /// How many requests to admit this step, given the queue depth,
-    /// free slots, and currently active sequences.
-    fn admit(&mut self, waiting: usize, free_slots: usize, active: usize) -> usize;
+use crate::registry::ModelId;
+use crate::request::GenRequest;
+
+/// What a policy sees when the engine asks it to admit: the entire
+/// waiting queue in arrival order plus the engine state a selection
+/// rule can key on.
+#[derive(Debug)]
+pub struct AdmissionCtx<'a> {
+    /// Arrived, unadmitted requests in arrival order.
+    pub waiting: &'a [GenRequest],
+    /// Current engine step.
+    pub clock: u64,
+    /// Free slots this step (an upper bound on admissions).
+    pub free_slots: usize,
+    /// Resident sequences.
+    pub active: usize,
+    /// Resident sequences per registered model ([`ModelId`]-indexed).
+    pub active_per_model: &'a [usize],
+    /// The engine's prefill-chunk budget (prompt tokens one sequence
+    /// may consume per step) — feasibility math depends on it.
+    pub prefill_chunk: usize,
+}
+
+/// An admission policy: selects which waiting requests join this step.
+pub trait Policy {
+    /// Indices into `ctx.waiting` to admit this step, in admission
+    /// order. The engine ignores out-of-range and duplicate indices and
+    /// truncates to `ctx.free_slots`, so policies may over-select.
+    fn select(&mut self, ctx: &AdmissionCtx<'_>) -> Vec<usize>;
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Whether the engine should evict waiting requests whose deadline
+    /// is provably unmeetable *before* admission (see
+    /// [`GenRequest::min_steps_to_complete`]). Deadline-aware policies
+    /// return `true` so doomed requests never occupy a slot; FIFO keeps
+    /// the PR 1 behavior of discovering the miss at expiry.
+    fn evicts_doomed(&self) -> bool {
+        false
+    }
 }
 
-/// Token-level continuous batching: fill every free slot, every step.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ContinuousBatching;
+/// Every name [`policy_by_name`] accepts — the CLI policy vocabulary
+/// (benches and demos validate flags against this, so the name list
+/// lives in exactly one place).
+pub const POLICY_NAMES: [&str; 5] = ["fifo", "static", "edf", "priority", "wfq"];
 
-impl Scheduler for ContinuousBatching {
-    fn admit(&mut self, waiting: usize, free_slots: usize, _active: usize) -> usize {
-        waiting.min(free_slots)
+/// Constructs a policy from its CLI name; `None` for an unknown name.
+/// `"wfq"` gets equal weights — build [`WeightedFair::new`] directly
+/// for custom weights.
+pub fn policy_by_name(name: &str) -> Option<Box<dyn Policy>> {
+    match name {
+        "fifo" => Some(Box::new(Fifo)),
+        "static" => Some(Box::new(StaticBatching)),
+        "edf" => Some(Box::new(Edf)),
+        "priority" => Some(Box::new(PriorityClasses)),
+        "wfq" => Some(Box::new(WeightedFair::equal())),
+        _ => None,
+    }
+}
+
+/// Arrival-order admission into every free slot — token-level
+/// continuous batching over one FIFO (the PR 1 default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl Policy for Fifo {
+    fn select(&mut self, ctx: &AdmissionCtx<'_>) -> Vec<usize> {
+        (0..ctx.waiting.len().min(ctx.free_slots)).collect()
     }
 
     fn name(&self) -> &'static str {
-        "continuous"
+        "fifo"
     }
 }
 
-/// Static batching: admit a full batch only when the engine is idle.
+/// Static batching: admit a full batch in arrival order only when the
+/// engine is idle, so short sequences idle their slots while the
+/// longest batch member finishes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StaticBatching;
 
-impl Scheduler for StaticBatching {
-    fn admit(&mut self, waiting: usize, free_slots: usize, active: usize) -> usize {
-        if active == 0 {
-            waiting.min(free_slots)
+impl Policy for StaticBatching {
+    fn select(&mut self, ctx: &AdmissionCtx<'_>) -> Vec<usize> {
+        if ctx.active == 0 {
+            (0..ctx.waiting.len().min(ctx.free_slots)).collect()
         } else {
-            0
+            Vec::new()
         }
     }
 
@@ -51,24 +123,279 @@ impl Scheduler for StaticBatching {
     }
 }
 
+/// Earliest-deadline-first admission. Requests without a deadline sort
+/// last (deadline = ∞); ties break on id, so deadline-free traffic
+/// degenerates to FIFO. Pairs with pre-admission doomed eviction: a
+/// request that can no longer meet its deadline even if admitted now is
+/// dropped instead of wasting slot steps on a guaranteed miss.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Edf;
+
+impl Policy for Edf {
+    fn select(&mut self, ctx: &AdmissionCtx<'_>) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..ctx.waiting.len()).collect();
+        order.sort_by_key(|&i| {
+            let r = &ctx.waiting[i];
+            (r.absolute_deadline().unwrap_or(u64::MAX), r.id)
+        });
+        order.truncate(ctx.free_slots);
+        order
+    }
+
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn evicts_doomed(&self) -> bool {
+        true
+    }
+}
+
+/// Strict priority classes: every [`crate::request::Priority::Interactive`]
+/// request is admitted before any `Standard` one, and so on; FIFO
+/// within a class. Non-preemptive — a resident low-class sequence keeps
+/// its slot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorityClasses;
+
+impl Policy for PriorityClasses {
+    fn select(&mut self, ctx: &AdmissionCtx<'_>) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..ctx.waiting.len()).collect();
+        order.sort_by_key(|&i| (ctx.waiting[i].priority, ctx.waiting[i].id));
+        order.truncate(ctx.free_slots);
+        order
+    }
+
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+}
+
+/// Weighted fair queueing across models sharing one slot pool.
+///
+/// Each model accrues *service* — one unit per resident sequence per
+/// step (slot-steps, the resource the pool actually rations). Free
+/// slots go to the backlogged model with the smallest
+/// `service / weight`, FIFO within a model, so long-run slot shares of
+/// saturated models converge to `weight_m / Σ weights` while an idle
+/// model's unused share flows to the others (work-conserving).
+#[derive(Debug, Clone)]
+pub struct WeightedFair {
+    weights: Vec<f64>,
+    service: Vec<f64>,
+}
+
+impl WeightedFair {
+    /// One weight per [`ModelId`] in registry order. Models beyond the
+    /// configured weights (or an empty list) weigh `1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or non-finite weight — an unserviceable
+    /// configuration.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "WFQ weights must be positive and finite: {weights:?}"
+        );
+        WeightedFair {
+            weights,
+            service: Vec::new(),
+        }
+    }
+
+    /// Equal weights for every model — plain fair queueing.
+    pub fn equal() -> Self {
+        WeightedFair::new(Vec::new())
+    }
+
+    fn weight(&self, model: ModelId) -> f64 {
+        self.weights.get(model).copied().unwrap_or(1.0)
+    }
+
+    /// Service accrued by `model` so far, in slot-steps.
+    pub fn service(&self, model: ModelId) -> f64 {
+        self.service.get(model).copied().unwrap_or(0.0)
+    }
+}
+
+impl Policy for WeightedFair {
+    fn select(&mut self, ctx: &AdmissionCtx<'_>) -> Vec<usize> {
+        // Charge occupancy: every resident sequence consumed one
+        // slot-step since the last admission round.
+        if self.service.len() < ctx.active_per_model.len() {
+            self.service.resize(ctx.active_per_model.len(), 0.0);
+        }
+        for (m, &a) in ctx.active_per_model.iter().enumerate() {
+            self.service[m] += a as f64;
+        }
+
+        // Oldest-first waiting indices per model.
+        let n_models = self
+            .service
+            .len()
+            .max(ctx.waiting.iter().map(|r| r.model + 1).max().unwrap_or(0));
+        if self.service.len() < n_models {
+            self.service.resize(n_models, 0.0);
+        }
+        let mut queues: Vec<std::collections::VecDeque<usize>> =
+            vec![std::collections::VecDeque::new(); n_models];
+        for (i, r) in ctx.waiting.iter().enumerate() {
+            queues[r.model].push_back(i);
+        }
+
+        // Hand each free slot to the backlogged model with the least
+        // normalized service, provisionally charging one slot-step per
+        // grant so one round spreads slots instead of dumping them all
+        // on the currently least-served model.
+        let mut virt = self.service.clone();
+        let mut picks = Vec::new();
+        for _ in 0..ctx.free_slots {
+            let Some(best) = (0..n_models)
+                .filter(|&m| !queues[m].is_empty())
+                .min_by(|&a, &b| {
+                    let ka = virt[a] / self.weight(a);
+                    let kb = virt[b] / self.weight(b);
+                    ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+            else {
+                break;
+            };
+            picks.push(queues[best].pop_front().expect("model is backlogged"));
+            virt[best] += 1.0;
+        }
+        picks
+    }
+
+    fn name(&self) -> &'static str {
+        "wfq"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::Priority;
+
+    fn req(id: u64) -> GenRequest {
+        GenRequest::greedy(id, vec![1, 2], 4)
+    }
+
+    fn ctx<'a>(
+        waiting: &'a [GenRequest],
+        free_slots: usize,
+        active: usize,
+        active_per_model: &'a [usize],
+    ) -> AdmissionCtx<'a> {
+        AdmissionCtx {
+            waiting,
+            clock: 0,
+            free_slots,
+            active,
+            active_per_model,
+            prefill_chunk: 1,
+        }
+    }
 
     #[test]
-    fn continuous_fills_free_slots() {
-        let mut s = ContinuousBatching;
-        assert_eq!(s.admit(10, 4, 12), 4);
-        assert_eq!(s.admit(2, 4, 12), 2);
-        assert_eq!(s.admit(0, 4, 12), 0);
-        assert_eq!(s.admit(10, 0, 16), 0);
+    fn fifo_fills_free_slots_in_arrival_order() {
+        let waiting: Vec<GenRequest> = (0..5).map(req).collect();
+        assert_eq!(Fifo.select(&ctx(&waiting, 3, 2, &[2])), vec![0, 1, 2]);
+        assert_eq!(Fifo.select(&ctx(&waiting, 8, 0, &[0])), vec![0, 1, 2, 3, 4]);
+        assert_eq!(Fifo.select(&ctx(&waiting, 0, 4, &[4])), Vec::<usize>::new());
     }
 
     #[test]
     fn static_waits_for_drain() {
-        let mut s = StaticBatching;
-        assert_eq!(s.admit(10, 4, 1), 0, "batch still running");
-        assert_eq!(s.admit(10, 16, 0), 10);
-        assert_eq!(s.admit(32, 16, 0), 16);
+        let waiting: Vec<GenRequest> = (0..4).map(req).collect();
+        assert!(StaticBatching.select(&ctx(&waiting, 4, 1, &[1])).is_empty());
+        assert_eq!(
+            StaticBatching.select(&ctx(&waiting, 4, 0, &[0])),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn edf_orders_by_absolute_deadline_then_id() {
+        let mut waiting: Vec<GenRequest> = (0..4).map(req).collect();
+        waiting[0].deadline_steps = Some(50); // abs 50
+        waiting[1].deadline_steps = None; // ∞
+        waiting[2].arrival_step = 5;
+        waiting[2].deadline_steps = Some(10); // abs 15
+        waiting[3].deadline_steps = Some(50); // abs 50, later id
+        assert_eq!(Edf.select(&ctx(&waiting, 4, 0, &[0])), vec![2, 0, 3, 1]);
+        assert_eq!(Edf.select(&ctx(&waiting, 2, 0, &[0])), vec![2, 0]);
+        assert!(Edf.evicts_doomed());
+    }
+
+    #[test]
+    fn priority_is_strict_and_fifo_within_class() {
+        let mut waiting: Vec<GenRequest> = (0..5).map(req).collect();
+        waiting[0].priority = Priority::Batch;
+        waiting[1].priority = Priority::Standard;
+        waiting[2].priority = Priority::Interactive;
+        waiting[3].priority = Priority::Interactive;
+        waiting[4].priority = Priority::Standard;
+        assert_eq!(
+            PriorityClasses.select(&ctx(&waiting, 5, 0, &[0])),
+            vec![2, 3, 1, 4, 0]
+        );
+    }
+
+    #[test]
+    fn wfq_grants_idle_capacity_to_the_backlogged_model() {
+        // Only model 1 has waiting work: it gets every slot regardless
+        // of weights (work conservation).
+        let mut waiting: Vec<GenRequest> = (0..3).map(req).collect();
+        for r in &mut waiting {
+            r.model = 1;
+        }
+        let mut wfq = WeightedFair::new(vec![10.0, 1.0]);
+        assert_eq!(wfq.select(&ctx(&waiting, 2, 0, &[0, 0])), vec![0, 1]);
+    }
+
+    #[test]
+    fn wfq_splits_a_round_by_weight() {
+        // Both models backlogged, equal starting service: a 2:1 weight
+        // over 3 slots grants 2 to model 0 and 1 to model 1.
+        let mut waiting: Vec<GenRequest> = (0..6).map(req).collect();
+        for (i, r) in waiting.iter_mut().enumerate() {
+            r.model = i % 2;
+        }
+        let mut wfq = WeightedFair::new(vec![2.0, 1.0]);
+        let picks = wfq.select(&ctx(&waiting, 3, 0, &[0, 0]));
+        let m0 = picks.iter().filter(|&&i| waiting[i].model == 0).count();
+        assert_eq!((m0, picks.len() - m0), (2, 1));
+    }
+
+    #[test]
+    fn wfq_catches_up_an_underserved_model() {
+        // Model 1 has been starved (service imbalance): it is granted
+        // first even at a lower weight.
+        let mut waiting: Vec<GenRequest> = (0..2).map(req).collect();
+        waiting[0].model = 0;
+        waiting[1].model = 1;
+        let mut wfq = WeightedFair::new(vec![1.0, 1.0]);
+        // Accrue service for model 0 only: 10 steps of one resident seq.
+        for _ in 0..10 {
+            wfq.select(&ctx(&[], 0, 1, &[1, 0]));
+        }
+        let picks = wfq.select(&ctx(&waiting, 1, 0, &[0, 0]));
+        assert_eq!(picks, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "WFQ weights must be positive")]
+    fn wfq_rejects_non_positive_weights() {
+        WeightedFair::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn every_listed_name_constructs_its_policy() {
+        for name in POLICY_NAMES {
+            let policy = policy_by_name(name).expect("listed name must construct");
+            assert_eq!(policy.name(), name);
+        }
+        assert!(policy_by_name("round-robin").is_none());
     }
 }

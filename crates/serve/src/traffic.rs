@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 
 use lightmamba_model::sampler::Sampler;
 
-use crate::request::GenRequest;
+use crate::request::{GenRequest, Priority};
 
 /// Length bounds and arrival rate of one workload class.
 #[derive(Debug, Clone)]
@@ -28,6 +28,12 @@ pub struct TrafficProfile {
     pub gen_len: Range<usize>,
     /// Decoding strategy requests of this class use.
     pub sampler: Sampler,
+    /// Priority class requests of this profile carry (the priority
+    /// policy keys on it; others ignore it).
+    pub priority: Priority,
+    /// Latency budget range in engine steps (`None` = no deadline);
+    /// sampled per request when set.
+    pub deadline_steps: Option<Range<u64>>,
 }
 
 impl TrafficProfile {
@@ -41,6 +47,8 @@ impl TrafficProfile {
                 k: 16,
                 temperature: 0.8,
             },
+            priority: Priority::Interactive,
+            deadline_steps: None,
         }
     }
 
@@ -51,6 +59,8 @@ impl TrafficProfile {
             prompt_len: 96..256,
             gen_len: 8..32,
             sampler: Sampler::Greedy,
+            priority: Priority::Batch,
+            deadline_steps: None,
         }
     }
 
@@ -61,7 +71,21 @@ impl TrafficProfile {
             prompt_len: 32..128,
             gen_len: 16..64,
             sampler: Sampler::Temperature(0.2),
+            priority: Priority::Standard,
+            deadline_steps: None,
         }
+    }
+
+    /// Attaches a per-request latency budget, sampled from `range`.
+    pub fn with_deadline(mut self, range: Range<u64>) -> Self {
+        self.deadline_steps = Some(range);
+        self
+    }
+
+    /// Overrides the profile's priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 }
 
@@ -116,6 +140,22 @@ impl TrafficScenario {
             name: "burst",
             profiles: vec![(1.0, TrafficProfile::chat())],
             arrivals: ArrivalProcess::BurstAtStart(n),
+        }
+    }
+
+    /// The deadline-heavy scenario deadline-aware policies compete on:
+    /// interactive chat with tight per-request budgets sharing the pool
+    /// with deadline-free batch summarization. Under overload a FIFO
+    /// queue strands the chat turns behind long batch prompts until
+    /// their budgets lapse; EDF reorders admission around the budgets.
+    pub fn deadline_heavy(arrivals_per_step: f64) -> Self {
+        TrafficScenario {
+            name: "deadline_heavy",
+            profiles: vec![
+                (0.7, TrafficProfile::chat().with_deadline(40..160)),
+                (0.3, TrafficProfile::summarization()),
+            ],
+            arrivals: ArrivalProcess::Poisson(arrivals_per_step),
         }
     }
 }
@@ -204,15 +244,20 @@ impl TrafficGenerator {
             .collect();
         let id = self.next_id;
         self.next_id += 1;
+        let deadline_steps = profile
+            .deadline_steps
+            .clone()
+            .map(|range| self.rng.gen_range(range));
         GenRequest {
             id,
             model: (id % self.models as u64) as usize,
+            priority: profile.priority,
             prompt,
             max_new_tokens: gen_len.max(1),
             sampler: profile.sampler,
             seed: id.wrapping_mul(0x9e37_79b9_7f4a_7c15),
             arrival_step,
-            deadline_steps: None,
+            deadline_steps,
             eos_token: None,
         }
     }
@@ -282,6 +327,24 @@ mod tests {
             assert!(r.max_new_tokens >= 1);
             assert!(r.prompt.iter().all(|&t| (t as usize) < 512));
         }
+    }
+
+    #[test]
+    fn deadline_heavy_emits_budgets_and_priorities() {
+        let mut g = TrafficGenerator::new(TrafficScenario::deadline_heavy(0.8), 256, 5);
+        let reqs = g.generate(400);
+        let with_deadline: Vec<_> = reqs.iter().filter(|r| r.deadline_steps.is_some()).collect();
+        assert!(!with_deadline.is_empty());
+        for r in &with_deadline {
+            assert_eq!(r.priority, Priority::Interactive);
+            assert!((40..160).contains(&r.deadline_steps.unwrap()));
+        }
+        // The summarization fraction runs deadline-free at batch priority.
+        assert!(reqs
+            .iter()
+            .any(|r| r.deadline_steps.is_none() && r.priority == Priority::Batch));
+        let frac = with_deadline.len() as f64 / reqs.len() as f64;
+        assert!((0.5..0.9).contains(&frac), "deadline fraction {frac}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based invariants of the serving subsystem: FIFO liveness,
-//! slot conservation (single- and multi-model), and batched/sequential
-//! equivalence for both the FP and the W4A4 quantized backends.
+//! slot conservation (single- and multi-model), batched/sequential
+//! equivalence for both the FP and the W4A4 quantized backends,
+//! EDF deadline dominance over FIFO, and WFQ slot-share convergence.
 
 use lightmamba_model::eval::StepModel;
 use lightmamba_model::{MambaConfig, MambaModel};
@@ -10,7 +11,10 @@ use lightmamba_serve::backend::{DecodeBackend, FpBackend, W4A4Backend};
 use lightmamba_serve::engine::{EngineConfig, ServeEngine};
 use lightmamba_serve::registry::ModelRegistry;
 use lightmamba_serve::request::GenRequest;
-use lightmamba_serve::scheduler::{ContinuousBatching, Scheduler, StaticBatching};
+use lightmamba_serve::scheduler::{
+    Edf, Fifo, Policy, PriorityClasses, StaticBatching, WeightedFair,
+};
+use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,10 +64,10 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::new(
             &model,
-            EngineConfig { slots, max_steps: 200_000 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
         ).unwrap();
         engine.submit(requests).unwrap();
-        let report = engine.run(&mut ContinuousBatching).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
 
         // Liveness: every submitted request completes.
         prop_assert_eq!(report.completed, n);
@@ -89,10 +93,10 @@ proptest! {
         let requests = build_requests(&spec);
         let mut engine = ServeEngine::new(
             &model,
-            EngineConfig { slots, max_steps: 200_000 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
         ).unwrap();
         engine.submit(requests).unwrap();
-        let mut sched = ContinuousBatching;
+        let mut sched = Fifo;
         let mut steps = 0u64;
         while engine.has_work() && steps < 200_000 {
             engine.step(&mut sched).unwrap();
@@ -224,10 +228,10 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots, max_steps: 200_000 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
         ).unwrap();
         engine.submit(requests).unwrap();
-        let mut sched = ContinuousBatching;
+        let mut sched = Fifo;
         let mut steps = 0u64;
         while engine.has_work() && steps < 200_000 {
             engine.step(&mut sched).unwrap();
@@ -261,13 +265,13 @@ proptest! {
     }
 
     #[test]
-    fn scheduler_choice_never_changes_outputs(spec in workload(), slots in 1usize..5) {
+    fn policy_choice_never_changes_outputs(spec in workload(), slots in 1usize..5) {
         let model = tiny_model();
         let requests = build_requests(&spec);
-        let run = |sched: &mut dyn Scheduler| {
+        let run = |sched: &mut dyn Policy| {
             let mut engine = ServeEngine::new(
                 &model,
-                EngineConfig { slots, max_steps: 200_000 },
+                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
             ).unwrap();
             engine.submit(requests.clone()).unwrap();
             engine.run(sched).unwrap();
@@ -279,6 +283,179 @@ proptest! {
             out.sort();
             out
         };
-        prop_assert_eq!(run(&mut ContinuousBatching), run(&mut StaticBatching));
+        let fifo = run(&mut Fifo);
+        prop_assert_eq!(&fifo, &run(&mut StaticBatching));
+        prop_assert_eq!(&fifo, &run(&mut Edf));
+        prop_assert_eq!(&fifo, &run(&mut PriorityClasses));
+        prop_assert_eq!(&fifo, &run(&mut WeightedFair::equal()));
     }
+
+    #[test]
+    fn chunked_prefill_never_changes_outputs(spec in workload(), slots in 1usize..5) {
+        // The pinned invariant under the chunked-prefill rework:
+        // per-request outputs are bit-identical for every chunk size.
+        let model = tiny_model();
+        let requests = build_requests(&spec);
+        let run = |chunk: usize| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig { slots, max_steps: 200_000, prefill_chunk: chunk },
+            ).unwrap();
+            engine.submit(requests.clone()).unwrap();
+            engine.run(&mut Fifo).unwrap();
+            let mut out: Vec<(u64, Vec<u32>)> = engine
+                .completions()
+                .iter()
+                .map(|c| (c.id, c.tokens.clone()))
+                .collect();
+            out.sort();
+            out
+        };
+        let flat = run(1);
+        prop_assert_eq!(&flat, &run(3));
+        prop_assert_eq!(&flat, &run(16));
+    }
+
+    #[test]
+    fn edf_never_completes_fewer_within_deadline_than_fifo(
+        spec in proptest::collection::vec((0u64..3, 0u64..60), 1..16),
+        slots in 1usize..4,
+        chunk in 1usize..4,
+    ) {
+        // Equal-length jobs (same prompt and generation length for
+        // every request): admitting the feasible earliest-deadline
+        // request first is then an exchange-argument optimum, so EDF
+        // (with pre-admission doomed eviction) can never hit fewer
+        // deadlines than arrival-order admission on the same trace.
+        // Deadlines under 8 steps encode "no deadline".
+        let model = tiny_model();
+        let mut arrival = 0u64;
+        let requests: Vec<GenRequest> = spec
+            .iter()
+            .enumerate()
+            .map(|(id, &(gap, deadline))| {
+                arrival += gap;
+                let mut r = GenRequest::greedy(id as u64, vec![(id % 100) as u32 + 1; 3], 4);
+                r.arrival_step = arrival;
+                r.deadline_steps = (deadline >= 8).then_some(deadline);
+                r
+            })
+            .collect();
+        let run = |policy: &mut dyn Policy| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig { slots, max_steps: 50_000, prefill_chunk: chunk },
+            ).unwrap();
+            engine.submit(requests.clone()).unwrap();
+            engine.run(policy).unwrap()
+        };
+        let fifo = run(&mut Fifo);
+        let edf = run(&mut Edf);
+        prop_assert_eq!(edf.deadline_total, fifo.deadline_total);
+        prop_assert!(
+            edf.deadline_hits >= fifo.deadline_hits,
+            "edf hit {}/{} but fifo hit {}/{}",
+            edf.deadline_hits,
+            edf.deadline_total,
+            fifo.deadline_hits,
+            fifo.deadline_total
+        );
+    }
+
+    #[test]
+    fn wfq_slot_shares_converge_to_weights(weight in 1usize..5) {
+        // Two identically-shaped models saturate one pool far beyond
+        // the step budget; long-run processed-token shares must land on
+        // weight / (weight + 1) — the WFQ contract.
+        let model = tiny_model();
+        let mut reg = ModelRegistry::new();
+        reg.register("a", Box::new(FpBackend::new(&model))).unwrap();
+        reg.register("b", Box::new(FpBackend::new(&model))).unwrap();
+        let requests: Vec<GenRequest> = (0..600u64)
+            .map(|id| GenRequest::greedy(id, vec![3; 2], 6).on_model((id % 2) as usize))
+            .collect();
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig { slots: 6, max_steps: 400, prefill_chunk: 1 },
+        ).unwrap();
+        engine.submit(requests).unwrap();
+        let mut wfq = WeightedFair::new(vec![weight as f64, 1.0]);
+        let report = engine.run(&mut wfq).unwrap();
+        prop_assert!(engine.has_work(), "pool must stay saturated for shares to mean anything");
+        let a = report.per_model[0].processed_tokens as f64;
+        let b = report.per_model[1].processed_tokens as f64;
+        let share = a / (a + b);
+        let want = weight as f64 / (weight as f64 + 1.0);
+        prop_assert!(
+            (share - want).abs() < 0.1,
+            "weight {} model took {:.3} of the pool, want {:.3}",
+            weight,
+            share,
+            want
+        );
+    }
+}
+
+/// The bench acceptance pin: on the deadline-heavy scenario (the exact
+/// workload `serve_traffic`'s policy study runs, shortened), EDF's
+/// deadline-hit-rate strictly beats FIFO's, under chunked prefill, with
+/// outputs still bit-identical between the two runs.
+#[test]
+fn edf_strictly_beats_fifo_on_the_deadline_heavy_scenario() {
+    let model = tiny_model();
+    let q = tiny_w4a4(&model);
+    let run = |policy: &mut dyn Policy| {
+        let mut reg = ModelRegistry::new();
+        reg.register("fp", Box::new(FpBackend::new(&model)))
+            .unwrap();
+        reg.register("w4a4", Box::new(W4A4Backend::new(q.clone())))
+            .unwrap();
+        let mut traffic = TrafficGenerator::new(
+            TrafficScenario::deadline_heavy(0.5),
+            model.config().vocab_size,
+            7,
+        )
+        .with_models(2);
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig {
+                slots: 16,
+                max_steps: 1_000_000,
+                prefill_chunk: 4,
+            },
+        )
+        .unwrap();
+        engine.submit(traffic.generate(150)).unwrap();
+        let report = engine.run(policy).unwrap();
+        let mut outputs: Vec<(u64, Vec<u32>)> = engine
+            .completions()
+            .iter()
+            .filter(|c| c.finish != lightmamba_serve::request::FinishReason::DeadlineExceeded)
+            .map(|c| (c.id, c.tokens.clone()))
+            .collect();
+        outputs.sort();
+        (report, outputs)
+    };
+    let (fifo, fifo_out) = run(&mut Fifo);
+    let (edf, edf_out) = run(&mut Edf);
+    assert_eq!(fifo.deadline_total, edf.deadline_total);
+    assert!(fifo.deadline_total > 0);
+    assert!(
+        edf.deadline_hit_rate() > fifo.deadline_hit_rate(),
+        "edf {:?} must strictly beat fifo {:?}",
+        edf.deadline_hit_rate(),
+        fifo.deadline_hit_rate()
+    );
+    // Bit-identity across policies: every request both policies
+    // completed produced the same tokens.
+    let edf_map: std::collections::HashMap<u64, &Vec<u32>> =
+        edf_out.iter().map(|(id, t)| (*id, t)).collect();
+    let mut compared = 0usize;
+    for (id, tokens) in &fifo_out {
+        if let Some(other) = edf_map.get(id) {
+            assert_eq!(&tokens, other, "request {id} diverged across policies");
+            compared += 1;
+        }
+    }
+    assert!(compared > 0);
 }

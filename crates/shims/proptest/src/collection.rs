@@ -30,7 +30,7 @@ impl From<Range<usize>> for SizeRange {
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -4,8 +4,11 @@
 //! paper's FPGA design points (each backend priced with its own
 //! weight-stream width).
 //!
-//! Run with: `cargo run --release --example serving_demo [-- --backend fp|w4a4|mux]`
-//! (default `mux`: FP + W4A4 sharing one pool).
+//! Run with: `cargo run --release --example serving_demo
+//! [-- --backend fp|w4a4|mux --policy fifo|edf|priority|wfq --prefill-chunk K]`
+//! (defaults: `mux` — FP + W4A4 sharing one pool — under `fifo` with
+//! chunk 4). The chosen policy is compared against the static-batching
+//! baseline on the same trace.
 
 use lightmamba_repro::accel::platform::Platform;
 use lightmamba_repro::prelude::*;
@@ -13,7 +16,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mode = parse_backend_arg()?;
+    let args = parse_args()?;
+    let mode = args.backend.clone();
 
     // 1. A laptop-scale Mamba2 stands in for the 2.7B checkpoint; the
     //    engine trace (batch sizes, queueing) is what gets costed. The
@@ -27,6 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    requests spread round-robin over the registered models (swap in
     //    `TrafficScenario::chat(rate)` for open-loop Poisson arrivals).
     let n_models = if mode == "mux" { 2 } else { 1 };
+    println!(
+        "policy: {} | prefill chunk: {}",
+        args.policy, args.prefill_chunk
+    );
     let mut traffic =
         TrafficGenerator::new(TrafficScenario::burst(64), cfg.vocab_size, 7).with_models(n_models);
     let requests = traffic.generate(1);
@@ -43,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!(
         "{:<10} {:>8} {:>8} {:>12} {:>12} {:>12} {:>11}",
-        "scheduler", "model", "done", "attrib s", "tok/s (all)", "1-stream", "TTFT p99 s"
+        "policy", "model", "done", "attrib s", "tok/s (all)", "1-stream", "TTFT p99 s"
     );
     let mut mux_gap: Option<f64> = None;
     for sched_pick in 0..2 {
@@ -70,11 +78,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             EngineConfig {
                 slots: 8,
                 max_steps: 1_000_000,
+                prefill_chunk: args.prefill_chunk,
             },
         )?;
         engine.submit(requests.clone())?;
         let report = if sched_pick == 0 {
-            engine.run(&mut ContinuousBatching)?
+            engine.run(
+                policy_by_name(&args.policy)
+                    .expect("validated at parse")
+                    .as_mut(),
+            )?
         } else {
             engine.run(&mut StaticBatching)?
         };
@@ -82,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for m in &run.per_model {
             println!(
                 "{:<10} {:>8} {:>8} {:>12.2} {:>12.2} {:>12.2} {:>11.2}{}",
-                run.scheduler,
+                run.policy,
                 m.model,
                 m.completed,
                 m.seconds,
@@ -136,24 +149,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn parse_backend_arg() -> Result<String, Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut mode = "mux".to_string();
+struct Args {
+    backend: String,
+    policy: String,
+    prefill_chunk: usize,
+}
+
+fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        backend: "mux".to_string(),
+        policy: "fifo".to_string(),
+        prefill_chunk: 4,
+    };
     let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while i < argv.len() {
+        match argv[i].as_str() {
             "--backend" => {
-                mode = args
+                args.backend = argv
                     .get(i + 1)
                     .ok_or("--backend needs a value: fp | w4a4 | mux")?
                     .clone();
                 i += 2;
             }
+            "--policy" => {
+                args.policy = argv
+                    .get(i + 1)
+                    .ok_or("--policy needs a value: fifo | edf | priority | wfq")?
+                    .clone();
+                i += 2;
+            }
+            "--prefill-chunk" => {
+                args.prefill_chunk = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--prefill-chunk needs a positive integer")?;
+                i += 2;
+            }
             other => return Err(format!("unknown argument {other:?}").into()),
         }
     }
-    if !["fp", "w4a4", "mux"].contains(&mode.as_str()) {
-        return Err(format!("--backend must be fp, w4a4, or mux (got {mode:?})").into());
+    if !["fp", "w4a4", "mux"].contains(&args.backend.as_str()) {
+        return Err(format!(
+            "--backend must be fp, w4a4, or mux (got {:?})",
+            args.backend
+        )
+        .into());
     }
-    Ok(mode)
+    if policy_by_name(&args.policy).is_none() {
+        return Err(format!(
+            "--policy must be one of {POLICY_NAMES:?} (got {:?})",
+            args.policy
+        )
+        .into());
+    }
+    if args.prefill_chunk == 0 {
+        return Err("--prefill-chunk must be positive".into());
+    }
+    Ok(args)
 }

@@ -56,6 +56,10 @@ pub mod prelude {
     pub use lightmamba_serve::backend::{CostProfile, DecodeBackend, FpBackend, W4A4Backend};
     pub use lightmamba_serve::engine::{EngineConfig, ServeEngine};
     pub use lightmamba_serve::registry::{ModelId, ModelRegistry};
-    pub use lightmamba_serve::scheduler::{ContinuousBatching, Scheduler, StaticBatching};
+    pub use lightmamba_serve::request::{GenRequest, Priority};
+    pub use lightmamba_serve::scheduler::{
+        policy_by_name, AdmissionCtx, Edf, Fifo, Policy, PriorityClasses, StaticBatching,
+        WeightedFair, POLICY_NAMES,
+    };
     pub use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
 }
