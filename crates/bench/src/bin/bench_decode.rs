@@ -1,0 +1,249 @@
+//! Measured **host** decode throughput: FP16 reference vs fake-quant
+//! W4A4 vs true-integer W4A4 over packed weights, across batch sizes.
+//!
+//! Every other bench in this crate projects *accelerator* time from the
+//! cycle model; this one runs the real kernels on the host CPU and
+//! reports wall-clock tokens/s, seeding the measured perf trajectory
+//! (BENCH_*). The comparison isolates exactly the paper's claim on host
+//! hardware: the fake-quant path computes f32 GEMVs over dequantized
+//! weights (4 bytes streamed per weight), the integer path computes
+//! i8×u4-packed GEMVs (0.5 bytes per weight) with i32 accumulation and
+//! one f32 rescale per group. Decode is weight-bandwidth-bound, so the
+//! packed path wins on the host too — by how much is what this bench
+//! measures.
+//!
+//! All three variants run the allocation-free workspace decode
+//! (`forward_step_batch_indexed_with`), so the comparison is kernels
+//! only, not allocator noise.
+//!
+//! Flags:
+//! * `--smoke` — tiny config and short loops (CI);
+//! * `--steps N` — timed decode steps per (variant, batch) cell.
+//!
+//! A final `BENCH_JSON` line captures tokens/s per variant per batch and
+//! the integer-over-fake speedup.
+
+use std::time::Instant;
+
+use lightmamba::report::render_table;
+use lightmamba_model::{DecodeWorkspace, MambaConfig, MambaModel, ModelState};
+use lightmamba_quant::qmodel::{ExecMode, Precision, QuantWorkspace};
+use lightmamba_quant::{PreparedModel, QuantizedMamba};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args {
+    smoke: bool,
+    steps: usize,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        smoke: false,
+        steps: 0,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => args.smoke = true,
+            "--steps" => {
+                i += 1;
+                args.steps = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--steps needs an integer"));
+            }
+            other => panic!("unknown flag {other:?} (supported: --smoke, --steps N)"),
+        }
+        i += 1;
+    }
+    if args.steps == 0 {
+        args.steps = if args.smoke { 12 } else { 48 };
+    }
+    args
+}
+
+/// Host-bench model: large enough that per-step weight streaming
+/// dominates (several MB of FP32 weights), small enough to build and
+/// run in seconds. The smoke variant shrinks depth and vocab but keeps
+/// realistic channel widths — on toy widths (d_model < ~100) every
+/// weight sits in L1 and the comparison measures loop overhead, not
+/// weight streaming.
+fn bench_config(smoke: bool) -> MambaConfig {
+    MambaConfig {
+        d_model: if smoke { 192 } else { 256 },
+        n_layer: if smoke { 2 } else { 4 },
+        d_state: 64,
+        d_conv: 4,
+        expand: 2,
+        headdim: 64,
+        ngroups: 1,
+        vocab_size: if smoke { 1024 } else { 2048 },
+    }
+}
+
+/// One timed decode loop; returns tokens per second.
+fn time_decode<F: FnMut(&[(usize, u32)], &mut [ModelState])>(
+    vocab: usize,
+    batch: usize,
+    warmup: usize,
+    steps: usize,
+    states: &mut [ModelState],
+    mut step: F,
+) -> f64 {
+    for st in states.iter_mut() {
+        st.reset();
+    }
+    let mut items: Vec<(usize, u32)> = (0..batch).map(|k| (k, 0u32)).collect();
+    let mut tick = |t: usize, states: &mut [ModelState]| {
+        for (k, item) in items.iter_mut().enumerate() {
+            item.1 = ((t * 7 + k * 13) % vocab) as u32;
+        }
+        step(&items, states);
+    };
+    for t in 0..warmup {
+        tick(t, states);
+    }
+    let start = Instant::now();
+    for t in 0..steps {
+        tick(warmup + t, states);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (batch * steps) as f64 / secs
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = bench_config(args.smoke);
+    let group = if args.smoke { 64 } else { 128 };
+    let batches: &[usize] = if args.smoke { &[1, 4] } else { &[1, 4, 16] };
+    let warmup = (args.steps / 4).max(2);
+
+    println!(
+        "bench_decode: host tokens/s, d_model {}, {} layers, vocab {}, \
+         W4A4 group {group}, {} timed steps per cell",
+        cfg.d_model, cfg.n_layer, cfg.vocab_size, args.steps
+    );
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = MambaModel::synthetic(cfg.clone(), &mut rng).expect("synthetic model");
+    let prepared = PreparedModel::from_reference(&model).expect("prepare");
+    let q_int = QuantizedMamba::new(prepared, Precision::w4a4(group)).expect("quantize");
+    assert_eq!(q_int.exec_mode(), ExecMode::Integer);
+    let q_fake = q_int
+        .clone()
+        .with_exec_mode(ExecMode::FakeQuant)
+        .expect("fake-quant oracle mode");
+    println!(
+        "weights: fp16 streams {:.2} bits/param, packed W4A4 streams {:.2} bits/param",
+        16.0,
+        q_int.mean_weight_bits()
+    );
+
+    let mut fp_ws = DecodeWorkspace::new();
+    let mut fake_ws = QuantWorkspace::new();
+    let mut int_ws = QuantWorkspace::new();
+
+    let mut rows = Vec::new();
+    let mut fp_tps = Vec::new();
+    let mut fake_tps = Vec::new();
+    let mut int_tps = Vec::new();
+    for &batch in batches {
+        let mut states: Vec<ModelState> = (0..batch).map(|_| model.new_state()).collect();
+        let fp = time_decode(
+            cfg.vocab_size,
+            batch,
+            warmup,
+            args.steps,
+            &mut states,
+            |items, states| {
+                model
+                    .forward_step_batch_indexed_with(items, states, &mut fp_ws)
+                    .expect("fp step");
+            },
+        );
+        let fake = time_decode(
+            cfg.vocab_size,
+            batch,
+            warmup,
+            args.steps,
+            &mut states,
+            |items, states| {
+                q_fake
+                    .forward_step_batch_indexed_with(items, states, &mut fake_ws)
+                    .expect("fake-quant step");
+            },
+        );
+        let int = time_decode(
+            cfg.vocab_size,
+            batch,
+            warmup,
+            args.steps,
+            &mut states,
+            |items, states| {
+                q_int
+                    .forward_step_batch_indexed_with(items, states, &mut int_ws)
+                    .expect("integer step");
+            },
+        );
+        rows.push(vec![
+            batch.to_string(),
+            format!("{fp:.1}"),
+            format!("{fake:.1}"),
+            format!("{int:.1}"),
+            format!("{:.2}x", int / fake),
+            format!("{:.2}x", int / fp),
+        ]);
+        fp_tps.push(fp);
+        fake_tps.push(fake);
+        int_tps.push(int);
+    }
+
+    println!();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "batch",
+                "fp tok/s",
+                "fake-w4a4 tok/s",
+                "int-w4a4 tok/s",
+                "int/fake",
+                "int/fp",
+            ],
+            &rows,
+        )
+    );
+
+    let fmt = |v: &[f64]| {
+        v.iter()
+            .map(|t| format!("{t:.1}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let speedups: Vec<String> = int_tps
+        .iter()
+        .zip(&fake_tps)
+        .map(|(i, f)| format!("{:.3}", i / f))
+        .collect();
+    // Machine-readable summary for the BENCH harness.
+    println!(
+        "BENCH_JSON {{\"bench\":\"decode_host\",\"smoke\":{},\"d_model\":{},\"n_layer\":{},\
+         \"group\":{group},\"batches\":[{}],\"fp_tok_s\":[{}],\"fake_w4a4_tok_s\":[{}],\
+         \"int_w4a4_tok_s\":[{}],\"int_over_fake\":[{}],\"packed_bits_per_param\":{:.3}}}",
+        args.smoke,
+        cfg.d_model,
+        cfg.n_layer,
+        batches
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        fmt(&fp_tps),
+        fmt(&fake_tps),
+        fmt(&int_tps),
+        speedups.join(","),
+        q_int.mean_weight_bits(),
+    );
+}

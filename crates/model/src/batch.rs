@@ -19,9 +19,68 @@
 //! decode contract — the FP model here, the quantized model in
 //! `lightmamba_quant` — shares one implementation and the guarantees
 //! cannot drift between them.
+//!
+//! The steady-state hot path is the workspace-threaded variant
+//! ([`drive_step_batch_indexed_into`] over a [`StepWorkspace`]): every
+//! temporary a step needs — residual streams, logits, the validation
+//! bitmap, the per-block kernel scratch — lives in a reusable workspace,
+//! so decode performs **zero heap allocations** once warmed up (pinned
+//! by a counting-allocator test). The allocating APIs remain as
+//! convenience wrappers and are bit-identical.
 
+use crate::block::BlockScratch;
 use crate::state::{LayerState, ModelState};
 use crate::{MambaConfig, MambaModel, ModelError, Result};
+
+/// Reusable buffers for one batched decode step: per-sequence residual
+/// streams, per-sequence logits, and the validation bitmap. Buffers grow
+/// to the largest batch seen and are never shrunk, so a steady-state
+/// decode loop performs zero heap allocations after its first step.
+///
+/// This is the model-agnostic half of a decode workspace; execution
+/// paths pair it with their own kernel scratch (the FP model's
+/// [`DecodeWorkspace`], the quantized model's workspace in
+/// `lightmamba_quant`).
+#[derive(Debug, Clone, Default)]
+pub struct StepWorkspace {
+    xs: Vec<Vec<f32>>,
+    logits: Vec<Vec<f32>>,
+    seen: Vec<bool>,
+    /// Number of items in the latest step (buffers may be longer).
+    items: usize,
+}
+
+impl StepWorkspace {
+    /// An empty workspace; it warms up on the first step.
+    pub fn new() -> Self {
+        StepWorkspace::default()
+    }
+
+    /// Logits produced by the latest `_into` step, index-aligned with
+    /// that step's `items` slice.
+    pub fn logits(&self) -> &[Vec<f32>] {
+        &self.logits[..self.items]
+    }
+
+    /// Moves the latest step's logits out (the workspace re-warms on the
+    /// next step) — used by the allocating convenience wrappers.
+    pub fn take_logits(&mut self) -> Vec<Vec<f32>> {
+        let mut v = std::mem::take(&mut self.logits);
+        v.truncate(self.items);
+        self.items = 0;
+        v
+    }
+
+    fn prepare(&mut self, n: usize) {
+        if self.xs.len() < n {
+            self.xs.resize_with(n, Vec::new);
+        }
+        if self.logits.len() < n {
+            self.logits.resize_with(n, Vec::new);
+        }
+        self.items = n;
+    }
+}
 
 /// Validates a batch of `(state_index, token)` items against a model
 /// configuration: indices in bounds and unique, states shaped for `cfg`,
@@ -37,10 +96,27 @@ pub fn validate_batch_items(
     items: &[(usize, u32)],
     states: &[ModelState],
 ) -> std::result::Result<(), ModelError> {
+    validate_batch_items_with(cfg, items, states, &mut Vec::new())
+}
+
+/// [`validate_batch_items`] with a caller-provided uniqueness bitmap, so
+/// the per-step hot path validates without allocating (`seen` is cleared
+/// and resized to `states.len()` in place).
+///
+/// # Errors
+///
+/// Same conditions as [`validate_batch_items`].
+pub fn validate_batch_items_with(
+    cfg: &MambaConfig,
+    items: &[(usize, u32)],
+    states: &[ModelState],
+    seen: &mut Vec<bool>,
+) -> std::result::Result<(), ModelError> {
     let dims = crate::ssm::SsmDims::new(cfg);
     let conv_dim = cfg.conv_dim();
     let d_conv = cfg.d_conv;
-    let mut seen = vec![false; states.len()];
+    seen.clear();
+    seen.resize(states.len(), false);
     for &(slot, token) in items {
         let state = states.get(slot).ok_or_else(|| {
             ModelError::StateMismatch(format!(
@@ -105,21 +181,72 @@ where
     Blk: FnMut(usize, &mut Vec<f32>, &mut LayerState) -> std::result::Result<(), E>,
     Fin: FnMut(Vec<f32>) -> std::result::Result<Vec<f32>, E>,
 {
-    validate_batch_items(cfg, items, states)?;
-    let mut xs: Vec<Vec<f32>> = items
+    let mut ws = StepWorkspace::new();
+    drive_step_batch_indexed_into(
+        cfg,
+        items,
+        states,
+        &mut ws,
+        |token, buf| {
+            *buf = embed(token)?;
+            Ok(())
+        },
+        |layer, x, lstate| block_step(layer, x, lstate),
+        |x, out| {
+            *out = finish(std::mem::take(x))?;
+            Ok(())
+        },
+    )?;
+    Ok(items
         .iter()
-        .map(|&(_, token)| embed(token))
-        .collect::<std::result::Result<_, E>>()?;
+        .map(|&(slot, _)| slot)
+        .zip(ws.take_logits())
+        .collect())
+}
+
+/// The workspace-threaded form of [`drive_step_batch_indexed`]: every
+/// buffer the step needs lives in `ws` and in the closures' captured
+/// scratch, so a steady-state decode loop allocates nothing. Results
+/// land in `ws.logits()`, index-aligned with `items`.
+///
+/// Closure contract: `embed(token, buf)` fills `buf` with the embedded
+/// token (reusing its capacity); `block_step(layer, x, lstate)` advances
+/// one sequence through one block in place; `finish(x, logits)` turns
+/// the final residual stream into logits, reusing `logits`' capacity.
+///
+/// # Errors
+///
+/// The conditions of [`validate_batch_items`], plus whatever the
+/// closures raise.
+pub fn drive_step_batch_indexed_into<E, Emb, Blk, Fin>(
+    cfg: &MambaConfig,
+    items: &[(usize, u32)],
+    states: &mut [ModelState],
+    ws: &mut StepWorkspace,
+    mut embed: Emb,
+    mut block_step: Blk,
+    mut finish: Fin,
+) -> std::result::Result<(), E>
+where
+    E: From<ModelError>,
+    Emb: FnMut(u32, &mut Vec<f32>) -> std::result::Result<(), E>,
+    Blk: FnMut(usize, &mut Vec<f32>, &mut LayerState) -> std::result::Result<(), E>,
+    Fin: FnMut(&mut Vec<f32>, &mut Vec<f32>) -> std::result::Result<(), E>,
+{
+    validate_batch_items_with(cfg, items, states, &mut ws.seen)?;
+    ws.prepare(items.len());
+    for (x, &(_, token)) in ws.xs.iter_mut().zip(items) {
+        embed(token, x)?;
+    }
     for layer in 0..cfg.n_layer {
-        for (x, &(slot, _)) in xs.iter_mut().zip(items) {
+        for (x, &(slot, _)) in ws.xs.iter_mut().zip(items) {
             block_step(layer, x, &mut states[slot].layers[layer])?;
         }
     }
-    items
-        .iter()
-        .zip(xs)
-        .map(|(&(slot, _), x)| Ok((slot, finish(x)?)))
-        .collect()
+    for (x, logits) in ws.xs.iter_mut().zip(ws.logits.iter_mut()).take(items.len()) {
+        finish(x, logits)?;
+    }
+    Ok(())
 }
 
 /// Drives batched ragged prefill generically: consumes `prompts[k]` into
@@ -141,20 +268,7 @@ where
     Step:
         FnMut(&[(usize, u32)], &mut [ModelState]) -> std::result::Result<Vec<(usize, Vec<f32>)>, E>,
 {
-    if prompts.len() != states.len() {
-        return Err(ModelError::InvalidConfig(format!(
-            "{} prompts for {} states",
-            prompts.len(),
-            states.len()
-        ))
-        .into());
-    }
-    if prompts.iter().any(|p| p.is_empty()) {
-        return Err(ModelError::InvalidConfig(
-            "prefill needs at least one token per prompt".into(),
-        )
-        .into());
-    }
+    validate_prefill(prompts, states)?;
     let max_len = prompts.iter().map(|p| p.len()).max().unwrap_or(0);
     let mut finals: Vec<Option<Vec<f32>>> = vec![None; prompts.len()];
     for pos in 0..max_len {
@@ -175,7 +289,161 @@ where
         .collect())
 }
 
+/// The workspace-threaded form of [`drive_prefill_batch`], shared by
+/// the FP and quantized models: consumes `prompts[k]` into `states[k]`
+/// position-by-position through `step(items, states, ws)`, reusing `ws`
+/// across positions, and captures each sequence's final-position logits
+/// via `final_logits(ws, j)` (index `j` is the item's position within
+/// that step's batch). Only the captured finals allocate.
+///
+/// # Errors
+///
+/// The conditions of [`validate_prefill`]; propagates step errors.
+pub fn drive_prefill_batch_with<E, W, Step, Logit>(
+    prompts: &[&[u32]],
+    states: &mut [ModelState],
+    ws: &mut W,
+    mut step: Step,
+    mut final_logits: Logit,
+) -> std::result::Result<Vec<Vec<f32>>, E>
+where
+    E: From<ModelError>,
+    Step: FnMut(&[(usize, u32)], &mut [ModelState], &mut W) -> std::result::Result<(), E>,
+    Logit: FnMut(&W, usize) -> Vec<f32>,
+{
+    validate_prefill(prompts, states)?;
+    let max_len = prompts.iter().map(|p| p.len()).max().unwrap_or(0);
+    let mut finals: Vec<Option<Vec<f32>>> = vec![None; prompts.len()];
+    let mut items: Vec<(usize, u32)> = Vec::new();
+    for pos in 0..max_len {
+        items.clear();
+        items.extend(
+            prompts
+                .iter()
+                .enumerate()
+                .filter_map(|(k, p)| p.get(pos).map(|&t| (k, t))),
+        );
+        step(&items, states, ws)?;
+        for (j, &(slot, _)) in items.iter().enumerate() {
+            if pos + 1 == prompts[slot].len() {
+                finals[slot] = Some(final_logits(ws, j));
+            }
+        }
+    }
+    Ok(finals
+        .into_iter()
+        .map(|l| l.expect("prompt non-empty"))
+        .collect())
+}
+
+/// Shared ragged-prefill validation: parallel slices, no empty prompt.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidConfig`] describing the violation.
+pub fn validate_prefill(
+    prompts: &[&[u32]],
+    states: &[ModelState],
+) -> std::result::Result<(), ModelError> {
+    if prompts.len() != states.len() {
+        return Err(ModelError::InvalidConfig(format!(
+            "{} prompts for {} states",
+            prompts.len(),
+            states.len()
+        )));
+    }
+    if prompts.iter().any(|p| p.is_empty()) {
+        return Err(ModelError::InvalidConfig(
+            "prefill needs at least one token per prompt".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// The FP reference model's decode workspace: the batch-level buffers
+/// plus the per-block kernel scratch. One workspace serves any batch
+/// size; it grows to the largest batch seen and is then allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeWorkspace {
+    step: StepWorkspace,
+    scratch: BlockScratch,
+}
+
+impl DecodeWorkspace {
+    /// An empty workspace; it warms up on the first step.
+    pub fn new() -> Self {
+        DecodeWorkspace::default()
+    }
+
+    /// Logits of the latest [`MambaModel::forward_step_batch_indexed_with`]
+    /// call, index-aligned with its `items`.
+    pub fn logits(&self) -> &[Vec<f32>] {
+        self.step.logits()
+    }
+}
+
 impl MambaModel {
+    /// Workspace-threaded batched decode step: like
+    /// [`MambaModel::forward_step_batch_indexed`], but every temporary
+    /// lives in `ws`, so a steady-state decode loop performs zero heap
+    /// allocations (pinned by the `no_alloc` integration test). Logits
+    /// land in `ws.logits()`, index-aligned with `items`; outputs are
+    /// bit-identical to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MambaModel::forward_step_batch_indexed`].
+    pub fn forward_step_batch_indexed_with(
+        &self,
+        items: &[(usize, u32)],
+        states: &mut [ModelState],
+        ws: &mut DecodeWorkspace,
+    ) -> Result<()> {
+        let scratch = &mut ws.scratch;
+        let vocab = self.config().vocab_size;
+        drive_step_batch_indexed_into(
+            self.config(),
+            items,
+            states,
+            &mut ws.step,
+            |token, buf| {
+                let row = self.embedding().row(token as usize)?;
+                buf.clear();
+                buf.extend_from_slice(row);
+                Ok(())
+            },
+            |layer, x, lstate| self.blocks()[layer].forward_step_into(x, lstate, scratch),
+            |x, logits| {
+                lightmamba_tensor::norm::rms_norm(x, self.final_norm_gamma(), 1e-5);
+                logits.resize(vocab, 0.0);
+                Ok(self.embedding().matvec_into(x, logits)?)
+            },
+        )
+    }
+
+    /// Workspace-threaded ragged prefill: consumes `prompts[k]` into
+    /// `states[k]` position-by-position reusing `ws` across positions,
+    /// and returns each sequence's logits after its final prompt token.
+    /// Only the returned finals allocate (once per sequence).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MambaModel::prefill_batch`].
+    pub fn prefill_batch_with(
+        &self,
+        prompts: &[&[u32]],
+        states: &mut [ModelState],
+        ws: &mut DecodeWorkspace,
+    ) -> Result<Vec<Vec<f32>>> {
+        drive_prefill_batch_with(
+            prompts,
+            states,
+            ws,
+            |items, states, ws| self.forward_step_batch_indexed_with(items, states, ws),
+            |ws, j| ws.logits()[j].clone(),
+        )
+    }
+
     /// One decode step for a batch: `items[k] = (state_index, token)`
     /// advances `states[state_index]` by `token` and yields that
     /// sequence's next-token logits as `(state_index, logits)`.
@@ -194,20 +462,13 @@ impl MambaModel {
         items: &[(usize, u32)],
         states: &mut [ModelState],
     ) -> Result<Vec<(usize, Vec<f32>)>> {
-        drive_step_batch_indexed(
-            self.config(),
-            items,
-            states,
-            |token| self.embed(token),
-            |layer, x, lstate| {
-                *x = self.blocks()[layer].forward_step(x, lstate)?;
-                Ok(())
-            },
-            |mut x| {
-                lightmamba_tensor::norm::rms_norm(&mut x, self.final_norm_gamma(), 1e-5);
-                Ok(self.embedding().matvec(&x)?)
-            },
-        )
+        let mut ws = DecodeWorkspace::new();
+        self.forward_step_batch_indexed_with(items, states, &mut ws)?;
+        Ok(items
+            .iter()
+            .map(|&(slot, _)| slot)
+            .zip(ws.step.take_logits())
+            .collect())
     }
 
     /// One decode step for every sequence: `tokens` and `states` are
@@ -252,9 +513,7 @@ impl MambaModel {
         prompts: &[&[u32]],
         states: &mut [ModelState],
     ) -> Result<Vec<Vec<f32>>> {
-        drive_prefill_batch(prompts, states, |items, states| {
-            self.forward_step_batch_indexed(items, states)
-        })
+        self.prefill_batch_with(prompts, states, &mut DecodeWorkspace::new())
     }
 }
 

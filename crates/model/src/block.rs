@@ -3,10 +3,50 @@
 
 use lightmamba_tensor::{activation, norm};
 
-use crate::ssm::{ssm_step, SsmDims};
+use crate::ssm::{ssm_step_into, SsmDims};
 use crate::state::LayerState;
 use crate::weights::{BlockWeights, InProjSplit};
 use crate::{MambaConfig, Result};
+
+/// Reusable per-step temporaries for [`MambaBlock::forward_step_into`].
+///
+/// One scratch serves every block of a model (all blocks share shapes)
+/// and every sequence of a batch: buffers are resized on first use and
+/// reused thereafter, so steady-state decode performs no heap
+/// allocation. The default value is empty; it warms up on the first
+/// step.
+///
+/// Buffers are public so other execution paths with the same block
+/// pipeline (the quantized model in `lightmamba_quant`) can drive their
+/// own kernels through one scratch instead of duplicating it.
+#[derive(Debug, Clone, Default)]
+pub struct BlockScratch {
+    /// Pre-norm copy of the residual stream (`d_model`).
+    pub normed: Vec<f32>,
+    /// Input-projection output `z | x | B | C | Δ` (`d_in_proj`).
+    pub proj: Vec<f32>,
+    /// Concatenated `(x, B, C)` conv input (`conv_dim`).
+    pub conv_in: Vec<f32>,
+    /// Conv output, SiLU'd in place (`conv_dim`).
+    pub conv_out: Vec<f32>,
+    /// SSM output / gated-norm buffer (`d_inner`).
+    pub y: Vec<f32>,
+    /// Output-projection result (`d_model`).
+    pub out: Vec<f32>,
+}
+
+impl BlockScratch {
+    /// Ensures every buffer matches `cfg`'s shapes (allocates only when
+    /// capacity grows, i.e. on the first step or a config change).
+    pub fn prepare(&mut self, cfg: &MambaConfig) {
+        self.normed.resize(cfg.d_model, 0.0);
+        self.proj.resize(cfg.d_in_proj(), 0.0);
+        self.conv_in.resize(cfg.conv_dim(), 0.0);
+        self.conv_out.resize(cfg.conv_dim(), 0.0);
+        self.y.resize(cfg.d_inner(), 0.0);
+        self.out.resize(cfg.d_model, 0.0);
+    }
+}
 
 /// Optional per-step activation taps used by quantization calibration and
 /// the Fig. 2 distribution study.
@@ -80,8 +120,101 @@ impl MambaBlock {
         self.forward_step_captured(x_resid, state, &mut BlockCapture::default())
     }
 
+    /// Allocation-free [`MambaBlock::forward_step`]: updates the residual
+    /// stream `x` in place using `scratch` for every temporary. The
+    /// capturing path runs this same pipeline (it is the same code), so
+    /// outputs are bit-for-bit identical — the batched decode drivers
+    /// rely on this.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MambaBlock::forward_step`].
+    pub fn forward_step_into(
+        &self,
+        x: &mut [f32],
+        state: &mut LayerState,
+        scratch: &mut BlockScratch,
+    ) -> Result<()> {
+        self.step_core(x, state, scratch, None)
+    }
+
+    /// The one block pipeline: pre-norm → in-proj → conv+SiLU → SSM →
+    /// gated norm → out-proj → residual add, with optional activation
+    /// taps (only the taps allocate, so the hot path stays
+    /// allocation-free when `capture` is `None`).
+    fn step_core(
+        &self,
+        x: &mut [f32],
+        state: &mut LayerState,
+        scratch: &mut BlockScratch,
+        mut capture: Option<&mut BlockCapture>,
+    ) -> Result<()> {
+        let w = &self.weights;
+        scratch.prepare(&self.cfg);
+
+        // Pre-norm on a copy of the residual stream.
+        scratch.normed.copy_from_slice(x);
+        norm::rms_norm(&mut scratch.normed, &w.norm_gamma, 1e-5);
+        if let Some(cap) = capture.as_deref_mut() {
+            cap.in_proj_input = Some(scratch.normed.clone());
+        }
+
+        // Input projection: z | x | B | C | Δ.
+        w.w_in.vecmat_into(&scratch.normed, &mut scratch.proj)?;
+        let s = &self.split;
+
+        // Causal conv over (x, B, C), then SiLU on the conv output.
+        let di = self.cfg.d_inner();
+        let g = self.cfg.ngroups * self.cfg.d_state;
+        scratch.conv_in[0..di].copy_from_slice(&scratch.proj[s.x.0..s.x.1]);
+        scratch.conv_in[di..di + g].copy_from_slice(&scratch.proj[s.b.0..s.b.1]);
+        scratch.conv_in[di + g..di + 2 * g].copy_from_slice(&scratch.proj[s.c.0..s.c.1]);
+        state.conv.step_into(
+            &scratch.conv_in,
+            &w.conv_weight,
+            &w.conv_bias,
+            &mut scratch.conv_out,
+        )?;
+        activation::silu_slice(&mut scratch.conv_out);
+
+        // SSM recurrence.
+        ssm_step_into(
+            self.dims,
+            &scratch.conv_out[0..di],
+            &scratch.conv_out[di..di + g],
+            &scratch.conv_out[di + g..di + 2 * g],
+            &scratch.proj[s.dt.0..s.dt.1],
+            &w.a_log,
+            &w.dt_bias,
+            &w.d_skip,
+            &mut state.h,
+            &mut scratch.y,
+        )?;
+        if let Some(cap) = capture.as_deref_mut() {
+            cap.ssm_output = Some(scratch.y.clone());
+        }
+
+        // Gated RMSNorm, then output projection and the residual add.
+        norm::gated_rms_norm(
+            &mut scratch.y,
+            &scratch.proj[s.z.0..s.z.1],
+            &w.gate_norm_gamma,
+            1e-5,
+        );
+        if let Some(cap) = capture {
+            cap.out_proj_input = Some(scratch.y.clone());
+        }
+        w.w_out.vecmat_into(&scratch.y, &mut scratch.out)?;
+        for (xi, &oi) in x.iter_mut().zip(scratch.out.iter()) {
+            *xi += oi;
+        }
+        Ok(())
+    }
+
     /// [`MambaBlock::forward_step`] with activation taps recorded into
-    /// `capture` (calibration / outlier-study path).
+    /// `capture` (calibration / outlier-study path). Runs the same
+    /// single pipeline as [`MambaBlock::forward_step_into`], cloning the
+    /// three taps out of the scratch buffers.
     ///
     /// # Errors
     ///
@@ -92,59 +225,9 @@ impl MambaBlock {
         state: &mut LayerState,
         capture: &mut BlockCapture,
     ) -> Result<Vec<f32>> {
-        let w = &self.weights;
-        // Pre-norm.
-        let mut normed = x_resid.to_vec();
-        norm::rms_norm(&mut normed, &w.norm_gamma, 1e-5);
-        capture.in_proj_input = Some(normed.clone());
-
-        // Input projection: z | x | B | C | Δ.
-        let proj = w.w_in.vecmat(&normed)?;
-        let s = &self.split;
-        let z = &proj[s.z.0..s.z.1];
-        let x_pre = &proj[s.x.0..s.x.1];
-        let b_pre = &proj[s.b.0..s.b.1];
-        let c_pre = &proj[s.c.0..s.c.1];
-        let dt_raw = &proj[s.dt.0..s.dt.1];
-
-        // Causal conv over (x, B, C), then SiLU on the conv output.
-        let mut conv_in = Vec::with_capacity(self.cfg.conv_dim());
-        conv_in.extend_from_slice(x_pre);
-        conv_in.extend_from_slice(b_pre);
-        conv_in.extend_from_slice(c_pre);
-        let mut conv_out = state.conv.step(&conv_in, &w.conv_weight, &w.conv_bias)?;
-        activation::silu_slice(&mut conv_out);
-        let di = self.cfg.d_inner();
-        let g = self.cfg.ngroups * self.cfg.d_state;
-        let x_ssm = &conv_out[0..di];
-        let b_ssm = &conv_out[di..di + g];
-        let c_ssm = &conv_out[di + g..di + 2 * g];
-
-        // SSM recurrence.
-        let mut y = ssm_step(
-            self.dims,
-            x_ssm,
-            b_ssm,
-            c_ssm,
-            dt_raw,
-            &w.a_log,
-            &w.dt_bias,
-            &w.d_skip,
-            &mut state.h,
-        )?;
-        capture.ssm_output = Some(y.clone());
-
-        // Gated RMSNorm, then output projection.
-        norm::gated_rms_norm(&mut y, z, &w.gate_norm_gamma, 1e-5);
-        capture.out_proj_input = Some(y.clone());
-        let out = w.w_out.vecmat(&y)?;
-
-        // Residual add.
-        Ok(x_resid
-            .iter()
-            .zip(out.iter())
-            .map(|(&r, &o)| r + o)
-            .collect())
+        let mut x = x_resid.to_vec();
+        self.step_core(&mut x, state, &mut BlockScratch::default(), Some(capture))?;
+        Ok(x)
     }
 }
 

@@ -148,14 +148,14 @@ impl MambaConfig {
                 "all dimensions must be non-zero".into(),
             ));
         }
-        if !self.d_inner().is_multiple_of(self.headdim) {
+        if self.d_inner() % self.headdim != 0 {
             return Err(ModelError::InvalidConfig(format!(
                 "headdim {} must divide d_inner {}",
                 self.headdim,
                 self.d_inner()
             )));
         }
-        if !self.nheads().is_multiple_of(self.ngroups) {
+        if self.nheads() % self.ngroups != 0 {
             return Err(ModelError::InvalidConfig(format!(
                 "ngroups {} must divide nheads {}",
                 self.ngroups,

@@ -46,7 +46,8 @@ pub mod synth;
 pub mod transformer;
 pub mod weights;
 
-pub use block::{BlockCapture, MambaBlock};
+pub use batch::{DecodeWorkspace, StepWorkspace};
+pub use block::{BlockCapture, BlockScratch, MambaBlock};
 pub use config::{MambaConfig, ModelPreset};
 pub use error::ModelError;
 pub use model::{Capture, MambaModel};

@@ -134,6 +134,30 @@ pub fn ssm_step(
     d_skip: &[f32],
     state: &mut [f32],
 ) -> Result<Vec<f32>> {
+    let mut y = vec![0.0f32; dims.inner_len()];
+    ssm_step_into(dims, x, b, c, dt_raw, a_log, dt_bias, d_skip, state, &mut y)?;
+    Ok(y)
+}
+
+/// [`ssm_step`] writing the `d_inner` outputs into a caller-provided
+/// buffer — the allocation-free variant decode hot paths use.
+///
+/// # Errors
+///
+/// Same conditions as [`ssm_step`], plus a length check on `y`.
+#[allow(clippy::too_many_arguments)]
+pub fn ssm_step_into(
+    dims: SsmDims,
+    x: &[f32],
+    b: &[f32],
+    c: &[f32],
+    dt_raw: &[f32],
+    a_log: &[f32],
+    dt_bias: &[f32],
+    d_skip: &[f32],
+    state: &mut [f32],
+    y: &mut [f32],
+) -> Result<()> {
     if x.len() != dims.inner_len()
         || b.len() != dims.bc_len()
         || c.len() != dims.bc_len()
@@ -142,6 +166,7 @@ pub fn ssm_step(
         || dt_bias.len() != dims.nheads
         || d_skip.len() != dims.nheads
         || state.len() != dims.state_len()
+        || y.len() != dims.inner_len()
     {
         return Err(ModelError::StateMismatch(format!(
             "ssm_step slice lengths do not match dims {dims:?}"
@@ -150,7 +175,6 @@ pub fn ssm_step(
     let p = dims.headdim;
     let n = dims.d_state;
     let heads_per_group = dims.nheads / dims.ngroups;
-    let mut y = vec![0.0f32; dims.inner_len()];
     for h in 0..dims.nheads {
         let g = h / heads_per_group;
         let coeffs = head_coeffs(dt_raw[h], dt_bias[h], a_log[h]);
@@ -166,7 +190,7 @@ pub fn ssm_step(
             d_skip[h],
         );
     }
-    Ok(y)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -61,7 +61,7 @@ impl TransformerConfig {
                 "all transformer dimensions must be non-zero".into(),
             ));
         }
-        if !self.d_model.is_multiple_of(self.n_head) {
+        if self.d_model % self.n_head != 0 {
             return Err(ModelError::InvalidConfig(format!(
                 "n_head {} must divide d_model {}",
                 self.n_head, self.d_model

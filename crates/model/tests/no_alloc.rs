@@ -1,0 +1,75 @@
+//! Pins the hot-path contract: steady-state batched decode through the
+//! workspace API performs **zero heap allocations**. A counting global
+//! allocator wraps the system allocator; after a warm-up phase (buffers
+//! grow to the batch's shapes) the allocation counter must not move.
+//!
+//! This file holds exactly one test so no parallel test can inject
+//! allocations into the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lightmamba_model::{DecodeWorkspace, MambaConfig, MambaModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, n)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_batched_decode_allocates_nothing() {
+    let model = MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(3)).unwrap();
+    let batch = 3;
+    let mut states: Vec<_> = (0..batch).map(|_| model.new_state()).collect();
+    let mut ws = DecodeWorkspace::new();
+    let mut items: Vec<(usize, u32)> = (0..batch).map(|k| (k, 0u32)).collect();
+
+    let mut step = |t: usize, states: &mut [_], ws: &mut DecodeWorkspace| {
+        for (k, item) in items.iter_mut().enumerate() {
+            item.1 = ((t * 11 + k * 5) % 256) as u32;
+        }
+        model
+            .forward_step_batch_indexed_with(&items, states, ws)
+            .unwrap();
+        assert_eq!(ws.logits().len(), batch);
+    };
+
+    // Warm-up: every workspace buffer grows to its final shape.
+    for t in 0..3 {
+        step(t, &mut states, &mut ws);
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for t in 3..40 {
+        step(t, &mut states, &mut ws);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state FP decode allocated {} times over 37 steps",
+        after - before
+    );
+}

@@ -12,6 +12,7 @@
 
 use lightmamba_tensor::Tensor;
 
+use crate::kernels::ActQuant;
 use crate::quantizer::{Granularity, QuantScheme, QuantizedTensor};
 use crate::{QuantError, Result};
 
@@ -79,11 +80,36 @@ impl IntLinear {
     /// INT×INT→i32 dot products, and rescales per block — returning f32
     /// outputs identical (to f32 rounding) with the dequantized-f32 path.
     ///
+    /// Convenience wrapper over [`IntLinear::forward_into`] that allocates
+    /// its scratch and output per call.
+    ///
     /// # Errors
     ///
     /// Returns [`QuantError::InvalidScheme`] when `x.len()` differs from
     /// `in_features` or schemes are invalid.
     pub fn forward(&self, x: &[f32], act_bits: u8) -> Result<Vec<f32>> {
+        let mut out = vec![0.0f32; self.out_features];
+        self.forward_into(x, act_bits, &mut ActQuant::new(), &mut out)?;
+        Ok(out)
+    }
+
+    /// [`IntLinear::forward`] with a caller-provided activation scratch
+    /// and output buffer — the hot-path form matching the packed kernel
+    /// API ([`crate::kernels`]). The activation is quantized **once** into
+    /// `scratch` before the row loop; the loop itself is pure integer
+    /// dot products plus one rescale per `(row, group)` block.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IntLinear::forward`], plus a length check on
+    /// `out`.
+    pub fn forward_into(
+        &self,
+        x: &[f32],
+        act_bits: u8,
+        scratch: &mut ActQuant,
+        out: &mut [f32],
+    ) -> Result<()> {
         if x.len() != self.in_features {
             return Err(QuantError::InvalidScheme(format!(
                 "input length {} does not match in_features {}",
@@ -91,17 +117,24 @@ impl IntLinear {
                 self.in_features
             )));
         }
+        if out.len() != self.out_features {
+            return Err(QuantError::InvalidScheme(format!(
+                "output length {} does not match out_features {}",
+                out.len(),
+                self.out_features
+            )));
+        }
+        // Activation-quantization setup hoisted out of the row loop and
+        // into reusable buffers.
         let act_scheme = QuantScheme {
             bits: act_bits,
             granularity: Granularity::PerGroup(self.group),
             pot_scale: false,
         };
-        let xt = Tensor::from_vec(x.to_vec(), &[x.len()])?;
-        let qx = QuantizedTensor::quantize(&xt, act_scheme)?;
-        let x_codes = qx.codes();
-        let x_scales = qx.scales();
+        scratch.quantize(x, act_scheme)?;
+        let x_codes = scratch.codes();
+        let x_scales = scratch.scales();
 
-        let mut out = vec![0.0f32; self.out_features];
         for (o, out_v) in out.iter_mut().enumerate() {
             let row = &self.codes[o * self.in_features..(o + 1) * self.in_features];
             let mut acc = 0.0f32;
@@ -118,7 +151,7 @@ impl IntLinear {
             }
             *out_v = acc;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// The f32 reference for [`IntLinear::forward`]: dequantize both

@@ -1,0 +1,730 @@
+//! True-integer W4A4 decode kernels over packed 4-bit weights.
+//!
+//! [`crate::qmodel`]'s fake-quantized path evaluates PTQ *accuracy*: it
+//! dequantizes to f32 at load and every step computes in f32, so the host
+//! never sees the paper's bandwidth win. This module is the execution
+//! half: weights live packed — **two signed nibbles per byte** plus one
+//! f32 scale per `(output row, input group)` block — and the GEMV/GEMM
+//! kernels compute `i8 activations × u4-packed weights → i32 accumulate →
+//! one f32 rescale per group`. Per output element the weight stream is
+//! 0.5 bytes instead of the dequantized path's 4, which is what makes
+//! host decode of a bandwidth-bound Mamba step fast.
+//!
+//! # Agreement with the fake-quant reference
+//!
+//! Both paths share one quantization grid (the codes come from the same
+//! [`QuantizedTensor`] rounding), so they differ only in accumulation:
+//! the integer kernel computes `Σ_g (Σ_{i∈g} qw·qa) · sw_g·sa_g` with the
+//! inner sum exact in i32, while the reference ([`gemv_reference`])
+//! computes `Σ_g Σ_{i∈g} (qw·sw_g)·(qa·sa_g)` in f32, group-blocked in
+//! the same order.
+//!
+//! * With **power-of-two scales** the two are **bit-exact**: every
+//!   partial product `qw·qa·2^e` and every group subtotal (bounded by
+//!   `qmax² · group ≤ 49·4096 ≪ 2²⁴`) is exactly representable in f32,
+//!   so no operation in either path rounds. The proptests pin this.
+//! * With arbitrary scales the reference rounds once per element and the
+//!   integer path once per group, so outputs agree to a few ulps of each
+//!   group contribution (proptested against a relative bound).
+//!
+//! The kernels allocate nothing: activations quantize into a reusable
+//! [`ActQuant`] scratch and outputs land in caller buffers, which is what
+//! keeps the serving hot path allocation-free.
+
+use lightmamba_tensor::Tensor;
+
+use crate::quantizer::{Granularity, QuantScheme, QuantizedTensor};
+use crate::{QuantError, Result};
+
+/// Packs signed 4-bit codes two-per-byte (even index → low nibble, odd
+/// index → high nibble; a trailing odd element leaves the high nibble 0).
+pub fn pack_nibbles(codes: &[i8]) -> Vec<u8> {
+    let mut out = vec![0u8; codes.len().div_ceil(2)];
+    for (i, &c) in codes.iter().enumerate() {
+        let nib = (c as u8) & 0x0F;
+        if i & 1 == 0 {
+            out[i / 2] |= nib;
+        } else {
+            out[i / 2] |= nib << 4;
+        }
+    }
+    out
+}
+
+/// Unpacks `n` signed 4-bit codes from [`pack_nibbles`] output into a
+/// caller buffer of length `n` (allocation-free inverse).
+pub fn unpack_nibbles_into(packed: &[u8], n: usize, out: &mut [i8]) {
+    debug_assert!(out.len() >= n && packed.len() >= n.div_ceil(2));
+    for (i, o) in out.iter_mut().enumerate().take(n) {
+        let b = packed[i / 2];
+        *o = if i & 1 == 0 {
+            ((b << 4) as i8) >> 4
+        } else {
+            (b as i8) >> 4
+        };
+    }
+}
+
+/// A weight matrix in packed 4-bit form for integer GEMV/GEMM.
+///
+/// Logical layout matches the FP path — `(in_features, out_features)`,
+/// activations multiply from the left. Quantization groups run along the
+/// *input* (reduction) dimension — the reduction-friendly blocking of
+/// the paper's DSP-packing MMU (Fig. 5b) — so the scale grid is one f32
+/// per `(output, input-group)` block.
+///
+/// Physical storage is **input-major**: one packed row of
+/// `out_features` nibbles per *input* channel. A GEMV then sweeps
+/// activation-outer / output-inner exactly like the f32 `vecmat` hot
+/// loop: each nonzero activation code streams one contiguous byte row
+/// (0.5 bytes per weight) into contiguous i32 accumulators, zero codes
+/// skip their row entirely (4-bit activations are frequently zero), and
+/// one rescale per group folds the accumulators into f32. Scales are
+/// held twice: output-major ([`PackedW4::scales`], the grid order the
+/// quantizer produces) and group-major (`scales_t`, the order the
+/// rescale sweep consumes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedW4 {
+    /// `in_features` rows of `bytes_per_row` packed nibbles each
+    /// (output 2j in the low nibble of byte j, output 2j+1 in the high).
+    packed: Vec<u8>,
+    /// One scale per `(output, group)` block, `groups_per_row` per
+    /// output — the [`QuantizedTensor`] grid order.
+    scales: Vec<f32>,
+    /// The same scales transposed to `[group][output]` for the rescale
+    /// sweep.
+    scales_t: Vec<f32>,
+    group: usize,
+    groups_per_row: usize,
+    bytes_per_row: usize,
+    in_features: usize,
+    out_features: usize,
+    bits: u8,
+}
+
+impl PackedW4 {
+    /// Quantizes a `(in_features, out_features)` weight matrix under a
+    /// per-group scheme with `bits ≤ 4` and packs the codes. The codes
+    /// are produced by the shared [`QuantizedTensor`] on the transposed
+    /// matrix, so the grid is identical to fake-quantizing the packed
+    /// view — the agreement proofs above rely on exactly this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidScheme`] unless the scheme is
+    /// per-group with 2–4 bits.
+    pub fn quantize(weight: &Tensor, scheme: QuantScheme) -> Result<Self> {
+        scheme.validate()?;
+        let group = match scheme.granularity {
+            Granularity::PerGroup(g) => g,
+            other => {
+                return Err(QuantError::InvalidScheme(format!(
+                    "packed 4-bit weights need per-group scales, got {other:?}"
+                )))
+            }
+        };
+        if scheme.bits > 4 {
+            return Err(QuantError::InvalidScheme(format!(
+                "packed nibble storage holds at most 4-bit codes, got {}",
+                scheme.bits
+            )));
+        }
+        let (in_features, out_features) = weight.as_matrix_dims()?;
+        // Quantize the transposed view so groups run along the reduction
+        // (input) dimension; then pack input-major for the GEMV sweep.
+        let wt = weight.transpose()?;
+        let q = QuantizedTensor::quantize(&wt, scheme)?;
+        let groups_per_row = in_features.div_ceil(group);
+        let bytes_per_row = out_features.div_ceil(2);
+        let mut packed = Vec::with_capacity(in_features * bytes_per_row);
+        let mut row_codes = vec![0i8; out_features];
+        for i in 0..in_features {
+            for (o, c) in row_codes.iter_mut().enumerate() {
+                *c = q.codes()[o * in_features + i];
+            }
+            packed.extend(pack_nibbles(&row_codes));
+        }
+        let mut scales_t = vec![0.0f32; groups_per_row * out_features];
+        for o in 0..out_features {
+            for g in 0..groups_per_row {
+                scales_t[g * out_features + o] = q.scales()[o * groups_per_row + g];
+            }
+        }
+        Ok(PackedW4 {
+            packed,
+            scales: q.scales().to_vec(),
+            scales_t,
+            group,
+            groups_per_row,
+            bytes_per_row,
+            in_features,
+            out_features,
+            bits: scheme.bits,
+        })
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Quantization group size along the input dimension.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// The per-`(row, group)` scales, row-major.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The packed nibble storage (`in_features` rows of
+    /// `out_features.div_ceil(2)` bytes).
+    pub fn packed_bytes(&self) -> &[u8] {
+        &self.packed
+    }
+
+    /// Gathers output channel `o`'s signed codes (one per input) into
+    /// `out` (length `in_features`) — the logical "weight row" view used
+    /// by the reference oracle and tests; the hot kernels never gather.
+    pub fn unpack_row_into(&self, o: usize, out: &mut [i8]) {
+        for (i, v) in out.iter_mut().enumerate().take(self.in_features) {
+            let b = self.packed[i * self.bytes_per_row + o / 2];
+            *v = if o & 1 == 0 {
+                ((b << 4) as i8) >> 4
+            } else {
+                (b as i8) >> 4
+            };
+        }
+    }
+
+    /// Storage footprint in bits of the representation actually held:
+    /// packed nibble bytes (including any odd-width padding nibble) plus
+    /// FP16 scales. This is the honest weight-stream width the serving
+    /// cost model prices.
+    pub fn storage_bits(&self) -> usize {
+        self.packed.len() * 8 + self.scales.len() * 16
+    }
+
+    /// Number of quantized parameters (the storage denominator).
+    pub fn params(&self) -> usize {
+        self.in_features * self.out_features
+    }
+
+    /// Reconstructs the dequantized weight in the logical `(in, out)`
+    /// layout — the f32 tensor the fake-quant reference oracle computes
+    /// with. Shares the packed grid exactly.
+    pub fn dequantized_weight(&self) -> Tensor {
+        let mut w = Tensor::zeros(&[self.in_features, self.out_features]);
+        let data = w.data_mut();
+        let mut row = vec![0i8; self.in_features];
+        for o in 0..self.out_features {
+            self.unpack_row_into(o, &mut row);
+            for (i, &c) in row.iter().enumerate() {
+                let s = self.scales[o * self.groups_per_row + i / self.group];
+                data[i * self.out_features + o] = c as f32 * s;
+            }
+        }
+        w
+    }
+}
+
+/// Reusable activation-quantization scratch: per-group symmetric i8
+/// codes plus one f32 scale per group. Buffers grow on first use and are
+/// reused, so quantizing an activation vector allocates nothing in
+/// steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ActQuant {
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+    group: usize,
+    len: usize,
+    /// Largest code magnitude of the latest scheme (drives the i16
+    /// fast-path overflow proof in [`gemv_packed`]).
+    qmax: i32,
+}
+
+impl ActQuant {
+    /// An empty scratch; it warms up on first use.
+    pub fn new() -> Self {
+        ActQuant::default()
+    }
+
+    /// Quantizes `x` under a per-group scheme (2–8 bits), reusing the
+    /// internal buffers. Codes and scales match [`QuantizedTensor`] on
+    /// the same vector bit-for-bit (same absmax → scale → round-clamp).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidScheme`] for non-per-group schemes or
+    /// invalid bit widths.
+    pub fn quantize(&mut self, x: &[f32], scheme: QuantScheme) -> Result<()> {
+        scheme.validate()?;
+        let group = match scheme.granularity {
+            Granularity::PerGroup(g) => g,
+            other => {
+                return Err(QuantError::InvalidScheme(format!(
+                    "activation scratch quantizes per group, got {other:?}"
+                )))
+            }
+        };
+        let qmax = scheme.qmax() as f32;
+        self.codes.resize(x.len(), 0);
+        self.scales.clear();
+        for (chunk, codes) in x.chunks(group).zip(self.codes.chunks_mut(group)) {
+            let absmax = chunk.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let scale = scheme.scale_for(absmax);
+            for (c, &v) in codes.iter_mut().zip(chunk.iter()) {
+                *c = (v / scale).round().clamp(-qmax, qmax) as i8;
+            }
+            self.scales.push(scale);
+        }
+        self.group = group;
+        self.len = x.len();
+        self.qmax = scheme.qmax();
+        Ok(())
+    }
+
+    /// The quantized codes of the latest [`ActQuant::quantize`] call.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes[..self.len]
+    }
+
+    /// One scale per group of the latest call.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Length of the latest quantized vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no vector has been quantized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+fn check_gemv(w: &PackedW4, act: &ActQuant, out: &[f32]) -> Result<()> {
+    if act.len() != w.in_features {
+        return Err(QuantError::InvalidScheme(format!(
+            "activation length {} does not match in_features {}",
+            act.len(),
+            w.in_features
+        )));
+    }
+    if act.group != w.group {
+        return Err(QuantError::InvalidScheme(format!(
+            "activation group {} does not match weight group {}",
+            act.group, w.group
+        )));
+    }
+    if out.len() != w.out_features {
+        return Err(QuantError::InvalidScheme(format!(
+            "output length {} does not match out_features {}",
+            out.len(),
+            w.out_features
+        )));
+    }
+    Ok(())
+}
+
+/// Reusable integer accumulator planes for [`gemv_packed`] /
+/// [`gemm_packed`]: one "even outputs" and one "odd outputs" plane per
+/// activation, in i16 (the W4A4 fast path — twice the SIMD lanes, exact
+/// because a group's reduction is bounded by `group · qmaxₐ · qmax_w`)
+/// or i32 (the general path). Splitting by nibble parity keeps every hot
+/// loop stride-1 over contiguous buffers, which is what lets the
+/// compiler vectorize the unpack-multiply-accumulate.
+#[derive(Debug, Clone, Default)]
+pub struct GemvScratch {
+    acc16: Vec<i16>,
+    acc32: Vec<i32>,
+}
+
+impl GemvScratch {
+    /// An empty scratch; it warms up on first use.
+    pub fn new() -> Self {
+        GemvScratch::default()
+    }
+}
+
+/// Accumulates one packed weight row (input channel `i`'s nibbles across
+/// all outputs) into the even/odd accumulator planes, scaled by the
+/// activation code `q`. Nibble sign-extension is branchless
+/// (`(n ^ 8) - 8`), both planes are stride-1, and the zips are
+/// bounds-check free — the loop auto-vectorizes.
+#[inline]
+fn accumulate_row_i16(row: &[u8], q: i16, even: &mut [i16], odd: &mut [i16]) {
+    for ((&b, e), o) in row.iter().zip(even.iter_mut()).zip(odd.iter_mut()) {
+        *e += q * (((b & 0x0F) ^ 8) as i16 - 8);
+        *o += q * (((b >> 4) ^ 8) as i16 - 8);
+    }
+}
+
+/// The i32 twin of [`accumulate_row_i16`] for wider activations.
+#[inline]
+fn accumulate_row_i32(row: &[u8], q: i32, even: &mut [i32], odd: &mut [i32]) {
+    for ((&b, e), o) in row.iter().zip(even.iter_mut()).zip(odd.iter_mut()) {
+        *e += q * (((b & 0x0F) ^ 8) as i32 - 8);
+        *o += q * (((b >> 4) ^ 8) as i32 - 8);
+    }
+}
+
+/// Whether a whole group's integer reduction provably fits i16:
+/// `group · qmaxₐ · qmax_w ≤ i16::MAX` (weight codes are ≤ 4-bit, so
+/// `qmax_w = 7`). The W4A4 recipe (qmaxₐ = 7) qualifies up to group 668.
+#[inline]
+fn fits_i16(group: usize, act_qmax: i32) -> bool {
+    (group as i64) * (act_qmax as i64) * 7 <= i16::MAX as i64
+}
+
+/// Integer GEMV: `out[o] = Σ_g (Σ_{i∈g} qw·qa) · sw[o,g]·sa[g]`, with the
+/// inner reduction exact in integers and one f32 rescale per `(output,
+/// group)` block — the arithmetic the DSP tree of the paper's MMU
+/// performs. The sweep is activation-outer like the f32 `vecmat` hot
+/// loop: zero activation codes skip their whole weight row (frequent at
+/// 4 bits), and each nonzero code streams 0.5 bytes per output into the
+/// accumulator planes of `scratch` (allocation-free once warm). For
+/// W4A4-shaped groups the planes are i16, doubling SIMD width; the
+/// reduction value is identical either way.
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidScheme`] on any shape or group mismatch.
+pub fn gemv_packed(
+    w: &PackedW4,
+    act: &ActQuant,
+    scratch: &mut GemvScratch,
+    out: &mut [f32],
+) -> Result<()> {
+    check_gemv(w, act, out)?;
+    let qa = act.codes();
+    out.fill(0.0);
+    let half = w.bytes_per_row;
+    let narrow = fits_i16(w.group, act.qmax);
+    if narrow {
+        scratch.acc16.resize(2 * half, 0);
+    } else {
+        scratch.acc32.resize(2 * half, 0);
+    }
+    for (g, &asc) in act.scales().iter().enumerate() {
+        let start = g * w.group;
+        let end = (start + w.group).min(w.in_features);
+        let mut any = false;
+        if narrow {
+            scratch.acc16.fill(0);
+        } else {
+            scratch.acc32.fill(0);
+        }
+        for (i, &q) in qa.iter().enumerate().take(end).skip(start) {
+            if q == 0 {
+                continue;
+            }
+            any = true;
+            let row = &w.packed[i * half..(i + 1) * half];
+            if narrow {
+                let (even, odd) = scratch.acc16.split_at_mut(half);
+                accumulate_row_i16(row, q as i16, even, odd);
+            } else {
+                let (even, odd) = scratch.acc32.split_at_mut(half);
+                accumulate_row_i32(row, q as i32, even, odd);
+            }
+        }
+        if !any {
+            continue;
+        }
+        // One rescale per (output, group) block; with PoT scales every
+        // operation here is exact (see module docs).
+        let srow = &w.scales_t[g * w.out_features..(g + 1) * w.out_features];
+        for (o, (out_v, &wsc)) in out.iter_mut().zip(srow).enumerate() {
+            let ia = if narrow {
+                scratch.acc16[(o & 1) * half + (o >> 1)] as i32
+            } else {
+                scratch.acc32[(o & 1) * half + (o >> 1)]
+            };
+            *out_v += ia as f32 * (wsc * asc);
+        }
+    }
+    Ok(())
+}
+
+/// The fake-quant reference oracle for [`gemv_packed`]: dequantize both
+/// operands element-wise and accumulate in f32, group-blocked in the
+/// same group order. Bit-exact against the integer kernel under
+/// power-of-two scales; within a few ulps per group otherwise (module
+/// docs). This is deliberately the *slow honest* implementation.
+///
+/// # Errors
+///
+/// Same conditions as [`gemv_packed`].
+pub fn gemv_reference(w: &PackedW4, act: &ActQuant, out: &mut [f32]) -> Result<()> {
+    check_gemv(w, act, out)?;
+    let qa = act.codes();
+    let mut row = vec![0i8; w.in_features];
+    for (o, out_v) in out.iter_mut().enumerate() {
+        w.unpack_row_into(o, &mut row);
+        let row_scales = &w.scales[o * w.groups_per_row..(o + 1) * w.groups_per_row];
+        let mut acc = 0.0f32;
+        for (g, (&wsc, &asc)) in row_scales.iter().zip(act.scales()).enumerate() {
+            let start = g * w.group;
+            let end = (start + w.group).min(w.in_features);
+            let mut fsum = 0.0f32;
+            for i in start..end {
+                fsum += (row[i] as f32 * wsc) * (qa[i] as f32 * asc);
+            }
+            acc += fsum;
+        }
+        *out_v = acc;
+    }
+    Ok(())
+}
+
+/// Integer GEMM over a shared packed weight: the batched form of
+/// [`gemv_packed`], weight-stationary — each packed byte row is streamed
+/// **once per group sweep** and reused (L1-hot) across every activation
+/// in the batch, which is the software analogue of the accelerator's
+/// shared weight stream. `scratch` holds one pair of i32 accumulator
+/// planes per activation; `outs[k]` is resized to `out_features`
+/// (allocation-free once warm).
+///
+/// Per activation the integer reduction is identical to
+/// [`gemv_packed`]'s, so results are value-identical.
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidScheme`] on any shape or group mismatch,
+/// including `acts.len() != outs.len()`.
+pub fn gemm_packed(
+    w: &PackedW4,
+    acts: &[ActQuant],
+    scratch: &mut GemvScratch,
+    outs: &mut [Vec<f32>],
+) -> Result<()> {
+    if acts.len() != outs.len() {
+        return Err(QuantError::InvalidScheme(format!(
+            "{} activations for {} outputs",
+            acts.len(),
+            outs.len()
+        )));
+    }
+    for (act, out) in acts.iter().zip(outs.iter_mut()) {
+        out.resize(w.out_features, 0.0);
+        check_gemv(w, act, out)?;
+        out.fill(0.0);
+    }
+    let half = w.bytes_per_row;
+    let planes = 2 * half;
+    scratch.acc32.resize(acts.len() * planes, 0);
+    for g in 0..w.groups_per_row {
+        let start = g * w.group;
+        let end = (start + w.group).min(w.in_features);
+        scratch.acc32.fill(0);
+        for i in start..end {
+            let row = &w.packed[i * half..(i + 1) * half];
+            for (k, act) in acts.iter().enumerate() {
+                let q = act.codes()[i] as i32;
+                if q == 0 {
+                    continue;
+                }
+                let (even, odd) = scratch.acc32[k * planes..(k + 1) * planes].split_at_mut(half);
+                accumulate_row_i32(row, q, even, odd);
+            }
+        }
+        let srow = &w.scales_t[g * w.out_features..(g + 1) * w.out_features];
+        for (k, (act, out)) in acts.iter().zip(outs.iter_mut()).enumerate() {
+            let asc = act.scales()[g];
+            let planes_k = &scratch.acc32[k * planes..(k + 1) * planes];
+            for (o, (out_v, &wsc)) in out.iter_mut().zip(srow).enumerate() {
+                let ia = planes_k[(o & 1) * half + (o >> 1)];
+                *out_v += ia as f32 * (wsc * asc);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_weight(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+        Tensor::from_fn(&[rows, cols], |_| rng.gen_range(-0.5f32..0.5))
+    }
+
+    fn w4(group: usize) -> QuantScheme {
+        QuantScheme::weight_per_group(4, group)
+    }
+
+    #[test]
+    fn pack_unpack_roundtrips_all_nibble_values() {
+        // Every signed 4-bit value in every byte position.
+        let codes: Vec<i8> = (-8..=7).chain((-8..=7).rev()).collect();
+        let packed = pack_nibbles(&codes);
+        assert_eq!(packed.len(), codes.len() / 2);
+        let mut out = vec![0i8; codes.len()];
+        unpack_nibbles_into(&packed, codes.len(), &mut out);
+        assert_eq!(out, codes);
+        // Odd length: trailing low nibble only.
+        let odd = [3i8, -5, 7];
+        let packed = pack_nibbles(&odd);
+        assert_eq!(packed.len(), 2);
+        let mut out = [0i8; 3];
+        unpack_nibbles_into(&packed, 3, &mut out);
+        assert_eq!(out, odd);
+    }
+
+    #[test]
+    fn packed_matches_quantized_tensor_grid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = random_weight(&mut rng, 32, 24);
+        let p = PackedW4::quantize(&w, w4(8)).unwrap();
+        let wt = w.transpose().unwrap();
+        let q = QuantizedTensor::quantize(&wt, w4(8)).unwrap();
+        let mut row = vec![0i8; 32];
+        for o in 0..24 {
+            p.unpack_row_into(o, &mut row);
+            assert_eq!(&row, &q.codes()[o * 32..(o + 1) * 32], "row {o}");
+        }
+        assert_eq!(p.scales(), q.scales());
+        // Dequantized weight matches the transposed fake-quant grid.
+        let dq = p.dequantized_weight();
+        let dq_t = q.dequantize();
+        for o in 0..24 {
+            for i in 0..32 {
+                assert_eq!(dq.data()[i * 24 + o], dq_t.data()[o * 32 + i], "({i},{o})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_matches_reference_closely() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(inf, outf, group) in &[(64usize, 48usize, 16usize), (33, 7, 5), (128, 16, 128)] {
+            let w = random_weight(&mut rng, inf, outf);
+            let p = PackedW4::quantize(&w, w4(group)).unwrap();
+            let x: Vec<f32> = (0..inf).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let mut act = ActQuant::new();
+            act.quantize(&x, QuantScheme::act_per_group(4, group))
+                .unwrap();
+            let mut iacc = GemvScratch::new();
+            let mut int_out = vec![0.0f32; outf];
+            let mut ref_out = vec![0.0f32; outf];
+            gemv_packed(&p, &act, &mut iacc, &mut int_out).unwrap();
+            gemv_reference(&p, &act, &mut ref_out).unwrap();
+            for (a, b) in int_out.iter().zip(ref_out.iter()) {
+                assert!((a - b).abs() <= 1e-5 * b.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_is_bit_exact_under_pot_scales() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pot = |bits, group| QuantScheme {
+            bits,
+            granularity: Granularity::PerGroup(group),
+            pot_scale: true,
+        };
+        let w = random_weight(&mut rng, 96, 40);
+        let p = PackedW4::quantize(&w, pot(4, 16)).unwrap();
+        let x: Vec<f32> = (0..96).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let mut act = ActQuant::new();
+        act.quantize(&x, pot(4, 16)).unwrap();
+        let mut iacc = GemvScratch::new();
+        let mut int_out = vec![0.0f32; 40];
+        let mut ref_out = vec![0.0f32; 40];
+        gemv_packed(&p, &act, &mut iacc, &mut int_out).unwrap();
+        gemv_reference(&p, &act, &mut ref_out).unwrap();
+        assert_eq!(int_out, ref_out, "PoT scales must be bit-exact");
+    }
+
+    #[test]
+    fn gemm_matches_gemv_per_row() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = random_weight(&mut rng, 48, 32);
+        let p = PackedW4::quantize(&w, w4(16)).unwrap();
+        let mut acts = Vec::new();
+        for _ in 0..3 {
+            let x: Vec<f32> = (0..48).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let mut a = ActQuant::new();
+            a.quantize(&x, QuantScheme::act_per_group(4, 16)).unwrap();
+            acts.push(a);
+        }
+        let mut outs = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut iacc = GemvScratch::new();
+        gemm_packed(&p, &acts, &mut iacc, &mut outs).unwrap();
+        for (a, out) in acts.iter().zip(&outs) {
+            let mut single = vec![0.0f32; 32];
+            let mut siacc = GemvScratch::new();
+            gemv_packed(&p, a, &mut siacc, &mut single).unwrap();
+            assert_eq!(out, &single);
+        }
+    }
+
+    #[test]
+    fn act_quant_matches_quantized_tensor() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<f32> = (0..50).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
+        let scheme = QuantScheme::act_per_group(4, 16);
+        let mut act = ActQuant::new();
+        act.quantize(&x, scheme).unwrap();
+        let t = Tensor::from_vec(x.clone(), &[x.len()]).unwrap();
+        let q = QuantizedTensor::quantize(&t, scheme).unwrap();
+        assert_eq!(act.codes(), q.codes());
+        assert_eq!(act.scales(), q.scales());
+        // Reuse shrinks cleanly.
+        act.quantize(&x[..10], scheme).unwrap();
+        assert_eq!(act.len(), 10);
+        assert_eq!(act.scales().len(), 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_shapes_and_schemes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = random_weight(&mut rng, 16, 8);
+        assert!(PackedW4::quantize(&w, QuantScheme::weight_per_channel(4)).is_err());
+        assert!(PackedW4::quantize(&w, w4(0)).is_err());
+        assert!(PackedW4::quantize(&w, QuantScheme::weight_per_group(8, 4)).is_err());
+        let p = PackedW4::quantize(&w, w4(8)).unwrap();
+        let mut act = ActQuant::new();
+        act.quantize(&[0.5; 16], QuantScheme::act_per_group(4, 4))
+            .unwrap();
+        let mut iacc = GemvScratch::new();
+        let mut out = vec![0.0; 8];
+        // Group mismatch.
+        assert!(gemv_packed(&p, &act, &mut iacc, &mut out).is_err());
+        act.quantize(&[0.5; 12], QuantScheme::act_per_group(4, 8))
+            .unwrap();
+        // Length mismatch.
+        assert!(gemv_packed(&p, &act, &mut iacc, &mut out).is_err());
+        act.quantize(&[0.5; 16], QuantScheme::act_per_group(4, 8))
+            .unwrap();
+        // Output length mismatch.
+        assert!(gemv_packed(&p, &act, &mut iacc, &mut out[..4]).is_err());
+        gemv_packed(&p, &act, &mut iacc, &mut out).unwrap();
+    }
+
+    #[test]
+    fn storage_accounts_packed_bytes_and_scales() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = random_weight(&mut rng, 32, 16);
+        let p = PackedW4::quantize(&w, w4(16)).unwrap();
+        // 32 input rows × 8 bytes of nibbles + 16 outs × 2 groups of
+        // 16-bit scales.
+        assert_eq!(p.storage_bits(), 32 * 8 * 8 + 32 * 16);
+        assert_eq!(p.params(), 512);
+        // Odd output width pads each input row to a whole byte.
+        let w = random_weight(&mut rng, 16, 5);
+        let p = PackedW4::quantize(&w, w4(16)).unwrap();
+        assert_eq!(p.storage_bits(), 16 * 3 * 8 + 5 * 16);
+    }
+}

@@ -40,6 +40,7 @@ mod prepared;
 
 pub mod calib;
 pub mod int_linear;
+pub mod kernels;
 pub mod metrics;
 pub mod outlier_suppression;
 pub mod pipeline;
@@ -51,6 +52,7 @@ pub mod rtn;
 pub mod smoothquant;
 
 pub use error::QuantError;
+pub use kernels::{ActQuant, PackedW4};
 pub use prepared::{PreparedBlock, PreparedModel};
 pub use qmodel::QuantizedMamba;
 pub use quantizer::{Granularity, QuantScheme, QuantizedTensor};

@@ -1,21 +1,48 @@
-//! Fake-quantized Mamba2 execution.
+//! Quantized Mamba2 execution: a true-integer W4A4 path over packed
+//! weights, with the fake-quantized path kept as the reference oracle.
 //!
-//! Weights are quantized once at construction; activations are quantized
-//! dynamically at every linear-layer input (and, for the `LightMamba*`
-//! configuration, around the SSM's element-wise chain). Compute happens in
-//! f32 on the *dequantized* values — standard "fake quantization", which is
-//! bit-faithful to integer inference for the accuracy questions Table III
-//! asks while keeping the reference path auditable.
+//! Two execution modes share one set of weights:
+//!
+//! * [`ExecMode::Integer`] — the serving hot path. Linear layers hold
+//!   packed 4-bit weights ([`crate::kernels::PackedW4`], two nibbles per
+//!   byte, per-group scales); each step quantizes the activation to i8
+//!   codes in a reusable scratch and runs the integer GEMV (i32
+//!   accumulate, one f32 rescale per group). This is the arithmetic the
+//!   paper's MMU performs and it streams 8× fewer weight bytes than the
+//!   dequantized-f32 path, which is what makes host decode fast.
+//! * [`ExecMode::FakeQuant`] — the auditable reference: weights are
+//!   dequantized to f32 **on the same quantization grid as the packed
+//!   codes** and every step computes in f32 with activations passed
+//!   through quantize→dequantize. Agreement between the two modes is
+//!   pinned by proptests (bit-exact under power-of-two scales,
+//!   tight-tolerance otherwise — see [`crate::kernels`]).
+//!
+//! The integer mode engages automatically when the precision is
+//! packable (per-group weights ≤ 4 bits and per-group activations with
+//! the same group size — the paper's W4A4 recipe); other precisions
+//! (W8A8's per-channel/per-token, FP) run fake-quantized as before.
+//!
+//! Weights are **immutable and shared**: one `Arc` holds every tensor,
+//! so cloning the model (e.g. registering the same checkpoint in several
+//! serving registries) duplicates no weight memory, and construction
+//! *moves* the prepared tensors instead of cloning them.
+//!
+//! The SSM stays on the fake-quant path in both modes (the paper
+//! executes it on the SSMU's INT8 PoT datapath, not the MMU), so
+//! `LightMamba*`'s `ssm` scheme behaves identically in either mode.
 
-use lightmamba_model::batch;
+use std::sync::Arc;
+
+use lightmamba_model::batch::{self, StepWorkspace};
 use lightmamba_model::eval::StepModel;
-use lightmamba_model::ssm::{ssm_step, SsmDims};
+use lightmamba_model::ssm::{ssm_step_into, SsmDims};
 use lightmamba_model::weights::InProjSplit;
-use lightmamba_model::{LayerState, MambaConfig, ModelError, ModelState};
+use lightmamba_model::{BlockScratch, LayerState, MambaConfig, ModelError, ModelState};
 use lightmamba_tensor::{activation, norm, Tensor};
 
-use crate::prepared::PreparedModel;
-use crate::quantizer::{fake_quant, fake_quant_slice, QuantScheme, QuantizedTensor};
+use crate::kernels::{gemv_packed, ActQuant, GemvScratch, PackedW4};
+use crate::prepared::{PreparedBlock, PreparedModel};
+use crate::quantizer::{fake_quant, fake_quant_slice, Granularity, QuantScheme, QuantizedTensor};
 use crate::Result;
 
 /// Precision configuration for quantized execution.
@@ -71,13 +98,39 @@ impl Precision {
     pub fn weight_bits(&self) -> f64 {
         self.weight.map_or(16.0, |s| s.bits as f64)
     }
+
+    /// Whether this precision supports the packed-integer execution
+    /// path: per-group weights of ≤ 4 bits and per-group activations
+    /// with the same group size (the W4A4 recipe shape).
+    pub fn is_packable(&self) -> bool {
+        match (self.weight, self.act) {
+            (Some(w), Some(a)) => match (w.granularity, a.granularity) {
+                (Granularity::PerGroup(gw), Granularity::PerGroup(ga)) => w.bits <= 4 && gw == ga,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
 }
 
-/// One quantized block: dequantized compute weights plus storage metadata.
-#[derive(Debug, Clone)]
+/// How [`QuantizedMamba`] executes its linear layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Integer GEMV over packed 4-bit weights (the serving hot path).
+    Integer,
+    /// f32 compute on dequantized weights (the reference oracle).
+    FakeQuant,
+}
+
+/// One quantized block: dequantized oracle weights, optional packed
+/// integer weights, and the method's conditioning vectors.
+#[derive(Debug)]
 struct QBlock {
     norm_gamma: Vec<f32>,
+    /// Dequantized f32 weight on the same grid as `w_in_packed` —
+    /// the fake-quant oracle computes with this.
     w_in: Tensor,
+    w_in_packed: Option<PackedW4>,
     w_in_bias: Option<Vec<f32>>,
     in_act_scale: Option<Vec<f32>>,
     in_act_shift: Option<Vec<f32>>,
@@ -91,23 +144,83 @@ struct QBlock {
     out_act_scale: Option<Vec<f32>>,
     out_act_shift: Option<Vec<f32>>,
     w_out: Tensor,
+    w_out_packed: Option<PackedW4>,
     w_out_bias: Option<Vec<f32>>,
 }
 
+/// The immutable weight set of a quantized model, shared via `Arc` so
+/// clones (and multi-registry serving setups) duplicate no weight
+/// memory.
+#[derive(Debug)]
+struct SharedWeights {
+    embedding: Tensor,
+    lm_head: Tensor,
+    lm_head_packed: Option<PackedW4>,
+    final_norm_gamma: Vec<f32>,
+    blocks: Vec<QBlock>,
+}
+
+/// Per-step kernel scratch for the quantized block forward: the shared
+/// FP block buffers ([`lightmamba_model::BlockScratch`] — one `prepare`
+/// keeps the shapes in sync with the FP path) plus the quantization-only
+/// pieces. Every temporary of
+/// [`QuantizedMamba::forward_step_batch_indexed_with`] lives here, so
+/// steady-state decode allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct QuantScratch {
+    block: BlockScratch,
+    act: ActQuant,
+    /// Integer accumulator planes for the packed GEMV.
+    iacc: GemvScratch,
+}
+
+/// Reusable workspace for the quantized batched decode hot path: the
+/// model-agnostic batch buffers plus the quantized kernel scratch
+/// (activation codes included). Grows to the largest batch seen, then
+/// steady-state decode performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct QuantWorkspace {
+    step: StepWorkspace,
+    scratch: QuantScratch,
+    /// LM-head activation codes and i32 accumulators, separate from the
+    /// block scratch so the step driver's block and finish closures
+    /// borrow disjoint state.
+    head_act: ActQuant,
+    head_iacc: GemvScratch,
+}
+
+impl QuantWorkspace {
+    /// An empty workspace; it warms up on the first step.
+    pub fn new() -> Self {
+        QuantWorkspace::default()
+    }
+
+    /// Logits of the latest
+    /// [`QuantizedMamba::forward_step_batch_indexed_with`] call,
+    /// index-aligned with its `items`.
+    pub fn logits(&self) -> &[Vec<f32>] {
+        self.step.logits()
+    }
+}
+
 /// A quantized Mamba2 model implementing [`StepModel`].
+///
+/// Cloning is cheap: weights are held in a shared [`Arc`], so clones
+/// share weight memory and differ only in their private decode state and
+/// execution mode.
 #[derive(Debug, Clone)]
 pub struct QuantizedMamba {
     cfg: MambaConfig,
     split: InProjSplit,
     dims: SsmDims,
     precision: Precision,
-    embedding: Tensor,
-    lm_head: Tensor,
-    final_norm_gamma: Vec<f32>,
-    blocks: Vec<QBlock>,
+    exec: ExecMode,
+    weights: Arc<SharedWeights>,
     state: ModelState,
     /// Total weight storage in bits after quantization (drives the DMA
-    /// traffic model in `lightmamba-accel`).
+    /// traffic model in `lightmamba-accel`). For the packed path this is
+    /// the bits of the representation actually held: packed nibble bytes
+    /// plus FP16 scales.
     weight_storage_bits: usize,
     /// Parameters passing through weight quantization (the denominator
     /// of [`QuantizedMamba::mean_weight_bits`]).
@@ -116,6 +229,13 @@ pub struct QuantizedMamba {
 
 impl QuantizedMamba {
     /// Quantizes a prepared model's weights under `precision`.
+    ///
+    /// Parameter tensors are **moved** out of `prepared`, not cloned;
+    /// everything immutable lands behind one shared `Arc`. When the
+    /// precision is packable ([`Precision::is_packable`]) the linear
+    /// weights are additionally packed for integer execution and the
+    /// dequantized oracle tensors are rebuilt from the packed grid, so
+    /// the two modes quantize identically.
     ///
     /// # Errors
     ///
@@ -130,55 +250,102 @@ impl QuantizedMamba {
         if let Some(s) = precision.ssm {
             s.validate()?;
         }
+        let packable = precision.is_packable();
         let mut storage_bits = 0usize;
         let mut weight_params = 0usize;
-        let mut quant_weight = |t: &Tensor| -> Result<Tensor> {
+        // Quantizes one linear weight, moving it when it stays FP.
+        // Returns the dequantized oracle tensor plus the packed form.
+        let mut quant_weight = |t: Tensor| -> Result<(Tensor, Option<PackedW4>)> {
             weight_params += t.len();
             match precision.weight {
+                Some(scheme) if packable => {
+                    let packed = PackedW4::quantize(&t, scheme)?;
+                    storage_bits += packed.storage_bits();
+                    Ok((packed.dequantized_weight(), Some(packed)))
+                }
                 Some(scheme) => {
-                    let q = QuantizedTensor::quantize(t, scheme)?;
+                    let q = QuantizedTensor::quantize(&t, scheme)?;
                     storage_bits += q.storage_bits();
-                    Ok(q.dequantize())
+                    Ok((q.dequantize(), None))
                 }
                 None => {
                     storage_bits += t.len() * 16;
-                    Ok(t.clone())
+                    Ok((t, None))
                 }
             }
         };
 
-        let mut blocks = Vec::with_capacity(prepared.blocks.len());
-        for b in &prepared.blocks {
+        let PreparedModel {
+            cfg,
+            embedding,
+            lm_head,
+            final_norm_gamma,
+            blocks: prepared_blocks,
+            rewrites: _,
+        } = prepared;
+
+        let mut blocks = Vec::with_capacity(prepared_blocks.len());
+        for b in prepared_blocks {
+            let PreparedBlock {
+                norm_gamma,
+                w_in,
+                w_in_bias,
+                in_act_scale,
+                in_act_shift,
+                conv_weight,
+                conv_bias,
+                a_log,
+                dt_bias,
+                d_skip,
+                gate_norm_gamma,
+                online_hadamard,
+                out_act_scale,
+                out_act_shift,
+                w_out,
+                w_out_bias,
+            } = b;
+            let (w_in, w_in_packed) = quant_weight(w_in)?;
+            let (w_out, w_out_packed) = quant_weight(w_out)?;
             blocks.push(QBlock {
-                norm_gamma: b.norm_gamma.clone(),
-                w_in: quant_weight(&b.w_in)?,
-                w_in_bias: b.w_in_bias.clone(),
-                in_act_scale: b.in_act_scale.clone(),
-                in_act_shift: b.in_act_shift.clone(),
-                conv_weight: b.conv_weight.clone(),
-                conv_bias: b.conv_bias.clone(),
-                a_log: b.a_log.clone(),
-                dt_bias: b.dt_bias.clone(),
-                d_skip: b.d_skip.clone(),
-                gate_norm_gamma: b.gate_norm_gamma.clone(),
-                online_hadamard: b.online_hadamard.clone(),
-                out_act_scale: b.out_act_scale.clone(),
-                out_act_shift: b.out_act_shift.clone(),
-                w_out: quant_weight(&b.w_out)?,
-                w_out_bias: b.w_out_bias.clone(),
+                norm_gamma,
+                w_in,
+                w_in_packed,
+                w_in_bias,
+                in_act_scale,
+                in_act_shift,
+                conv_weight,
+                conv_bias,
+                a_log,
+                dt_bias,
+                d_skip,
+                gate_norm_gamma,
+                online_hadamard,
+                out_act_scale,
+                out_act_shift,
+                w_out,
+                w_out_packed,
+                w_out_bias,
             });
         }
-        let lm_head = quant_weight(&prepared.lm_head)?;
-        let state = ModelState::new(&prepared.cfg);
+        let (lm_head, lm_head_packed) = quant_weight(lm_head)?;
+        let state = ModelState::new(&cfg);
         Ok(QuantizedMamba {
-            split: InProjSplit::new(&prepared.cfg),
-            dims: SsmDims::new(&prepared.cfg),
-            cfg: prepared.cfg,
+            split: InProjSplit::new(&cfg),
+            dims: SsmDims::new(&cfg),
             precision,
-            embedding: prepared.embedding,
-            lm_head,
-            final_norm_gamma: prepared.final_norm_gamma,
-            blocks,
+            exec: if packable {
+                ExecMode::Integer
+            } else {
+                ExecMode::FakeQuant
+            },
+            weights: Arc::new(SharedWeights {
+                embedding,
+                lm_head,
+                lm_head_packed,
+                final_norm_gamma,
+                blocks,
+            }),
+            cfg,
             state,
             weight_storage_bits: storage_bits,
             weight_params,
@@ -195,7 +362,39 @@ impl QuantizedMamba {
         self.precision
     }
 
-    /// Quantized weight storage in bits (codes + scales).
+    /// The execution mode of the linear layers.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
+    }
+
+    /// Selects the execution mode. [`ExecMode::FakeQuant`] is always
+    /// available (it is the reference oracle); [`ExecMode::Integer`]
+    /// requires a packable precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::QuantError::InvalidScheme`] when integer
+    /// execution is requested for an unpackable precision.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Result<Self> {
+        if mode == ExecMode::Integer && self.weights.lm_head_packed.is_none() {
+            return Err(crate::QuantError::InvalidScheme(format!(
+                "precision {:?} has no packed integer path (needs per-group \
+                 weights ≤ 4 bits and per-group activations with the same group)",
+                self.precision
+            )));
+        }
+        self.exec = mode;
+        Ok(self)
+    }
+
+    /// Whether two models share one weight `Arc` (no duplicated weight
+    /// memory) — true for clones of the same construction.
+    pub fn shares_weights_with(&self, other: &QuantizedMamba) -> bool {
+        Arc::ptr_eq(&self.weights, &other.weights)
+    }
+
+    /// Quantized weight storage in bits (codes + scales; for the packed
+    /// path, the packed nibble bytes actually held).
     pub fn weight_storage_bits(&self) -> usize {
         self.weight_storage_bits
     }
@@ -203,7 +402,8 @@ impl QuantizedMamba {
     /// Mean *stored* bits per quantized weight parameter, scales
     /// included — e.g. ~5.0 for 4-bit group-16, ~4.125 for the paper's
     /// group-128 recipe, 16.0 for FP weights. This is the honest
-    /// weight-stream width per parameter for bandwidth models.
+    /// weight-stream width per parameter for bandwidth models, derived
+    /// from the packed representation when one exists.
     pub fn mean_weight_bits(&self) -> f64 {
         if self.weight_params == 0 {
             16.0
@@ -219,125 +419,194 @@ impl QuantizedMamba {
         ModelState::new(&self.cfg)
     }
 
+    /// Whether the integer path executes this step's linear layers.
+    fn integer(&self) -> bool {
+        self.exec == ExecMode::Integer
+    }
+
     /// Advances one block given the residual-stream input `x` and that
-    /// block's recurrent state. This is the shared per-sequence core of
-    /// the sequential and batched paths, so the two are bit-identical by
-    /// construction *per sequence* (their loop orders differ: sequential
-    /// is block-outer, batched is layer-outer/sequence-inner).
-    fn block_step(&self, block: &QBlock, x: &mut [f32], lstate: &mut LayerState) -> Result<()> {
+    /// block's recurrent state, with every temporary in `scratch`. This
+    /// is the shared per-sequence core of the sequential and batched
+    /// paths, so the two are bit-identical by construction *per
+    /// sequence* (their loop orders differ: sequential is block-outer,
+    /// batched is layer-outer/sequence-inner).
+    fn block_step_with(
+        &self,
+        block: &QBlock,
+        x: &mut [f32],
+        lstate: &mut LayerState,
+        scratch: &mut QuantScratch,
+    ) -> Result<()> {
         let act = self.precision.act;
         let ssm_scheme = self.precision.ssm;
-        let maybe_fq = |xs: &mut Vec<f32>, scheme: Option<QuantScheme>| -> Result<()> {
-            if let Some(s) = scheme {
-                fake_quant_slice(xs, s)?;
-            }
-            Ok(())
-        };
         let di = self.cfg.d_inner();
         let g = self.cfg.ngroups * self.cfg.d_state;
+        scratch.block.prepare(&self.cfg);
 
         // Pre-norm + method-specific activation conditioning.
-        let mut normed = x.to_vec();
-        norm::rms_norm(&mut normed, &block.norm_gamma, 1e-5);
+        scratch.block.normed.copy_from_slice(x);
+        norm::rms_norm(&mut scratch.block.normed, &block.norm_gamma, 1e-5);
         if let Some(shift) = &block.in_act_shift {
-            for (v, s) in normed.iter_mut().zip(shift.iter()) {
+            for (v, s) in scratch.block.normed.iter_mut().zip(shift.iter()) {
                 *v -= s;
             }
         }
         if let Some(scale) = &block.in_act_scale {
-            for (v, s) in normed.iter_mut().zip(scale.iter()) {
+            for (v, s) in scratch.block.normed.iter_mut().zip(scale.iter()) {
                 *v /= s;
             }
         }
-        maybe_fq(&mut normed, act)?;
 
-        let mut proj = block.w_in.vecmat(&normed)?;
+        // Input projection: integer GEMV over packed nibbles on the hot
+        // path, fake-quant + f32 GEMV on the oracle path.
+        match (&block.w_in_packed, self.integer()) {
+            (Some(packed), true) => {
+                let scheme = act.expect("packable precision has an act scheme");
+                scratch.act.quantize(&scratch.block.normed, scheme)?;
+                gemv_packed(
+                    packed,
+                    &scratch.act,
+                    &mut scratch.iacc,
+                    &mut scratch.block.proj,
+                )?;
+            }
+            _ => {
+                if let Some(s) = act {
+                    fake_quant_slice(&mut scratch.block.normed, s)?;
+                }
+                block
+                    .w_in
+                    .vecmat_into(&scratch.block.normed, &mut scratch.block.proj)?;
+            }
+        }
         if let Some(bias) = &block.w_in_bias {
-            for (p, b) in proj.iter_mut().zip(bias.iter()) {
+            for (p, b) in scratch.block.proj.iter_mut().zip(bias.iter()) {
                 *p += b;
             }
         }
         let s = &self.split;
-        let z = proj[s.z.0..s.z.1].to_vec();
-        let x_pre = &proj[s.x.0..s.x.1];
-        let b_pre = &proj[s.b.0..s.b.1];
-        let c_pre = &proj[s.c.0..s.c.1];
-        let dt_raw = proj[s.dt.0..s.dt.1].to_vec();
 
-        let mut conv_in = Vec::with_capacity(self.cfg.conv_dim());
-        conv_in.extend_from_slice(x_pre);
-        conv_in.extend_from_slice(b_pre);
-        conv_in.extend_from_slice(c_pre);
-        let mut conv_out = lstate
-            .conv
-            .step(&conv_in, &block.conv_weight, &block.conv_bias)?;
-        activation::silu_slice(&mut conv_out);
-
-        let mut x_ssm = conv_out[0..di].to_vec();
-        let mut b_ssm = conv_out[di..di + g].to_vec();
-        let mut c_ssm = conv_out[di + g..di + 2 * g].to_vec();
+        // Causal conv over (x, B, C), then SiLU on the conv output.
+        scratch.block.conv_in[0..di].copy_from_slice(&scratch.block.proj[s.x.0..s.x.1]);
+        scratch.block.conv_in[di..di + g].copy_from_slice(&scratch.block.proj[s.b.0..s.b.1]);
+        scratch.block.conv_in[di + g..di + 2 * g]
+            .copy_from_slice(&scratch.block.proj[s.c.0..s.c.1]);
+        lstate.conv.step_into(
+            &scratch.block.conv_in,
+            &block.conv_weight,
+            &block.conv_bias,
+            &mut scratch.block.conv_out,
+        )?;
+        activation::silu_slice(&mut scratch.block.conv_out);
 
         // SSM quantization (LightMamba*): quantize the element-wise
         // chain's operands and re-quantize state and output, modelling
-        // the INT8 per-group PoT dataflow of the SSMU.
+        // the INT8 per-group PoT dataflow of the SSMU (identical in both
+        // execution modes — the SSM never runs on the MMU).
         if let Some(sq) = ssm_scheme {
-            fake_quant_slice(&mut x_ssm, sq)?;
-            fake_quant_slice(&mut b_ssm, sq)?;
-            fake_quant_slice(&mut c_ssm, sq)?;
+            fake_quant_slice(&mut scratch.block.conv_out[0..di], sq)?;
+            fake_quant_slice(&mut scratch.block.conv_out[di..di + g], sq)?;
+            fake_quant_slice(&mut scratch.block.conv_out[di + g..di + 2 * g], sq)?;
         }
-        let mut y = ssm_step(
+        ssm_step_into(
             self.dims,
-            &x_ssm,
-            &b_ssm,
-            &c_ssm,
-            &dt_raw,
+            &scratch.block.conv_out[0..di],
+            &scratch.block.conv_out[di..di + g],
+            &scratch.block.conv_out[di + g..di + 2 * g],
+            &scratch.block.proj[s.dt.0..s.dt.1],
             &block.a_log,
             &block.dt_bias,
             &block.d_skip,
             &mut lstate.h,
+            &mut scratch.block.y,
         )?;
         if let Some(sq) = ssm_scheme {
             fake_quant_slice(&mut lstate.h, sq)?;
-            fake_quant_slice(&mut y, sq)?;
+            fake_quant_slice(&mut scratch.block.y, sq)?;
         }
 
         // Gated norm (scale kept unfused per Fig. 4b), online rotation,
         // method-specific conditioning, activation quantization.
-        norm::gated_rms_norm(&mut y, &z, &block.gate_norm_gamma, 1e-5);
+        norm::gated_rms_norm(
+            &mut scratch.block.y,
+            &scratch.block.proj[s.z.0..s.z.1],
+            &block.gate_norm_gamma,
+            1e-5,
+        );
         if let Some(h) = &block.online_hadamard {
-            h.apply(&mut y);
+            h.apply(&mut scratch.block.y);
         }
         if let Some(shift) = &block.out_act_shift {
-            for (v, s) in y.iter_mut().zip(shift.iter()) {
+            for (v, s) in scratch.block.y.iter_mut().zip(shift.iter()) {
                 *v -= s;
             }
         }
         if let Some(scale) = &block.out_act_scale {
-            for (v, s) in y.iter_mut().zip(scale.iter()) {
+            for (v, s) in scratch.block.y.iter_mut().zip(scale.iter()) {
                 *v /= s;
             }
         }
-        maybe_fq(&mut y, act)?;
 
-        let mut out = block.w_out.vecmat(&y)?;
+        // Output projection, then the residual add.
+        match (&block.w_out_packed, self.integer()) {
+            (Some(packed), true) => {
+                let scheme = act.expect("packable precision has an act scheme");
+                scratch.act.quantize(&scratch.block.y, scheme)?;
+                gemv_packed(
+                    packed,
+                    &scratch.act,
+                    &mut scratch.iacc,
+                    &mut scratch.block.out,
+                )?;
+            }
+            _ => {
+                if let Some(s) = act {
+                    fake_quant_slice(&mut scratch.block.y, s)?;
+                }
+                block
+                    .w_out
+                    .vecmat_into(&scratch.block.y, &mut scratch.block.out)?;
+            }
+        }
         if let Some(bias) = &block.w_out_bias {
-            for (o, b) in out.iter_mut().zip(bias.iter()) {
+            for (o, b) in scratch.block.out.iter_mut().zip(bias.iter()) {
                 *o += b;
             }
         }
-        for (xi, oi) in x.iter_mut().zip(out.iter()) {
+        for (xi, oi) in x.iter_mut().zip(scratch.block.out.iter()) {
             *xi += oi;
         }
         Ok(())
     }
 
-    /// Final norm + optional activation quantization + LM head.
-    fn logits_from(&self, mut x: Vec<f32>) -> Result<Vec<f32>> {
-        norm::rms_norm(&mut x, &self.final_norm_gamma, 1e-5);
-        if let Some(s) = self.precision.act {
-            fake_quant_slice(&mut x, s)?;
+    /// Final norm + optional activation quantization + LM head, writing
+    /// into a reusable logits buffer.
+    fn logits_into(
+        &self,
+        x: &mut [f32],
+        logits: &mut Vec<f32>,
+        act: &mut ActQuant,
+        iacc: &mut GemvScratch,
+    ) -> Result<()> {
+        norm::rms_norm(x, &self.weights.final_norm_gamma, 1e-5);
+        logits.resize(self.cfg.vocab_size, 0.0);
+        match (&self.weights.lm_head_packed, self.integer()) {
+            (Some(packed), true) => {
+                let scheme = self
+                    .precision
+                    .act
+                    .expect("packable precision has an act scheme");
+                act.quantize(x, scheme)?;
+                gemv_packed(packed, act, iacc, logits)?;
+            }
+            _ => {
+                if let Some(s) = self.precision.act {
+                    fake_quant_slice(x, s)?;
+                }
+                self.weights.lm_head.vecmat_into(x, logits)?;
+            }
         }
-        Ok(self.lm_head.vecmat(&x)?)
+        Ok(())
     }
 
     /// One decode step against an external state (the serving path; the
@@ -348,12 +617,51 @@ impl QuantizedMamba {
     /// Returns [`ModelError::TokenOutOfRange`] / [`ModelError::StateMismatch`]
     /// wrapped in [`crate::QuantError`] for invalid inputs.
     pub fn forward_step_with(&self, token: u32, state: &mut ModelState) -> Result<Vec<f32>> {
-        batch::validate_batch_items(&self.cfg, &[(0, token)], std::slice::from_ref(state))?;
-        let mut x = self.embedding.row(token as usize)?.to_vec();
-        for (block, lstate) in self.blocks.iter().zip(state.layers.iter_mut()) {
-            self.block_step(block, &mut x, lstate)?;
-        }
-        self.logits_from(x)
+        let mut ws = QuantWorkspace::new();
+        self.forward_step_batch_indexed_with(&[(0, token)], std::slice::from_mut(state), &mut ws)?;
+        Ok(ws
+            .step
+            .take_logits()
+            .pop()
+            .expect("one item yields one logits vector"))
+    }
+
+    /// Workspace-threaded batched decode step: like
+    /// [`QuantizedMamba::forward_step_batch_indexed`], but every
+    /// temporary — residual streams, projections, activation codes,
+    /// logits — lives in `ws`, so a steady-state decode loop performs
+    /// zero heap allocations (pinned by the `no_alloc` integration
+    /// test). Logits land in `ws.logits()`, index-aligned with `items`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`QuantizedMamba::forward_step_batch_indexed`].
+    pub fn forward_step_batch_indexed_with(
+        &self,
+        items: &[(usize, u32)],
+        states: &mut [ModelState],
+        ws: &mut QuantWorkspace,
+    ) -> Result<()> {
+        let scratch = &mut ws.scratch;
+        let head_act = &mut ws.head_act;
+        let head_iacc = &mut ws.head_iacc;
+        batch::drive_step_batch_indexed_into(
+            &self.cfg,
+            items,
+            states,
+            &mut ws.step,
+            |token, buf| {
+                let row = self.weights.embedding.row(token as usize)?;
+                buf.clear();
+                buf.extend_from_slice(row);
+                Ok(())
+            },
+            |layer, x, lstate| {
+                self.block_step_with(&self.weights.blocks[layer], x, lstate, scratch)
+            },
+            |x, logits| self.logits_into(x, logits, head_act, head_iacc),
+        )
     }
 
     /// One decode step for a batch: `items[k] = (state_index, token)`
@@ -361,9 +669,9 @@ impl QuantizedMamba {
     /// sequence's next-token logits as `(state_index, logits)` — the
     /// quantized mirror of
     /// [`lightmamba_model::MambaModel::forward_step_batch_indexed`],
-    /// layer-outer/sequence-inner so each block's (dequantized) weights
-    /// are touched once per step. Per-sequence arithmetic is bit-identical
-    /// to the sequential [`StepModel`] decode.
+    /// layer-outer/sequence-inner so each block's weights are touched
+    /// once per step. Per-sequence arithmetic is bit-identical to the
+    /// sequential [`StepModel`] decode.
     ///
     /// # Errors
     ///
@@ -374,14 +682,13 @@ impl QuantizedMamba {
         items: &[(usize, u32)],
         states: &mut [ModelState],
     ) -> Result<Vec<(usize, Vec<f32>)>> {
-        batch::drive_step_batch_indexed(
-            &self.cfg,
-            items,
-            states,
-            |token| Ok(self.embedding.row(token as usize)?.to_vec()),
-            |layer, x, lstate| self.block_step(&self.blocks[layer], x, lstate),
-            |x| self.logits_from(x),
-        )
+        let mut ws = QuantWorkspace::new();
+        self.forward_step_batch_indexed_with(items, states, &mut ws)?;
+        Ok(items
+            .iter()
+            .map(|&(slot, _)| slot)
+            .zip(ws.step.take_logits())
+            .collect())
     }
 
     /// One decode step for every sequence: `tokens` and `states` are
@@ -423,6 +730,29 @@ impl QuantizedMamba {
         out
     }
 
+    /// Workspace-threaded ragged prefill: consumes `prompts[k]` into
+    /// `states[k]` position-by-position reusing `ws` across positions,
+    /// and returns each sequence's logits after its final prompt token.
+    /// Only the returned finals allocate (once per sequence).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantizedMamba::prefill_batch`].
+    pub fn prefill_batch_with(
+        &self,
+        prompts: &[&[u32]],
+        states: &mut [ModelState],
+        ws: &mut QuantWorkspace,
+    ) -> Result<Vec<Vec<f32>>> {
+        batch::drive_prefill_batch_with(
+            prompts,
+            states,
+            ws,
+            |items, states, ws| self.forward_step_batch_indexed_with(items, states, ws),
+            |ws, j| ws.logits()[j].clone(),
+        )
+    }
+
     /// Batched prefill over ragged prompts: consumes `prompts[k]` into
     /// `states[k]` position-by-position and returns each sequence's
     /// logits after its final prompt token (mirrors
@@ -437,9 +767,7 @@ impl QuantizedMamba {
         prompts: &[&[u32]],
         states: &mut [ModelState],
     ) -> Result<Vec<Vec<f32>>> {
-        batch::drive_prefill_batch(prompts, states, |items, states| {
-            self.forward_step_batch_indexed(items, states)
-        })
+        self.prefill_batch_with(prompts, states, &mut QuantWorkspace::new())
     }
 }
 
@@ -496,6 +824,7 @@ mod tests {
         let model = reference();
         let prepared = PreparedModel::from_reference(&model).unwrap();
         let mut q = QuantizedMamba::new(prepared, precision(8, 8)).unwrap();
+        assert_eq!(q.exec_mode(), ExecMode::FakeQuant);
         let mut r = ReferenceRunner::new(model);
         let rep = compare_models(&mut r, &mut q, &sequences()).unwrap();
         assert!(rep.mean_kl < 0.1, "W8A8 KL too high: {}", rep.mean_kl);
@@ -552,6 +881,9 @@ mod tests {
         )
         .unwrap();
         assert!(p4.weight_storage_bits() < p8.weight_storage_bits());
+        // Packed group-16: 4-bit codes + one FP16 scale per 16 ≈ 5 b/param.
+        let wb = p4.mean_weight_bits();
+        assert!((4.9..5.2).contains(&wb), "packed bits/param {wb}");
     }
 
     #[test]
@@ -579,6 +911,7 @@ mod tests {
         let model = reference();
         let prepared = PreparedModel::from_reference(&model).unwrap();
         let mut q = QuantizedMamba::new(prepared, Precision::w4a4(16)).unwrap();
+        assert_eq!(q.exec_mode(), ExecMode::Integer);
         let prompts: [&[u32]; 3] = [&[5, 9, 2], &[40, 1], &[7, 7, 7, 7]];
 
         // Sequential reference through the StepModel interface.
@@ -643,5 +976,92 @@ mod tests {
         assert!(q
             .forward_step_batch_indexed(&[(0, 1), (1, 2)], &mut states)
             .is_err());
+    }
+
+    #[test]
+    fn integer_and_fake_quant_modes_agree_closely() {
+        // The tentpole invariant at model scale: the packed integer path
+        // and the fake-quant oracle share one quantization grid and
+        // differ only in accumulation rounding, so full-model logits
+        // stay within a tight relative tolerance (the kernel-level
+        // agreement including the PoT bit-exact case is proptested in
+        // tests/kernel_props.rs).
+        let model = reference();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let q_int = QuantizedMamba::new(prepared, Precision::w4a4(16)).unwrap();
+        let q_fake = q_int.clone().with_exec_mode(ExecMode::FakeQuant).unwrap();
+        assert!(q_int.shares_weights_with(&q_fake));
+        let mut s_int = q_int.new_state();
+        let mut s_fake = q_fake.new_state();
+        for &t in &[5u32, 9, 2, 40, 1, 7] {
+            let li = q_int.forward_step_with(t, &mut s_int).unwrap();
+            let lf = q_fake.forward_step_with(t, &mut s_fake).unwrap();
+            let scale = lf.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+            for (a, b) in li.iter().zip(lf.iter()) {
+                assert!((a - b).abs() <= 1e-4 * scale, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn integer_mode_requires_packable_precision() {
+        let model = reference();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        // Per-channel/per-token W8A8 has no packed path.
+        let q = QuantizedMamba::new(prepared, precision(8, 8)).unwrap();
+        assert_eq!(q.exec_mode(), ExecMode::FakeQuant);
+        assert!(q.with_exec_mode(ExecMode::Integer).is_err());
+        // W4A8 with matching groups is packable.
+        let prepared = PreparedModel::from_reference(&reference()).unwrap();
+        let p = Precision {
+            weight: Some(QuantScheme::weight_per_group(4, 16)),
+            act: Some(QuantScheme::act_per_group(8, 16)),
+            ssm: None,
+        };
+        assert!(p.is_packable());
+        let q = QuantizedMamba::new(prepared, p).unwrap();
+        assert_eq!(q.exec_mode(), ExecMode::Integer);
+        // Mismatched groups fall back to fake quantization.
+        let p = Precision {
+            weight: Some(QuantScheme::weight_per_group(4, 16)),
+            act: Some(QuantScheme::act_per_group(4, 32)),
+            ssm: None,
+        };
+        assert!(!p.is_packable());
+        let prepared = PreparedModel::from_reference(&reference()).unwrap();
+        let q = QuantizedMamba::new(prepared, p).unwrap();
+        assert_eq!(q.exec_mode(), ExecMode::FakeQuant);
+    }
+
+    #[test]
+    fn construction_moves_fp_tensors_instead_of_cloning() {
+        // With FP weights the prepared tensors must be moved into the
+        // shared weight set — same heap buffers, no copy.
+        let model = reference();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let embedding_ptr = prepared.embedding.data().as_ptr();
+        let conv_ptr = prepared.blocks[0].conv_weight.data().as_ptr();
+        let w_in_ptr = prepared.blocks[0].w_in.data().as_ptr();
+        let q = QuantizedMamba::new(prepared, Precision::fp()).unwrap();
+        assert_eq!(q.weights.embedding.data().as_ptr(), embedding_ptr);
+        assert_eq!(q.weights.blocks[0].conv_weight.data().as_ptr(), conv_ptr);
+        assert_eq!(q.weights.blocks[0].w_in.data().as_ptr(), w_in_ptr);
+    }
+
+    #[test]
+    fn clones_share_weight_memory() {
+        let model = reference();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let q = QuantizedMamba::new(prepared, Precision::w4a4(16)).unwrap();
+        let clone = q.clone();
+        assert!(q.shares_weights_with(&clone));
+        assert_eq!(Arc::strong_count(&q.weights), 2);
+        // A separately constructed model does not share.
+        let other = QuantizedMamba::new(
+            PreparedModel::from_reference(&model).unwrap(),
+            Precision::w4a4(16),
+        )
+        .unwrap();
+        assert!(!q.shares_weights_with(&other));
     }
 }

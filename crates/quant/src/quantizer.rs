@@ -279,13 +279,40 @@ pub fn fake_quant(t: &Tensor, scheme: QuantScheme) -> Result<Tensor> {
 
 /// Fake-quantizes a slice in place (vector treated as one token row).
 ///
+/// Allocation-free: each block's scale is computed from its absmax and
+/// the round-trip `round(v/s)·s` is applied directly, which is
+/// bit-identical to quantizing through [`QuantizedTensor`] and
+/// dequantizing (the i8 cast is the identity on in-range integers).
+/// Decode hot paths call this per step, so it must not touch the heap.
+///
 /// # Errors
 ///
 /// Propagates scheme validation errors.
 pub fn fake_quant_slice(xs: &mut [f32], scheme: QuantScheme) -> Result<()> {
-    let t = Tensor::from_vec(xs.to_vec(), &[xs.len()])?;
-    let q = fake_quant(&t, scheme)?;
-    xs.copy_from_slice(q.data());
+    scheme.validate()?;
+    let qmax = scheme.qmax() as f32;
+    let block = |b: &mut [f32]| {
+        let absmax = b.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = scheme.scale_for(absmax);
+        for v in b.iter_mut() {
+            *v = (*v / scale).round().clamp(-qmax, qmax) * scale;
+        }
+    };
+    match scheme.granularity {
+        // A slice is a single token row: per-tensor and per-token
+        // coincide; per-channel degenerates to one scale per element.
+        Granularity::PerTensor | Granularity::PerToken => block(xs),
+        Granularity::PerChannel => {
+            for v in xs.iter_mut() {
+                block(std::slice::from_mut(v));
+            }
+        }
+        Granularity::PerGroup(g) => {
+            for chunk in xs.chunks_mut(g) {
+                block(chunk);
+            }
+        }
+    }
     Ok(())
 }
 

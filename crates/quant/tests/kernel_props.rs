@@ -1,0 +1,171 @@
+//! Property tests for the packed integer W4A4 kernels: lossless nibble
+//! packing, agreement between the integer GEMV and the fake-quant
+//! reference oracle (bit-exact under PoT scales), GEMM ≡ GEMV, and
+//! full-model integer-vs-oracle decode agreement.
+
+use lightmamba_model::MambaConfig;
+use lightmamba_model::MambaModel;
+use lightmamba_quant::kernels::{
+    gemm_packed, gemv_packed, gemv_reference, pack_nibbles, unpack_nibbles_into, ActQuant,
+    GemvScratch, PackedW4,
+};
+use lightmamba_quant::qmodel::{ExecMode, Precision};
+use lightmamba_quant::{Granularity, PreparedModel, QuantScheme, QuantizedMamba};
+use lightmamba_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn per_group(bits: u8, group: usize, pot: bool) -> QuantScheme {
+    QuantScheme {
+        bits,
+        granularity: Granularity::PerGroup(group),
+        pot_scale: pot,
+    }
+}
+
+fn random_problem(
+    seed: u64,
+    inf: usize,
+    outf: usize,
+    group: usize,
+    wbits: u8,
+    abits: u8,
+    pot: bool,
+) -> (PackedW4, ActQuant) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = Tensor::from_fn(&[inf, outf], |_| rng.gen_range(-0.8f32..0.8));
+    let p = PackedW4::quantize(&w, per_group(wbits, group, pot)).unwrap();
+    let x: Vec<f32> = (0..inf).map(|_| rng.gen_range(-2.5f32..2.5)).collect();
+    let mut act = ActQuant::new();
+    act.quantize(&x, per_group(abits, group, pot)).unwrap();
+    (p, act)
+}
+
+/// Every possible byte holds two nibbles that survive a pack round trip
+/// (exhaustive, so the proptest below only has to cover lengths).
+#[test]
+fn every_byte_pattern_roundtrips() {
+    for b in 0u8..=255 {
+        let mut pair = [0i8; 2];
+        unpack_nibbles_into(&[b], 2, &mut pair);
+        assert!((-8..=7).contains(&pair[0]) && (-8..=7).contains(&pair[1]));
+        assert_eq!(pack_nibbles(&pair), vec![b], "byte {b:#04x}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_nibble_roundtrip_is_lossless(
+        codes in proptest::collection::vec(-8i8..8, 0..200),
+    ) {
+        let packed = pack_nibbles(&codes);
+        prop_assert_eq!(packed.len(), codes.len().div_ceil(2));
+        let mut out = vec![0i8; codes.len()];
+        unpack_nibbles_into(&packed, codes.len(), &mut out);
+        prop_assert_eq!(out, codes);
+    }
+
+    #[test]
+    fn integer_gemv_agrees_with_fake_quant_reference(
+        seed in 0u64..10_000,
+        inf in 1usize..96,
+        outf in 1usize..64,
+        group in 1usize..48,
+        wbits in 2u8..5,
+        abits in 2u8..5,
+    ) {
+        let (p, act) = random_problem(seed, inf, outf, group, wbits, abits, false);
+        let mut scratch = GemvScratch::new();
+        let mut int_out = vec![0.0f32; outf];
+        let mut ref_out = vec![0.0f32; outf];
+        gemv_packed(&p, &act, &mut scratch, &mut int_out).unwrap();
+        gemv_reference(&p, &act, &mut ref_out).unwrap();
+        // Same quantization grid, same group-blocked accumulation order;
+        // only per-element vs per-group rounding differs.
+        for (a, b) in int_out.iter().zip(ref_out.iter()) {
+            prop_assert!(
+                (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+                "int {} vs oracle {} (seed {}, {}x{} g{})",
+                a, b, seed, inf, outf, group
+            );
+        }
+    }
+
+    #[test]
+    fn integer_gemv_is_bit_exact_under_pot_scales(
+        seed in 0u64..10_000,
+        inf in 1usize..96,
+        outf in 1usize..64,
+        group in 1usize..48,
+    ) {
+        // With power-of-two scales neither path performs a rounding
+        // f32 operation, so agreement is exact, not approximate.
+        let (p, act) = random_problem(seed, inf, outf, group, 4, 4, true);
+        let mut scratch = GemvScratch::new();
+        let mut int_out = vec![0.0f32; outf];
+        let mut ref_out = vec![0.0f32; outf];
+        gemv_packed(&p, &act, &mut scratch, &mut int_out).unwrap();
+        gemv_reference(&p, &act, &mut ref_out).unwrap();
+        prop_assert_eq!(int_out, ref_out);
+    }
+
+    #[test]
+    fn gemm_is_value_identical_to_gemv(
+        seed in 0u64..10_000,
+        inf in 1usize..64,
+        outf in 1usize..48,
+        group in 1usize..32,
+        batch in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Tensor::from_fn(&[inf, outf], |_| rng.gen_range(-0.8f32..0.8));
+        let p = PackedW4::quantize(&w, per_group(4, group, false)).unwrap();
+        let mut acts = Vec::new();
+        for _ in 0..batch {
+            let x: Vec<f32> = (0..inf).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let mut a = ActQuant::new();
+            a.quantize(&x, per_group(4, group, false)).unwrap();
+            acts.push(a);
+        }
+        let mut outs: Vec<Vec<f32>> = vec![Vec::new(); batch];
+        let mut scratch = GemvScratch::new();
+        gemm_packed(&p, &acts, &mut scratch, &mut outs).unwrap();
+        for (a, out) in acts.iter().zip(&outs) {
+            let mut single = vec![0.0f32; outf];
+            let mut s2 = GemvScratch::new();
+            gemv_packed(&p, a, &mut s2, &mut single).unwrap();
+            prop_assert_eq!(out.clone(), single);
+        }
+    }
+
+    #[test]
+    fn model_integer_decode_tracks_fake_quant_oracle(
+        seed in 0u64..200,
+        group in prop_oneof![Just(8usize), Just(16), Just(32)],
+    ) {
+        // Full-model version of the kernel agreement: one weight set,
+        // both execution modes, logits within a tight relative band.
+        let model =
+            MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(seed)).unwrap();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let q_int = QuantizedMamba::new(prepared, Precision::w4a4(group)).unwrap();
+        prop_assert_eq!(q_int.exec_mode(), ExecMode::Integer);
+        let q_fake = q_int.clone().with_exec_mode(ExecMode::FakeQuant).unwrap();
+        prop_assert!(q_int.shares_weights_with(&q_fake));
+        let mut s_int = q_int.new_state();
+        let mut s_fake = q_fake.new_state();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        for _ in 0..6 {
+            let t = rng.gen_range(0u32..256);
+            let li = q_int.forward_step_with(t, &mut s_int).unwrap();
+            let lf = q_fake.forward_step_with(t, &mut s_fake).unwrap();
+            let scale = lf.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+            for (a, b) in li.iter().zip(lf.iter()) {
+                prop_assert!((a - b).abs() <= 1e-3 * scale, "{} vs {}", a, b);
+            }
+        }
+    }
+}

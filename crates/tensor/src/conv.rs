@@ -72,10 +72,31 @@ impl ConvState {
     /// Returns [`TensorError::ShapeMismatch`] when `input`/`bias` lengths or
     /// the weight shape disagree with this state.
     pub fn step(&mut self, input: &[f32], weight: &Tensor, bias: &[f32]) -> Result<Vec<f32>> {
-        if input.len() != self.channels || bias.len() != self.channels {
+        let mut out = vec![0.0f32; self.channels];
+        self.step_into(input, weight, bias, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ConvState::step`] writing into a caller-provided buffer of one
+    /// entry per channel — the allocation-free variant decode hot paths
+    /// use.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConvState::step`], plus a shape error when
+    /// `out` has the wrong length.
+    pub fn step_into(
+        &mut self,
+        input: &[f32],
+        weight: &Tensor,
+        bias: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        if input.len() != self.channels || bias.len() != self.channels || out.len() != self.channels
+        {
             return Err(TensorError::ShapeMismatch {
                 left: vec![self.channels],
-                right: vec![input.len(), bias.len()],
+                right: vec![input.len(), bias.len(), out.len()],
             });
         }
         let (wc, wk) = weight.as_matrix_dims()?;
@@ -86,7 +107,6 @@ impl ConvState {
             });
         }
         let w = weight.data();
-        let mut out = vec![0.0f32; self.channels];
         for c in 0..self.channels {
             let win = &mut self.window[c * self.kernel..(c + 1) * self.kernel];
             win.rotate_left(1);
@@ -98,7 +118,7 @@ impl ConvState {
             }
             out[c] = acc;
         }
-        Ok(out)
+        Ok(())
     }
 }
 

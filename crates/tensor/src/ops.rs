@@ -66,6 +66,20 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] when `self` is not a matrix
     /// and [`TensorError::MatmulDimMismatch`] when lengths disagree.
     pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>> {
+        let (m, _) = self.as_matrix_dims()?;
+        let mut out = vec![0.0f32; m];
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::matvec`] writing into a caller-provided buffer of length
+    /// `m` — the allocation-free variant decode hot paths use.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matvec`], plus
+    /// [`TensorError::ShapeMismatch`] when `out` has the wrong length.
+    pub fn matvec_into(&self, x: &[f32], out: &mut [f32]) -> Result<()> {
         let (m, k) = self.as_matrix_dims()?;
         if x.len() != k {
             return Err(TensorError::MatmulDimMismatch {
@@ -73,8 +87,13 @@ impl Tensor {
                 right_rows: x.len(),
             });
         }
+        if out.len() != m {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![m],
+                right: vec![out.len()],
+            });
+        }
         let a = self.data();
-        let mut out = vec![0.0f32; m];
         for (i, o) in out.iter_mut().enumerate() {
             let row = &a[i * k..(i + 1) * k];
             let mut acc = 0.0f32;
@@ -83,7 +102,7 @@ impl Tensor {
             }
             *o = acc;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Vector–matrix product `x @ self` where `self` is `(k, n)` and `x`
@@ -97,6 +116,21 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] when `self` is not a matrix
     /// and [`TensorError::MatmulDimMismatch`] when lengths disagree.
     pub fn vecmat(&self, x: &[f32]) -> Result<Vec<f32>> {
+        let (_, n) = self.as_matrix_dims()?;
+        let mut out = vec![0.0f32; n];
+        self.vecmat_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::vecmat`] writing into a caller-provided buffer of length
+    /// `n` — the allocation-free variant decode hot paths use. The buffer
+    /// is overwritten, not accumulated into.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::vecmat`], plus
+    /// [`TensorError::ShapeMismatch`] when `out` has the wrong length.
+    pub fn vecmat_into(&self, x: &[f32], out: &mut [f32]) -> Result<()> {
         let (k, n) = self.as_matrix_dims()?;
         if x.len() != k {
             return Err(TensorError::MatmulDimMismatch {
@@ -104,8 +138,14 @@ impl Tensor {
                 right_rows: k,
             });
         }
+        if out.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![n],
+                right: vec![out.len()],
+            });
+        }
         let a = self.data();
-        let mut out = vec![0.0f32; n];
+        out.fill(0.0);
         for (p, &xv) in x.iter().enumerate() {
             if xv == 0.0 {
                 continue;
@@ -115,7 +155,7 @@ impl Tensor {
                 *o += xv * w;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Transpose of a rank-2 tensor.
