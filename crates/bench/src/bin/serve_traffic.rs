@@ -10,19 +10,27 @@
 //! multiplexed on one slot pool, each priced with its own stream width.
 //!
 //! Flags:
-//! * `--policy fifo|edf|priority|wfq` (default `fifo`) — which admission
-//!   policy headlines the deadline-heavy policy study (the comparison
-//!   table always shows all four on the same trace);
+//! * `--policy fifo|edf|edf-preempt|priority|priority-preempt|wfq`
+//!   (default `fifo`) — which admission policy headlines the
+//!   deadline-heavy policy study (the comparison table always shows
+//!   every policy on the same trace);
 //! * `--prefill-chunk K` (default 4) — prompt tokens one prefilling
 //!   sequence may consume per engine step;
 //! * `--backend fp|w4a4|both` (default `both`) — single-backend
 //!   comparison runs;
 //! * `--models N` (default 2) — size of the multiplexed registry
 //!   (backends alternate fp/w4a4);
-//! * `--smoke` — run only the policy study on a reduced horizon (CI).
+//! * `--preempt` — also run the preemption study: the preemption-heavy
+//!   scenario (deadline-free hogs camping on slots + tight-deadline
+//!   chat) under non-preemptive vs preemptive EDF and priority, with
+//!   pause/resume priced as state transfers;
+//! * `--smoke` — run only the policy study (plus, with `--preempt`,
+//!   the preemption study) on a reduced horizon (CI).
 //!
 //! A final `BENCH_JSON` line captures the selected policy's
-//! deadline-hit-rate plus (full mode) the FP-vs-W4A4 serving gap.
+//! deadline-hit-rate plus (full mode) the FP-vs-W4A4 serving gap and
+//! (with `--preempt`) the preemption study's hit rates and pause
+//! traffic.
 
 use lightmamba::report::render_table;
 use lightmamba_accel::arch::AcceleratorConfig;
@@ -43,13 +51,24 @@ use rand::SeedableRng;
 const SLOT_SWEEP: [usize; 4] = [1, 4, 16, 64];
 /// The policies the study compares (static batching is covered by the
 /// slot sweep instead).
-const POLICIES: [&str; 4] = ["fifo", "edf", "priority", "wfq"];
+const POLICIES: [&str; 6] = [
+    "fifo",
+    "edf",
+    "edf-preempt",
+    "priority",
+    "priority-preempt",
+    "wfq",
+];
+/// The pairs the `--preempt` study compares on the preemption-heavy
+/// scenario.
+const PREEMPT_POLICIES: [&str; 4] = ["edf", "edf-preempt", "priority", "priority-preempt"];
 
 struct Args {
     backend: String,
     models: usize,
     policy: String,
     prefill_chunk: usize,
+    preempt: bool,
     smoke: bool,
 }
 
@@ -60,6 +79,7 @@ fn parse_args() -> Args {
         models: 2,
         policy: "fifo".into(),
         prefill_chunk: 4,
+        preempt: false,
         smoke: false,
     };
     let mut i = 0;
@@ -82,9 +102,16 @@ fn parse_args() -> Args {
             "--policy" => {
                 args.policy = argv
                     .get(i + 1)
-                    .expect("--policy needs a value: fifo | edf | priority | wfq")
+                    .expect(
+                        "--policy needs a value: fifo | edf | edf-preempt | priority | \
+                         priority-preempt | wfq",
+                    )
                     .clone();
                 i += 2;
+            }
+            "--preempt" => {
+                args.preempt = true;
+                i += 1;
             }
             "--prefill-chunk" => {
                 args.prefill_chunk = argv
@@ -149,6 +176,18 @@ fn main() {
     // Policy study: the deadline-heavy mix under every admission policy
     // on the same trace; `--policy` picks which run headlines the JSON.
     json_fields.push(policy_study(&args, &model, &quantized, &vck_platform, &big));
+
+    // Preemption study: the preemption-heavy mix, non-preemptive vs
+    // preemptive variants head-to-head, pause traffic priced.
+    if args.preempt {
+        json_fields.push(preemption_study(
+            &args,
+            &model,
+            &quantized,
+            &vck_platform,
+            &big,
+        ));
+    }
 
     if !args.smoke {
         scenario_sweep(&args, &cfg, &model, &vck_platform, &big, &vck_cfg);
@@ -241,6 +280,7 @@ fn policy_study(
             name.to_string(),
             report.completed.to_string(),
             report.evicted.to_string(),
+            report.preemptions.to_string(),
             format!(
                 "{:.0}% ({}/{})",
                 hit_rate * 100.0,
@@ -273,6 +313,7 @@ fn policy_study(
                 "policy",
                 "completed",
                 "evicted",
+                "preempt",
                 "deadline hits",
                 "chat queue p90",
                 "TTFT p50 (steps)",
@@ -282,6 +323,108 @@ fn policy_study(
         )
     );
     headline.expect("--policy is validated against POLICIES")
+}
+
+/// `--preempt`: the preemption-heavy scenario (deadline-free hogs
+/// camping on slots + tight-deadline chat) under each of
+/// [`PREEMPT_POLICIES`] on the same traffic and fp+w4a4 registry. The
+/// headline is the hit-rate gap between each policy and its preemptive
+/// variant; pause/resume traffic is priced as state transfers on the
+/// shared stream. Returns the JSON fragment.
+fn preemption_study(
+    args: &Args,
+    model: &MambaModel,
+    quantized: &QuantizedMamba,
+    platform: &Platform,
+    big: &MambaConfig,
+) -> String {
+    let horizon = if args.smoke { 150 } else { 400 };
+    println!();
+    println!(
+        "preemption study: preemption_heavy traffic (0.6 req/step over {horizon} steps, 8 slots, \
+         fp+w4a4 pool, prefill chunk {})",
+        args.prefill_chunk
+    );
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for name in PREEMPT_POLICIES {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("fp", Box::new(FpBackend::new(model)))
+            .expect("fresh registry");
+        registry
+            .register("w4a4", Box::new(W4A4Backend::new(quantized.clone())))
+            .expect("fresh registry");
+        let mut cost =
+            MultiplexCostModel::for_registry(&registry, platform, big).expect("two backends");
+        let mut traffic = TrafficGenerator::new(
+            TrafficScenario::preemption_heavy(0.6),
+            model.config().vocab_size,
+            7,
+        )
+        .with_models(2);
+        let mut engine = ServeEngine::with_registry(
+            registry,
+            EngineConfig {
+                slots: 8,
+                max_steps: 1_000_000,
+                prefill_chunk: args.prefill_chunk,
+            },
+        )
+        .expect("valid config");
+        engine
+            .submit(traffic.generate(horizon))
+            .expect("generator output is sorted");
+        let mut policy = policy_by_name(name).expect("PREEMPT_POLICIES are valid names");
+        let report = engine.run(policy.as_mut()).expect("run drains");
+        let run = cost
+            .cost_run(&report, engine.completions())
+            .expect("trace matches registry");
+        let hit_rate = report.deadline_hit_rate().unwrap_or(0.0);
+        rows.push(vec![
+            name.to_string(),
+            report.completed.to_string(),
+            report.evicted.to_string(),
+            format!(
+                "{:.0}% ({}/{})",
+                hit_rate * 100.0,
+                report.deadline_hits,
+                report.deadline_total
+            ),
+            report.preemptions.to_string(),
+            format!("{:.1}", report.resume_latency_steps.p50),
+            format!("{:.2}", run.state_transfer_s * 1e3),
+            format!("{:.1}", run.seconds),
+        ]);
+        json.push(format!(
+            "\"{}\":{{\"deadline_hit_rate\":{:.4},\"preemptions\":{},\"resumes\":{},\
+             \"resume_p50_steps\":{:.1},\"state_transfer_s\":{:.6}}}",
+            name,
+            hit_rate,
+            report.preemptions,
+            report.resumes,
+            report.resume_latency_steps.p50,
+            run.state_transfer_s,
+        ));
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "policy",
+                "completed",
+                "evicted",
+                "deadline hits",
+                "preempt",
+                "resume p50",
+                "state xfer (ms)",
+                "run (s)",
+            ],
+            &rows,
+        )
+    );
+    format!("\"preempt\":{{{}}}", json.join(","))
 }
 
 /// Scenario sweep under FIFO continuous batching at 16 slots.

@@ -38,6 +38,19 @@ impl LayerState {
         self.h.fill(0.0);
     }
 
+    /// Copies `other` into this layer state without reallocating — the
+    /// restore half of pause/resume (preemptive serving swaps states in
+    /// and out of slots; the hot path must stay allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched state shapes (different model configs).
+    pub fn copy_from(&mut self, other: &LayerState) {
+        assert_eq!(self.h.len(), other.h.len(), "ssm state shape mismatch");
+        self.conv.copy_from(&other.conv);
+        self.h.copy_from_slice(&other.h);
+    }
+
     /// Bytes of state this layer keeps at `bits` bits per element — the
     /// quantity the accelerator must buffer on-chip.
     pub fn state_bytes(&self, bits: f64) -> f64 {
@@ -67,6 +80,24 @@ impl ModelState {
         }
     }
 
+    /// Copies `other` into this state without reallocating. Because the
+    /// state is fixed-size, this is the *entire* cost of resuming a
+    /// paused sequence — there is no KV cache to reload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched layer counts or per-layer shapes.
+    pub fn copy_from(&mut self, other: &ModelState) {
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "layer count mismatch"
+        );
+        for (l, o) in self.layers.iter_mut().zip(&other.layers) {
+            l.copy_from(o);
+        }
+    }
+
     /// Total state bytes across layers at `bits` bits per element.
     pub fn total_state_bytes(&self, bits: f64) -> f64 {
         self.layers.iter().map(|l| l.state_bytes(bits)).sum()
@@ -85,6 +116,31 @@ mod tests {
         let dims = SsmDims::new(&cfg);
         assert_eq!(st.layers[0].h.len(), dims.state_len());
         assert_eq!(st.layers[0].conv.channels(), cfg.conv_dim());
+    }
+
+    #[test]
+    fn copy_from_round_trips_without_shape_change() {
+        let cfg = MambaConfig::tiny();
+        let mut src = ModelState::new(&cfg);
+        src.layers[0].h[0] = 3.5;
+        src.layers[1].h[2] = -1.25;
+        let mut dst = ModelState::new(&cfg);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        // Restore over a dirtied state lands exactly on the snapshot.
+        dst.layers[0].h[0] = 99.0;
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn copy_from_rejects_foreign_shapes() {
+        let mut a = ModelState::new(&MambaConfig::tiny());
+        let mut other_cfg = MambaConfig::tiny();
+        other_cfg.n_layer += 1;
+        let b = ModelState::new(&other_cfg);
+        a.copy_from(&b);
     }
 
     #[test]

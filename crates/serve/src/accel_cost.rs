@@ -19,6 +19,15 @@
 //! streams ~4× fewer bytes than an FP16 one, so on a bandwidth-bound
 //! platform the quantized backend's projected tokens/s beats FP at equal
 //! batch.
+//!
+//! Preemption traffic is priced too: every pause writes one sequence's
+//! fixed-size recurrent state off-chip and every resume reads one back,
+//! on the same DMA stream the weights ride
+//! ([`StepCostModel::state_move_seconds`]). The per-move cost is tiny
+//! next to a weight stream — which is exactly the paper's point: with no
+//! KV cache, preempting a Mamba sequence costs a state slab, not a
+//! cache spill — and the reports carry the aggregate `state_transfer_s`
+//! so the overhead stays visible.
 
 use std::collections::HashMap;
 
@@ -62,6 +71,11 @@ pub struct CostedRun {
     pub itl_s: Percentiles,
     /// Mean projected duration of one non-idle engine step.
     pub mean_step_s: f64,
+    /// Projected seconds spent moving paused sequences' recurrent
+    /// states on and off chip (one fixed-size state per pause and per
+    /// resume, on the same stream the weights ride) — the total price
+    /// of preemption, already included in `seconds`.
+    pub state_transfer_s: f64,
     /// Largest batch any step ran.
     pub peak_batch: usize,
     /// Largest batch whose per-layer state fits the platform's URAM
@@ -116,18 +130,41 @@ impl StepCostModel {
             .or_insert_with(|| sim.batch_report(tokens).cycles_per_step / sim.platform().freq_hz)
     }
 
+    /// Projected seconds to move one paused sequence's full recurrent
+    /// state across the platform DMA — the price of a single pause or
+    /// resume. The byte count is the model's per-layer state at the
+    /// on-chip INT16 convention times the layer count
+    /// ([`DecodeSimulator::layer_state_bytes_per_seq`]), so the bound
+    /// can never drift from the state the engine actually hosts; the
+    /// transfer shares the weight stream, hence the platform's DMA
+    /// efficiency applies.
+    pub fn state_move_seconds(&self) -> f64 {
+        let bytes = self.sim.layer_state_bytes_per_seq() * self.sim.model().n_layer as f64;
+        self.sim.platform().dma_cycles(bytes) / self.sim.platform().freq_hz
+    }
+
     /// Prices a finished run: maps every engine step to projected
     /// seconds, prefix-sums into a time axis, and restates each
     /// completion's latencies exactly on that axis.
     pub fn cost_run(&mut self, report: &ServeReport, completions: &[Completion]) -> CostedRun {
         // time_at[t] = projected time when step t starts;
         // time_at[t + 1] = when it completes. Steps are priced by their
-        // token-advances, so chunked-prefill steps cost their true work.
+        // token-advances, so chunked-prefill steps cost their true
+        // work, plus one state transfer per pause/resume that step.
+        let move_s = self.state_move_seconds();
         let mut time_at = Vec::with_capacity(report.trace.processed_per_step.len() + 1);
         let mut now = 0.0f64;
+        let mut state_transfer_s = 0.0f64;
         time_at.push(0.0);
-        for &tokens in &report.trace.processed_per_step {
-            now += self.step_seconds(tokens);
+        for (t, &tokens) in report.trace.processed_per_step.iter().enumerate() {
+            let moves = report
+                .trace
+                .state_moves_per_step
+                .get(t)
+                .copied()
+                .unwrap_or(0);
+            state_transfer_s += moves as f64 * move_s;
+            now += self.step_seconds(tokens) + moves as f64 * move_s;
             time_at.push(now);
         }
         let start_of = |step: u64| -> f64 { time_at[(step as usize).min(time_at.len() - 1)] };
@@ -196,6 +233,7 @@ impl StepCostModel {
             e2e_s: Percentiles::of(&e2e),
             itl_s: Percentiles::of(&itl),
             mean_step_s: now / busy_steps as f64,
+            state_transfer_s,
             peak_batch,
             max_resident_batch,
             residency_ok: peak_batch <= max_resident_batch,
@@ -225,6 +263,9 @@ pub struct ModelCost {
     pub single_stream_tokens_per_s: f64,
     /// Weight bytes one of this model's sub-batches streams per step.
     pub weight_stream_bytes_per_step: f64,
+    /// Projected seconds this model spent moving paused states on and
+    /// off chip (included in `seconds`).
+    pub state_transfer_s: f64,
     /// Time-to-first-token stats in projected seconds (on the shared
     /// multiplexed time axis, so cross-model interference is included).
     pub ttft_s: Percentiles,
@@ -245,6 +286,9 @@ pub struct MultiplexedRun {
     pub tokens_per_s: f64,
     /// Aggregate processed tokens/s across all models.
     pub processed_tokens_per_s: f64,
+    /// Projected seconds spent on pause/resume state transfers across
+    /// all models (included in `seconds`).
+    pub state_transfer_s: f64,
     /// Per-model slices, in registry order.
     pub per_model: Vec<ModelCost>,
     /// Largest total batch any step ran.
@@ -343,17 +387,34 @@ impl MultiplexCostModel {
 
         // Shared time axis: time_at[t] = projected time when step t
         // starts. Sub-batches are priced by their token-advances
-        // (chunked prefill included), and per-model seconds are
-        // attributed as the sub-batch costs accrue.
+        // (chunked prefill included) plus one state transfer per
+        // pause/resume, and per-model seconds are attributed as the
+        // sub-batch costs accrue (the state precision is backend-
+        // independent, so every model's move costs the same bytes).
         let mut time_at = Vec::with_capacity(report.trace.sub_processed_per_step.len() + 1);
         let mut attributed = vec![0.0f64; n_models];
         let mut processed = vec![0u64; n_models];
+        let mut state_transfer = vec![0.0f64; n_models];
+        let per_move_s: Vec<f64> = self
+            .models
+            .iter()
+            .map(|(_, cost)| cost.state_move_seconds())
+            .collect();
         let mut now = 0.0f64;
         time_at.push(0.0);
-        for sub in &report.trace.sub_processed_per_step {
+        for (t, sub) in report.trace.sub_processed_per_step.iter().enumerate() {
             for (m, &tokens) in sub.iter().enumerate() {
-                let s = self.models[m].1.step_seconds(tokens);
+                let moves = report
+                    .trace
+                    .sub_state_moves_per_step
+                    .get(t)
+                    .and_then(|s| s.get(m))
+                    .copied()
+                    .unwrap_or(0);
+                let move_s = moves as f64 * per_move_s[m];
+                let s = self.models[m].1.step_seconds(tokens) + move_s;
                 attributed[m] += s;
+                state_transfer[m] += move_s;
                 processed[m] += tokens as u64;
                 now += s;
             }
@@ -396,6 +457,7 @@ impl MultiplexCostModel {
                     },
                     single_stream_tokens_per_s: sim.decode_report().tokens_per_s,
                     weight_stream_bytes_per_step: sim.weight_bytes_per_token(),
+                    state_transfer_s: state_transfer[m],
                     ttft_s: Percentiles::of(&ttft),
                     e2e_s: Percentiles::of(&e2e),
                 }
@@ -422,6 +484,7 @@ impl MultiplexCostModel {
             } else {
                 0.0
             },
+            state_transfer_s: state_transfer.iter().sum(),
             per_model,
             peak_batch,
             max_resident_batch,
@@ -521,6 +584,109 @@ mod tests {
         assert!(run.e2e_s.p50 >= run.ttft_s.p50);
         assert!(run.e2e_s.p99 >= run.e2e_s.p50);
         assert!(run.itl_s.p50 > 0.0);
+    }
+
+    #[test]
+    fn preemption_is_priced_as_state_transfer() {
+        use crate::request::Priority;
+        use crate::scheduler::PriorityClasses;
+
+        let model =
+            MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap();
+        // One slot, a batch hog, then an interactive arrival: the
+        // preemptive priority policy pauses and later resumes the hog —
+        // exactly two state moves in the trace.
+        let hog = GenRequest::greedy(0, vec![1; 3], 12).with_priority(Priority::Batch);
+        let mut urgent = GenRequest::greedy(1, vec![2; 2], 3).with_priority(Priority::Interactive);
+        urgent.arrival_step = 4;
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 1,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        engine.submit(vec![hog, urgent]).unwrap();
+        let mut policy = PriorityClasses::preemptive();
+        let report = engine.run(&mut policy).unwrap();
+        assert_eq!(report.preemptions, 1);
+        let moves: usize = report.trace.state_moves_per_step.iter().sum();
+        assert_eq!(moves, 2, "one pause + one resume");
+
+        let platform = Platform::vck190();
+        let big = MambaConfig::preset(lightmamba_model::ModelPreset::B2_7);
+        let cfg = AcceleratorConfig::lightmamba_w4a4(&platform, &big);
+        let mut cost = StepCostModel::new(DecodeSimulator::new(platform, big, cfg));
+        let run = cost.cost_run(&report, engine.completions());
+        // Each move costs a full 2.7B state transfer at the platform's
+        // DMA rate, and the run total carries exactly both moves.
+        let per_move = cost.state_move_seconds();
+        assert!(per_move > 0.0);
+        assert!((run.state_transfer_s - 2.0 * per_move).abs() < 1e-12);
+        // The transfer is charged inside the run's wall clock: zeroing
+        // the moves out of the trace prices strictly cheaper.
+        let mut without = report.clone();
+        without
+            .trace
+            .state_moves_per_step
+            .iter_mut()
+            .for_each(|m| *m = 0);
+        let cheaper = cost.cost_run(&without, engine.completions());
+        assert_eq!(cheaper.state_transfer_s, 0.0);
+        assert!((run.seconds - cheaper.seconds - 2.0 * per_move).abs() < 1e-12);
+        // A state move is far cheaper than a weight-streaming step —
+        // the paper's "preemption is nearly free" claim, quantified.
+        assert!(per_move < cost.step_seconds(1) / 10.0);
+    }
+
+    #[test]
+    fn multiplexed_state_moves_are_attributed_per_model() {
+        use crate::backend::{FpBackend, W4A4Backend};
+        use crate::registry::ModelRegistry;
+        use crate::request::Priority;
+        use crate::scheduler::PriorityClasses;
+        use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
+
+        let model =
+            MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap();
+        let q = quantize_model(&model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[]).unwrap();
+        let mut reg = ModelRegistry::new();
+        reg.register("fp", Box::new(FpBackend::new(&model)))
+            .unwrap();
+        reg.register("w4a4", Box::new(W4A4Backend::new(q))).unwrap();
+        let platform = Platform::vck190();
+        let big = MambaConfig::preset(lightmamba_model::ModelPreset::B2_7);
+        let mut cost = MultiplexCostModel::for_registry(&reg, &platform, &big).unwrap();
+
+        // The hog lives on the w4a4 backend; preempting it must charge
+        // the w4a4 slice, not fp's.
+        let hog = GenRequest::greedy(0, vec![1; 3], 12)
+            .with_priority(Priority::Batch)
+            .on_model(1);
+        let mut urgent = GenRequest::greedy(1, vec![2; 2], 3).with_priority(Priority::Interactive);
+        urgent.arrival_step = 4;
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig {
+                slots: 1,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        engine.submit(vec![hog, urgent]).unwrap();
+        let mut policy = PriorityClasses::preemptive();
+        let report = engine.run(&mut policy).unwrap();
+        assert_eq!(report.preemptions, 1);
+        let run = cost.cost_run(&report, engine.completions()).unwrap();
+        assert_eq!(run.per_model[0].state_transfer_s, 0.0);
+        assert!(run.per_model[1].state_transfer_s > 0.0);
+        assert!((run.state_transfer_s - run.per_model[1].state_transfer_s).abs() < 1e-15);
+        // Attribution still sums to the whole run.
+        let sum: f64 = run.per_model.iter().map(|m| m.seconds).sum();
+        assert!((sum - run.seconds).abs() < 1e-9 * run.seconds.max(1.0));
     }
 
     #[test]

@@ -105,6 +105,39 @@ impl CostProfile {
     }
 }
 
+/// The complete resident footprint of one paused sequence: Mamba2's
+/// fixed-size recurrent state (per-layer conv windows plus SSM hidden
+/// state), detached from the slot pool.
+///
+/// Because the state never grows with sequence length, this snapshot is
+/// the *entire* cost of preempting a sequence — a few tens of KB moved
+/// once, not a KV cache spilled page by page. The engine keeps paused
+/// sequences in a side queue of these and the cost models price each
+/// pause/resume as one state transfer on the shared DMA stream.
+#[derive(Debug, Clone)]
+pub struct PausedState {
+    state: ModelState,
+}
+
+impl PausedState {
+    /// Wraps a snapshot of a sequence's decode state.
+    pub fn new(state: ModelState) -> Self {
+        PausedState { state }
+    }
+
+    /// The saved decode state.
+    pub fn state(&self) -> &ModelState {
+        &self.state
+    }
+
+    /// Bytes this paused sequence occupies off-chip at `bits` bits per
+    /// state element — what one pause (or resume) moves across the
+    /// memory stream.
+    pub fn state_bytes(&self, bits: f64) -> f64 {
+        self.state.total_state_bytes(bits)
+    }
+}
+
 /// A model execution backend the serving engine can drive.
 ///
 /// The contract mirrors the engine's step loop: every resident sequence
@@ -114,6 +147,47 @@ impl CostProfile {
 /// keep batched decode bit-identical to their sequential decode so
 /// request outputs are independent of batch composition — the invariant
 /// all engine equivalence tests pin.
+///
+/// Backends also supply the preemption primitive pair
+/// [`DecodeBackend::save_state`] / [`DecodeBackend::restore_state`]: a
+/// paused sequence's slot state is snapshotted into a [`PausedState`],
+/// the slot is handed to more urgent work, and restoring the snapshot
+/// later continues the sequence **bit-identically** — pinned by the
+/// pause/resume proptests for both shipped backends.
+///
+/// # Example
+///
+/// Pause a sequence mid-decode, reuse its slot, then resume it — the
+/// continuation matches the uninterrupted run exactly:
+///
+/// ```
+/// use lightmamba_model::{MambaConfig, MambaModel};
+/// use lightmamba_serve::backend::{DecodeBackend, FpBackend};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), lightmamba_serve::ServeError> {
+/// let model = MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(1))?;
+/// let backend = FpBackend::new(&model);
+/// let mut states = vec![backend.new_state()];
+/// backend.prefill_batch(&[&[1, 2, 3][..]], &mut states)?;
+///
+/// // Preempt: snapshot the state, let another sequence rewind the slot.
+/// let paused = backend.save_state(&states[0]);
+/// backend.reset_state(&mut states[0]);
+/// backend.prefill_batch(&[&[9, 9][..]], &mut states)?;
+///
+/// // Resume: restore the snapshot and continue where we left off.
+/// backend.restore_state(&paused, &mut states[0]);
+/// let resumed = backend.forward_step_batch_indexed(&[(0, 4)], &mut states)?;
+///
+/// // Reference: the same decode with no preemption in between.
+/// let mut uninterrupted = vec![backend.new_state()];
+/// backend.prefill_batch(&[&[1, 2, 3][..]], &mut uninterrupted)?;
+/// let expect = backend.forward_step_batch_indexed(&[(0, 4)], &mut uninterrupted)?;
+/// assert_eq!(resumed, expect);
+/// # Ok(())
+/// # }
+/// ```
 pub trait DecodeBackend {
     /// Short backend name (`"fp"`, `"w4a4"`, …) used in reports.
     fn name(&self) -> &str;
@@ -127,6 +201,23 @@ pub trait DecodeBackend {
     /// Resets a state for a new sequence (slot reuse).
     fn reset_state(&self, state: &mut ModelState) {
         state.reset();
+    }
+
+    /// Snapshots a resident sequence's state for preemption. The
+    /// default clones the fixed-size [`ModelState`] — already the right
+    /// implementation for any backend whose whole per-sequence residue
+    /// lives in the slot (both shipped backends qualify; a backend with
+    /// auxiliary per-sequence caches would fold them in here).
+    fn save_state(&self, state: &ModelState) -> PausedState {
+        PausedState::new(state.clone())
+    }
+
+    /// Restores a paused sequence into a (re)claimed slot,
+    /// allocation-free ([`ModelState::copy_from`]). After this, feeding
+    /// the sequence's next token continues decode bit-identically to a
+    /// run that was never preempted.
+    fn restore_state(&self, paused: &PausedState, into: &mut ModelState) {
+        into.copy_from(paused.state());
     }
 
     /// One batched decode step: `items[k] = (state_index, token)`
@@ -428,6 +519,55 @@ mod tests {
         let mut ref1 = model.new_state();
         let expect1 = model.prefill(&[5, 6], &mut ref1).unwrap();
         assert_eq!(out1[1].1, expect1);
+    }
+
+    #[test]
+    fn save_restore_round_trips_on_both_backends() {
+        // Pause after a prefill, trash the slot with another sequence,
+        // resume, and decode: logits must match the uninterrupted run
+        // bit-for-bit on the FP and the quantized backend alike.
+        let model = tiny_model();
+        let q = quantize_model(&model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[]).unwrap();
+        let fp = FpBackend::new(&model);
+        let w4 = W4A4Backend::new(q);
+        for backend in [&fp as &dyn DecodeBackend, &w4 as &dyn DecodeBackend] {
+            let mut states = vec![backend.new_state()];
+            backend
+                .prefill_batch(&[&[3, 1, 4][..]], &mut states)
+                .unwrap();
+            let paused = backend.save_state(&states[0]);
+            backend.reset_state(&mut states[0]);
+            backend
+                .prefill_batch(&[&[200, 200, 200, 200][..]], &mut states)
+                .unwrap();
+            backend.restore_state(&paused, &mut states[0]);
+            let resumed = backend
+                .forward_step_batch_indexed(&[(0, 7)], &mut states)
+                .unwrap();
+
+            let mut reference = vec![backend.new_state()];
+            backend
+                .prefill_batch(&[&[3, 1, 4][..]], &mut reference)
+                .unwrap();
+            let expect = backend
+                .forward_step_batch_indexed(&[(0, 7)], &mut reference)
+                .unwrap();
+            assert_eq!(resumed, expect, "{} diverged after resume", backend.name());
+        }
+    }
+
+    #[test]
+    fn paused_state_reports_its_transfer_bytes() {
+        let model = tiny_model();
+        let backend = FpBackend::new(&model);
+        let state = backend.new_state();
+        let paused = backend.save_state(&state);
+        assert_eq!(
+            paused.state_bytes(16.0),
+            state.total_state_bytes(16.0),
+            "pause must move exactly the resident state"
+        );
+        assert!(paused.state_bytes(16.0) > 0.0);
     }
 
     #[test]

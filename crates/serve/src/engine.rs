@@ -20,6 +20,19 @@
 //! requests (deadline provably unmeetable) before admission, so a
 //! guaranteed miss never burns a slot or a batched step.
 //!
+//! Residency is *preemptible*: a policy may pause resident sequences
+//! ([`crate::scheduler::Policy::preempt`]) to hand their slots to more
+//! urgent work. Because Mamba2's per-sequence state is fixed-size, a
+//! pause is one state snapshot ([`crate::backend::PausedState`]) — no
+//! KV cache to spill — and a later resume restores it bit-identically,
+//! so preemption changes *when* a request runs, never *what* it
+//! generates (pinned by the pause/resume equivalence proptests). Paused
+//! sequences wait in a side queue, compete for slots through the same
+//! policy admission as fresh arrivals, and still honor their deadlines
+//! (expiry and doomed eviction apply while paused, judged on the work
+//! they still owe). Pause/resume traffic is priced by the cost models
+//! as state-transfer bytes on the shared stream.
+//!
 //! The engine is generic over execution backends: it drives a
 //! [`ModelRegistry`] of named [`crate::backend::DecodeBackend`]s sharing
 //! one slot pool, forming one sub-batch per model per step (each
@@ -40,11 +53,12 @@ use rand::SeedableRng;
 
 use lightmamba_model::MambaModel;
 
+use crate::backend::PausedState;
 use crate::error::ServeError;
 use crate::metrics::{ClassBreakdown, ModelBreakdown, Percentiles, RunTrace, ServeReport};
 use crate::registry::ModelRegistry;
 use crate::request::{Completion, FinishReason, GenRequest, Priority};
-use crate::scheduler::{AdmissionCtx, Policy};
+use crate::scheduler::{AdmissionCtx, Policy, SeqView};
 use crate::slots::SlotPool;
 
 /// One resident sequence.
@@ -58,6 +72,84 @@ struct ActiveSeq {
     rng: StdRng,
     admitted_step: u64,
     first_token_step: Option<u64>,
+    /// Times this sequence has been paused out of its slot.
+    preemptions: u32,
+    /// Steps spent paused across all completed episodes.
+    paused_steps: u64,
+    /// The subset of `paused_steps` accrued before the first token
+    /// (excluded from TTFT).
+    paused_steps_pre_first: u64,
+}
+
+/// One preempted sequence: its fixed-size saved state plus every piece
+/// of generation progress needed to resume bit-identically — prompt
+/// position, sampled tokens, and the request's private RNG (moved, not
+/// reseeded, so the sampling stream continues exactly where it paused).
+#[derive(Debug)]
+struct PausedSeq {
+    req: GenRequest,
+    state: PausedState,
+    pos: usize,
+    generated: Vec<u32>,
+    rng: StdRng,
+    admitted_step: u64,
+    first_token_step: Option<u64>,
+    /// Step at which this pause episode began.
+    paused_at: u64,
+    preemptions: u32,
+    paused_steps: u64,
+    paused_steps_pre_first: u64,
+}
+
+impl PausedSeq {
+    /// Scheduling view with progress-aware remaining work.
+    fn view(&self, prefill_chunk: usize) -> SeqView {
+        SeqView::new(
+            &self.req,
+            self.req
+                .min_steps_remaining(self.pos, self.generated.len(), prefill_chunk),
+        )
+    }
+
+    /// Ends the current pause episode at `clock`: the episode length
+    /// plus the updated `(paused_steps, paused_steps_pre_first)`
+    /// totals. The pre-first-token split is the TTFT-exclusion rule —
+    /// one place, shared by resume and by eviction-while-paused.
+    fn end_episode(&self, clock: u64) -> (u64, u64, u64) {
+        let pause_len = clock - self.paused_at;
+        let pre_first = if self.first_token_step.is_none() {
+            pause_len
+        } else {
+            0
+        };
+        (
+            pause_len,
+            self.paused_steps + pause_len,
+            self.paused_steps_pre_first + pre_first,
+        )
+    }
+
+    /// Completion record for a pause episode ended by eviction at
+    /// `clock` (the final, never-resumed episode counts as paused
+    /// time).
+    fn evict(&mut self, clock: u64) -> Completion {
+        let (_, paused_steps, pre_first) = self.end_episode(clock);
+        Completion {
+            id: self.req.id,
+            model: self.req.model,
+            priority: self.req.priority,
+            tokens: std::mem::take(&mut self.generated),
+            finish: FinishReason::DeadlineExceeded,
+            arrival_step: self.req.arrival_step,
+            deadline_steps: self.req.deadline_steps,
+            admitted_step: Some(self.admitted_step),
+            first_token_step: self.first_token_step,
+            finished_step: clock,
+            preemptions: self.preemptions,
+            paused_steps,
+            paused_steps_before_first_token: pre_first,
+        }
+    }
 }
 
 impl ActiveSeq {
@@ -113,6 +205,10 @@ pub struct ServeEngine<'m> {
     /// from the whole queue, so this is a plain vector, not a FIFO.
     waiting: Vec<GenRequest>,
     active: Vec<ActiveSeq>,
+    /// Preempted sequences awaiting a slot, oldest pause first. They
+    /// hold no slot — just their fixed-size saved state — and re-enter
+    /// through the policy's admission picks.
+    paused: Vec<PausedSeq>,
     clock: u64,
     completions: Vec<Completion>,
     trace: RunTrace,
@@ -120,6 +216,12 @@ pub struct ServeEngine<'m> {
     total_decode_tokens: u64,
     /// Token-advances per model across all steps (Σ sub-batch tokens).
     processed_per_model: Vec<u64>,
+    /// Pause events across the run.
+    total_preemptions: u64,
+    /// Resume events across the run.
+    total_resumes: u64,
+    /// Steps between pause and resume, per completed episode.
+    resume_latency: Vec<f64>,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -167,12 +269,16 @@ impl<'m> ServeEngine<'m> {
             pending: VecDeque::new(),
             waiting: Vec::new(),
             active: Vec::new(),
+            paused: Vec::new(),
             clock: 0,
             completions: Vec::new(),
             trace: RunTrace::default(),
             total_prefill_tokens: 0,
             total_decode_tokens: 0,
             processed_per_model: vec![0; n_models],
+            total_preemptions: 0,
+            total_resumes: 0,
+            resume_latency: Vec::new(),
         })
     }
 
@@ -243,9 +349,17 @@ impl<'m> ServeEngine<'m> {
         self.active.len()
     }
 
-    /// Whether any request is pending, waiting, or resident.
+    /// Currently paused (preempted, slotless) sequences.
+    pub fn paused_count(&self) -> usize {
+        self.paused.len()
+    }
+
+    /// Whether any request is pending, waiting, paused, or resident.
     pub fn has_work(&self) -> bool {
-        !self.pending.is_empty() || !self.waiting.is_empty() || !self.active.is_empty()
+        !self.pending.is_empty()
+            || !self.waiting.is_empty()
+            || !self.paused.is_empty()
+            || !self.active.is_empty()
     }
 
     /// Runs until all submitted work drains or the step budget is hit,
@@ -274,12 +388,39 @@ impl<'m> ServeEngine<'m> {
             admitted_step: None,
             first_token_step: None,
             finished_step: clock,
+            preemptions: 0,
+            paused_steps: 0,
+            paused_steps_before_first_token: 0,
         });
     }
 
+    /// Scheduling views of the resident sequences, batch order.
+    fn resident_views(&self) -> Vec<SeqView> {
+        self.active
+            .iter()
+            .map(|s| {
+                SeqView::new(
+                    &s.req,
+                    s.req
+                        .min_steps_remaining(s.pos, s.generated.len(), self.cfg.prefill_chunk),
+                )
+            })
+            .collect()
+    }
+
+    /// Scheduling views of the paused sequences, oldest pause first.
+    fn paused_views(&self) -> Vec<SeqView> {
+        self.paused
+            .iter()
+            .map(|p| p.view(self.cfg.prefill_chunk))
+            .collect()
+    }
+
     /// Executes one engine step: arrivals → expiry/doomed eviction →
-    /// policy admission → batched model advance (chunked prefill +
-    /// decode) → sampling/finish/evict bookkeeping.
+    /// policy preemption (pause residents for urgent work) → policy
+    /// admission (fresh arrivals and resumes compete for the freed
+    /// slots) → batched model advance (chunked prefill + decode) →
+    /// sampling/finish/evict bookkeeping.
     ///
     /// # Errors
     ///
@@ -338,15 +479,37 @@ impl<'m> ServeEngine<'m> {
                     admitted_step: Some(seq.admitted_step),
                     first_token_step: seq.first_token_step,
                     finished_step: clock,
+                    preemptions: seq.preemptions,
+                    paused_steps: seq.paused_steps,
+                    paused_steps_before_first_token: seq.paused_steps_pre_first,
                 });
                 false
             });
         }
 
+        // 3b. The same expiry rule for paused sequences: a lapsed
+        //     deadline ends the request even while it holds no slot.
+        {
+            let clock = self.clock;
+            let completions = &mut self.completions;
+            self.paused.retain_mut(|p| {
+                let expired = p
+                    .req
+                    .deadline_steps
+                    .is_some_and(|d| clock.saturating_sub(p.req.arrival_step) >= d);
+                if expired {
+                    completions.push(p.evict(clock));
+                }
+                !expired
+            });
+        }
+
         // 4. Doomed eviction (deadline-aware policies only): a waiting
-        //    request whose minimal completion no longer fits its budget
-        //    is a guaranteed miss — drop it *before* admission instead
-        //    of wasting slot steps discovering that at expiry.
+        //    or paused request whose minimal completion no longer fits
+        //    its budget is a guaranteed miss — drop it *before*
+        //    admission instead of wasting slot steps discovering that
+        //    at expiry. Paused sequences are judged on their *remaining*
+        //    work: partial progress buys real slack.
         if policy.evicts_doomed() {
             let clock = self.clock;
             let chunk = self.cfg.prefill_chunk;
@@ -360,55 +523,163 @@ impl<'m> ServeEngine<'m> {
                 }
                 !doomed
             });
+            self.paused.retain_mut(|p| {
+                let doomed = p.req.absolute_deadline().is_some_and(|abs| {
+                    clock + p.req.min_steps_remaining(p.pos, p.generated.len(), chunk) > abs
+                });
+                if doomed {
+                    completions.push(p.evict(clock));
+                }
+                !doomed
+            });
         }
 
-        // 5. Admission: the policy selects *which* waiting requests
-        //    join, in what order. The engine enforces the invariants
-        //    (bounds, uniqueness, free slots) so policies stay simple.
+        // 5. Preemption: the policy may pause residents so that more
+        //    urgent candidates can take their slots this very step. A
+        //    victim's fixed-size state is snapshotted via its backend,
+        //    the slot is released, and the sequence joins the paused
+        //    queue (it re-enters through admission as a candidate). The
+        //    engine enforces index validity, mirroring admission.
+        let chunk = self.cfg.prefill_chunk;
         let mut active_per_model = vec![0usize; self.registry.len()];
         for seq in &self.active {
             active_per_model[seq.req.model] += 1;
         }
+        let mut preempted_this_step = 0usize;
+        let mut resumed_this_step = 0usize;
+        let mut sub_state_moves = vec![0usize; self.registry.len()];
+        let mut resident_views = self.resident_views();
+        let mut paused_views = self.paused_views();
+        {
+            let mut victims = policy.preempt(&AdmissionCtx {
+                waiting: &self.waiting,
+                paused: &paused_views,
+                residents: &resident_views,
+                clock: self.clock,
+                free_slots: self.pool.free_count(),
+                active: self.active.len(),
+                active_per_model: &active_per_model,
+                prefill_chunk: chunk,
+            });
+            let mut seen = vec![false; self.active.len()];
+            victims.retain(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true));
+            victims.sort_unstable();
+            for &i in victims.iter().rev() {
+                let seq = self.active.remove(i);
+                let backend = self
+                    .registry
+                    .get(seq.req.model)
+                    .expect("resident implies registered");
+                let state = backend.save_state(&self.pool.states()[seq.slot]);
+                self.pool.release(seq.slot);
+                active_per_model[seq.req.model] -= 1;
+                sub_state_moves[seq.req.model] += 1;
+                preempted_this_step += 1;
+                self.total_preemptions += 1;
+                self.paused.push(PausedSeq {
+                    state,
+                    pos: seq.pos,
+                    generated: seq.generated,
+                    rng: seq.rng,
+                    admitted_step: seq.admitted_step,
+                    first_token_step: seq.first_token_step,
+                    paused_at: self.clock,
+                    preemptions: seq.preemptions + 1,
+                    paused_steps: seq.paused_steps,
+                    paused_steps_pre_first: seq.paused_steps_pre_first,
+                    req: seq.req,
+                });
+            }
+            // The views only change when someone was actually paused —
+            // the common (non-preempting) step reuses them for select.
+            if !victims.is_empty() {
+                resident_views = self.resident_views();
+                paused_views = self.paused_views();
+            }
+        }
+
+        // 6. Admission: the policy selects *which* candidates — fresh
+        //    arrivals and paused sequences alike — take the free slots,
+        //    in what order. Picking a paused candidate restores its
+        //    saved state into the newly claimed slot (a resume). The
+        //    engine enforces the invariants (bounds, uniqueness, free
+        //    slots) so policies stay simple.
         let mut picks = policy.select(&AdmissionCtx {
             waiting: &self.waiting,
+            paused: &paused_views,
+            residents: &resident_views,
             clock: self.clock,
             free_slots: self.pool.free_count(),
             active: self.active.len(),
             active_per_model: &active_per_model,
-            prefill_chunk: self.cfg.prefill_chunk,
+            prefill_chunk: chunk,
         });
+        let n_waiting = self.waiting.len();
         {
-            let mut seen = vec![false; self.waiting.len()];
+            let mut seen = vec![false; n_waiting + self.paused.len()];
             picks.retain(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true));
             picks.truncate(self.pool.free_count());
         }
         if !picks.is_empty() {
             let mut drained: Vec<Option<GenRequest>> = self.waiting.drain(..).map(Some).collect();
+            let mut drained_paused: Vec<Option<PausedSeq>> =
+                self.paused.drain(..).map(Some).collect();
             for &i in &picks {
-                let req = drained[i].take().expect("picks are unique and in range");
                 let slot = self.pool.alloc().expect("picks bounded by free slots");
-                let rng = StdRng::seed_from_u64(req.seed);
-                self.active.push(ActiveSeq {
-                    slot,
-                    pos: 0,
-                    generated: Vec::with_capacity(req.max_new_tokens),
-                    rng,
-                    admitted_step: self.clock,
-                    first_token_step: None,
-                    req,
-                });
+                if i < n_waiting {
+                    let req = drained[i].take().expect("picks are unique and in range");
+                    let rng = StdRng::seed_from_u64(req.seed);
+                    self.active.push(ActiveSeq {
+                        slot,
+                        pos: 0,
+                        generated: Vec::with_capacity(req.max_new_tokens),
+                        rng,
+                        admitted_step: self.clock,
+                        first_token_step: None,
+                        preemptions: 0,
+                        paused_steps: 0,
+                        paused_steps_pre_first: 0,
+                        req,
+                    });
+                } else {
+                    let p = drained_paused[i - n_waiting]
+                        .take()
+                        .expect("picks are unique and in range");
+                    let backend = self
+                        .registry
+                        .get(p.req.model)
+                        .expect("resident implies registered");
+                    backend.restore_state(&p.state, &mut self.pool.states_mut()[slot]);
+                    let (pause_len, paused_steps, pre_first) = p.end_episode(self.clock);
+                    sub_state_moves[p.req.model] += 1;
+                    resumed_this_step += 1;
+                    self.total_resumes += 1;
+                    self.resume_latency.push(pause_len as f64);
+                    self.active.push(ActiveSeq {
+                        slot,
+                        pos: p.pos,
+                        generated: p.generated,
+                        rng: p.rng,
+                        admitted_step: p.admitted_step,
+                        first_token_step: p.first_token_step,
+                        preemptions: p.preemptions,
+                        paused_steps,
+                        paused_steps_pre_first: pre_first,
+                        req: p.req,
+                    });
+                }
             }
             self.waiting = drained.into_iter().flatten().collect();
+            self.paused = drained_paused.into_iter().flatten().collect();
         }
 
-        // 6. One batched advance per model: sequences are grouped into
+        // 7. One batched advance per model: sequences are grouped into
         //    per-model sub-batches (each is one shared weight stream on
         //    the accelerator); a prefilling sequence feeds its next
         //    prompt chunk, a decoding one its previous sample. Outputs
         //    land per active sequence, so downstream bookkeeping is
         //    multiplexing- and chunking-agnostic.
         let total_batch = self.active.len();
-        let chunk = self.cfg.prefill_chunk;
         let mut sub_batches = vec![0usize; self.registry.len()];
         let mut sub_processed = vec![0usize; self.registry.len()];
         let mut step_logits: Vec<Option<Vec<f32>>> = vec![None; total_batch];
@@ -434,7 +705,7 @@ impl<'m> ServeEngine<'m> {
             }
         }
 
-        // 7. Bookkeeping per sequence, in batch order. The step that
+        // 8. Bookkeeping per sequence, in batch order. The step that
         //    consumes the final prompt chunk (or a decode step) yields
         //    the next sampled token.
         let mut prefill_tokens = 0usize;
@@ -458,7 +729,7 @@ impl<'m> ServeEngine<'m> {
             }
         }
 
-        // 8. Retire finished sequences (deadline expiry is handled
+        // 9. Retire finished sequences (deadline expiry is handled
         //    pre-step, in 3).
         let clock = self.clock;
         let pool = &mut self.pool;
@@ -489,14 +760,19 @@ impl<'m> ServeEngine<'m> {
                 admitted_step: Some(seq.admitted_step),
                 first_token_step: seq.first_token_step,
                 finished_step: clock,
+                preemptions: seq.preemptions,
+                paused_steps: seq.paused_steps,
+                paused_steps_before_first_token: seq.paused_steps_pre_first,
             });
             false
         });
 
-        // 9. Trace for the cost models. `batch_per_step` is residency
+        // 10. Trace for the cost models. `batch_per_step` is residency
         //    (what URAM bounds); `processed_per_step` is token-advances
         //    (what the weight stream is shared across, hence what a
-        //    step costs); `tokens_per_step` counts sampled outputs.
+        //    step costs); `tokens_per_step` counts sampled outputs;
+        //    `state_moves_per_step` is pause/resume traffic (each move
+        //    is one fixed-size state on the shared memory stream).
         let processed: usize = sub_processed.iter().sum();
         self.total_prefill_tokens += prefill_tokens as u64;
         self.total_decode_tokens += decode_tokens as u64;
@@ -506,6 +782,13 @@ impl<'m> ServeEngine<'m> {
         self.trace.sub_processed_per_step.push(sub_processed);
         self.trace.tokens_per_step.push(decode_tokens);
         self.trace.queue_depth_per_step.push(self.waiting.len());
+        self.trace.preemptions_per_step.push(preempted_this_step);
+        self.trace.resumes_per_step.push(resumed_this_step);
+        self.trace.paused_depth_per_step.push(self.paused.len());
+        self.trace
+            .state_moves_per_step
+            .push(sub_state_moves.iter().sum());
+        self.trace.sub_state_moves_per_step.push(sub_state_moves);
 
         debug_assert_eq!(
             self.pool.free_count() + self.active.len(),
@@ -545,6 +828,16 @@ impl<'m> ServeEngine<'m> {
             .iter()
             .filter(|c| c.deadline_hit() == Some(true))
             .count();
+        // Requests touched by preemption at least once: finished ones
+        // carry the count in their completion; in-flight (resident or
+        // paused) ones are counted live so mid-run reports are honest.
+        let preempted_requests = self
+            .completions
+            .iter()
+            .filter(|c| c.preemptions > 0)
+            .count()
+            + self.active.iter().filter(|s| s.preemptions > 0).count()
+            + self.paused.len();
 
         let per_model = self
             .registry
@@ -619,6 +912,10 @@ impl<'m> ServeEngine<'m> {
             prefill_tokens: self.total_prefill_tokens,
             deadline_total,
             deadline_hits,
+            preemptions: self.total_preemptions,
+            resumes: self.total_resumes,
+            preempted_requests,
+            resume_latency_steps: Percentiles::of(&self.resume_latency),
             ttft_steps: Percentiles::of(&ttft),
             e2e_steps: Percentiles::of(&e2e),
             queue_steps: Percentiles::of(&queue),
@@ -812,8 +1109,8 @@ mod tests {
         };
         let fifo = run(&mut Fifo);
         assert_eq!(fifo, run(&mut StaticBatching));
-        assert_eq!(fifo, run(&mut Edf));
-        assert_eq!(fifo, run(&mut PriorityClasses));
+        assert_eq!(fifo, run(&mut Edf::default()));
+        assert_eq!(fifo, run(&mut PriorityClasses::default()));
         assert_eq!(fifo, run(&mut WeightedFair::equal()));
     }
 
@@ -869,7 +1166,7 @@ mod tests {
         )
         .unwrap();
         engine.submit(reqs).unwrap();
-        let report = engine.run(&mut PriorityClasses).unwrap();
+        let report = engine.run(&mut PriorityClasses::default()).unwrap();
         assert_eq!(report.completed, 6);
         let mut admissions: Vec<(u64, u64)> = engine
             .completions()
@@ -916,7 +1213,7 @@ mod tests {
             engine.run(policy).unwrap()
         };
         let fifo = run(&mut Fifo);
-        let edf = run(&mut Edf);
+        let edf = run(&mut Edf::default());
         assert_eq!(fifo.deadline_total, 4);
         assert_eq!(edf.deadline_total, 4);
         assert!(
@@ -947,7 +1244,7 @@ mod tests {
         )
         .unwrap();
         engine.submit(vec![doomed.clone()]).unwrap();
-        let report = engine.run(&mut Edf).unwrap();
+        let report = engine.run(&mut Edf::default()).unwrap();
         assert_eq!(report.evicted, 1);
         let c = &engine.completions()[0];
         assert_eq!(c.finish, FinishReason::DeadlineExceeded);
@@ -978,7 +1275,7 @@ mod tests {
         let req = GenRequest::greedy(0, vec![1; 2], 3).with_deadline(10);
         let mut engine = ServeEngine::new(&model, EngineConfig::default()).unwrap();
         engine.submit(vec![req]).unwrap();
-        let report = engine.run(&mut Edf).unwrap();
+        let report = engine.run(&mut Edf::default()).unwrap();
         assert_eq!(report.completed, 1);
         assert_eq!(report.deadline_hits, 1);
     }
@@ -1051,6 +1348,150 @@ mod tests {
         // requests complete exactly once.
         assert_eq!(report.completed, 6);
         assert_eq!(report.trace.peak_batch(), 2);
+    }
+
+    #[test]
+    fn preemptive_priority_pauses_a_low_class_hog_and_resumes_it_bit_identically() {
+        let model = tiny_model();
+        // One slot: a long batch-class hog holds it, then an
+        // interactive request arrives. Non-preemptive priority must
+        // wait; preemptive priority pauses the hog, serves the
+        // interactive request, then resumes the hog to completion with
+        // exactly the tokens an undisturbed run produces.
+        let hog = GenRequest::greedy(0, vec![1; 3], 12).with_priority(Priority::Batch);
+        let mut urgent = GenRequest::greedy(1, vec![2; 2], 3).with_priority(Priority::Interactive);
+        urgent.arrival_step = 5;
+        let run = |policy: &mut dyn Policy| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig {
+                    slots: 1,
+                    max_steps: 10_000,
+                    prefill_chunk: 1,
+                },
+            )
+            .unwrap();
+            engine.submit(vec![hog.clone(), urgent.clone()]).unwrap();
+            let report = engine.run(policy).unwrap();
+            let done: Vec<Completion> = engine.completions().to_vec();
+            (report, done)
+        };
+        let (plain, plain_done) = run(&mut PriorityClasses::default());
+        let (pre, pre_done) = run(&mut PriorityClasses::preemptive());
+        assert_eq!(plain.preemptions, 0);
+        assert_eq!(pre.preemptions, 1);
+        assert_eq!(pre.resumes, 1);
+        assert_eq!(pre.preempted_requests, 1);
+        assert!(pre.resume_latency_steps.n == 1 && pre.resume_latency_steps.mean > 0.0);
+
+        // Bit-identity: pausing changed *when* the hog ran, not *what*
+        // it generated.
+        let tokens_of =
+            |done: &[Completion], id: u64| done.iter().find(|c| c.id == id).unwrap().tokens.clone();
+        assert_eq!(tokens_of(&pre_done, 0), tokens_of(&plain_done, 0));
+        assert_eq!(tokens_of(&pre_done, 1), tokens_of(&plain_done, 1));
+
+        // The interactive request's first token no longer waits for the
+        // hog to drain.
+        let urgent_fin =
+            |done: &[Completion]| done.iter().find(|c| c.id == 1).unwrap().finished_step;
+        assert!(
+            urgent_fin(&pre_done) < urgent_fin(&plain_done),
+            "preemption must serve the interactive request earlier ({} vs {})",
+            urgent_fin(&pre_done),
+            urgent_fin(&plain_done)
+        );
+
+        // Timestamp semantics: the hog's completion records its bench
+        // time; paused steps count toward e2e but never toward TTFT.
+        let hog_done = pre_done.iter().find(|c| c.id == 0).unwrap();
+        assert_eq!(hog_done.preemptions, 1);
+        assert!(hog_done.paused_steps > 0);
+        // The hog had sampled its first token before being paused, so
+        // its TTFT is untouched by the pause.
+        assert_eq!(hog_done.paused_steps_before_first_token, 0);
+        let plain_hog = plain_done.iter().find(|c| c.id == 0).unwrap();
+        assert_eq!(hog_done.ttft_steps(), plain_hog.ttft_steps());
+        assert!(hog_done.e2e_steps() > plain_hog.e2e_steps());
+    }
+
+    #[test]
+    fn preemptive_edf_rescues_a_deadline_from_a_deadline_free_hog() {
+        let model = tiny_model();
+        // One slot again: a deadline-free hog is resident when a
+        // tight-deadline request arrives. Plain EDF dooms the arrival
+        // (the hog cannot be displaced); preemptive EDF pauses the hog
+        // on the arrival's last feasible step and hits the deadline.
+        let hog = GenRequest::greedy(0, vec![1; 3], 30);
+        let mut urgent = GenRequest::greedy(1, vec![2; 2], 3).with_deadline(8);
+        urgent.arrival_step = 2;
+        let run = |policy: &mut dyn Policy| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig {
+                    slots: 1,
+                    max_steps: 10_000,
+                    prefill_chunk: 1,
+                },
+            )
+            .unwrap();
+            engine.submit(vec![hog.clone(), urgent.clone()]).unwrap();
+            engine.run(policy).unwrap()
+        };
+        let plain = run(&mut Edf::default());
+        let pre = run(&mut Edf::preemptive());
+        assert_eq!(plain.deadline_hits, 0);
+        assert_eq!(pre.deadline_hits, 1);
+        assert_eq!(pre.preemptions, 1);
+        assert_eq!(pre.completed, 2, "the paused hog still finishes");
+    }
+
+    #[test]
+    fn invalid_preempt_picks_are_ignored() {
+        // A policy returning garbage victim indices (out of range,
+        // duplicated) must not crash the engine or lose sequences.
+        struct RoguePreempt;
+        impl Policy for RoguePreempt {
+            fn select(&mut self, ctx: &AdmissionCtx<'_>) -> Vec<usize> {
+                (0..ctx.n_candidates().min(ctx.free_slots)).collect()
+            }
+            fn preempt(&mut self, ctx: &AdmissionCtx<'_>) -> Vec<usize> {
+                let mut v: Vec<usize> = (0..ctx.residents.len() + 3).collect();
+                v.extend(0..ctx.residents.len());
+                v
+            }
+            fn name(&self) -> &'static str {
+                "rogue-preempt"
+            }
+        }
+        let model = tiny_model();
+        let reqs = burst_requests(5, 2, 3);
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        engine.submit(reqs.clone()).unwrap();
+        let report = engine.run(&mut RoguePreempt).unwrap();
+        // Everything completes exactly once, with the usual outputs —
+        // pause/resume churn (all residents, every step) is harmless.
+        assert_eq!(report.completed, 5);
+        for req in &reqs {
+            let done = engine
+                .completions()
+                .iter()
+                .find(|c| c.id == req.id)
+                .unwrap();
+            assert_eq!(done.tokens, sequential_reference(&model, req));
+        }
+        // The trace accounts every pause and resume symmetrically.
+        assert_eq!(report.preemptions, report.resumes);
+        let moves: usize = report.trace.state_moves_per_step.iter().sum();
+        assert_eq!(moves as u64, report.preemptions + report.resumes);
     }
 
     #[test]

@@ -18,21 +18,29 @@
 //! * [`slots`] — the fixed pool of per-sequence recurrent states;
 //! * [`backend`] — pluggable execution backends ([`backend::DecodeBackend`]):
 //!   the FP reference and the W4A4 quantized model, each with a
-//!   [`backend::CostProfile`] for accelerator pricing;
+//!   [`backend::CostProfile`] for accelerator pricing, plus the
+//!   pause/resume primitives ([`backend::PausedState`]) preemptive
+//!   scheduling is built on;
 //! * [`registry`] — named backends multiplexed over one slot pool;
-//! * [`scheduler`] — admission policies ([`scheduler::Policy`]) that
-//!   select *which* waiting requests join each step: FIFO continuous
-//!   batching, the static-batching baseline, earliest-deadline-first,
-//!   strict priority classes, and weighted fair queueing across models;
+//! * [`scheduler`] — admission and preemption policies
+//!   ([`scheduler::Policy`]) that select *which* candidates (fresh
+//!   arrivals and paused sequences alike) hold the slots each step:
+//!   FIFO continuous batching, the static-batching baseline,
+//!   earliest-deadline-first, strict priority classes, and weighted
+//!   fair queueing across models — EDF and priority each with a
+//!   preemptive variant that pauses residents for urgent work;
 //! * [`engine`] — the virtual-time serving loop (chunked prefill
 //!   interleaved with decode, policy-ordered admission, doomed-request
-//!   eviction, join/evict per step, one sub-batch per model per step);
+//!   eviction, policy-driven pause/resume of resident sequences,
+//!   join/evict per step, one sub-batch per model per step);
 //! * [`metrics`] — TTFT / e2e / queueing percentiles, occupancy, traces,
-//!   per-model and per-priority-class breakdowns, deadline-hit-rate;
+//!   per-model and per-priority-class breakdowns, deadline-hit-rate,
+//!   preemption/resume counters and resume-latency percentiles;
 //! * [`accel_cost`] — projects a run onto VCK190/U280 seconds via
 //!   `lightmamba_accel`'s batch-aware cycle model, pricing each step's
 //!   token-advances (chunked prefill included) with that backend's
-//!   weight-stream bytes.
+//!   weight-stream bytes, and each pause/resume as one fixed-size state
+//!   transfer on the same stream.
 //!
 //! # Example
 //!
@@ -58,6 +66,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 mod error;
 

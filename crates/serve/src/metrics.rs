@@ -7,7 +7,12 @@
 //! prefill a step is no longer one token per resident sequence, so the
 //! trace distinguishes *residency* (`batch_per_step`, what the slot
 //! pool and URAM bound care about) from *work* (`processed_per_step`,
-//! token-advances, what the cost model prices).
+//! token-advances, what the cost model prices). Preemptive policies add
+//! a third kind of traffic: every pause/resume moves one fixed-size
+//! recurrent state across the memory stream
+//! (`state_moves_per_step`), and the run-level counters
+//! (`ServeReport::preemptions`, `resumes`, `resume_latency_steps`)
+//! summarize how often and for how long sequences were benched.
 
 use crate::request::Priority;
 
@@ -86,6 +91,22 @@ pub struct RunTrace {
     pub tokens_per_step: Vec<usize>,
     /// Waiting-queue depth after admissions, per step.
     pub queue_depth_per_step: Vec<usize>,
+    /// Resident sequences preempted (paused out of their slot) by each
+    /// step.
+    pub preemptions_per_step: Vec<usize>,
+    /// Paused sequences resumed into a slot by each step.
+    pub resumes_per_step: Vec<usize>,
+    /// Paused-queue depth after admissions, per step.
+    pub paused_depth_per_step: Vec<usize>,
+    /// State transfers of each step: every pause writes one fixed-size
+    /// recurrent state off-chip and every resume reads one back, on the
+    /// same stream the weights ride — so the cost models price each
+    /// move as state bytes of DMA (`preemptions + resumes` that step).
+    pub state_moves_per_step: Vec<usize>,
+    /// Per-model state transfers of each step (same shape as
+    /// `sub_batches_per_step`, summing to `state_moves_per_step`); the
+    /// multiplex cost model attributes each move to its model.
+    pub sub_state_moves_per_step: Vec<Vec<usize>>,
 }
 
 impl RunTrace {
@@ -160,6 +181,37 @@ pub struct ClassBreakdown {
 }
 
 /// Aggregate outcome of an engine run (step-denominated).
+///
+/// # Example
+///
+/// ```
+/// use lightmamba_model::{MambaConfig, MambaModel};
+/// use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+/// use lightmamba_serve::request::GenRequest;
+/// use lightmamba_serve::scheduler::Fifo;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), lightmamba_serve::ServeError> {
+/// let model = MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(1))?;
+/// let mut engine = ServeEngine::new(
+///     &model,
+///     EngineConfig { slots: 2, max_steps: 10_000, prefill_chunk: 2 },
+/// )?;
+/// engine.submit(vec![
+///     GenRequest::greedy(0, vec![1, 2, 3], 4).with_deadline(100),
+///     GenRequest::greedy(1, vec![4, 5], 3),
+/// ])?;
+/// let report = engine.run(&mut Fifo)?;
+/// assert_eq!(report.completed, 2);
+/// assert_eq!(report.generated_tokens, 7);
+/// // One of the two requests carried a deadline and met it.
+/// assert_eq!(report.deadline_hit_rate(), Some(1.0));
+/// // FIFO never preempts: no pause traffic in the trace.
+/// assert_eq!(report.preemptions, 0);
+/// assert!(report.trace.state_moves_per_step.iter().all(|&m| m == 0));
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServeReport {
     /// Admission policy that produced the run.
@@ -178,6 +230,17 @@ pub struct ServeReport {
     pub deadline_total: usize,
     /// Deadline-carrying requests that completed within their budget.
     pub deadline_hits: usize,
+    /// Pause events across the run (one request may be preempted more
+    /// than once).
+    pub preemptions: u64,
+    /// Resume events — pause episodes that returned to a slot (the
+    /// remainder ended in deadline eviction while paused).
+    pub resumes: u64,
+    /// Distinct requests preempted at least once.
+    pub preempted_requests: usize,
+    /// Steps between pause and resume, per completed pause episode —
+    /// how long preemption benched its victims.
+    pub resume_latency_steps: Percentiles,
     /// Time-to-first-token stats in steps (arrival → first token).
     pub ttft_steps: Percentiles,
     /// End-to-end latency stats in steps.

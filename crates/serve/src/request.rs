@@ -8,12 +8,14 @@ use crate::registry::ModelId;
 pub type RequestId = u64;
 
 /// Strict priority class of a request. Lower classes are more urgent:
-/// [`Priority::Interactive`] preempts [`Priority::Standard`] in the
-/// waiting queue under the priority policy, which preempts
-/// [`Priority::Batch`]. Classes only affect *admission order* — a
-/// resident sequence is never paused for a higher class (slots are
-/// non-preemptive), so starvation of low classes is bounded by request
-/// service times.
+/// [`Priority::Interactive`] beats [`Priority::Standard`] which beats
+/// [`Priority::Batch`], both in admission order and — under the
+/// *preemptive* priority policy
+/// ([`crate::scheduler::PriorityClasses::preemptive`]) — in residency:
+/// a higher-class arrival may pause a strictly lower-class resident
+/// sequence and take its slot. The default policies are non-preemptive
+/// (classes affect admission order only), in which case starvation of
+/// low classes is bounded by request service times.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Priority {
     /// Latency-critical traffic (chat turns, autocompletions).
@@ -120,14 +122,32 @@ impl GenRequest {
     /// with a stop token may finish after its first sample, so its
     /// minimum is the prefill alone.
     pub fn min_steps_to_complete(&self, prefill_chunk: usize) -> u64 {
+        self.min_steps_remaining(0, 0, prefill_chunk)
+    }
+
+    /// [`GenRequest::min_steps_to_complete`] for a sequence with partial
+    /// progress — `pos` prompt tokens already consumed and `generated`
+    /// tokens already sampled. This is the feasibility math for paused
+    /// sequences: a preempted request's deadline slack is judged on the
+    /// work it still *owes*, not on its full length.
+    pub fn min_steps_remaining(&self, pos: usize, generated: usize, prefill_chunk: usize) -> u64 {
         let chunk = prefill_chunk.max(1);
-        let prefill_steps = self.prompt.len().div_ceil(chunk) as u64;
+        let remaining_prompt = self.prompt.len().saturating_sub(pos);
         let min_new = if self.eos_token.is_some() {
             1
         } else {
             self.max_new_tokens.max(1)
         };
-        prefill_steps + (min_new as u64 - 1)
+        let decode_needed = (min_new as u64).saturating_sub(generated as u64);
+        if remaining_prompt > 0 {
+            // The step consuming the final prompt chunk also samples
+            // the first token, hence the `- 1`.
+            remaining_prompt.div_ceil(chunk) as u64 + decode_needed.max(1) - 1
+        } else {
+            // Mid-decode: one token per step, at least one more step
+            // (an unfinished sequence always owes its next sample).
+            decode_needed.max(1)
+        }
     }
 }
 
@@ -169,28 +189,58 @@ pub struct Completion {
     pub first_token_step: Option<u64>,
     /// Step the request left the engine.
     pub finished_step: u64,
+    /// Times the request was preempted (paused out of its slot) while
+    /// resident.
+    pub preemptions: u32,
+    /// Engine steps spent paused across all preemption episodes
+    /// (admitted but holding no slot). Counted inside
+    /// [`Completion::e2e_steps`] — wall time is wall time — but
+    /// excluded from TTFT, and reported separately so preemption cost
+    /// is visible per request.
+    pub paused_steps: u64,
+    /// The subset of [`Completion::paused_steps`] accrued before the
+    /// first token was sampled — excluded from
+    /// [`Completion::ttft_steps`], since paused time is a scheduling
+    /// decision, not time the request's first token was being computed.
+    pub paused_steps_before_first_token: u64,
 }
 
 impl Completion {
-    /// Time-to-first-token in engine steps (arrival → first token).
-    /// Returns `None` when no token was produced, or when a backend
-    /// mis-reports a first-token step before the arrival (debug builds
-    /// assert instead of silently wrapping).
+    /// Time-to-first-token in engine steps: arrival → first token,
+    /// **minus** any steps the request spent paused in between
+    /// (preemption before the first token postpones the stamp without
+    /// doing first-token work, so counting it would charge scheduling
+    /// decisions to model latency). Returns `None` when no token was
+    /// produced, or when the stamps are inconsistent — a first-token
+    /// step before the arrival, or paused time exceeding the wall time
+    /// (both assert in debug builds instead of silently wrapping, the
+    /// same audit as the arrival/admission stamps).
     pub fn ttft_steps(&self) -> Option<u64> {
         self.first_token_step.and_then(|t| {
-            let d = t.checked_sub(self.arrival_step);
+            let wall = t.checked_sub(self.arrival_step);
             debug_assert!(
-                d.is_some(),
+                wall.is_some(),
                 "first_token_step {t} precedes arrival_step {}",
                 self.arrival_step
+            );
+            let d = wall.and_then(|w| w.checked_sub(self.paused_steps_before_first_token));
+            debug_assert!(
+                d.is_some(),
+                "paused_steps_before_first_token {} exceeds wall TTFT of request {}",
+                self.paused_steps_before_first_token,
+                self.id
             );
             d
         })
     }
 
-    /// Queueing delay in engine steps (arrival → admission; `None` when
-    /// the request was never admitted or the admission stamp precedes
-    /// the arrival — the latter asserts in debug builds).
+    /// Queueing delay in engine steps: arrival → *first* admission
+    /// (`None` when the request was never admitted or the admission
+    /// stamp precedes the arrival — the latter asserts in debug
+    /// builds). A resumed request keeps its original admission stamp:
+    /// time spent paused is a service interruption, reported via
+    /// [`Completion::paused_steps`], not queueing — so queue-time
+    /// percentiles still measure pure admission pressure.
     pub fn queue_steps(&self) -> Option<u64> {
         self.admitted_step.and_then(|a| {
             let d = a.checked_sub(self.arrival_step);
@@ -203,7 +253,8 @@ impl Completion {
         })
     }
 
-    /// End-to-end latency in engine steps.
+    /// End-to-end latency in engine steps — wall time from arrival to
+    /// exit, paused episodes included (the user waited through them).
     pub fn e2e_steps(&self) -> u64 {
         self.finished_step - self.arrival_step
     }
@@ -256,6 +307,9 @@ mod tests {
             admitted_step: admitted,
             first_token_step: first,
             finished_step: 20,
+            preemptions: 0,
+            paused_steps: 0,
+            paused_steps_before_first_token: 0,
         }
     }
 
@@ -268,6 +322,38 @@ mod tests {
     }
 
     #[test]
+    fn paused_time_is_excluded_from_ttft_but_not_e2e() {
+        let mut c = completion(4, Some(9), Some(6));
+        c.preemptions = 1;
+        c.paused_steps = 3;
+        c.paused_steps_before_first_token = 3;
+        // 5 wall steps to first token, 3 of them paused: TTFT is 2.
+        assert_eq!(c.ttft_steps(), Some(2));
+        // Queueing still measures arrival → first admission only.
+        assert_eq!(c.queue_steps(), Some(2));
+        // End-to-end stays wall time: the user waited through the pause.
+        assert_eq!(c.e2e_steps(), 16);
+    }
+
+    #[test]
+    fn min_steps_remaining_tracks_partial_progress() {
+        let r = GenRequest::greedy(0, vec![1; 10], 4);
+        // No progress: identical to min_steps_to_complete.
+        assert_eq!(r.min_steps_remaining(0, 0, 4), r.min_steps_to_complete(4));
+        // Mid-prefill at pos 6 with chunk 4: 1 prefill step (samples the
+        // first token) + 3 decode steps.
+        assert_eq!(r.min_steps_remaining(6, 0, 4), 4);
+        // Mid-decode with 1 of 4 tokens out: one step per missing token.
+        assert_eq!(r.min_steps_remaining(10, 1, 4), 3);
+        // All but the last token out: exactly one step left.
+        assert_eq!(r.min_steps_remaining(10, 3, 4), 1);
+        // A stop token can end any decode step.
+        let mut early = r.clone();
+        early.eos_token = Some(7);
+        assert_eq!(early.min_steps_remaining(10, 2, 4), 1);
+    }
+
+    #[test]
     #[cfg(not(debug_assertions))]
     fn inconsistent_stamps_yield_none_instead_of_wrapping() {
         // A backend reporting a first-token step before the arrival must
@@ -275,5 +361,10 @@ mod tests {
         let c = completion(10, Some(3), Some(2));
         assert_eq!(c.ttft_steps(), None);
         assert_eq!(c.queue_steps(), None);
+        // Likewise, paused bookkeeping exceeding the wall TTFT (a
+        // resume-stamp bug) must yield None, not wrap.
+        let mut p = completion(4, Some(9), Some(6));
+        p.paused_steps_before_first_token = 50;
+        assert_eq!(p.ttft_steps(), None);
     }
 }

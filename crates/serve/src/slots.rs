@@ -6,6 +6,14 @@
 //! sequence costs the same, statically known number of bytes. This is
 //! the contrast with paged-KV transformer serving, where admission must
 //! reason about growing, length-dependent cache footprints.
+//!
+//! The same property makes *preemption* nearly free: pausing a resident
+//! sequence is one fixed-size state copy out of its slot
+//! ([`SlotPool::states`] → [`crate::backend::DecodeBackend::save_state`]),
+//! after which the slot is released for urgent work; resuming copies the
+//! snapshot back into any free slot. There is no KV cache to spill or
+//! re-page, so the engine's preemptive policies treat pause/resume as an
+//! ordinary scheduling move rather than a last resort.
 
 use lightmamba_model::{MambaModel, ModelState};
 
@@ -83,6 +91,15 @@ impl SlotPool {
     /// takes this slice plus `(slot, token)` pairs).
     pub fn states_mut(&mut self) -> &mut [ModelState] {
         &mut self.states
+    }
+
+    /// Read-only view of the backing states — what
+    /// [`crate::backend::DecodeBackend::save_state`] snapshots when the
+    /// engine preempts a resident sequence (the slot itself is then
+    /// released and may be rewound for another sequence; the snapshot
+    /// owns the paused sequence's entire resident footprint).
+    pub fn states(&self) -> &[ModelState] {
+        &self.states
     }
 
     /// Bytes of recurrent state one slot keeps at `bits` bits/element —

@@ -64,6 +64,20 @@ impl TrafficProfile {
         }
     }
 
+    /// A slot hog: moderate prompt, very long deadline-free generation
+    /// at batch priority — the resident that preemptive policies exist
+    /// to displace (offline eval sweeps, bulk translation).
+    pub fn hog() -> Self {
+        TrafficProfile {
+            name: "hog",
+            prompt_len: 16..64,
+            gen_len: 96..192,
+            sampler: Sampler::Greedy,
+            priority: Priority::Batch,
+            deadline_steps: None,
+        }
+    }
+
     /// Code completion: medium prompts, medium outputs, low temperature.
     pub fn code_completion() -> Self {
         TrafficProfile {
@@ -154,6 +168,39 @@ impl TrafficScenario {
             profiles: vec![
                 (0.7, TrafficProfile::chat().with_deadline(40..160)),
                 (0.3, TrafficProfile::summarization()),
+            ],
+            arrivals: ArrivalProcess::Poisson(arrivals_per_step),
+        }
+    }
+
+    /// The preemption-heavy scenario preemptive policies compete on:
+    /// deadline-free hogs that camp on slots for hundreds of steps
+    /// ([`TrafficProfile::hog`]) mixed with short interactive turns on
+    /// *tight* budgets. Admission-order tricks alone cannot save the
+    /// tight deadlines once hogs are resident — EDF can only reorder
+    /// the queue while every slot stays camped — so the gap between
+    /// [`crate::scheduler::Edf::preemptive`] and plain EDF on
+    /// `deadline_hit_rate()` is the scenario's headline (pinned by
+    /// test, shown by `serve_traffic --preempt`).
+    pub fn preemption_heavy(arrivals_per_step: f64) -> Self {
+        TrafficScenario {
+            name: "preemption_heavy",
+            profiles: vec![
+                (0.3, TrafficProfile::hog()),
+                (
+                    0.7,
+                    TrafficProfile {
+                        name: "urgent-chat",
+                        prompt_len: 8..32,
+                        gen_len: 4..16,
+                        sampler: Sampler::TopK {
+                            k: 16,
+                            temperature: 0.8,
+                        },
+                        priority: Priority::Interactive,
+                        deadline_steps: Some(24..64),
+                    },
+                ),
             ],
             arrivals: ArrivalProcess::Poisson(arrivals_per_step),
         }
@@ -345,6 +392,26 @@ mod tests {
             .any(|r| r.deadline_steps.is_none() && r.priority == Priority::Batch));
         let frac = with_deadline.len() as f64 / reqs.len() as f64;
         assert!((0.5..0.9).contains(&frac), "deadline fraction {frac}");
+    }
+
+    #[test]
+    fn preemption_heavy_mixes_hogs_with_tight_deadlines() {
+        let mut g = TrafficGenerator::new(TrafficScenario::preemption_heavy(0.5), 256, 5);
+        let reqs = g.generate(400);
+        let hogs: Vec<_> = reqs.iter().filter(|r| r.deadline_steps.is_none()).collect();
+        let urgent: Vec<_> = reqs.iter().filter(|r| r.deadline_steps.is_some()).collect();
+        assert!(!hogs.is_empty() && !urgent.is_empty());
+        for h in &hogs {
+            assert_eq!(h.priority, Priority::Batch);
+            assert!(h.max_new_tokens >= 96, "hogs must camp on their slot");
+        }
+        for u in &urgent {
+            assert_eq!(u.priority, Priority::Interactive);
+            assert!((24..64).contains(&u.deadline_steps.unwrap()));
+            assert!(u.max_new_tokens < 16);
+        }
+        let frac = urgent.len() as f64 / reqs.len() as f64;
+        assert!((0.5..0.9).contains(&frac), "urgent fraction {frac}");
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Property-based invariants of the serving subsystem: FIFO liveness,
-//! slot conservation (single- and multi-model), batched/sequential
-//! equivalence for both the FP and the W4A4 quantized backends,
-//! EDF deadline dominance over FIFO, and WFQ slot-share convergence.
+//! slot conservation (single- and multi-model, with and without
+//! preemption churn), batched/sequential equivalence for both the FP
+//! and the W4A4 quantized backends, pause/resume bit-identity under
+//! arbitrary preemption schedules, EDF deadline dominance over FIFO,
+//! preemptive-EDF dominance over plain EDF on the preemption-heavy
+//! scenario, and WFQ slot-share convergence.
 
 use lightmamba_model::eval::StepModel;
 use lightmamba_model::{MambaConfig, MambaModel};
@@ -52,6 +55,54 @@ fn build_requests(spec: &[(u64, Vec<u32>, usize, u64)]) -> Vec<GenRequest> {
             r
         })
         .collect()
+}
+
+/// FIFO admission plus an arbitrary preemption schedule: each step
+/// pauses `count` residents starting at a rotating `offset` (both taken
+/// from the proptest-generated schedule, cycled). Used to pin that *no*
+/// pause/resume interleaving can change outputs or leak slots.
+struct ChurnFifo {
+    schedule: Vec<(usize, usize)>,
+    step: usize,
+}
+
+impl ChurnFifo {
+    fn new(schedule: Vec<(usize, usize)>) -> Self {
+        ChurnFifo {
+            schedule: if schedule.is_empty() {
+                vec![(0, 0)]
+            } else {
+                schedule
+            },
+            step: 0,
+        }
+    }
+}
+
+impl Policy for ChurnFifo {
+    fn select(&mut self, ctx: &lightmamba_serve::scheduler::AdmissionCtx<'_>) -> Vec<usize> {
+        (0..ctx.n_candidates().min(ctx.free_slots)).collect()
+    }
+
+    fn preempt(&mut self, ctx: &lightmamba_serve::scheduler::AdmissionCtx<'_>) -> Vec<usize> {
+        let (count, offset) = self.schedule[self.step % self.schedule.len()];
+        self.step += 1;
+        let n = ctx.residents.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        (0..count.min(n)).map(|k| (offset + k) % n).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "churn-fifo"
+    }
+}
+
+/// Arbitrary preemption schedules: up to 3 victims per step at a
+/// rotating offset, with calm and stormy steps interleaved.
+fn churn_schedule() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..4, 0usize..8), 1..12)
 }
 
 proptest! {
@@ -285,8 +336,8 @@ proptest! {
         };
         let fifo = run(&mut Fifo);
         prop_assert_eq!(&fifo, &run(&mut StaticBatching));
-        prop_assert_eq!(&fifo, &run(&mut Edf));
-        prop_assert_eq!(&fifo, &run(&mut PriorityClasses));
+        prop_assert_eq!(&fifo, &run(&mut Edf::default()));
+        prop_assert_eq!(&fifo, &run(&mut PriorityClasses::default()));
         prop_assert_eq!(&fifo, &run(&mut WeightedFair::equal()));
     }
 
@@ -350,7 +401,7 @@ proptest! {
             engine.run(policy).unwrap()
         };
         let fifo = run(&mut Fifo);
-        let edf = run(&mut Edf);
+        let edf = run(&mut Edf::default());
         prop_assert_eq!(edf.deadline_total, fifo.deadline_total);
         prop_assert!(
             edf.deadline_hits >= fifo.deadline_hits,
@@ -392,6 +443,200 @@ proptest! {
             weight,
             share,
             want
+        );
+    }
+
+    #[test]
+    fn pause_resume_never_changes_outputs_on_either_backend(
+        spec in workload(),
+        slots in 1usize..5,
+        schedule in churn_schedule(),
+        chunk in 1usize..4,
+    ) {
+        // The tentpole pin: under an *arbitrary* preemption schedule —
+        // any victims, any step, including pause-then-resume within one
+        // step — every request's tokens equal its model's uninterrupted
+        // sequential decode, for the FP and the W4A4 backend alike.
+        let model = tiny_model();
+        let q = tiny_w4a4(&model);
+        let mut reg = ModelRegistry::new();
+        reg.register("fp", Box::new(FpBackend::new(&model))).unwrap();
+        reg.register("w4a4", Box::new(W4A4Backend::new(q.clone()))).unwrap();
+        let mut requests = build_requests(&spec);
+        for r in &mut requests {
+            r.model = (r.id % 2) as usize;
+        }
+        let n = requests.len();
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: chunk },
+        ).unwrap();
+        engine.submit(requests.clone()).unwrap();
+        let report = engine.run(&mut ChurnFifo::new(schedule)).unwrap();
+        prop_assert_eq!(report.completed, n);
+
+        let mut q_seq = q.clone();
+        for req in &requests {
+            let done = engine
+                .completions()
+                .iter()
+                .find(|c| c.id == req.id)
+                .expect("every request completes");
+            let mut rng = StdRng::seed_from_u64(req.seed);
+            let expect = if req.model == 0 {
+                let mut state = model.new_state();
+                let mut logits = model.prefill(&req.prompt, &mut state).unwrap();
+                let mut toks = Vec::new();
+                for _ in 0..req.max_new_tokens {
+                    let t = req.sampler.sample(&logits, &mut rng);
+                    toks.push(t);
+                    logits = model.forward_step(t, &mut state).unwrap();
+                }
+                toks
+            } else {
+                q_seq.reset();
+                let mut logits = Vec::new();
+                for &t in &req.prompt {
+                    logits = q_seq.step(t).unwrap();
+                }
+                let mut toks = Vec::new();
+                for _ in 0..req.max_new_tokens {
+                    let t = req.sampler.sample(&logits, &mut rng);
+                    toks.push(t);
+                    logits = q_seq.step(t).unwrap();
+                }
+                toks
+            };
+            prop_assert_eq!(
+                &done.tokens,
+                &expect,
+                "request {} (model {}) diverged under preemption churn",
+                req.id,
+                req.model
+            );
+        }
+    }
+
+    #[test]
+    fn slots_are_conserved_under_arbitrary_pause_resume_interleavings(
+        spec in workload(),
+        slots in 1usize..5,
+        schedule in churn_schedule(),
+    ) {
+        // No slot leaked, no sequence lost, every request accounted for
+        // exactly once — while sequences bounce between resident and
+        // paused at the schedule's whim, across two multiplexed models.
+        let model = tiny_model();
+        let q = tiny_w4a4(&model);
+        let mut reg = ModelRegistry::new();
+        reg.register("fp", Box::new(FpBackend::new(&model))).unwrap();
+        reg.register("w4a4", Box::new(W4A4Backend::new(q))).unwrap();
+        let mut requests = build_requests(&spec);
+        for r in &mut requests {
+            r.model = (r.id % 2) as usize;
+        }
+        let n = requests.len();
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
+        ).unwrap();
+        engine.submit(requests).unwrap();
+        let mut policy = ChurnFifo::new(schedule);
+        let mut steps = 0u64;
+        while engine.has_work() && steps < 200_000 {
+            engine.step(&mut policy).unwrap();
+            steps += 1;
+            // Paused sequences hold no slot: residency alone must
+            // account for the pool at every step boundary.
+            prop_assert_eq!(
+                engine.free_slots() + engine.active_count(),
+                engine.capacity()
+            );
+            prop_assert!(engine.active_count() <= slots);
+            // No sequence lost: everything is exactly one of finished,
+            // resident, paused, or not-yet-admitted.
+            prop_assert!(
+                engine.completions().len() + engine.active_count() + engine.paused_count() <= n
+            );
+        }
+        prop_assert_eq!(engine.free_slots(), engine.capacity());
+        prop_assert_eq!(engine.paused_count(), 0);
+        let report = engine.report(&policy);
+        prop_assert_eq!(report.completed, n);
+        // Pause/resume bookkeeping balances once the engine drains.
+        prop_assert_eq!(report.preemptions, report.resumes);
+        let moves: usize = report.trace.state_moves_per_step.iter().sum();
+        prop_assert_eq!(moves as u64, report.preemptions + report.resumes);
+        for (sub, &total) in report
+            .trace
+            .sub_state_moves_per_step
+            .iter()
+            .zip(&report.trace.state_moves_per_step)
+        {
+            prop_assert_eq!(sub.iter().sum::<usize>(), total);
+        }
+        // Per-model accounting still covers every request exactly once.
+        prop_assert_eq!(
+            report.per_model.iter().map(|m| m.completed).sum::<usize>(),
+            n
+        );
+    }
+
+    #[test]
+    fn wfq_shares_still_converge_under_preemption_churn(churn_every in 2usize..6) {
+        // WFQ charges service to slot-holders only, so a steady drip of
+        // pause/resume churn (which never changes *who* is entitled to
+        // slots, only bounces residents through the paused queue) must
+        // leave the long-run 3:1 share intact.
+        struct ChurnWfq {
+            wfq: WeightedFair,
+            every: usize,
+            step: usize,
+        }
+        impl Policy for ChurnWfq {
+            fn select(&mut self, ctx: &lightmamba_serve::scheduler::AdmissionCtx<'_>) -> Vec<usize> {
+                self.wfq.select(ctx)
+            }
+            fn preempt(&mut self, ctx: &lightmamba_serve::scheduler::AdmissionCtx<'_>) -> Vec<usize> {
+                self.step += 1;
+                if self.step % self.every == 0 && !ctx.residents.is_empty() {
+                    vec![self.step % ctx.residents.len()]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn name(&self) -> &'static str {
+                "churn-wfq"
+            }
+        }
+        let model = tiny_model();
+        let mut reg = ModelRegistry::new();
+        reg.register("a", Box::new(FpBackend::new(&model))).unwrap();
+        reg.register("b", Box::new(FpBackend::new(&model))).unwrap();
+        let requests: Vec<GenRequest> = (0..600u64)
+            .map(|id| GenRequest::greedy(id, vec![3; 2], 6).on_model((id % 2) as usize))
+            .collect();
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig { slots: 6, max_steps: 400, prefill_chunk: 1 },
+        ).unwrap();
+        engine.submit(requests).unwrap();
+        let mut policy = ChurnWfq {
+            wfq: WeightedFair::new(vec![3.0, 1.0]),
+            every: churn_every,
+            step: 0,
+        };
+        let report = engine.run(&mut policy).unwrap();
+        prop_assert!(engine.has_work(), "pool must stay saturated");
+        prop_assert!(report.preemptions > 0, "churn must actually preempt");
+        let a = report.per_model[0].processed_tokens as f64;
+        let b = report.per_model[1].processed_tokens as f64;
+        let share = a / (a + b);
+        prop_assert!(
+            (share - 0.75).abs() < 0.12,
+            "weight-3 model took {:.3} of the pool under churn (want ≈ 0.75, {} preemptions)",
+            share,
+            report.preemptions
         );
     }
 }
@@ -437,7 +682,7 @@ fn edf_strictly_beats_fifo_on_the_deadline_heavy_scenario() {
         (report, outputs)
     };
     let (fifo, fifo_out) = run(&mut Fifo);
-    let (edf, edf_out) = run(&mut Edf);
+    let (edf, edf_out) = run(&mut Edf::default());
     assert_eq!(fifo.deadline_total, edf.deadline_total);
     assert!(fifo.deadline_total > 0);
     assert!(
@@ -454,6 +699,77 @@ fn edf_strictly_beats_fifo_on_the_deadline_heavy_scenario() {
     for (id, tokens) in &fifo_out {
         if let Some(other) = edf_map.get(id) {
             assert_eq!(&tokens, other, "request {id} diverged across policies");
+            compared += 1;
+        }
+    }
+    assert!(compared > 0);
+}
+
+/// The preemption acceptance pin: on the preemption-heavy scenario (the
+/// exact workload `serve_traffic --preempt` runs, shortened), EDF with
+/// pause/resume strictly beats non-preemptive EDF on deadline hit rate
+/// — reordering the queue cannot save a tight deadline while
+/// deadline-free hogs camp on every slot; pausing one can — with
+/// outputs still bit-identical between the two runs.
+#[test]
+fn preemptive_edf_strictly_beats_plain_edf_on_the_preemption_heavy_scenario() {
+    let model = tiny_model();
+    let q = tiny_w4a4(&model);
+    let run = |policy: &mut dyn Policy| {
+        let mut reg = ModelRegistry::new();
+        reg.register("fp", Box::new(FpBackend::new(&model)))
+            .unwrap();
+        reg.register("w4a4", Box::new(W4A4Backend::new(q.clone())))
+            .unwrap();
+        let mut traffic = TrafficGenerator::new(
+            TrafficScenario::preemption_heavy(0.6),
+            model.config().vocab_size,
+            7,
+        )
+        .with_models(2);
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig {
+                slots: 8,
+                max_steps: 1_000_000,
+                prefill_chunk: 4,
+            },
+        )
+        .unwrap();
+        engine.submit(traffic.generate(200)).unwrap();
+        let report = engine.run(policy).unwrap();
+        let mut outputs: Vec<(u64, Vec<u32>)> = engine
+            .completions()
+            .iter()
+            .filter(|c| c.finish != lightmamba_serve::request::FinishReason::DeadlineExceeded)
+            .map(|c| (c.id, c.tokens.clone()))
+            .collect();
+        outputs.sort();
+        (report, outputs)
+    };
+    let (plain, plain_out) = run(&mut Edf::default());
+    let (pre, pre_out) = run(&mut Edf::preemptive());
+    assert_eq!(plain.deadline_total, pre.deadline_total);
+    assert!(plain.deadline_total > 0);
+    assert_eq!(plain.preemptions, 0, "plain EDF must never pause anyone");
+    assert!(pre.preemptions > 0, "the scenario must actually preempt");
+    assert!(
+        pre.deadline_hit_rate() > plain.deadline_hit_rate(),
+        "preemptive {:?} must strictly beat plain {:?} ({} preemptions, resume p50 {:.1})",
+        pre.deadline_hit_rate(),
+        plain.deadline_hit_rate(),
+        pre.preemptions,
+        pre.resume_latency_steps.p50,
+    );
+    // Preemption reshuffles *when* requests run, never *what* they
+    // produce: every request both runs completed emitted identical
+    // tokens.
+    let pre_map: std::collections::HashMap<u64, &Vec<u32>> =
+        pre_out.iter().map(|(id, t)| (*id, t)).collect();
+    let mut compared = 0usize;
+    for (id, tokens) in &plain_out {
+        if let Some(other) = pre_map.get(id) {
+            assert_eq!(&tokens, other, "request {id} diverged under preemption");
             compared += 1;
         }
     }

@@ -61,6 +61,23 @@ impl ConvState {
         self.window.fill(0.0);
     }
 
+    /// Copies `other`'s window into this state without reallocating —
+    /// the restore half of decode-state pause/resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two states disagree on channels or kernel width;
+    /// states of different model configurations are never
+    /// interchangeable, so a mismatch is a caller bug.
+    pub fn copy_from(&mut self, other: &ConvState) {
+        assert_eq!(
+            (self.channels, self.kernel),
+            (other.channels, other.kernel),
+            "conv state shape mismatch"
+        );
+        self.window.copy_from_slice(&other.window);
+    }
+
     /// Pushes one new sample per channel and returns the depthwise causal
     /// convolution output for the current position.
     ///

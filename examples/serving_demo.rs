@@ -5,10 +5,14 @@
 //! weight-stream width).
 //!
 //! Run with: `cargo run --release --example serving_demo
-//! [-- --backend fp|w4a4|mux --policy fifo|edf|priority|wfq --prefill-chunk K]`
+//! [-- --backend fp|w4a4|mux
+//!     --policy fifo|edf|edf-preempt|priority|priority-preempt|wfq
+//!     --prefill-chunk K]`
 //! (defaults: `mux` — FP + W4A4 sharing one pool — under `fifo` with
 //! chunk 4). The chosen policy is compared against the static-batching
-//! baseline on the same trace.
+//! baseline on the same trace; preemptive policies additionally report
+//! their pause/resume traffic (each move is one fixed-size Mamba state
+//! — the preemption story the serve crate is built on).
 
 use lightmamba_repro::accel::platform::Platform;
 use lightmamba_repro::prelude::*;
@@ -109,6 +113,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 },
             );
         }
+        if sched_pick == 0 && report.preemptions > 0 {
+            println!(
+                "  [{}] preemptions: {} (resumes {}, resume p50 {:.0} steps, \
+                 state transfer {:.1} ms)",
+                run.policy,
+                report.preemptions,
+                report.resumes,
+                report.resume_latency_steps.p50,
+                run.state_transfer_s * 1e3,
+            );
+        }
         if mode == "mux" && sched_pick == 0 {
             let fp = &run.per_model[0];
             let w4 = &run.per_model[1];
@@ -175,7 +190,10 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
             "--policy" => {
                 args.policy = argv
                     .get(i + 1)
-                    .ok_or("--policy needs a value: fifo | edf | priority | wfq")?
+                    .ok_or(
+                        "--policy needs a value: fifo | edf | edf-preempt | priority | \
+                         priority-preempt | wfq",
+                    )?
                     .clone();
                 i += 2;
             }

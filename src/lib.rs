@@ -53,12 +53,14 @@ pub mod prelude {
     pub use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
     pub use lightmamba_quant::qmodel::{Precision, QuantizedMamba};
     pub use lightmamba_serve::accel_cost::{MultiplexCostModel, StepCostModel};
-    pub use lightmamba_serve::backend::{CostProfile, DecodeBackend, FpBackend, W4A4Backend};
+    pub use lightmamba_serve::backend::{
+        CostProfile, DecodeBackend, FpBackend, PausedState, W4A4Backend,
+    };
     pub use lightmamba_serve::engine::{EngineConfig, ServeEngine};
     pub use lightmamba_serve::registry::{ModelId, ModelRegistry};
     pub use lightmamba_serve::request::{GenRequest, Priority};
     pub use lightmamba_serve::scheduler::{
-        policy_by_name, AdmissionCtx, Edf, Fifo, Policy, PriorityClasses, StaticBatching,
+        policy_by_name, AdmissionCtx, Edf, Fifo, Policy, PriorityClasses, SeqView, StaticBatching,
         WeightedFair, POLICY_NAMES,
     };
     pub use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
