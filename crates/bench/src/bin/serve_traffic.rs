@@ -24,13 +24,21 @@
 //!   scenario (deadline-free hogs camping on slots + tight-deadline
 //!   chat) under non-preemptive vs preemptive EDF and priority, with
 //!   pause/resume priced as state transfers;
-//! * `--smoke` — run only the policy study (plus, with `--preempt`,
-//!   the preemption study) on a reduced horizon (CI).
+//! * `--sessions` — also run the multi-turn session study: closed-loop
+//!   chat sessions whose follow-up turns resume a parked Mamba state
+//!   (one state-transfer DMA) versus re-prefilling the full
+//!   conversation, with `--cancel-rate R` disconnecting a deterministic
+//!   fraction of the sessions mid-decode;
+//! * `--cancel-rate R` (default 0) — fraction of sessions in the
+//!   session study whose client hangs up mid-first-turn;
+//! * `--smoke` — run only the policy study (plus any opted-in studies)
+//!   on a reduced horizon (CI).
 //!
 //! A final `BENCH_JSON` line captures the selected policy's
-//! deadline-hit-rate plus (full mode) the FP-vs-W4A4 serving gap and
+//! deadline-hit-rate plus (full mode) the FP-vs-W4A4 serving gap,
 //! (with `--preempt`) the preemption study's hit rates and pause
-//! traffic.
+//! traffic, and (with `--sessions`) the session study's resume-vs-
+//! re-prefill TTFT gap and cancellation waste.
 
 use lightmamba::report::render_table;
 use lightmamba_accel::arch::AcceleratorConfig;
@@ -42,23 +50,24 @@ use lightmamba_quant::QuantizedMamba;
 use lightmamba_serve::accel_cost::{ModelCost, MultiplexCostModel, StepCostModel};
 use lightmamba_serve::backend::{FpBackend, W4A4Backend};
 use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+use lightmamba_serve::frontend::SessionStore;
 use lightmamba_serve::registry::ModelRegistry;
-use lightmamba_serve::scheduler::{policy_by_name, Fifo, Policy, StaticBatching, WeightedFair};
+use lightmamba_serve::request::{FinishReason, GenRequest};
+use lightmamba_serve::scheduler::{
+    policy_by_name, Fifo, Policy, StaticBatching, WeightedFair, POLICY_NAMES,
+};
 use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 
 const SLOT_SWEEP: [usize; 4] = [1, 4, 16, 64];
-/// The policies the study compares (static batching is covered by the
-/// slot sweep instead).
-const POLICIES: [&str; 6] = [
-    "fifo",
-    "edf",
-    "edf-preempt",
-    "priority",
-    "priority-preempt",
-    "wfq",
-];
+
+/// The policies the study compares — every [`POLICY_NAMES`] entry
+/// except static batching, which the slot sweep covers instead.
+fn study_policies() -> impl Iterator<Item = &'static str> {
+    POLICY_NAMES.into_iter().filter(|n| *n != "static")
+}
 /// The pairs the `--preempt` study compares on the preemption-heavy
 /// scenario.
 const PREEMPT_POLICIES: [&str; 4] = ["edf", "edf-preempt", "priority", "priority-preempt"];
@@ -69,6 +78,8 @@ struct Args {
     policy: String,
     prefill_chunk: usize,
     preempt: bool,
+    sessions: bool,
+    cancel_rate: f64,
     smoke: bool,
 }
 
@@ -80,6 +91,8 @@ fn parse_args() -> Args {
         policy: "fifo".into(),
         prefill_chunk: 4,
         preempt: false,
+        sessions: false,
+        cancel_rate: 0.0,
         smoke: false,
     };
     let mut i = 0;
@@ -102,16 +115,29 @@ fn parse_args() -> Args {
             "--policy" => {
                 args.policy = argv
                     .get(i + 1)
-                    .expect(
-                        "--policy needs a value: fifo | edf | edf-preempt | priority | \
-                         priority-preempt | wfq",
-                    )
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "--policy needs a value, one of: {}",
+                            POLICY_NAMES.join(" | ")
+                        )
+                    })
                     .clone();
                 i += 2;
             }
             "--preempt" => {
                 args.preempt = true;
                 i += 1;
+            }
+            "--sessions" => {
+                args.sessions = true;
+                i += 1;
+            }
+            "--cancel-rate" => {
+                args.cancel_rate = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cancel-rate needs a number in [0, 1)");
+                i += 2;
             }
             "--prefill-chunk" => {
                 args.prefill_chunk = argv
@@ -131,12 +157,20 @@ fn parse_args() -> Args {
         ["fp", "w4a4", "both"].contains(&args.backend.as_str()),
         "--backend must be fp, w4a4, or both"
     );
+    // policy_by_name's own error already lists every valid name.
+    if let Err(e) = policy_by_name(&args.policy) {
+        panic!("{e}");
+    }
     assert!(
-        POLICIES.contains(&args.policy.as_str()),
-        "--policy must be one of {POLICIES:?}"
+        args.policy != "static",
+        "static batching is covered by the slot sweep; pick a continuous-batching policy"
     );
     assert!(args.models > 0, "--models must be positive");
     assert!(args.prefill_chunk > 0, "--prefill-chunk must be positive");
+    assert!(
+        (0.0..1.0).contains(&args.cancel_rate),
+        "--cancel-rate must be in [0, 1)"
+    );
     args
 }
 
@@ -181,6 +215,18 @@ fn main() {
     // preemptive variants head-to-head, pause traffic priced.
     if args.preempt {
         json_fields.push(preemption_study(
+            &args,
+            &model,
+            &quantized,
+            &vck_platform,
+            &big,
+        ));
+    }
+
+    // Session study: closed-loop multi-turn chat, parked-state resume
+    // vs full-history re-prefill, with deterministic disconnects.
+    if args.sessions {
+        json_fields.push(session_study(
             &args,
             &model,
             &quantized,
@@ -240,7 +286,7 @@ fn policy_study(
 
     let mut rows = Vec::new();
     let mut headline = None;
-    for name in POLICIES {
+    for name in study_policies() {
         let mut registry = ModelRegistry::new();
         registry
             .register("fp", Box::new(FpBackend::new(model)))
@@ -322,7 +368,7 @@ fn policy_study(
             &rows,
         )
     );
-    headline.expect("--policy is validated against POLICIES")
+    headline.expect("--policy is validated against POLICY_NAMES")
 }
 
 /// `--preempt`: the preemption-heavy scenario (deadline-free hogs
@@ -425,6 +471,289 @@ fn preemption_study(
         )
     );
     format!("\"preempt\":{{{}}}", json.join(","))
+}
+
+/// Outcome of one closed-loop chat run (either session path).
+struct ChatRun {
+    report: lightmamba_serve::metrics::ServeReport,
+    seconds: f64,
+    state_transfer_s: f64,
+    wasted_work_s: f64,
+    follow_up_ttft_mean_steps: f64,
+    resumes: usize,
+    misses: usize,
+    prefill_tokens_saved: u64,
+}
+
+/// `--sessions`: multi-turn chat sessions, closed-loop (a session's
+/// next turn departs only after the prior reply lands). The resume
+/// path parks each turn's final Mamba state in a [`SessionStore`] and
+/// restores it for the follow-up — one fixed-size state transfer — so
+/// a follow-up carries only the user's new message; the re-prefill
+/// baseline replays the whole conversation as prompt every turn. With
+/// `--cancel-rate`, a deterministic prefix of the sessions hangs up
+/// mid-first-turn on both paths, so the cancellation waste is priced
+/// identically. Returns the JSON fragment.
+fn session_study(
+    args: &Args,
+    model: &MambaModel,
+    quantized: &QuantizedMamba,
+    platform: &Platform,
+    big: &MambaConfig,
+) -> String {
+    let n = if args.smoke { 8 } else { 24 };
+    let turns = 3usize;
+    let doomed = (args.cancel_rate * n as f64).floor() as u64;
+    println!();
+    println!(
+        "session study: {n} chat sessions x {turns} turns (closed-loop), 8 slots, fp+w4a4 \
+         pool, prefill chunk {}, {doomed} mid-turn disconnects (cancel rate {:.2}) — \
+         parked-state resume vs full-history re-prefill",
+        args.prefill_chunk, args.cancel_rate
+    );
+
+    // Same conversation material for both paths: openers from the
+    // chat_sessions scenario, follow-up turns drawn up front.
+    let vocab = model.config().vocab_size;
+    let mut traffic = TrafficGenerator::new(TrafficScenario::chat_sessions(n), vocab, 7);
+    let mut openers = traffic.generate(1);
+    for (sid, req) in openers.iter_mut().enumerate() {
+        req.model = sid % 2;
+    }
+    let follow_ups: Vec<Vec<(Vec<u32>, usize)>> = (0..n)
+        .map(|_| (1..turns).map(|_| traffic.follow_up_turn()).collect())
+        .collect();
+
+    let resume = drive_chat(
+        true,
+        args,
+        model,
+        quantized,
+        platform,
+        big,
+        &openers,
+        &follow_ups,
+        doomed,
+        turns,
+    );
+    let reprefill = drive_chat(
+        false,
+        args,
+        model,
+        quantized,
+        platform,
+        big,
+        &openers,
+        &follow_ups,
+        doomed,
+        turns,
+    );
+
+    let mut rows = Vec::new();
+    for (name, run) in [("resume", &resume), ("re-prefill", &reprefill)] {
+        rows.push(vec![
+            name.to_string(),
+            run.report.completed.to_string(),
+            run.report.cancellations.to_string(),
+            run.report.prefill_tokens.to_string(),
+            format!("{:.1}", run.follow_up_ttft_mean_steps),
+            format!("{:.2}", run.state_transfer_s * 1e3),
+            format!("{:.3}", run.wasted_work_s),
+            format!("{:.1}", run.seconds),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "path",
+                "completed",
+                "cancelled",
+                "prefill toks",
+                "turn-2+ TTFT (steps)",
+                "state xfer (ms)",
+                "wasted (s)",
+                "run (s)",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "  resume skipped {} prefill token-advances across {} resumes ({} cold turns)",
+        resume.prefill_tokens_saved, resume.resumes, resume.misses
+    );
+    if resume.resumes > 0 {
+        assert!(
+            resume.follow_up_ttft_mean_steps < reprefill.follow_up_ttft_mean_steps,
+            "parked-state resume must beat full-history re-prefill on follow-up TTFT"
+        );
+    }
+    format!(
+        "\"sessions\":{{\"n\":{n},\"turns\":{turns},\"cancel_rate\":{:.2},\"resumes\":{},\
+         \"prefill_tokens_saved\":{},\"resume_ttft_mean_steps\":{:.2},\
+         \"reprefill_ttft_mean_steps\":{:.2},\"cancellations\":{},\"wasted_token_advances\":{},\
+         \"resume_s\":{:.3},\"reprefill_s\":{:.3},\"state_transfer_s\":{:.6},\
+         \"wasted_work_s\":{:.6}}}",
+        args.cancel_rate,
+        resume.resumes,
+        resume.prefill_tokens_saved,
+        resume.follow_up_ttft_mean_steps,
+        reprefill.follow_up_ttft_mean_steps,
+        resume.report.cancellations,
+        resume.report.wasted_token_advances,
+        resume.seconds,
+        reprefill.seconds,
+        resume.state_transfer_s,
+        resume.wasted_work_s,
+    )
+}
+
+/// Drives one closed-loop chat run: openers up front, each follow-up
+/// turn submitted only once the prior turn's reply completes. On the
+/// resume path follow-ups restore the parked state from the session
+/// store; on the baseline they re-prefill the full history. Sessions
+/// `0..doomed` are cancelled a few steps in — the client hung up.
+#[allow(clippy::too_many_arguments)]
+fn drive_chat(
+    resume: bool,
+    args: &Args,
+    model: &MambaModel,
+    quantized: &QuantizedMamba,
+    platform: &Platform,
+    big: &MambaConfig,
+    openers: &[GenRequest],
+    follow_ups: &[Vec<(Vec<u32>, usize)>],
+    doomed: u64,
+    turns: usize,
+) -> ChatRun {
+    const CANCEL_AT: u64 = 4;
+    let n = openers.len();
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("fp", Box::new(FpBackend::new(model)))
+        .expect("fresh registry");
+    registry
+        .register("w4a4", Box::new(W4A4Backend::new(quantized.clone())))
+        .expect("fresh registry");
+    let mut cost =
+        MultiplexCostModel::for_registry(&registry, platform, big).expect("two backends");
+    let mut engine = ServeEngine::with_registry(
+        registry,
+        EngineConfig {
+            slots: 8,
+            max_steps: 1_000_000,
+            prefill_chunk: args.prefill_chunk,
+        },
+    )
+    .expect("valid config");
+
+    // Opener ids are 0..n (session id == opener id); follow-up turns
+    // take fresh ids from n upward.
+    let mut submit = openers.to_vec();
+    for (sid, req) in submit.iter_mut().enumerate() {
+        req.session = if resume { Some(sid as u64) } else { None };
+    }
+    engine.submit(submit).expect("openers arrive together");
+
+    let mut store = SessionStore::new(n);
+    let mut policy = Fifo;
+    let mut history: Vec<Vec<u32>> = openers.iter().map(|r| r.prompt.clone()).collect();
+    let mut turn_of: HashMap<u64, (usize, usize)> =
+        (0..n).map(|sid| (sid as u64, (sid, 0))).collect();
+    let mut next_id = n as u64;
+    let mut cursor = 0usize;
+    let mut follow_ttfts: Vec<f64> = Vec::new();
+    let (mut resumes, mut misses) = (0usize, 0usize);
+    let mut prefill_tokens_saved = 0u64;
+    let mut cancels_sent = false;
+
+    while engine.has_work() {
+        if !cancels_sent && engine.clock() >= CANCEL_AT {
+            for id in 0..doomed {
+                engine.cancel(id);
+            }
+            cancels_sent = true;
+        }
+        engine.step(&mut policy).expect("step succeeds");
+        if resume {
+            for (sid, snap) in engine.take_session_snapshots() {
+                store.insert(sid, snap);
+            }
+        }
+        while cursor < engine.completions().len() {
+            let c = engine.completions()[cursor].clone();
+            cursor += 1;
+            let (sid, turn) = turn_of[&c.id];
+            if turn > 0 {
+                if let Some(t) = c.ttft_steps() {
+                    follow_ttfts.push(t as f64);
+                }
+            }
+            if !matches!(c.finish, FinishReason::MaxTokens | FinishReason::Eos) {
+                continue; // disconnected session: no further turns
+            }
+            history[sid].extend_from_slice(&c.tokens);
+            if turn + 1 >= turns {
+                continue;
+            }
+            let (fprompt, gen) = follow_ups[sid][turn].clone();
+            let id = next_id;
+            next_id += 1;
+            turn_of.insert(id, (sid, turn + 1));
+            let mut req = GenRequest::greedy(id, fprompt.clone(), gen).on_model(sid % 2);
+            req.arrival_step = engine.clock();
+            if resume {
+                req.session = Some(sid as u64);
+                match store.take(sid as u64) {
+                    Some(snap) => {
+                        prefill_tokens_saved += snap.consumed_tokens as u64;
+                        resumes += 1;
+                        engine
+                            .submit_with_state(req, snap)
+                            .expect("snapshot matches its backend");
+                    }
+                    None => {
+                        // Cold turn: fall back to re-prefilling.
+                        misses += 1;
+                        let mut full = history[sid].clone();
+                        full.extend_from_slice(&fprompt);
+                        req.prompt = full;
+                        engine
+                            .submit(vec![req])
+                            .expect("arrival stamps are monotone");
+                    }
+                }
+            } else {
+                let mut full = history[sid].clone();
+                full.extend_from_slice(&fprompt);
+                req.prompt = full;
+                engine
+                    .submit(vec![req])
+                    .expect("arrival stamps are monotone");
+            }
+            history[sid].extend_from_slice(&fprompt);
+        }
+    }
+
+    let report = engine.report(&policy);
+    let run = cost
+        .cost_run(&report, engine.completions())
+        .expect("trace matches registry");
+    let follow_up_ttft_mean_steps = if follow_ttfts.is_empty() {
+        0.0
+    } else {
+        follow_ttfts.iter().sum::<f64>() / follow_ttfts.len() as f64
+    };
+    ChatRun {
+        report,
+        seconds: run.seconds,
+        state_transfer_s: run.state_transfer_s,
+        wasted_work_s: run.wasted_work_s,
+        follow_up_ttft_mean_steps,
+        resumes,
+        misses,
+        prefill_tokens_saved,
+    }
 }
 
 /// Scenario sweep under FIFO continuous batching at 16 slots.

@@ -76,6 +76,11 @@ pub struct CostedRun {
     /// resume, on the same stream the weights ride) — the total price
     /// of preemption, already included in `seconds`.
     pub state_transfer_s: f64,
+    /// Projected seconds spent advancing sequences that were later
+    /// cancelled mid-flight — work the client discarded. Already
+    /// included in `seconds` (the device ran those token-advances);
+    /// reported separately so the price of disconnects stays visible.
+    pub wasted_work_s: f64,
     /// Largest batch any step ran.
     pub peak_batch: usize,
     /// Largest batch whose per-layer state fits the platform's URAM
@@ -174,7 +179,10 @@ impl StepCostModel {
         let mut e2e = Vec::new();
         let mut itl = Vec::new();
         for c in completions {
-            if c.finish == FinishReason::DeadlineExceeded {
+            // Latency stats describe requests that ran to completion;
+            // deadline evictions and client cancellations never produced
+            // a final token, so their stamps would skew the percentiles.
+            if !matches!(c.finish, FinishReason::MaxTokens | FinishReason::Eos) {
                 continue;
             }
             if let Some(first) = c.first_token_step {
@@ -217,6 +225,14 @@ impl StepCostModel {
         };
         let peak_batch = report.trace.peak_batch();
         let max_resident_batch = self.sim.max_resident_batch();
+        // Cancelled work is priced at the run's mean per-token rate:
+        // those advances rode ordinary steps, so their share of the wall
+        // clock is their share of the processed tokens.
+        let wasted_work_s = if processed > 0 {
+            now * report.wasted_token_advances as f64 / processed as f64
+        } else {
+            0.0
+        };
         CostedRun {
             platform: self.sim.platform().name.clone(),
             policy: report.policy,
@@ -234,6 +250,7 @@ impl StepCostModel {
             itl_s: Percentiles::of(&itl),
             mean_step_s: now / busy_steps as f64,
             state_transfer_s,
+            wasted_work_s,
             peak_batch,
             max_resident_batch,
             residency_ok: peak_batch <= max_resident_batch,
@@ -289,6 +306,9 @@ pub struct MultiplexedRun {
     /// Projected seconds spent on pause/resume state transfers across
     /// all models (included in `seconds`).
     pub state_transfer_s: f64,
+    /// Projected seconds spent advancing sequences later cancelled by
+    /// their clients, across all models (included in `seconds`).
+    pub wasted_work_s: f64,
     /// Per-model slices, in registry order.
     pub per_model: Vec<ModelCost>,
     /// Largest total batch any step ran.
@@ -430,7 +450,10 @@ impl MultiplexCostModel {
             .map(|(m, (name, cost))| {
                 let mine: Vec<&Completion> = completions
                     .iter()
-                    .filter(|c| c.model == m && c.finish != FinishReason::DeadlineExceeded)
+                    .filter(|c| {
+                        c.model == m
+                            && matches!(c.finish, FinishReason::MaxTokens | FinishReason::Eos)
+                    })
                     .collect();
                 let ttft: Vec<f64> = mine
                     .iter()
@@ -470,6 +493,11 @@ impl MultiplexCostModel {
         // speaks for the shared pool.
         let max_resident_batch = self.models[0].1.simulator().max_resident_batch();
         let total_processed: u64 = processed.iter().sum();
+        let wasted_work_s = if total_processed > 0 {
+            now * report.wasted_token_advances as f64 / total_processed as f64
+        } else {
+            0.0
+        };
         Ok(MultiplexedRun {
             platform: self.models[0].1.simulator().platform().name.clone(),
             policy: report.policy,
@@ -485,6 +513,7 @@ impl MultiplexCostModel {
                 0.0
             },
             state_transfer_s: state_transfer.iter().sum(),
+            wasted_work_s,
             per_model,
             peak_batch,
             max_resident_batch,
@@ -639,6 +668,67 @@ mod tests {
         // A state move is far cheaper than a weight-streaming step —
         // the paper's "preemption is nearly free" claim, quantified.
         assert!(per_move < cost.step_seconds(1) / 10.0);
+    }
+
+    #[test]
+    fn cancellation_and_session_traffic_are_priced() {
+        let model =
+            MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        // One chat turn that completes into a session snapshot, one
+        // long request the client abandons mid-decode.
+        let keep = GenRequest::greedy(0, vec![1; 4], 6).with_session(7);
+        let doomed = GenRequest::greedy(1, vec![2; 4], 32);
+        engine.submit(vec![keep, doomed]).unwrap();
+        let mut policy = Fifo;
+        for _ in 0..6 {
+            engine.step(&mut policy).unwrap();
+        }
+        engine.cancel(1);
+        engine.run(&mut policy).unwrap();
+        let (sid, snap) = engine.take_session_snapshots().pop().unwrap();
+        assert_eq!(sid, 7);
+        let mut turn2 = GenRequest::greedy(2, vec![3; 3], 4).with_session(7);
+        turn2.arrival_step = engine.clock();
+        engine.submit_with_state(turn2, snap).unwrap();
+        let report = engine.run(&mut policy).unwrap();
+        assert_eq!(report.cancellations, 1);
+        assert!(report.wasted_token_advances > 0);
+        let moves: usize = report.trace.state_moves_per_step.iter().sum();
+        assert_eq!(moves, 3, "turn-1 save + turn-2 restore + turn-2 save");
+
+        let platform = Platform::vck190();
+        let big = MambaConfig::preset(lightmamba_model::ModelPreset::B2_7);
+        let cfg = AcceleratorConfig::lightmamba_w4a4(&platform, &big);
+        let mut cost = StepCostModel::new(DecodeSimulator::new(platform, big, cfg));
+        let run = cost.cost_run(&report, engine.completions());
+        // Every session save/restore rides the DMA at the same price as
+        // a preemption state move.
+        let per_move = cost.state_move_seconds();
+        assert!((run.state_transfer_s - 3.0 * per_move).abs() < 1e-12);
+        // The abandoned request's advances are priced as wasted wall
+        // time, proportional to their share of the processed tokens.
+        assert!(run.wasted_work_s > 0.0);
+        assert!(run.wasted_work_s < run.seconds);
+        let processed: u64 = report
+            .trace
+            .processed_per_step
+            .iter()
+            .map(|&t| t as u64)
+            .sum();
+        let share = report.wasted_token_advances as f64 / processed as f64;
+        assert!((run.wasted_work_s / run.seconds - share).abs() < 1e-12);
+        // Cancelled completions carry no latency samples: only the two
+        // finished requests contribute.
+        assert_eq!(engine.completions().len(), 3);
     }
 
     #[test]

@@ -188,7 +188,12 @@ impl PausedState {
 /// # Ok(())
 /// # }
 /// ```
-pub trait DecodeBackend {
+///
+/// Backends are `Send` so an engine (and its registry) can move onto a
+/// dedicated serving thread — the streaming frontend
+/// ([`crate::frontend`]) drives steps off the caller's thread. They
+/// need not be `Sync`: the engine serializes all backend calls.
+pub trait DecodeBackend: Send {
     /// Short backend name (`"fp"`, `"w4a4"`, …) used in reports.
     fn name(&self) -> &str;
 

@@ -46,7 +46,7 @@
 //! other models are multiplexed — the engine's equivalence tests pin
 //! batched-vs-sequential outputs bit-for-bit.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,9 +57,60 @@ use crate::backend::PausedState;
 use crate::error::ServeError;
 use crate::metrics::{ClassBreakdown, ModelBreakdown, Percentiles, RunTrace, ServeReport};
 use crate::registry::ModelRegistry;
-use crate::request::{Completion, FinishReason, GenRequest, Priority};
+use crate::request::{Completion, FinishReason, GenRequest, Priority, RequestId};
 use crate::scheduler::{AdmissionCtx, Policy, SeqView};
 use crate::slots::SlotPool;
+
+/// The continuation record of a finished session turn: the final
+/// fixed-size recurrent state plus the one token that was sampled but
+/// never fed back through the model. The engine saves one at retirement
+/// for every session-tagged request ([`GenRequest::session`]; drain via
+/// [`ServeEngine::take_session_snapshots`]) and
+/// [`ServeEngine::submit_with_state`] consumes one to serve the
+/// session's next turn — a single state-transfer DMA instead of
+/// re-prefilling the whole conversation, the serving payoff of Mamba's
+/// constant-size state.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// The final decode state, having consumed the turn's prompt plus
+    /// all generated tokens except the last.
+    pub state: PausedState,
+    /// The turn's final sampled token. It was never fed through the
+    /// model (sampling it retired the sequence), so the resume prepends
+    /// it to the next turn's prompt — that is what makes the resumed
+    /// decode bit-identical to re-prefilling the full history.
+    pub pending_token: u32,
+    /// Token-advances baked into the state (prompt plus generated minus
+    /// the pending token) — the re-prefill work a resume avoids.
+    pub consumed_tokens: usize,
+}
+
+/// One live notification recorded during a step when event recording is
+/// on ([`ServeEngine::enable_events`]) — the feed the streaming
+/// frontend fans out to per-request channels. Requests *leaving* the
+/// engine are not events: every eviction path already records a
+/// [`Completion`], so readers watch [`ServeEngine::completions`] grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// The request was admitted to a slot (its prefill starts this
+    /// step). Emitted once per request — a preemption resume is not a
+    /// new start.
+    Started {
+        /// The admitted request.
+        id: RequestId,
+        /// Admission step.
+        step: u64,
+    },
+    /// The request sampled one token this step.
+    Token {
+        /// The sampling request.
+        id: RequestId,
+        /// The sampled token id.
+        token: u32,
+        /// The sampling step.
+        step: u64,
+    },
+}
 
 /// One resident sequence.
 #[derive(Debug)]
@@ -129,17 +180,17 @@ impl PausedSeq {
         )
     }
 
-    /// Completion record for a pause episode ended by eviction at
-    /// `clock` (the final, never-resumed episode counts as paused
-    /// time).
-    fn evict(&mut self, clock: u64) -> Completion {
+    /// Completion record for a pause episode ended at `clock` without a
+    /// resume — deadline eviction or client cancellation (the final,
+    /// never-resumed episode counts as paused time).
+    fn finish_paused(&mut self, clock: u64, finish: FinishReason) -> Completion {
         let (_, paused_steps, pre_first) = self.end_episode(clock);
         Completion {
             id: self.req.id,
             model: self.req.model,
             priority: self.req.priority,
             tokens: std::mem::take(&mut self.generated),
-            finish: FinishReason::DeadlineExceeded,
+            finish,
             arrival_step: self.req.arrival_step,
             deadline_steps: self.req.deadline_steps,
             admitted_step: Some(self.admitted_step),
@@ -222,6 +273,26 @@ pub struct ServeEngine<'m> {
     total_resumes: u64,
     /// Steps between pause and resume, per completed episode.
     resume_latency: Vec<f64>,
+    /// Requests whose clients asked for cancellation; honored at the
+    /// top of the next step.
+    cancels: HashSet<RequestId>,
+    /// Requests evicted by client cancellation across the run.
+    total_cancellations: usize,
+    /// Token-advances spent on requests that were later cancelled.
+    total_wasted_advances: u64,
+    /// Minimum remaining service (steps) of cancelled residents at the
+    /// moment their slot was reclaimed.
+    total_reclaimed_slot_steps: u64,
+    /// Saved states of submitted session resumes, restored into the
+    /// slot at admission ([`ServeEngine::submit_with_state`]).
+    resume_states: HashMap<RequestId, PausedState>,
+    /// Session snapshots saved at retirement, awaiting
+    /// [`ServeEngine::take_session_snapshots`].
+    session_snapshots: Vec<(u64, SessionSnapshot)>,
+    /// Whether steps record [`StepEvent`]s.
+    events_enabled: bool,
+    /// Events recorded since [`ServeEngine::take_events`].
+    events: Vec<StepEvent>,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -279,6 +350,14 @@ impl<'m> ServeEngine<'m> {
             total_preemptions: 0,
             total_resumes: 0,
             resume_latency: Vec::new(),
+            cancels: HashSet::new(),
+            total_cancellations: 0,
+            total_wasted_advances: 0,
+            total_reclaimed_slot_steps: 0,
+            resume_states: HashMap::new(),
+            session_snapshots: Vec::new(),
+            events_enabled: false,
+            events: Vec::new(),
         })
     }
 
@@ -322,6 +401,86 @@ impl<'m> ServeEngine<'m> {
             self.pending.push_back(r);
         }
         Ok(())
+    }
+
+    /// Submits one request that *resumes* a stored session snapshot
+    /// instead of starting from a zeroed state. The snapshot's pending
+    /// token is prepended to the prompt (it was sampled last turn but
+    /// never fed through the model), and on admission the saved state
+    /// is restored into the claimed slot — one state-transfer move in
+    /// the trace, priced like a preemption resume, in place of
+    /// re-prefilling the whole conversation.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServeEngine::submit`] rejects, plus
+    /// [`ServeError::InvalidConfig`] for a snapshot whose state shape
+    /// does not fit this engine's slot pool.
+    pub fn submit_with_state(
+        &mut self,
+        mut req: GenRequest,
+        snapshot: SessionSnapshot,
+    ) -> Result<(), ServeError> {
+        let template = self.registry.new_state();
+        let state = snapshot.state.state();
+        let compatible = state.layers.len() == template.layers.len()
+            && state.layers.iter().zip(&template.layers).all(|(a, b)| {
+                a.h.len() == b.h.len()
+                    && a.conv.channels() == b.conv.channels()
+                    && a.conv.kernel() == b.conv.kernel()
+            });
+        if !compatible {
+            return Err(ServeError::InvalidConfig(format!(
+                "request {} resumes a session state whose shape does not fit this engine's \
+                 slot pool",
+                req.id
+            )));
+        }
+        req.prompt.insert(0, snapshot.pending_token);
+        let id = req.id;
+        self.submit(vec![req])?;
+        self.resume_states.insert(id, snapshot.state);
+        Ok(())
+    }
+
+    /// Requests cancellation of `id` (client hang-up). At the top of
+    /// the next step the request is evicted from wherever it sits —
+    /// pending, waiting, resident, or paused — with
+    /// [`FinishReason::Cancelled`]; a cancelled *resident* frees its
+    /// slot within that one step, and the freed capacity is offered to
+    /// admission in the same step. Unknown or already-finished ids are
+    /// ignored (the cancel raced with completion).
+    pub fn cancel(&mut self, id: RequestId) {
+        self.cancels.insert(id);
+    }
+
+    /// Turns on per-step [`StepEvent`] recording. Off by default so
+    /// closed-loop benchmark runs don't pay for a feed nobody drains.
+    pub fn enable_events(&mut self) {
+        self.events_enabled = true;
+    }
+
+    /// Drains the [`StepEvent`]s recorded since the last call.
+    pub fn take_events(&mut self) -> Vec<StepEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drains the `(session id, snapshot)` pairs saved by retirements
+    /// of session-tagged requests since the last call.
+    pub fn take_session_snapshots(&mut self) -> Vec<(u64, SessionSnapshot)> {
+        std::mem::take(&mut self.session_snapshots)
+    }
+
+    /// Submitted session resumes whose saved state has not yet been
+    /// restored into a slot (drops to zero once they are admitted or
+    /// leave the engine — nothing leaks).
+    pub fn pending_resumes(&self) -> usize {
+        self.resume_states.len()
+    }
+
+    /// The limits this engine was built with.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
     }
 
     /// Completed/evicted requests so far.
@@ -375,14 +534,20 @@ impl<'m> ServeEngine<'m> {
         Ok(self.report(&*policy))
     }
 
-    /// Records a waiting-queue eviction.
-    fn evict_waiting(completions: &mut Vec<Completion>, r: &GenRequest, clock: u64) {
+    /// Records the eviction of a never-admitted request (pending or
+    /// waiting) — deadline expiry or client cancellation.
+    fn evict_unadmitted(
+        completions: &mut Vec<Completion>,
+        r: &GenRequest,
+        clock: u64,
+        finish: FinishReason,
+    ) {
         completions.push(Completion {
             id: r.id,
             model: r.model,
             priority: r.priority,
             tokens: Vec::new(),
-            finish: FinishReason::DeadlineExceeded,
+            finish,
             arrival_step: r.arrival_step,
             deadline_steps: r.deadline_steps,
             admitted_step: None,
@@ -426,6 +591,8 @@ impl<'m> ServeEngine<'m> {
     ///
     /// Propagates model step errors.
     pub fn step(&mut self, policy: &mut dyn Policy) -> Result<(), ServeError> {
+        let completions_at_entry = self.completions.len();
+
         // 1. Arrivals whose time has come join the waiting queue.
         while self
             .pending
@@ -434,6 +601,84 @@ impl<'m> ServeEngine<'m> {
         {
             let r = self.pending.pop_front().expect("front checked");
             self.waiting.push(r);
+        }
+
+        // 1b. Client cancellations: a cancelled request leaves from
+        //     wherever it sits. A cancelled *resident* frees its slot
+        //     right here — before admission — so the capacity it hands
+        //     back is re-offered this very step; its sunk
+        //     token-advances are booked as wasted work and the minimum
+        //     service it still owed as reclaimed slot-steps. Ids the
+        //     engine no longer holds are dropped silently (the cancel
+        //     raced with completion).
+        let mut cancelled_this_step = 0usize;
+        if !self.cancels.is_empty() {
+            let cancels = std::mem::take(&mut self.cancels);
+            for id in &cancels {
+                // A cancelled session resume never restores its state.
+                self.resume_states.remove(id);
+            }
+            let clock = self.clock;
+            let chunk = self.cfg.prefill_chunk;
+            let completions = &mut self.completions;
+            self.pending.retain(|r| {
+                let hit = cancels.contains(&r.id);
+                if hit {
+                    cancelled_this_step += 1;
+                    Self::evict_unadmitted(completions, r, clock, FinishReason::Cancelled);
+                }
+                !hit
+            });
+            self.waiting.retain(|r| {
+                let hit = cancels.contains(&r.id);
+                if hit {
+                    cancelled_this_step += 1;
+                    Self::evict_unadmitted(completions, r, clock, FinishReason::Cancelled);
+                }
+                !hit
+            });
+            let pool = &mut self.pool;
+            let mut wasted = 0u64;
+            let mut reclaimed = 0u64;
+            self.active.retain_mut(|seq| {
+                if !cancels.contains(&seq.req.id) {
+                    return true;
+                }
+                wasted += seq.pos as u64;
+                reclaimed += seq
+                    .req
+                    .min_steps_remaining(seq.pos, seq.generated.len(), chunk);
+                cancelled_this_step += 1;
+                pool.release(seq.slot);
+                completions.push(Completion {
+                    id: seq.req.id,
+                    model: seq.req.model,
+                    priority: seq.req.priority,
+                    tokens: std::mem::take(&mut seq.generated),
+                    finish: FinishReason::Cancelled,
+                    arrival_step: seq.req.arrival_step,
+                    deadline_steps: seq.req.deadline_steps,
+                    admitted_step: Some(seq.admitted_step),
+                    first_token_step: seq.first_token_step,
+                    finished_step: clock,
+                    preemptions: seq.preemptions,
+                    paused_steps: seq.paused_steps,
+                    paused_steps_before_first_token: seq.paused_steps_pre_first,
+                });
+                false
+            });
+            self.paused.retain_mut(|p| {
+                if !cancels.contains(&p.req.id) {
+                    return true;
+                }
+                wasted += p.pos as u64;
+                cancelled_this_step += 1;
+                completions.push(p.finish_paused(clock, FinishReason::Cancelled));
+                false
+            });
+            self.total_cancellations += cancelled_this_step;
+            self.total_wasted_advances += wasted;
+            self.total_reclaimed_slot_steps += reclaimed;
         }
 
         // 2. Evict deadline-expired requests still waiting — they must
@@ -446,7 +691,7 @@ impl<'m> ServeEngine<'m> {
                     .deadline_steps
                     .is_some_and(|d| clock.saturating_sub(r.arrival_step) >= d);
                 if expired {
-                    Self::evict_waiting(completions, r, clock);
+                    Self::evict_unadmitted(completions, r, clock, FinishReason::DeadlineExceeded);
                 }
                 !expired
             });
@@ -498,7 +743,7 @@ impl<'m> ServeEngine<'m> {
                     .deadline_steps
                     .is_some_and(|d| clock.saturating_sub(p.req.arrival_step) >= d);
                 if expired {
-                    completions.push(p.evict(clock));
+                    completions.push(p.finish_paused(clock, FinishReason::DeadlineExceeded));
                 }
                 !expired
             });
@@ -519,7 +764,7 @@ impl<'m> ServeEngine<'m> {
                     .absolute_deadline()
                     .is_some_and(|abs| clock + r.min_steps_to_complete(chunk) > abs);
                 if doomed {
-                    Self::evict_waiting(completions, r, clock);
+                    Self::evict_unadmitted(completions, r, clock, FinishReason::DeadlineExceeded);
                 }
                 !doomed
             });
@@ -528,7 +773,7 @@ impl<'m> ServeEngine<'m> {
                     clock + p.req.min_steps_remaining(p.pos, p.generated.len(), chunk) > abs
                 });
                 if doomed {
-                    completions.push(p.evict(clock));
+                    completions.push(p.finish_paused(clock, FinishReason::DeadlineExceeded));
                 }
                 !doomed
             });
@@ -628,6 +873,21 @@ impl<'m> ServeEngine<'m> {
                 let slot = self.pool.alloc().expect("picks bounded by free slots");
                 if i < n_waiting {
                     let req = drained[i].take().expect("picks are unique and in range");
+                    // A session resume: restore the prior turn's saved
+                    // state into the fresh slot (one state-transfer
+                    // move, priced like a preemption resume) instead of
+                    // starting from zeros.
+                    if let Some(prior) = self.resume_states.remove(&req.id) {
+                        let backend = self.registry.get(req.model).expect("validated at submit");
+                        backend.restore_state(&prior, &mut self.pool.states_mut()[slot]);
+                        sub_state_moves[req.model] += 1;
+                    }
+                    if self.events_enabled {
+                        self.events.push(StepEvent::Started {
+                            id: req.id,
+                            step: self.clock,
+                        });
+                    }
                     let rng = StdRng::seed_from_u64(req.seed);
                     self.active.push(ActiveSeq {
                         slot,
@@ -726,6 +986,13 @@ impl<'m> ServeEngine<'m> {
                 }
                 seq.generated.push(token);
                 decode_tokens += 1;
+                if self.events_enabled {
+                    self.events.push(StepEvent::Token {
+                        id: seq.req.id,
+                        token,
+                        step: self.clock,
+                    });
+                }
             }
         }
 
@@ -734,6 +1001,8 @@ impl<'m> ServeEngine<'m> {
         let clock = self.clock;
         let pool = &mut self.pool;
         let completions = &mut self.completions;
+        let registry = &self.registry;
+        let session_snapshots = &mut self.session_snapshots;
         self.active.retain_mut(|seq| {
             let hit_eos = seq
                 .req
@@ -748,6 +1017,28 @@ impl<'m> ServeEngine<'m> {
             } else {
                 FinishReason::MaxTokens
             };
+            // Session turns keep their final state for the next turn —
+            // one state save on the shared stream, counted with the
+            // step's other state moves. The last sampled token rides
+            // along: it was never fed through the model, so the resume
+            // feeds it first (see [`SessionSnapshot`]).
+            if let Some(sid) = seq.req.session {
+                let backend = registry
+                    .get(seq.req.model)
+                    .expect("resident implies registered");
+                session_snapshots.push((
+                    sid,
+                    SessionSnapshot {
+                        state: backend.save_state(&pool.states()[seq.slot]),
+                        pending_token: *seq
+                            .generated
+                            .last()
+                            .expect("finished implies a sampled token"),
+                        consumed_tokens: seq.pos,
+                    },
+                ));
+                sub_state_moves[seq.req.model] += 1;
+            }
             pool.release(seq.slot);
             completions.push(Completion {
                 id: seq.req.id,
@@ -789,6 +1080,16 @@ impl<'m> ServeEngine<'m> {
             .state_moves_per_step
             .push(sub_state_moves.iter().sum());
         self.trace.sub_state_moves_per_step.push(sub_state_moves);
+        self.trace.cancellations_per_step.push(cancelled_this_step);
+
+        // A request that left the engine this step (completed, expired,
+        // or cancelled) can no longer claim its pending session
+        // restore — drop the saved state so nothing leaks.
+        if !self.resume_states.is_empty() {
+            for c in &self.completions[completions_at_entry..] {
+                self.resume_states.remove(&c.id);
+            }
+        }
 
         debug_assert_eq!(
             self.pool.free_count() + self.active.len(),
@@ -806,9 +1107,13 @@ impl<'m> ServeEngine<'m> {
         let finished: Vec<&Completion> = self
             .completions
             .iter()
-            .filter(|c| c.finish != FinishReason::DeadlineExceeded)
+            .filter(|c| matches!(c.finish, FinishReason::MaxTokens | FinishReason::Eos))
             .collect();
-        let evicted = self.completions.len() - finished.len();
+        let evicted = self
+            .completions
+            .iter()
+            .filter(|c| c.finish == FinishReason::DeadlineExceeded)
+            .count();
         let ttft: Vec<f64> = finished
             .iter()
             .filter_map(|c| c.ttft_steps().map(|t| t as f64))
@@ -818,10 +1123,13 @@ impl<'m> ServeEngine<'m> {
             .iter()
             .filter_map(|c| c.queue_steps().map(|q| q as f64))
             .collect();
+        // Cancelled requests are excluded from deadline accounting even
+        // when they carried a budget: the client withdrew them, so they
+        // neither hit nor missed (see [`Completion::deadline_hit`]).
         let deadline_total = self
             .completions
             .iter()
-            .filter(|c| c.deadline_steps.is_some())
+            .filter(|c| c.deadline_steps.is_some() && c.finish != FinishReason::Cancelled)
             .count();
         let deadline_hits = self
             .completions
@@ -876,7 +1184,7 @@ impl<'m> ServeEngine<'m> {
                     .collect();
                 let fin: Vec<&&Completion> = mine
                     .iter()
-                    .filter(|c| c.finish != FinishReason::DeadlineExceeded)
+                    .filter(|c| matches!(c.finish, FinishReason::MaxTokens | FinishReason::Eos))
                     .collect();
                 let ttft: Vec<f64> = fin
                     .iter()
@@ -890,8 +1198,16 @@ impl<'m> ServeEngine<'m> {
                 ClassBreakdown {
                     priority,
                     completed: fin.len(),
-                    evicted: mine.len() - fin.len(),
-                    deadline_total: mine.iter().filter(|c| c.deadline_steps.is_some()).count(),
+                    evicted: mine
+                        .iter()
+                        .filter(|c| c.finish == FinishReason::DeadlineExceeded)
+                        .count(),
+                    deadline_total: mine
+                        .iter()
+                        .filter(|c| {
+                            c.deadline_steps.is_some() && c.finish != FinishReason::Cancelled
+                        })
+                        .count(),
                     deadline_hits: mine
                         .iter()
                         .filter(|c| c.deadline_hit() == Some(true))
@@ -907,6 +1223,9 @@ impl<'m> ServeEngine<'m> {
             policy: policy.name(),
             completed: finished.len(),
             evicted,
+            cancellations: self.total_cancellations,
+            wasted_token_advances: self.total_wasted_advances,
+            reclaimed_slot_steps: self.total_reclaimed_slot_steps,
             steps: self.clock,
             generated_tokens: self.total_decode_tokens,
             prefill_tokens: self.total_prefill_tokens,
@@ -1712,5 +2031,269 @@ mod tests {
         assert!(engine
             .submit(vec![GenRequest::greedy(0, vec![], 4)])
             .is_err());
+    }
+
+    #[test]
+    fn cancelling_a_resident_frees_its_slot_within_one_step() {
+        let model = tiny_model();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 1,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        // The hog holds the only slot; the waiter queues behind it.
+        engine
+            .submit(vec![
+                GenRequest::greedy(0, vec![1, 2], 50),
+                GenRequest::greedy(1, vec![3, 4], 3),
+            ])
+            .unwrap();
+        let mut policy = Fifo;
+        for _ in 0..5 {
+            engine.step(&mut policy).unwrap();
+        }
+        assert_eq!(engine.active_count(), 1);
+        assert_eq!(engine.free_slots(), 0);
+        engine.cancel(0);
+        engine.step(&mut policy).unwrap();
+        // One step later the hog is out and the waiter holds the slot:
+        // the freed capacity was re-offered within the same step.
+        let hog = engine
+            .completions()
+            .iter()
+            .find(|c| c.id == 0)
+            .expect("cancelled hog retires immediately")
+            .clone();
+        assert_eq!(hog.finish, FinishReason::Cancelled);
+        assert!(!hog.tokens.is_empty(), "pre-cancel tokens are kept");
+        assert!(hog.tokens.len() < 50);
+        assert_eq!(engine.active_count(), 1);
+        let report = engine.run(&mut policy).unwrap();
+        let waiter = engine
+            .completions()
+            .iter()
+            .find(|c| c.id == 1)
+            .expect("waiter runs after the cancel");
+        assert_eq!(waiter.finish, FinishReason::MaxTokens);
+        assert_eq!(
+            waiter.admitted_step,
+            Some(hog.finished_step),
+            "waiter admitted in the very step the cancel landed"
+        );
+        assert_eq!(report.cancellations, 1);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.evicted, 0, "a cancel is not a deadline eviction");
+        assert!(report.wasted_token_advances >= 3);
+        assert!(report.reclaimed_slot_steps > 0);
+        assert_eq!(report.trace.cancellations_per_step.iter().sum::<usize>(), 1);
+        assert!(hog.deadline_hit().is_none());
+    }
+
+    #[test]
+    fn cancelling_unadmitted_and_paused_requests_also_retires_them() {
+        let model = tiny_model();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 1,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        // A batch hog that the preemptive policy will pause, an urgent
+        // arrival to force the pause, and a waiter that never gets in
+        // before its cancel.
+        let hog = GenRequest::greedy(0, vec![1; 3], 30).with_priority(Priority::Batch);
+        let mut urgent = GenRequest::greedy(1, vec![2; 2], 20).with_priority(Priority::Interactive);
+        urgent.arrival_step = 5;
+        let waiter = GenRequest::greedy(2, vec![3; 2], 4).with_priority(Priority::Batch);
+        engine.submit(vec![hog, waiter, urgent]).unwrap();
+        let mut policy = PriorityClasses::preemptive();
+        for _ in 0..8 {
+            engine.step(&mut policy).unwrap();
+        }
+        assert_eq!(engine.paused_count(), 1, "the hog was preempted");
+        engine.cancel(0); // paused
+        engine.cancel(2); // waiting, never admitted
+        engine.step(&mut policy).unwrap();
+        let by_id = |id: u64| {
+            engine
+                .completions()
+                .iter()
+                .find(|c| c.id == id)
+                .cloned()
+                .unwrap_or_else(|| panic!("request {id} retired"))
+        };
+        assert_eq!(by_id(0).finish, FinishReason::Cancelled);
+        assert_eq!(by_id(2).finish, FinishReason::Cancelled);
+        assert!(by_id(2).tokens.is_empty(), "never admitted, no tokens");
+        assert_eq!(engine.paused_count(), 0, "paused state is released");
+        let report = engine.run(&mut policy).unwrap();
+        assert_eq!(report.cancellations, 2);
+        assert_eq!(report.completed, 1, "only the urgent request finished");
+    }
+
+    #[test]
+    fn session_resume_matches_reprefill_and_strictly_beats_its_ttft() {
+        let model = tiny_model();
+        let p1: Vec<u32> = (1..=12).collect();
+        let p2: Vec<u32> = (30..36).collect();
+        let cfg = EngineConfig {
+            slots: 1,
+            max_steps: 10_000,
+            prefill_chunk: 1,
+        };
+
+        // Turn 1 completes into a snapshot; turn 2 resumes it.
+        let mut engine = ServeEngine::new(&model, cfg).unwrap();
+        engine
+            .submit(vec![GenRequest::greedy(0, p1.clone(), 8).with_session(1)])
+            .unwrap();
+        let mut policy = Fifo;
+        engine.run(&mut policy).unwrap();
+        let turn1 = engine.completions()[0].clone();
+        let (sid, snap) = engine
+            .take_session_snapshots()
+            .pop()
+            .expect("turn 1 parked its state");
+        assert_eq!(sid, 1);
+        assert_eq!(
+            snap.consumed_tokens,
+            p1.len() + 8 - 1,
+            "everything but the pending token is baked into the state"
+        );
+        assert_eq!(snap.pending_token, *turn1.tokens.last().unwrap());
+        let mut turn2 = GenRequest::greedy(1, p2.clone(), 6).with_session(1);
+        turn2.arrival_step = engine.clock();
+        engine.submit_with_state(turn2, snap).unwrap();
+        engine.run(&mut policy).unwrap();
+        let resumed = engine
+            .completions()
+            .iter()
+            .find(|c| c.id == 1)
+            .unwrap()
+            .clone();
+
+        // Reference: the same turn 2 as a cold request re-prefilling
+        // the entire conversation history.
+        let mut full_prompt = p1.clone();
+        full_prompt.extend_from_slice(&turn1.tokens);
+        full_prompt.extend_from_slice(&p2);
+        let mut ref_engine = ServeEngine::new(&model, cfg).unwrap();
+        ref_engine
+            .submit(vec![GenRequest::greedy(1, full_prompt, 6)])
+            .unwrap();
+        ref_engine.run(&mut policy).unwrap();
+        let reprefill = ref_engine.completions()[0].clone();
+
+        // Same generation, bit for bit — the resume is exact.
+        assert_eq!(resumed.tokens, reprefill.tokens);
+        // The pinned win: TTFT drops by exactly the consumed tokens the
+        // resume did not have to re-prefill.
+        let resumed_ttft = resumed.ttft_steps().unwrap();
+        let reprefill_ttft = reprefill.ttft_steps().unwrap();
+        assert!(
+            resumed_ttft < reprefill_ttft,
+            "resume TTFT {resumed_ttft} must strictly beat re-prefill {reprefill_ttft}"
+        );
+        assert_eq!(
+            reprefill_ttft - resumed_ttft,
+            (p1.len() + 8 - 1) as u64,
+            "the saved prefill is exactly the snapshot's consumed tokens"
+        );
+    }
+
+    #[test]
+    fn second_turn_timing_uses_its_own_arrival_stamps() {
+        let model = tiny_model();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 100_000,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        engine
+            .submit(vec![GenRequest::greedy(0, vec![1; 4], 4).with_session(9)])
+            .unwrap();
+        let mut policy = Fifo;
+        engine.run(&mut policy).unwrap();
+        let turn1_finished = engine.completions()[0].finished_step;
+        let (_, snap) = engine.take_session_snapshots().pop().unwrap();
+        // The user reads the reply and types: the next turn arrives
+        // long after the first finished. Its stamps must all be its
+        // own — inheriting turn 1's would make TTFT/queue look 100
+        // steps long (or trip the checked_sub debug audits).
+        let mut turn2 = GenRequest::greedy(1, vec![5, 6, 7], 4).with_session(9);
+        turn2.arrival_step = turn1_finished + 100;
+        engine.submit_with_state(turn2, snap).unwrap();
+        engine.run(&mut policy).unwrap();
+        let c2 = engine
+            .completions()
+            .iter()
+            .find(|c| c.id == 1)
+            .unwrap()
+            .clone();
+        assert_eq!(c2.arrival_step, turn1_finished + 100);
+        assert!(c2.admitted_step.unwrap() >= c2.arrival_step);
+        assert!(
+            c2.queue_steps().unwrap() <= 1,
+            "an idle engine admits the turn immediately"
+        );
+        let ttft = c2.ttft_steps().expect("turn 2 produced tokens");
+        assert!(
+            ttft <= 5,
+            "TTFT is measured from turn 2's own arrival, not turn 1's: {ttft}"
+        );
+        assert!(c2.e2e_steps() < 100);
+    }
+
+    #[test]
+    fn mismatched_session_state_is_rejected_at_submit() {
+        let model = tiny_model();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 1,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        engine
+            .submit(vec![GenRequest::greedy(0, vec![1, 2], 3).with_session(4)])
+            .unwrap();
+        engine.run(&mut Fifo).unwrap();
+        let (_, snap) = engine.take_session_snapshots().pop().unwrap();
+
+        // A differently-shaped engine must refuse the snapshot.
+        let mut other_cfg = MambaConfig::tiny();
+        other_cfg.d_model *= 2;
+        let other = MambaModel::synthetic(other_cfg, &mut StdRng::seed_from_u64(1)).unwrap();
+        let mut wrong = ServeEngine::new(
+            &other,
+            EngineConfig {
+                slots: 1,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+            },
+        )
+        .unwrap();
+        let err = wrong
+            .submit_with_state(GenRequest::greedy(1, vec![3], 2).with_session(4), snap)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err:?}");
+        assert_eq!(
+            wrong.pending_resumes(),
+            0,
+            "rejected resume leaves no state"
+        );
     }
 }

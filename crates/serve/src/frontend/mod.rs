@@ -1,0 +1,539 @@
+//! The async streaming serving frontend: the boundary between clients
+//! and the engine's virtual-time loop.
+//!
+//! [`run_frontend`] moves a [`ServeEngine`] onto a dedicated thread and
+//! hands the caller a cloneable [`FrontendHandle`]. Each
+//! [`FrontendHandle::submit`] enqueues a [`crate::request::GenRequest`]
+//! over the intake channel and returns a [`TokenStream`] — a bounded
+//! per-request channel delivering [`StreamEvent`]s as the engine steps:
+//! `Queued` at intake, `Started` at admission, one `Token` per sampled
+//! token, then exactly one terminal `Done` / `Cancelled` / `Expired`.
+//! This mirrors TGI-style server-sent token streaming, with the engine
+//! thread standing in for the HTTP task.
+//!
+//! Cancellation is disconnect-shaped: dropping a [`TokenStream`] (or
+//! calling [`TokenStream::cancel`]) sends a cancel over the intake, and
+//! the engine evicts the request at the top of its next step — a
+//! cancelled resident frees its slot within one step and the capacity
+//! is re-offered to admission in that same step. The work already spent
+//! is surfaced in [`crate::metrics::ServeReport`] (`cancellations`,
+//! `wasted_token_advances`, `reclaimed_slot_steps`) and priced by the
+//! cost models as `wasted_work_s`.
+//!
+//! Multi-turn chat rides the same machinery: a request tagged with
+//! [`crate::request::GenRequest::with_session`] retires into a
+//! [`crate::engine::SessionSnapshot`] that the frontend parks in a
+//! capacity-bounded
+//! LRU [`SessionStore`]. The session's next turn consumes the snapshot
+//! ([`ServeEngine::submit_with_state`]): one fixed-size state restore —
+//! priced as a single state-transfer DMA — replaces re-prefilling the
+//! whole conversation, which is the serving payoff of Mamba2's
+//! constant-size state (no KV cache to rebuild or spill).
+//!
+//! Backpressure: each stream's channel holds
+//! [`FrontendConfig::stream_capacity`] undelivered events, and the
+//! engine thread *blocks* on a full stream rather than dropping tokens.
+//! A client that neither reads nor drops its stream therefore stalls
+//! the whole engine — drop the stream to disconnect cleanly.
+
+mod session;
+mod stream;
+
+pub use session::SessionStore;
+pub use stream::{FrontendHandle, StreamEvent, TokenStream};
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, SyncSender, TryRecvError};
+
+use crate::engine::{ServeEngine, StepEvent};
+use crate::error::ServeError;
+use crate::metrics::ServeReport;
+use crate::request::{Completion, FinishReason, RequestId};
+use crate::scheduler::Policy;
+use stream::ClientMsg;
+
+/// Limits of one [`run_frontend`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontendConfig {
+    /// Undelivered events each [`TokenStream`] buffers before the
+    /// engine thread blocks on it (must be at least 1).
+    pub stream_capacity: usize,
+    /// Most recently used session states the [`SessionStore`] parks
+    /// between turns; older sessions fall back to re-prefilling.
+    pub session_capacity: usize,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            stream_capacity: 16,
+            session_capacity: 64,
+        }
+    }
+}
+
+/// What a finished [`run_frontend`] call observed, alongside the
+/// client closure's own return value.
+#[derive(Debug)]
+pub struct FrontendRun {
+    /// The engine's run report (cancellations, wasted/reclaimed work,
+    /// latency percentiles — everything a closed-loop run reports).
+    pub report: ServeReport,
+    /// Every completion record, including cancelled and expired ones.
+    pub completions: Vec<Completion>,
+    /// Session states still parked when the frontend shut down.
+    pub sessions_stored: usize,
+    /// Turns that resumed a parked session state (one state-transfer
+    /// DMA each instead of a full-history re-prefill).
+    pub session_resumes: u64,
+    /// Session-tagged turns whose state was not parked (first turns,
+    /// and sessions evicted by LRU pressure) — served from an empty
+    /// state.
+    pub session_misses: u64,
+    /// Sessions the store evicted under LRU pressure.
+    pub session_evictions: u64,
+}
+
+/// Runs `engine` on a dedicated thread while `client` drives it
+/// through a [`FrontendHandle`] from this one. Returns once `client`
+/// has returned *and* the engine has drained: the intake closes when
+/// the last handle drops (the `client` closure owns the first; clones
+/// count), after which the engine finishes its in-flight work and
+/// reports.
+///
+/// The engine thread stamps each request's arrival at the step it
+/// picks the submission up, steps only while there is work (idle waits
+/// block on the intake instead of spinning), and stops at the engine's
+/// `max_steps` budget even if streams are still open — their readers
+/// then see their streams end without a terminal event.
+///
+/// # Errors
+///
+/// Propagates engine step errors. Panics in `client` propagate after
+/// the engine thread is shut down; panics on the engine thread
+/// propagate after `client` returns.
+///
+/// # Example
+///
+/// ```
+/// use lightmamba_model::{MambaConfig, MambaModel};
+/// use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+/// use lightmamba_serve::frontend::{run_frontend, FrontendConfig, StreamEvent};
+/// use lightmamba_serve::request::GenRequest;
+/// use lightmamba_serve::scheduler::Fifo;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), lightmamba_serve::ServeError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = MambaModel::synthetic(MambaConfig::tiny(), &mut rng)
+///     .map_err(lightmamba_serve::ServeError::from)?;
+/// let engine = ServeEngine::new(
+///     &model,
+///     EngineConfig { slots: 2, max_steps: 10_000, prefill_chunk: 4 },
+/// )?;
+/// let (tokens, run) = run_frontend(
+///     engine,
+///     Box::new(Fifo),
+///     FrontendConfig::default(),
+///     |handle| {
+///         let mut stream = handle.submit(GenRequest::greedy(0, vec![1, 2, 3], 4))?;
+///         let mut tokens = Vec::new();
+///         while let Some(ev) = stream.recv() {
+///             if let StreamEvent::Token { token, .. } = ev {
+///                 tokens.push(token);
+///             }
+///         }
+///         Ok::<_, lightmamba_serve::ServeError>(tokens)
+///     },
+/// )?;
+/// assert_eq!(tokens?.len(), 4);
+/// assert_eq!(run.report.completed, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_frontend<R>(
+    mut engine: ServeEngine<'_>,
+    mut policy: Box<dyn Policy>,
+    cfg: FrontendConfig,
+    client: impl FnOnce(FrontendHandle) -> R,
+) -> Result<(R, FrontendRun), ServeError> {
+    if cfg.stream_capacity == 0 {
+        return Err(ServeError::InvalidConfig(
+            "stream_capacity must be at least 1".into(),
+        ));
+    }
+    let (intake_tx, intake_rx) = channel::<ClientMsg>();
+    let handle = FrontendHandle::new(intake_tx, engine.registry().len(), cfg.stream_capacity);
+    engine.enable_events();
+
+    std::thread::scope(|scope| {
+        let engine_thread =
+            scope.spawn(move || engine_loop(&mut engine, policy.as_mut(), cfg, &intake_rx));
+        let client_result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| client(handle)));
+        // The client closure owned the last intake sender (or its
+        // panic dropped it), so the engine thread drains and exits.
+        let run = match engine_thread.join() {
+            Ok(run) => run,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        match client_result {
+            Ok(r) => Ok((r, run?)),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
+}
+
+/// The engine thread: drain intake, step, fan events out to streams.
+fn engine_loop(
+    engine: &mut ServeEngine<'_>,
+    policy: &mut dyn Policy,
+    cfg: FrontendConfig,
+    intake: &Receiver<ClientMsg>,
+) -> Result<FrontendRun, ServeError> {
+    let max_steps = engine.config().max_steps;
+    let mut store = SessionStore::new(cfg.session_capacity);
+    let mut streams: HashMap<RequestId, SyncSender<StreamEvent>> = HashMap::new();
+    let mut delivered = 0usize; // cursor into engine.completions()
+    let mut session_resumes = 0u64;
+    let mut session_misses = 0u64;
+    let mut closed = false;
+
+    loop {
+        // Drain every queued client message without blocking…
+        loop {
+            match intake.try_recv() {
+                Ok(msg) => handle_msg(
+                    engine,
+                    &mut store,
+                    &mut streams,
+                    &mut session_resumes,
+                    &mut session_misses,
+                    msg,
+                )?,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        // …and when idle, block on the intake instead of spinning:
+        // virtual time only advances while requests are in flight.
+        if !engine.has_work() {
+            if closed {
+                break;
+            }
+            match intake.recv() {
+                Ok(msg) => {
+                    handle_msg(
+                        engine,
+                        &mut store,
+                        &mut streams,
+                        &mut session_resumes,
+                        &mut session_misses,
+                        msg,
+                    )?;
+                    continue; // drain any burst before stepping
+                }
+                Err(_) => break,
+            }
+        }
+        if engine.clock() >= max_steps {
+            break;
+        }
+
+        engine.step(policy)?;
+
+        for ev in engine.take_events() {
+            let (id, out) = match ev {
+                StepEvent::Started { id, step } => (id, StreamEvent::Started { step }),
+                StepEvent::Token { id, token, step } => (id, StreamEvent::Token { token, step }),
+            };
+            if let Some(tx) = streams.get(&id) {
+                // A full stream blocks here (documented backpressure);
+                // a closed one means the client disconnected between
+                // our send and its Drop-cancel reaching the intake.
+                if tx.send(out).is_err() {
+                    streams.remove(&id);
+                    engine.cancel(id);
+                }
+            }
+        }
+        let completions = engine.completions();
+        for c in &completions[delivered..] {
+            let out = match c.finish {
+                FinishReason::Cancelled => StreamEvent::Cancelled {
+                    step: c.finished_step,
+                },
+                FinishReason::DeadlineExceeded => StreamEvent::Expired {
+                    step: c.finished_step,
+                },
+                _ => StreamEvent::Done(Box::new(c.clone())),
+            };
+            if let Some(tx) = streams.remove(&c.id) {
+                let _ = tx.send(out);
+            }
+        }
+        delivered = completions.len();
+        for (sid, snap) in engine.take_session_snapshots() {
+            store.insert(sid, snap);
+        }
+    }
+
+    Ok(FrontendRun {
+        report: engine.report(policy),
+        completions: engine.completions().to_vec(),
+        sessions_stored: store.len(),
+        session_resumes,
+        session_misses,
+        session_evictions: store.evictions(),
+    })
+}
+
+/// Applies one client message: stamp, resume-or-submit, or cancel.
+fn handle_msg(
+    engine: &mut ServeEngine<'_>,
+    store: &mut SessionStore,
+    streams: &mut HashMap<RequestId, SyncSender<StreamEvent>>,
+    session_resumes: &mut u64,
+    session_misses: &mut u64,
+    msg: ClientMsg,
+) -> Result<(), ServeError> {
+    match msg {
+        ClientMsg::Submit { mut req, events } => {
+            req.arrival_step = engine.clock();
+            let id = req.id;
+            // The stream is freshly created and capacity >= 1, so the
+            // Queued event can never block.
+            let _ = events.send(StreamEvent::Queued {
+                step: req.arrival_step,
+            });
+            match req.session.and_then(|sid| store.take(sid)) {
+                Some(snapshot) => {
+                    *session_resumes += 1;
+                    engine.submit_with_state(req, snapshot)?;
+                }
+                None => {
+                    if req.session.is_some() {
+                        *session_misses += 1;
+                    }
+                    engine.submit(vec![req])?;
+                }
+            }
+            streams.insert(id, events);
+        }
+        ClientMsg::Cancel(id) => {
+            engine.cancel(id);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, ServeEngine};
+    use crate::request::GenRequest;
+    use crate::scheduler::Fifo;
+    use lightmamba_model::{MambaConfig, MambaModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> MambaModel {
+        MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap()
+    }
+
+    fn engine(model: &MambaModel, slots: usize) -> ServeEngine<'_> {
+        ServeEngine::new(
+            model,
+            EngineConfig {
+                slots,
+                max_steps: 50_000,
+                prefill_chunk: 4,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streamed_tokens_match_the_completion_record() {
+        let model = tiny_model();
+        let (client, run) = run_frontend(
+            engine(&model, 2),
+            Box::new(Fifo),
+            FrontendConfig::default(),
+            |handle| {
+                let mut stream = handle
+                    .submit(GenRequest::greedy(0, vec![1, 2, 3], 6))
+                    .unwrap();
+                let mut events = Vec::new();
+                let mut tokens = Vec::new();
+                let mut done = None;
+                while let Some(ev) = stream.recv() {
+                    match &ev {
+                        StreamEvent::Token { token, .. } => tokens.push(*token),
+                        StreamEvent::Done(c) => done = Some((**c).clone()),
+                        _ => {}
+                    }
+                    events.push(ev);
+                }
+                assert!(stream.recv().is_none(), "stream stays closed");
+                (events, tokens, done.expect("request ran to completion"))
+            },
+        )
+        .unwrap();
+        let (events, tokens, done) = client;
+        // Queued, Started, then every token, then Done — in order.
+        assert!(matches!(events[0], StreamEvent::Queued { .. }));
+        assert!(matches!(events[1], StreamEvent::Started { .. }));
+        assert!(events.last().unwrap().is_terminal());
+        assert_eq!(tokens, done.tokens, "streamed tokens = recorded tokens");
+        assert_eq!(run.report.completed, 1);
+        assert_eq!(run.report.cancellations, 0);
+        // The frontend-observed completion matches the engine record.
+        assert_eq!(run.completions.len(), 1);
+        assert_eq!(run.completions[0].tokens, done.tokens);
+    }
+
+    #[test]
+    fn concurrent_clients_each_get_their_own_stream() {
+        let model = tiny_model();
+        let (totals, run) = run_frontend(
+            engine(&model, 4),
+            Box::new(Fifo),
+            FrontendConfig::default(),
+            |handle| {
+                let workers: Vec<_> = (0..6u32)
+                    .map(|i| {
+                        let h = handle.clone();
+                        std::thread::spawn(move || {
+                            let req =
+                                GenRequest::greedy(0, vec![i + 1, i + 2], 3 + (i as usize % 3));
+                            let stream = h.submit(req).unwrap();
+                            stream.wait().expect("completes")
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().unwrap())
+                    .collect::<Vec<_>>()
+            },
+        )
+        .unwrap();
+        assert_eq!(totals.len(), 6);
+        assert_eq!(run.report.completed, 6);
+        // Ids were assigned uniquely across racing clients.
+        let mut ids: Vec<_> = totals.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn dropping_a_stream_cancels_and_frees_the_slot() {
+        let model = tiny_model();
+        let (kept, run) = run_frontend(
+            engine(&model, 1),
+            Box::new(Fifo),
+            FrontendConfig::default(),
+            |handle| {
+                // The hog holds the only slot; drop it after its first
+                // token, then a second request must still get served.
+                let mut hog = handle
+                    .submit(GenRequest::greedy(0, vec![1, 2], 400))
+                    .unwrap();
+                loop {
+                    match hog.recv() {
+                        Some(StreamEvent::Token { .. }) => break,
+                        Some(_) => continue,
+                        None => panic!("hog must stream at least one token"),
+                    }
+                }
+                drop(hog);
+                let next = handle.submit(GenRequest::greedy(0, vec![3, 4], 4)).unwrap();
+                next.wait().expect("slot was reclaimed")
+            },
+        )
+        .unwrap();
+        assert_eq!(kept.tokens.len(), 4);
+        assert_eq!(run.report.cancellations, 1);
+        assert!(run.report.wasted_token_advances > 0);
+        assert!(run.report.reclaimed_slot_steps > 0);
+        assert_eq!(run.report.completed, 1, "only the survivor finished");
+        // The hog's record is present and marked cancelled.
+        assert!(run
+            .completions
+            .iter()
+            .any(|c| c.finish == FinishReason::Cancelled));
+    }
+
+    #[test]
+    fn explicit_cancel_still_delivers_a_terminal_event() {
+        let model = tiny_model();
+        let (saw_cancelled, run) = run_frontend(
+            engine(&model, 1),
+            Box::new(Fifo),
+            FrontendConfig::default(),
+            |handle| {
+                let mut stream = handle
+                    .submit(GenRequest::greedy(0, vec![1, 2], 400))
+                    .unwrap();
+                let mut cancelled = false;
+                while let Some(ev) = stream.recv() {
+                    if matches!(ev, StreamEvent::Token { .. }) && !cancelled {
+                        stream.cancel();
+                        cancelled = true;
+                    }
+                    if matches!(ev, StreamEvent::Cancelled { .. }) {
+                        return true;
+                    }
+                }
+                false
+            },
+        )
+        .unwrap();
+        assert!(saw_cancelled, "cancel must surface as a terminal event");
+        assert_eq!(run.report.cancellations, 1);
+    }
+
+    #[test]
+    fn sessions_resume_across_turns_through_the_store() {
+        let model = tiny_model();
+        let (turns, run) = run_frontend(
+            engine(&model, 2),
+            Box::new(Fifo),
+            FrontendConfig::default(),
+            |handle| {
+                let mut turns = Vec::new();
+                for turn in 0..3u32 {
+                    let req = GenRequest::greedy(0, vec![10 + turn, 20 + turn], 4).with_session(42);
+                    let stream = handle.submit(req).unwrap();
+                    turns.push(stream.wait().expect("turn completes"));
+                }
+                turns
+            },
+        )
+        .unwrap();
+        assert_eq!(turns.len(), 3);
+        assert_eq!(run.report.completed, 3);
+        assert_eq!(run.session_misses, 1, "first turn starts cold");
+        assert_eq!(run.session_resumes, 2, "later turns restore the state");
+        assert_eq!(run.sessions_stored, 1, "the session is parked again");
+        assert_eq!(run.session_evictions, 0);
+        // Each resume is one state restore + one save in the trace.
+        let moves: usize = run.report.trace.state_moves_per_step.iter().sum();
+        assert_eq!(moves, 2 * 2 + 1, "3 saves + 2 restores");
+    }
+
+    #[test]
+    fn zero_stream_capacity_is_rejected() {
+        let model = tiny_model();
+        let cfg = FrontendConfig {
+            stream_capacity: 0,
+            ..FrontendConfig::default()
+        };
+        assert!(run_frontend(engine(&model, 1), Box::new(Fifo), cfg, |_| ()).is_err());
+    }
+}

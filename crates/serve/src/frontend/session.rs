@@ -1,0 +1,135 @@
+//! The multi-turn session store: parked conversation states.
+
+use std::collections::HashMap;
+
+use crate::engine::SessionSnapshot;
+
+/// A capacity-bounded LRU map from session id to the
+/// [`SessionSnapshot`] its last turn retired with. Because a Mamba2
+/// session is one fixed-size state (no KV cache growing with history),
+/// the store's footprint is exactly `capacity` state slabs regardless
+/// of how long the conversations run — bounding it is slot counting,
+/// the same property the engine's slot pool is built on.
+///
+/// [`SessionStore::take`] *consumes* the entry: while a turn is in
+/// flight its state lives in the engine, and the completed turn's
+/// snapshot is re-inserted on retirement. A session evicted between
+/// turns (LRU pressure) simply re-prefills from an empty state on its
+/// next turn — a throughput cost, never a correctness one.
+#[derive(Debug, Default)]
+pub struct SessionStore {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, (u64, SessionSnapshot)>,
+    evictions: u64,
+}
+
+impl SessionStore {
+    /// An empty store holding at most `capacity` session states.
+    pub fn new(capacity: usize) -> Self {
+        SessionStore {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Parks a session's snapshot, refreshing its recency (an existing
+    /// entry for the same session is replaced). When the store would
+    /// exceed its capacity, the least-recently-touched entry is
+    /// evicted.
+    pub fn insert(&mut self, session: u64, snapshot: SessionSnapshot) {
+        self.tick += 1;
+        self.entries.insert(session, (self.tick, snapshot));
+        while self.entries.len() > self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(&sid, _)| sid)
+                .expect("len > capacity >= 0 implies non-empty");
+            self.entries.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+
+    /// Removes and returns the session's parked snapshot, if present.
+    pub fn take(&mut self, session: u64) -> Option<SessionSnapshot> {
+        self.entries.remove(&session).map(|(_, snap)| snap)
+    }
+
+    /// Whether the session currently has a parked snapshot.
+    pub fn contains(&self, session: u64) -> bool {
+        self.entries.contains_key(&session)
+    }
+
+    /// Parked sessions right now (always `<= capacity`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no session is parked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sessions evicted by LRU pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::PausedState;
+    use lightmamba_model::ModelState;
+
+    fn snap(token: u32) -> SessionSnapshot {
+        SessionSnapshot {
+            state: PausedState::new(ModelState::new(&lightmamba_model::MambaConfig::tiny())),
+            pending_token: token,
+            consumed_tokens: 1,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut store = SessionStore::new(2);
+        store.insert(1, snap(10));
+        store.insert(2, snap(20));
+        // Touch session 1 by re-inserting, then overflow with 3:
+        // session 2 is now the LRU victim.
+        store.insert(1, snap(11));
+        store.insert(3, snap(30));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evictions(), 1);
+        assert!(store.contains(1));
+        assert!(!store.contains(2));
+        assert!(store.contains(3));
+        assert_eq!(store.take(1).expect("parked").pending_token, 11);
+        assert_eq!(store.len(), 1);
+        assert!(store.take(1).is_none(), "take consumes");
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound() {
+        let mut store = SessionStore::new(3);
+        for sid in 0..50 {
+            store.insert(sid, snap(sid as u32));
+            assert!(store.len() <= 3);
+        }
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.evictions(), 47);
+        // The survivors are exactly the three most recent.
+        for sid in 47..50 {
+            assert!(store.contains(sid));
+        }
+    }
+}

@@ -40,7 +40,14 @@
 //!   `lightmamba_accel`'s batch-aware cycle model, pricing each step's
 //!   token-advances (chunked prefill included) with that backend's
 //!   weight-stream bytes, and each pause/resume as one fixed-size state
-//!   transfer on the same stream.
+//!   transfer on the same stream;
+//! * [`frontend`] — the async streaming serving frontend: clients
+//!   submit through a cloneable handle and read per-token
+//!   [`frontend::StreamEvent`]s, dropping a stream cancels its request
+//!   mid-decode, and completed turns park their fixed-size state in a
+//!   capacity-bounded [`frontend::SessionStore`] so the next turn of a
+//!   chat resumes with one state transfer instead of re-prefilling the
+//!   whole history.
 //!
 //! # Example
 //!
@@ -74,6 +81,7 @@ mod error;
 pub mod accel_cost;
 pub mod backend;
 pub mod engine;
+pub mod frontend;
 pub mod metrics;
 pub mod registry;
 pub mod request;

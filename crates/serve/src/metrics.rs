@@ -107,6 +107,11 @@ pub struct RunTrace {
     /// `sub_batches_per_step`, summing to `state_moves_per_step`); the
     /// multiplex cost model attributes each move to its model.
     pub sub_state_moves_per_step: Vec<Vec<usize>>,
+    /// Requests evicted by each step because their client cancelled (or
+    /// dropped its stream). Cancellations are processed at the top of
+    /// the step, so a slot freed here is offered to admission in the
+    /// same step.
+    pub cancellations_per_step: Vec<usize>,
 }
 
 impl RunTrace {
@@ -230,6 +235,18 @@ pub struct ServeReport {
     pub deadline_total: usize,
     /// Deadline-carrying requests that completed within their budget.
     pub deadline_hits: usize,
+    /// Requests evicted by client cancellation or stream disconnect.
+    pub cancellations: usize,
+    /// Token-advances the engine spent on requests that were later
+    /// cancelled — prefill chunks consumed plus decode feeds that never
+    /// reached a client. The cost models convert this into projected
+    /// wasted seconds.
+    pub wasted_token_advances: u64,
+    /// Slot-steps handed back by cancellations of *resident* sequences:
+    /// the minimum remaining service (in engine steps) each cancelled
+    /// resident still owed when its slot was reclaimed — the capacity
+    /// cancellation returned to the admission queue.
+    pub reclaimed_slot_steps: u64,
     /// Pause events across the run (one request may be preempted more
     /// than once).
     pub preemptions: u64,

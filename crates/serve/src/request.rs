@@ -71,6 +71,14 @@ pub struct GenRequest {
     pub deadline_steps: Option<u64>,
     /// Optional stop token ending generation early.
     pub eos_token: Option<u32>,
+    /// Optional multi-turn session this request belongs to. On normal
+    /// completion (max-tokens or EOS) the engine snapshots the
+    /// sequence's final fixed-size state
+    /// ([`crate::engine::SessionSnapshot`]) so the session's next turn
+    /// can resume from it instead of re-prefilling the whole
+    /// conversation — the serving payoff of Mamba's constant-size
+    /// state. `None` (the default) opts out.
+    pub session: Option<u64>,
 }
 
 impl GenRequest {
@@ -87,6 +95,7 @@ impl GenRequest {
             arrival_step: 0,
             deadline_steps: None,
             eos_token: None,
+            session: None,
         }
     }
 
@@ -105,6 +114,14 @@ impl GenRequest {
     /// Sets a latency budget in engine steps from arrival.
     pub fn with_deadline(mut self, deadline_steps: u64) -> Self {
         self.deadline_steps = Some(deadline_steps);
+        self
+    }
+
+    /// Tags the request as one turn of a multi-turn session: its final
+    /// state will be kept for the session's next turn (see
+    /// [`GenRequest::session`]).
+    pub fn with_session(mut self, session: u64) -> Self {
+        self.session = Some(session);
         self
     }
 
@@ -161,6 +178,13 @@ pub enum FinishReason {
     /// Evicted after exceeding its deadline, or evicted early by a
     /// deadline-aware policy that proved the deadline unmeetable.
     DeadlineExceeded,
+    /// Evicted because the client cancelled the request (or its stream
+    /// handle was dropped mid-flight). Any tokens already generated are
+    /// kept in the completion record, but the request counts as neither
+    /// completed nor deadline-evicted, and any work it consumed is
+    /// reported as wasted (see
+    /// [`crate::metrics::ServeReport::wasted_token_advances`]).
+    Cancelled,
 }
 
 /// Completion record of one request, timestamped in engine steps.
@@ -260,8 +284,14 @@ impl Completion {
     }
 
     /// Whether this request carried a deadline and met it (completed
-    /// without eviction).
+    /// without eviction). A cancelled request yields `None` even with a
+    /// deadline: the client withdrew it, so it neither hit nor missed —
+    /// counting it either way would skew hit rates with client
+    /// behavior.
     pub fn deadline_hit(&self) -> Option<bool> {
+        if self.finish == FinishReason::Cancelled {
+            return None;
+        }
         self.deadline_steps
             .map(|_| self.finish != FinishReason::DeadlineExceeded)
     }
@@ -333,6 +363,15 @@ mod tests {
         assert_eq!(c.queue_steps(), Some(2));
         // End-to-end stays wall time: the user waited through the pause.
         assert_eq!(c.e2e_steps(), 16);
+    }
+
+    #[test]
+    fn cancelled_requests_neither_hit_nor_miss_deadlines() {
+        let mut c = completion(4, Some(9), Some(6));
+        c.deadline_steps = Some(100);
+        assert_eq!(c.deadline_hit(), Some(true));
+        c.finish = FinishReason::Cancelled;
+        assert_eq!(c.deadline_hit(), None);
     }
 
     #[test]

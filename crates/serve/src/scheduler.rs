@@ -38,6 +38,7 @@
 //! and pause/resume restores the state bit-for-bit), which is the
 //! bit-identity invariant the engine's equivalence tests pin.
 
+use crate::error::ServeError;
 use crate::registry::ModelId;
 use crate::request::{GenRequest, Priority, RequestId};
 
@@ -189,7 +190,12 @@ impl AdmissionCtx<'_> {
 /// # Ok(())
 /// # }
 /// ```
-pub trait Policy {
+///
+/// Policies are `Send` so a boxed policy can drive an engine on a
+/// dedicated serving thread (the streaming frontend,
+/// [`crate::frontend`], moves one there). They need not be `Sync`:
+/// the engine serializes all policy calls.
+pub trait Policy: Send {
     /// Indices of the admission candidates ([`AdmissionCtx::candidate`]:
     /// waiting requests first, then paused sequences) to grant slots
     /// this step, in admission order. Picking a paused candidate
@@ -233,19 +239,27 @@ pub const POLICY_NAMES: [&str; 7] = [
     "wfq",
 ];
 
-/// Constructs a policy from its CLI name; `None` for an unknown name.
-/// `"wfq"` gets equal weights — build [`WeightedFair::new`] directly
-/// for custom weights.
-pub fn policy_by_name(name: &str) -> Option<Box<dyn Policy>> {
+/// Constructs a policy from its CLI name. `"wfq"` gets equal weights —
+/// build [`WeightedFair::new`] directly for custom weights.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for an unknown name; the
+/// message lists every name in [`POLICY_NAMES`], so CLI callers can
+/// surface it verbatim.
+pub fn policy_by_name(name: &str) -> Result<Box<dyn Policy>, ServeError> {
     match name {
-        "fifo" => Some(Box::new(Fifo)),
-        "static" => Some(Box::new(StaticBatching)),
-        "edf" => Some(Box::new(Edf::default())),
-        "edf-preempt" => Some(Box::new(Edf::preemptive())),
-        "priority" => Some(Box::new(PriorityClasses::default())),
-        "priority-preempt" => Some(Box::new(PriorityClasses::preemptive())),
-        "wfq" => Some(Box::new(WeightedFair::equal())),
-        _ => None,
+        "fifo" => Ok(Box::new(Fifo)),
+        "static" => Ok(Box::new(StaticBatching)),
+        "edf" => Ok(Box::new(Edf::default())),
+        "edf-preempt" => Ok(Box::new(Edf::preemptive())),
+        "priority" => Ok(Box::new(PriorityClasses::default())),
+        "priority-preempt" => Ok(Box::new(PriorityClasses::preemptive())),
+        "wfq" => Ok(Box::new(WeightedFair::equal())),
+        _ => Err(ServeError::InvalidConfig(format!(
+            "unknown policy {name:?}; valid names: {}",
+            POLICY_NAMES.join(", ")
+        ))),
     }
 }
 
@@ -849,6 +863,12 @@ mod tests {
             let policy = policy_by_name(name).expect("listed name must construct");
             assert_eq!(policy.name(), name);
         }
-        assert!(policy_by_name("round-robin").is_none());
+        let msg = match policy_by_name("round-robin") {
+            Ok(_) => panic!("unknown name must error"),
+            Err(e) => e.to_string(),
+        };
+        for name in POLICY_NAMES {
+            assert!(msg.contains(name), "error must list {name:?}: {msg}");
+        }
     }
 }

@@ -148,6 +148,35 @@ impl TrafficScenario {
         }
     }
 
+    /// Multi-turn chat sessions: first turns of `n` concurrent
+    /// sessions, each a short opening prompt with a short reply
+    /// (follow-up turns are shorter still — the conversation so far
+    /// lives in the session's saved state, so a follow-up carries only
+    /// the user's new message). Follow-up *arrival* is closed-loop — a
+    /// session's next turn departs only after the prior reply — so the
+    /// generator emits the openers and the session studies draw
+    /// follow-ups live via [`TrafficGenerator::follow_up_turn`].
+    pub fn chat_sessions(n: usize) -> Self {
+        TrafficScenario {
+            name: "chat_sessions",
+            profiles: vec![(
+                1.0,
+                TrafficProfile {
+                    name: "chat-turn",
+                    prompt_len: 6..24,
+                    gen_len: 6..16,
+                    sampler: Sampler::TopK {
+                        k: 16,
+                        temperature: 0.8,
+                    },
+                    priority: Priority::Interactive,
+                    deadline_steps: None,
+                },
+            )],
+            arrivals: ArrivalProcess::BurstAtStart(n),
+        }
+    }
+
     /// A closed-loop burst of `n` chat requests.
     pub fn burst(n: usize) -> Self {
         TrafficScenario {
@@ -306,7 +335,25 @@ impl TrafficGenerator {
             arrival_step,
             deadline_steps,
             eos_token: None,
+            session: None,
         }
+    }
+
+    /// Draws one *follow-up* chat turn: a short continuation prompt (the
+    /// user's next message — history stays in the session state, so the
+    /// follow-up carries only the new tokens) with the first profile's
+    /// reply length. Used by the closed-loop session studies, which
+    /// submit follow-ups only after the prior turn's reply lands — an
+    /// arrival pattern the open-loop [`TrafficGenerator::generate`]
+    /// cannot pre-compute.
+    pub fn follow_up_turn(&mut self) -> (Vec<u32>, usize) {
+        let profile = self.scenario.profiles[0].1.clone();
+        let prompt_len = self.rng.gen_range(profile.prompt_len.clone());
+        let gen_len = self.rng.gen_range(profile.gen_len.clone());
+        let prompt = (0..prompt_len.max(1))
+            .map(|_| self.rng.gen_range(0..self.vocab_size) as u32)
+            .collect();
+        (prompt, gen_len.max(1))
     }
 
     /// Generates all arrivals over `steps` engine steps
@@ -412,6 +459,25 @@ mod tests {
         }
         let frac = urgent.len() as f64 / reqs.len() as f64;
         assert!((0.5..0.9).contains(&frac), "urgent fraction {frac}");
+    }
+
+    #[test]
+    fn chat_sessions_emit_openers_and_deterministic_follow_ups() {
+        let mut g = TrafficGenerator::new(TrafficScenario::chat_sessions(6), 256, 21);
+        let openers = g.generate(1);
+        assert_eq!(openers.len(), 6);
+        assert!(openers.iter().all(|r| r.arrival_step == 0));
+        assert!(openers
+            .iter()
+            .all(|r| r.priority == Priority::Interactive && r.deadline_steps.is_none()));
+        let (prompt, gen_len) = g.follow_up_turn();
+        assert!((1..24).contains(&prompt.len()));
+        assert!((1..16).contains(&gen_len));
+        assert!(prompt.iter().all(|&t| (t as usize) < 256));
+        // Same seed, same follow-up stream.
+        let mut h = TrafficGenerator::new(TrafficScenario::chat_sessions(6), 256, 21);
+        h.generate(1);
+        assert_eq!(h.follow_up_turn(), (prompt, gen_len));
     }
 
     #[test]

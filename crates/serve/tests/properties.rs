@@ -4,7 +4,10 @@
 //! and the W4A4 quantized backends, pause/resume bit-identity under
 //! arbitrary preemption schedules, EDF deadline dominance over FIFO,
 //! preemptive-EDF dominance over plain EDF on the preemption-heavy
-//! scenario, and WFQ slot-share convergence.
+//! scenario, WFQ slot-share convergence, session-resume bit-identity
+//! with full-history re-prefill on both backends, and slot/state
+//! conservation under arbitrary interleavings of cancellation,
+//! preemption churn, and session resume.
 
 use lightmamba_model::eval::StepModel;
 use lightmamba_model::{MambaConfig, MambaModel};
@@ -12,6 +15,7 @@ use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
 use lightmamba_quant::QuantizedMamba;
 use lightmamba_serve::backend::{DecodeBackend, FpBackend, W4A4Backend};
 use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+use lightmamba_serve::frontend::SessionStore;
 use lightmamba_serve::registry::ModelRegistry;
 use lightmamba_serve::request::GenRequest;
 use lightmamba_serve::scheduler::{
@@ -580,6 +584,244 @@ proptest! {
             report.per_model.iter().map(|m| m.completed).sum::<usize>(),
             n
         );
+    }
+
+    #[test]
+    fn session_resume_is_bit_identical_to_full_history_reprefill(
+        p1 in proptest::collection::vec(0u32..256, 1..8),
+        gen1 in 1usize..6,
+        p2 in proptest::collection::vec(0u32..256, 1..6),
+        gen2 in 1usize..6,
+        chunk in 1usize..4,
+    ) {
+        // The tentpole pin: for an arbitrary two-turn chat, decoding
+        // turn 2 from the parked session state (pending token prepended)
+        // equals decoding it from a cold engine that re-prefills the
+        // entire history — bit for bit, for the FP and the W4A4
+        // backend, at every prefill chunking.
+        let model = tiny_model();
+        let q = tiny_w4a4(&model);
+        for quantized in [false, true] {
+            let make_reg = || {
+                let mut reg = ModelRegistry::new();
+                if quantized {
+                    reg.register("w4a4", Box::new(W4A4Backend::new(q.clone()))).unwrap();
+                } else {
+                    reg.register("fp", Box::new(FpBackend::new(&model))).unwrap();
+                }
+                reg
+            };
+            let cfg = EngineConfig { slots: 1, max_steps: 200_000, prefill_chunk: chunk };
+
+            // Turn 1 parks its state; turn 2 resumes it.
+            let mut engine = ServeEngine::with_registry(make_reg(), cfg).unwrap();
+            engine
+                .submit(vec![GenRequest::greedy(0, p1.clone(), gen1).with_session(1)])
+                .unwrap();
+            engine.run(&mut Fifo).unwrap();
+            let turn1_tokens = engine.completions()[0].tokens.clone();
+            let (_, snap) = engine
+                .take_session_snapshots()
+                .pop()
+                .expect("finished session turn parks a snapshot");
+            prop_assert_eq!(snap.consumed_tokens, p1.len() + gen1 - 1);
+            let mut turn2 = GenRequest::greedy(1, p2.clone(), gen2).with_session(1);
+            turn2.arrival_step = engine.clock();
+            engine.submit_with_state(turn2, snap).unwrap();
+            engine.run(&mut Fifo).unwrap();
+            let resumed = engine
+                .completions()
+                .iter()
+                .find(|c| c.id == 1)
+                .expect("turn 2 completes")
+                .tokens
+                .clone();
+            prop_assert_eq!(engine.pending_resumes(), 0);
+
+            // Cold reference: one request whose prompt is the whole
+            // conversation so far.
+            let mut full = p1.clone();
+            full.extend_from_slice(&turn1_tokens);
+            full.extend_from_slice(&p2);
+            let mut reference = ServeEngine::with_registry(make_reg(), cfg).unwrap();
+            reference.submit(vec![GenRequest::greedy(1, full, gen2)]).unwrap();
+            reference.run(&mut Fifo).unwrap();
+            prop_assert_eq!(
+                &resumed,
+                &reference.completions()[0].tokens,
+                "resumed turn diverged from re-prefill (quantized: {})",
+                quantized
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_churn_and_sessions_conserve_slots_and_leak_no_state(
+        spec in workload(),
+        slots in 1usize..5,
+        schedule in churn_schedule(),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 14),
+        cancel_gap in 1u64..6,
+    ) {
+        // Arbitrary interleavings of client cancellation, preemption
+        // churn, and session retirement/resume: slots are conserved at
+        // every step boundary, every request retires exactly once, no
+        // paused or resume state survives the drain, and the session
+        // store never exceeds its LRU capacity.
+        let model = tiny_model();
+        let q = tiny_w4a4(&model);
+        let mut reg = ModelRegistry::new();
+        reg.register("fp", Box::new(FpBackend::new(&model))).unwrap();
+        reg.register("w4a4", Box::new(W4A4Backend::new(q))).unwrap();
+        let mut requests = build_requests(&spec);
+        for r in &mut requests {
+            r.model = (r.id % 2) as usize;
+            if r.id % 3 == 0 {
+                r.session = Some(r.id / 3);
+            }
+        }
+        let n = requests.len();
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
+        ).unwrap();
+        engine.submit(requests).unwrap();
+        let mut policy = ChurnFifo::new(schedule);
+        let mut store = SessionStore::new(2);
+        let mut seen_sessions = Vec::new();
+        let mut steps = 0u64;
+        let mut next_cancel = 0usize;
+        while engine.has_work() && steps < 200_000 {
+            if steps % cancel_gap == 0 && next_cancel < cancel_mask.len() {
+                if cancel_mask[next_cancel] {
+                    engine.cancel(next_cancel as u64);
+                }
+                next_cancel += 1;
+            }
+            engine.step(&mut policy).unwrap();
+            steps += 1;
+            prop_assert_eq!(
+                engine.free_slots() + engine.active_count(),
+                engine.capacity()
+            );
+            prop_assert!(engine.active_count() <= slots);
+            for (sid, snap) in engine.take_session_snapshots() {
+                if !seen_sessions.contains(&sid) {
+                    seen_sessions.push(sid);
+                }
+                store.insert(sid, snap);
+            }
+            prop_assert!(store.len() <= store.capacity(), "LRU bound violated");
+        }
+        prop_assert_eq!(engine.free_slots(), engine.capacity());
+        prop_assert_eq!(engine.paused_count(), 0);
+        prop_assert_eq!(engine.pending_resumes(), 0);
+        prop_assert_eq!(engine.completions().len(), n, "each request retires exactly once");
+        let report = engine.report(&policy);
+        prop_assert_eq!(report.completed + report.cancellations + report.evicted, n);
+        // A cancelled paused sequence pauses without ever resuming, so
+        // resumes can trail preemptions but never exceed them.
+        prop_assert!(report.resumes <= report.preemptions);
+        prop_assert_eq!(
+            report.per_model.iter().map(|m| m.completed).sum::<usize>(),
+            report.completed
+        );
+
+        // Turn 2: resume every still-parked session, then cancel every
+        // other resume before it is admitted — cancelled resume states
+        // must be released, not leaked.
+        let mut next_id = n as u64;
+        let mut resumed_ids = Vec::new();
+        for &sid in &seen_sessions {
+            if let Some(snap) = store.take(sid) {
+                let mut r = GenRequest::greedy(next_id, vec![7, 8], 2).with_session(sid);
+                r.model = ((sid * 3) % 2) as usize;
+                r.arrival_step = engine.clock();
+                engine.submit_with_state(r, snap).unwrap();
+                resumed_ids.push(next_id);
+                next_id += 1;
+            }
+        }
+        for (k, &id) in resumed_ids.iter().enumerate() {
+            if k % 2 == 0 {
+                engine.cancel(id);
+            }
+        }
+        let mut steps2 = 0u64;
+        while engine.has_work() && steps2 < 200_000 {
+            engine.step(&mut policy).unwrap();
+            steps2 += 1;
+            prop_assert_eq!(
+                engine.free_slots() + engine.active_count(),
+                engine.capacity()
+            );
+        }
+        prop_assert_eq!(engine.free_slots(), engine.capacity());
+        prop_assert_eq!(engine.paused_count(), 0);
+        prop_assert_eq!(
+            engine.pending_resumes(),
+            0,
+            "no resume state leaks, whether served or cancelled first"
+        );
+        prop_assert_eq!(engine.completions().len(), n + resumed_ids.len());
+    }
+
+    #[test]
+    fn wfq_accounting_stays_consistent_under_cancellation(
+        spec in workload(),
+        slots in 1usize..5,
+        cancel_mask in proptest::collection::vec(any::<bool>(), 14),
+    ) {
+        // Cancelled requests vanish mid-service; WFQ's virtual-time
+        // accounting must neither starve the survivors nor double-count
+        // the departed: the run drains, every request retires exactly
+        // once, and per-step sub-batch traces still partition the batch.
+        let model = tiny_model();
+        let mut reg = ModelRegistry::new();
+        reg.register("a", Box::new(FpBackend::new(&model))).unwrap();
+        reg.register("b", Box::new(FpBackend::new(&model))).unwrap();
+        let mut requests = build_requests(&spec);
+        for r in &mut requests {
+            r.model = (r.id % 2) as usize;
+        }
+        let n = requests.len();
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
+        ).unwrap();
+        engine.submit(requests).unwrap();
+        let mut wfq = WeightedFair::equal();
+        let mut steps = 0u64;
+        let mut next_cancel = 0usize;
+        while engine.has_work() && steps < 200_000 {
+            if steps % 2 == 0 && next_cancel < cancel_mask.len() {
+                if cancel_mask[next_cancel] {
+                    engine.cancel(next_cancel as u64);
+                }
+                next_cancel += 1;
+            }
+            engine.step(&mut wfq).unwrap();
+            steps += 1;
+        }
+        prop_assert!(!engine.has_work(), "WFQ must drain despite cancellations");
+        let report = engine.report(&wfq);
+        prop_assert_eq!(report.completed + report.cancellations + report.evicted, n);
+        for (sub, &total) in report
+            .trace
+            .sub_batches_per_step
+            .iter()
+            .zip(&report.trace.batch_per_step)
+        {
+            prop_assert_eq!(sub.iter().sum::<usize>(), total);
+        }
+        for (sub, &total) in report
+            .trace
+            .sub_processed_per_step
+            .iter()
+            .zip(&report.trace.processed_per_step)
+        {
+            prop_assert_eq!(sub.iter().sum::<usize>(), total);
+        }
     }
 
     #[test]

@@ -214,13 +214,8 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         )
         .into());
     }
-    if policy_by_name(&args.policy).is_none() {
-        return Err(format!(
-            "--policy must be one of {POLICY_NAMES:?} (got {:?})",
-            args.policy
-        )
-        .into());
-    }
+    // policy_by_name's own error already lists every valid name.
+    policy_by_name(&args.policy).map_err(|e| e.to_string())?;
     if args.prefill_chunk == 0 {
         return Err("--prefill-chunk must be positive".into());
     }

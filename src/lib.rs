@@ -10,7 +10,8 @@
 //! * [`accel`] — the FPGA accelerator cycle/resource/power models;
 //! * [`core`] — the co-design pipeline and Fig. 10 ablation;
 //! * [`serve`] — the continuous-batching serving engine with
-//!   accelerator-costed throughput projection.
+//!   accelerator-costed throughput projection, plus the streaming
+//!   frontend (per-token streams, cancellation, multi-turn sessions).
 //!
 //! # Example
 //!
@@ -56,7 +57,11 @@ pub mod prelude {
     pub use lightmamba_serve::backend::{
         CostProfile, DecodeBackend, FpBackend, PausedState, W4A4Backend,
     };
-    pub use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+    pub use lightmamba_serve::engine::{EngineConfig, ServeEngine, SessionSnapshot, StepEvent};
+    pub use lightmamba_serve::frontend::{
+        run_frontend, FrontendConfig, FrontendHandle, FrontendRun, SessionStore, StreamEvent,
+        TokenStream,
+    };
     pub use lightmamba_serve::registry::{ModelId, ModelRegistry};
     pub use lightmamba_serve::request::{GenRequest, Priority};
     pub use lightmamba_serve::scheduler::{
