@@ -16,16 +16,24 @@
 //! (`forward_step_batch_indexed_with`), so the comparison is kernels
 //! only, not allocator noise.
 //!
+//! A second section times the *serving engine* on the FP model — the
+//! same decode-heavy run bare and with the full observability layer
+//! (metrics registry, per-phase spans, flight recorder) enabled — to
+//! measure what instrumentation costs on the engine hot loop (pinned
+//! ≤5% by `tests/obs_overhead.rs`).
+//!
 //! Flags:
 //! * `--smoke` — tiny config and short loops (CI);
 //! * `--steps N` — timed decode steps per (variant, batch) cell.
 //!
-//! A final `BENCH_JSON` line captures tokens/s per variant per batch and
-//! the integer-over-fake speedup.
+//! A final `BENCH_JSON` line captures tokens/s per variant per batch,
+//! the integer-over-fake speedup, and the engine instrumentation
+//! overhead.
 
 use std::time::Instant;
 
 use lightmamba::report::render_table;
+use lightmamba_bench::engine_obs_overhead;
 use lightmamba_model::{DecodeWorkspace, MambaConfig, MambaModel, ModelState};
 use lightmamba_quant::qmodel::{ExecMode, Precision, QuantWorkspace};
 use lightmamba_quant::{PreparedModel, QuantizedMamba};
@@ -216,6 +224,17 @@ fn main() {
         )
     );
 
+    // Engine-level instrumentation cost: the serving engine on the FP
+    // model, bare vs full observability, best of 3 runs each.
+    let gen_tokens = if args.smoke { 48 } else { 192 };
+    let (engine_bare, engine_obs) = engine_obs_overhead(&model, gen_tokens, 3);
+    let obs_overhead_pct = (engine_bare / engine_obs - 1.0) * 100.0;
+    println!();
+    println!(
+        "serving engine (8-slot FIFO, {gen_tokens}-token decodes): bare {engine_bare:.1} tok/s, \
+         instrumented {engine_obs:.1} tok/s ({obs_overhead_pct:+.2}% observability overhead)"
+    );
+
     let fmt = |v: &[f64]| {
         v.iter()
             .map(|t| format!("{t:.1}"))
@@ -231,7 +250,9 @@ fn main() {
     println!(
         "BENCH_JSON {{\"bench\":\"decode_host\",\"smoke\":{},\"d_model\":{},\"n_layer\":{},\
          \"group\":{group},\"batches\":[{}],\"fp_tok_s\":[{}],\"fake_w4a4_tok_s\":[{}],\
-         \"int_w4a4_tok_s\":[{}],\"int_over_fake\":[{}],\"packed_bits_per_param\":{:.3}}}",
+         \"int_w4a4_tok_s\":[{}],\"int_over_fake\":[{}],\"packed_bits_per_param\":{:.3},\
+         \"engine_bare_tok_s\":{engine_bare:.1},\"engine_obs_tok_s\":{engine_obs:.1},\
+         \"obs_overhead_pct\":{obs_overhead_pct:.2}}}",
         args.smoke,
         cfg.d_model,
         cfg.n_layer,

@@ -31,12 +31,19 @@
 //!   fraction of the sessions mid-decode;
 //! * `--cancel-rate R` (default 0) — fraction of sessions in the
 //!   session study whose client hangs up mid-first-turn;
+//! * `--metrics-dump PATH` — write the instrumented headline run's
+//!   Prometheus-style metrics snapshot to `PATH`;
+//! * `--trace-out PATH` — write the instrumented headline run's
+//!   two-lane Chrome trace (host wall clock + accelerator-projected
+//!   virtual time) to `PATH`; open it in `chrome://tracing` or
+//!   Perfetto;
 //! * `--smoke` — run only the policy study (plus any opted-in studies)
 //!   on a reduced horizon (CI).
 //!
 //! A final `BENCH_JSON` line captures the selected policy's
-//! deadline-hit-rate plus (full mode) the FP-vs-W4A4 serving gap,
-//! (with `--preempt`) the preemption study's hit rates and pause
+//! deadline-hit-rate plus the observability study's bare-vs-
+//! instrumented step-rate overhead, (full mode) the FP-vs-W4A4 serving
+//! gap, (with `--preempt`) the preemption study's hit rates and pause
 //! traffic, and (with `--sessions`) the session study's resume-vs-
 //! re-prefill TTFT gap and cancellation waste.
 
@@ -51,6 +58,8 @@ use lightmamba_serve::accel_cost::{ModelCost, MultiplexCostModel, StepCostModel}
 use lightmamba_serve::backend::{FpBackend, W4A4Backend};
 use lightmamba_serve::engine::{EngineConfig, ServeEngine};
 use lightmamba_serve::frontend::SessionStore;
+use lightmamba_serve::metrics::Percentiles;
+use lightmamba_serve::observe::ObsConfig;
 use lightmamba_serve::registry::ModelRegistry;
 use lightmamba_serve::request::{FinishReason, GenRequest};
 use lightmamba_serve::scheduler::{
@@ -60,6 +69,7 @@ use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 const SLOT_SWEEP: [usize; 4] = [1, 4, 16, 64];
 
@@ -80,6 +90,8 @@ struct Args {
     preempt: bool,
     sessions: bool,
     cancel_rate: f64,
+    metrics_dump: Option<String>,
+    trace_out: Option<String>,
     smoke: bool,
 }
 
@@ -93,6 +105,8 @@ fn parse_args() -> Args {
         preempt: false,
         sessions: false,
         cancel_rate: 0.0,
+        metrics_dump: None,
+        trace_out: None,
         smoke: false,
     };
     let mut i = 0;
@@ -137,6 +151,22 @@ fn parse_args() -> Args {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .expect("--cancel-rate needs a number in [0, 1)");
+                i += 2;
+            }
+            "--metrics-dump" => {
+                args.metrics_dump = Some(
+                    argv.get(i + 1)
+                        .expect("--metrics-dump needs an output path")
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--trace-out" => {
+                args.trace_out = Some(
+                    argv.get(i + 1)
+                        .expect("--trace-out needs an output path")
+                        .clone(),
+                );
                 i += 2;
             }
             "--prefill-chunk" => {
@@ -210,6 +240,10 @@ fn main() {
     // Policy study: the deadline-heavy mix under every admission policy
     // on the same trace; `--policy` picks which run headlines the JSON.
     json_fields.push(policy_study(&args, &model, &quantized, &vck_platform, &big));
+
+    // Observability study: the headline run bare vs fully instrumented,
+    // with optional metrics-snapshot and Chrome-trace dumps.
+    json_fields.push(obs_study(&args, &model, &quantized, &vck_platform, &big));
 
     // Preemption study: the preemption-heavy mix, non-preemptive vs
     // preemptive variants head-to-head, pause traffic priced.
@@ -371,6 +405,122 @@ fn policy_study(
     headline.expect("--policy is validated against POLICY_NAMES")
 }
 
+/// Observability study: the headline policy's deadline-heavy run twice
+/// on identical traffic — once bare, once with the full observability
+/// layer (metrics registry, per-phase spans, flight recorder) — to
+/// measure the wall-clock overhead instrumentation adds to the engine
+/// loop. The instrumented run's Prometheus-style snapshot and two-lane
+/// Chrome trace (wall + cost-model virtual time) are written to
+/// `--metrics-dump` / `--trace-out` when given. Returns the JSON
+/// fragment.
+fn obs_study(
+    args: &Args,
+    model: &MambaModel,
+    quantized: &QuantizedMamba,
+    platform: &Platform,
+    big: &MambaConfig,
+) -> String {
+    let horizon = if args.smoke { 150 } else { 400 };
+    println!();
+    println!(
+        "observability study: {} on deadline_heavy traffic ({horizon} steps), bare vs \
+         instrumented (metrics + spans + flight recorder)",
+        args.policy
+    );
+
+    let build = || {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("fp", Box::new(FpBackend::new(model)))
+            .expect("fresh registry");
+        registry
+            .register("w4a4", Box::new(W4A4Backend::new(quantized.clone())))
+            .expect("fresh registry");
+        let cost =
+            MultiplexCostModel::for_registry(&registry, platform, big).expect("two backends");
+        let mut traffic = TrafficGenerator::new(
+            TrafficScenario::deadline_heavy(0.5),
+            model.config().vocab_size,
+            7,
+        )
+        .with_models(2);
+        let mut engine = ServeEngine::with_registry(
+            registry,
+            EngineConfig {
+                slots: 16,
+                max_steps: 1_000_000,
+                prefill_chunk: args.prefill_chunk,
+            },
+        )
+        .expect("valid config");
+        engine
+            .submit(traffic.generate(horizon))
+            .expect("generator output is sorted");
+        (engine, cost)
+    };
+
+    let (mut engine, _) = build();
+    let mut policy = make_policy(&args.policy);
+    let t0 = Instant::now();
+    let bare_report = engine.run(policy.as_mut()).expect("run drains");
+    let bare_s = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let (mut engine, mut cost) = build();
+    engine.enable_obs(ObsConfig::default());
+    let mut policy = make_policy(&args.policy);
+    let t0 = Instant::now();
+    let report = engine.run(policy.as_mut()).expect("run drains");
+    let obs_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let obs = engine.take_obs().expect("obs was enabled");
+
+    assert_eq!(
+        report.completed, bare_report.completed,
+        "instrumentation must not change engine behavior"
+    );
+    let bare_steps_s = bare_report.trace.steps() as f64 / bare_s;
+    let obs_steps_s = report.trace.steps() as f64 / obs_s;
+    let overhead_pct = (bare_steps_s / obs_steps_s - 1.0) * 100.0;
+    println!(
+        "  bare {bare_steps_s:.0} steps/s, instrumented {obs_steps_s:.0} steps/s \
+         ({overhead_pct:+.2}% overhead, single run — see the pinned bench test for best-of-N)"
+    );
+    println!(
+        "  recorded {} spans ({} dropped), {} step records ({} evicted), {} lifecycle events",
+        obs.spans.spans().len(),
+        obs.spans.dropped(),
+        obs.flight.steps().len(),
+        obs.flight.steps().evicted(),
+        obs.flight.lifecycle().len(),
+    );
+
+    if let Some(path) = &args.metrics_dump {
+        let text = obs.exposition();
+        std::fs::write(path, &text).expect("--metrics-dump path is writable");
+        println!("  wrote metrics snapshot ({} bytes) to {path}", text.len());
+    }
+    if let Some(path) = &args.trace_out {
+        let step_seconds = cost
+            .trace_step_seconds(&report.trace)
+            .expect("trace matches registry");
+        let trace = obs.chrome_trace_with_virtual(&step_seconds);
+        lightmamba_obs::json::parse(&trace).expect("emitted Chrome trace is well-formed JSON");
+        std::fs::write(path, &trace).expect("--trace-out path is writable");
+        println!("  wrote Chrome trace ({} bytes) to {path}", trace.len());
+    }
+
+    format!(
+        "\"obs\":{{\"steps\":{},\"bare_steps_per_s\":{:.1},\"instrumented_steps_per_s\":{:.1},\
+         \"overhead_pct\":{:.2},\"spans\":{},\"spans_dropped\":{},\"slo_violations\":{}}}",
+        report.trace.steps(),
+        bare_steps_s,
+        obs_steps_s,
+        overhead_pct,
+        obs.spans.spans().len(),
+        obs.spans.dropped(),
+        obs.slo_violations(),
+    )
+}
+
 /// `--preempt`: the preemption-heavy scenario (deadline-free hogs
 /// camping on slots + tight-deadline chat) under each of
 /// [`PREEMPT_POLICIES`] on the same traffic and fp+w4a4 registry. The
@@ -479,7 +629,7 @@ struct ChatRun {
     seconds: f64,
     state_transfer_s: f64,
     wasted_work_s: f64,
-    follow_up_ttft_mean_steps: f64,
+    follow_up_ttft_steps: Percentiles,
     resumes: usize,
     misses: usize,
     prefill_tokens_saved: u64,
@@ -556,7 +706,10 @@ fn session_study(
             run.report.completed.to_string(),
             run.report.cancellations.to_string(),
             run.report.prefill_tokens.to_string(),
-            format!("{:.1}", run.follow_up_ttft_mean_steps),
+            format!(
+                "{:.1} / {:.1}",
+                run.follow_up_ttft_steps.p50, run.follow_up_ttft_steps.mean
+            ),
             format!("{:.2}", run.state_transfer_s * 1e3),
             format!("{:.3}", run.wasted_work_s),
             format!("{:.1}", run.seconds),
@@ -570,7 +723,7 @@ fn session_study(
                 "completed",
                 "cancelled",
                 "prefill toks",
-                "turn-2+ TTFT (steps)",
+                "turn-2+ TTFT p50/mean",
                 "state xfer (ms)",
                 "wasted (s)",
                 "run (s)",
@@ -584,21 +737,24 @@ fn session_study(
     );
     if resume.resumes > 0 {
         assert!(
-            resume.follow_up_ttft_mean_steps < reprefill.follow_up_ttft_mean_steps,
+            resume.follow_up_ttft_steps.mean < reprefill.follow_up_ttft_steps.mean,
             "parked-state resume must beat full-history re-prefill on follow-up TTFT"
         );
     }
     format!(
         "\"sessions\":{{\"n\":{n},\"turns\":{turns},\"cancel_rate\":{:.2},\"resumes\":{},\
          \"prefill_tokens_saved\":{},\"resume_ttft_mean_steps\":{:.2},\
-         \"reprefill_ttft_mean_steps\":{:.2},\"cancellations\":{},\"wasted_token_advances\":{},\
+         \"resume_ttft_p50_steps\":{:.2},\"reprefill_ttft_mean_steps\":{:.2},\
+         \"reprefill_ttft_p50_steps\":{:.2},\"cancellations\":{},\"wasted_token_advances\":{},\
          \"resume_s\":{:.3},\"reprefill_s\":{:.3},\"state_transfer_s\":{:.6},\
          \"wasted_work_s\":{:.6}}}",
         args.cancel_rate,
         resume.resumes,
         resume.prefill_tokens_saved,
-        resume.follow_up_ttft_mean_steps,
-        reprefill.follow_up_ttft_mean_steps,
+        resume.follow_up_ttft_steps.mean,
+        resume.follow_up_ttft_steps.p50,
+        reprefill.follow_up_ttft_steps.mean,
+        reprefill.follow_up_ttft_steps.p50,
         resume.report.cancellations,
         resume.report.wasted_token_advances,
         resume.seconds,
@@ -739,17 +895,12 @@ fn drive_chat(
     let run = cost
         .cost_run(&report, engine.completions())
         .expect("trace matches registry");
-    let follow_up_ttft_mean_steps = if follow_ttfts.is_empty() {
-        0.0
-    } else {
-        follow_ttfts.iter().sum::<f64>() / follow_ttfts.len() as f64
-    };
     ChatRun {
         report,
         seconds: run.seconds,
         state_transfer_s: run.state_transfer_s,
         wasted_work_s: run.wasted_work_s,
-        follow_up_ttft_mean_steps,
+        follow_up_ttft_steps: Percentiles::of(&follow_ttfts),
         resumes,
         misses,
         prefill_tokens_saved,

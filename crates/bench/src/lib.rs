@@ -19,6 +19,53 @@ pub fn paper_vs(paper: &str, measured: &str) -> String {
     format!("paper {paper} | measured {measured}")
 }
 
+/// Times the serving engine on a decode-heavy closed batch, bare vs
+/// fully instrumented (metrics registry + per-phase spans + flight
+/// recorder), best of `reps` runs each. Returns
+/// `(bare_tok_s, instrumented_tok_s)`. Shared by `bench_decode` and
+/// the `obs_overhead` regression test so both pin the same workload.
+pub fn engine_obs_overhead(
+    model: &lightmamba_model::MambaModel,
+    gen_tokens: usize,
+    reps: usize,
+) -> (f64, f64) {
+    use lightmamba_serve::engine::{EngineConfig, ServeEngine};
+    use lightmamba_serve::observe::ObsConfig;
+    use lightmamba_serve::request::GenRequest;
+    use lightmamba_serve::scheduler::Fifo;
+    use std::time::Instant;
+
+    let slots = 8usize;
+    let run = |with_obs: bool| -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..reps {
+            let mut engine = ServeEngine::new(
+                model,
+                EngineConfig {
+                    slots,
+                    max_steps: 1_000_000,
+                    prefill_chunk: 4,
+                },
+            )
+            .expect("non-zero slots");
+            if with_obs {
+                engine.enable_obs(ObsConfig::default());
+            }
+            let reqs: Vec<GenRequest> = (0..slots)
+                .map(|k| GenRequest::greedy(k as u64, vec![k as u32 + 1, 2], gen_tokens))
+                .collect();
+            engine.submit(reqs).expect("arrivals are sorted");
+            let start = Instant::now();
+            let report = engine.run(&mut Fifo).expect("run drains");
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            assert_eq!(report.completed, slots, "closed batch drains");
+            best = best.max((slots * gen_tokens) as f64 / secs);
+        }
+        best
+    };
+    (run(false), run(true))
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

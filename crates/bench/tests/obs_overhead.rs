@@ -1,0 +1,49 @@
+//! Pins the observability layer's cost on the serving hot loop: full
+//! instrumentation (metrics registry + per-phase spans + flight
+//! recorder) must cost at most 5% of decode throughput.
+//!
+//! The workload is the same 8-slot FIFO closed batch `bench_decode`
+//! reports on, best-of-N timed runs on each side so scheduler noise
+//! cancels. The pin only means anything at optimizer settings —
+//! debug builds measure debug_assert and bounds-check overhead, not
+//! the instrumentation — so the assertion is release-only, mirroring
+//! the serving hot-path pins elsewhere in the workspace.
+
+use lightmamba_bench::engine_obs_overhead;
+use lightmamba_model::{MambaConfig, MambaModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn instrumentation_costs_at_most_five_percent() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Realistic channel widths so each step does real kernel work; a
+    // toy model would make the fixed per-step obs cost look relatively
+    // larger than any deployment would see.
+    let cfg = MambaConfig {
+        d_model: 192,
+        n_layer: 2,
+        d_state: 64,
+        d_conv: 4,
+        expand: 2,
+        headdim: 64,
+        ngroups: 1,
+        vocab_size: 1024,
+    };
+    let model = MambaModel::synthetic(cfg, &mut rng).expect("synthetic model");
+    let (bare, instrumented) = engine_obs_overhead(&model, 64, 5);
+    assert!(bare > 0.0 && instrumented > 0.0);
+    let overhead = bare / instrumented - 1.0;
+    // Always printed so CI logs show the measured margin.
+    println!(
+        "bare {bare:.1} tok/s, instrumented {instrumented:.1} tok/s, overhead {:+.2}%",
+        overhead * 100.0
+    );
+    #[cfg(not(debug_assertions))]
+    assert!(
+        overhead <= 0.05,
+        "observability layer costs {:.2}% of decode throughput (bare {bare:.1} tok/s, \
+         instrumented {instrumented:.1} tok/s); the budget is 5%",
+        overhead * 100.0
+    );
+}

@@ -1,0 +1,368 @@
+//! A minimal JSON parser and string escaper.
+//!
+//! The workspace's offline `serde` shim carries marker traits only, so
+//! every JSON document in the repo — Prometheus-adjacent exposition,
+//! Chrome trace events, `BENCH_JSON` lines — is hand-written. That is
+//! fine for emitters, but tests asserting "the emitted trace is valid
+//! JSON and the spans nest" need a real parser. This module is that
+//! parser: a small recursive-descent implementation over [`JsonValue`],
+//! strict enough to catch malformed output (trailing commas, bad
+//! escapes, truncation) while staying dependency-free.
+//!
+//! This is a *validation* parser for tests and tooling, not a
+//! serving-path component — it allocates freely.
+
+/// A parsed JSON value. Numbers are uniformly `f64`, matching how the
+/// workspace's emitters write them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; insertion order preserved, duplicate keys kept as-is.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The bool, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a complete JSON document. Errors carry the byte offset and a
+/// short description; trailing non-whitespace after the document is an
+/// error.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs are not needed for the
+                            // workspace's own output; map them to the
+                            // replacement character rather than failing.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape {:?} at byte {}",
+                                other.map(|c| c as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // byte-level continuation handling is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = parse(
+            r#"{"traceEvents":[{"name":"step","ts":1.5,"args":{"depth":0}},
+                {"name":"admit","ok":true,"note":null}],"n":-2e3}"#,
+        )
+        .expect("valid");
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ts").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(
+            events[0]
+                .get("args")
+                .and_then(|a| a.get("depth"))
+                .and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(events[1].get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(events[1].get("note"), Some(&JsonValue::Null));
+        assert_eq!(doc.get("n").and_then(JsonValue::as_f64), Some(-2000.0));
+    }
+
+    #[test]
+    fn escape_then_parse_round_trips() {
+        let nasty = "he said \"hi\"\n\tback\\slash \u{1} π";
+        let doc = parse(&format!("{{\"k\":\"{}\"}}", escape(nasty))).expect("valid");
+        assert_eq!(doc.get("k").and_then(JsonValue::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{\"a\":1,}").is_err(), "trailing comma");
+        assert!(parse("[1 2]").is_err(), "missing comma");
+        assert!(parse("{\"a\":}").is_err(), "missing value");
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{} extra").is_err(), "trailing content");
+        assert!(parse("").is_err(), "empty input");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("42").unwrap().as_f64(), Some(42.0));
+        assert_eq!(parse("true").unwrap().as_bool(), Some(true));
+        assert_eq!(parse("  null ").unwrap(), JsonValue::Null);
+        assert_eq!(parse("1.25e2").unwrap().as_f64(), Some(125.0));
+    }
+}

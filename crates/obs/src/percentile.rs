@@ -1,0 +1,83 @@
+//! The shared nearest-rank percentile helper.
+//!
+//! Before this crate existed the workspace computed nearest-rank
+//! percentiles in more than one place (the serve crate's
+//! `Percentiles::of` and ad-hoc latency summaries in the bench
+//! harnesses), each with its own empty-input convention. This module is
+//! the single definition: callers sort once, then pick any number of
+//! quantiles, and the empty case is an explicit `None` instead of a
+//! silent zero.
+
+/// Sorts `samples` ascending with a total order ([`f64::total_cmp`]:
+/// NaNs, if any, sort to the ends — the workspace never feeds NaN
+/// latencies, but a sort must not panic or scramble on them).
+pub fn sort_samples(samples: &mut [f64]) {
+    samples.sort_by(f64::total_cmp);
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** slice: the sample
+/// at index `round((n - 1) * q)`, `q` clamped to `[0, 1]`. Returns
+/// `None` for an empty slice — the caller decides whether that means
+/// "0", "n/a", or an error, instead of every call site inventing its
+/// own sentinel.
+///
+/// ```
+/// use lightmamba_obs::percentile::nearest_rank;
+/// let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// assert_eq!(nearest_rank(&xs, 0.5), Some(3.0));
+/// assert_eq!(nearest_rank(&xs, 0.0), Some(1.0));
+/// assert_eq!(nearest_rank(&xs, 1.0), Some(5.0));
+/// assert_eq!(nearest_rank(&[], 0.5), None);
+/// ```
+pub fn nearest_rank(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    Some(sorted[idx.min(sorted.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_quantiles_of_1_to_100() {
+        let mut xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        sort_samples(&mut xs);
+        assert_eq!(nearest_rank(&xs, 0.5), Some(51.0));
+        assert_eq!(nearest_rank(&xs, 0.9), Some(90.0));
+        assert_eq!(nearest_rank(&xs, 0.99), Some(99.0));
+        assert_eq!(nearest_rank(&xs, 1.0), Some(100.0));
+    }
+
+    #[test]
+    fn singleton_answers_every_quantile() {
+        let xs = [7.5];
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(nearest_rank(&xs, q), Some(7.5));
+        }
+    }
+
+    #[test]
+    fn empty_is_explicit() {
+        assert_eq!(nearest_rank(&[], 0.9), None);
+    }
+
+    #[test]
+    fn out_of_range_q_is_clamped() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(nearest_rank(&xs, -0.5), Some(1.0));
+        assert_eq!(nearest_rank(&xs, 2.0), Some(3.0));
+    }
+
+    #[test]
+    fn sort_tolerates_nan_without_panicking() {
+        let mut xs = [2.0, f64::NAN, 1.0];
+        sort_samples(&mut xs);
+        // The finite values are ordered relative to each other.
+        let finite: Vec<f64> = xs.iter().copied().filter(|v| v.is_finite()).collect();
+        assert_eq!(finite, [1.0, 2.0]);
+    }
+}

@@ -1,0 +1,367 @@
+//! The flight recorder: bounded rings of recent engine activity.
+//!
+//! A serving incident is usually diagnosed from the *last few seconds*
+//! of engine behaviour — which requests were admitted, who got
+//! preempted, how deep the queue was when latency spiked. Keeping the
+//! full history is unbounded; keeping nothing makes incidents opaque.
+//! The [`FlightRecorder`] keeps a fixed-capacity window of both views:
+//!
+//! * a [`Ring`] of per-step [`StepRecord`]s (batch composition, queue
+//!   depths, wall time), and
+//! * a [`Ring`] of per-request [`LifecycleEvent`]s (queued → admitted →
+//!   first-token → preempted/resumed → parked → done/cancelled/expired).
+//!
+//! Rings overwrite oldest-first and never reallocate after
+//! construction, so recording rides the engine hot path without
+//! violating the workspace's zero-steady-state-allocation contract.
+//! Rendering a human-readable [`FlightRecorder::dump`] is the cold
+//! path — it allocates freely and is invoked on demand or on SLO
+//! violation.
+
+use std::fmt::Write as _;
+
+/// A fixed-capacity ring buffer that overwrites oldest-first.
+///
+/// `push` never allocates once the ring has filled (the backing `Vec`
+/// grows only during the initial fill, up to the capacity reserved at
+/// construction). Evicted elements are counted so a reader knows how
+/// much history scrolled away.
+#[derive(Debug, Clone)]
+pub struct Ring<T: Clone> {
+    buf: Vec<T>,
+    start: usize,
+    len: usize,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl<T: Clone> Ring<T> {
+    /// A ring holding at most `capacity` elements (must be ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be at least 1");
+        Ring {
+            buf: Vec::with_capacity(capacity),
+            start: 0,
+            len: 0,
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Appends `item`, evicting the oldest element if full.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        if self.len < self.capacity {
+            let slot = (self.start + self.len) % self.capacity;
+            if slot == self.buf.len() {
+                self.buf.push(item);
+            } else {
+                self.buf[slot] = item;
+            }
+            self.len += 1;
+        } else {
+            self.buf[self.start] = item;
+            self.start = (self.start + 1) % self.capacity;
+            self.evicted += 1;
+        }
+    }
+
+    /// Elements currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Elements overwritten since construction (or the last
+    /// [`Ring::clear`]).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..self.len).map(move |i| &self.buf[(self.start + i) % self.capacity])
+    }
+
+    /// Empties the ring and resets the eviction counter. Capacity and
+    /// the backing allocation are retained.
+    pub fn clear(&mut self) {
+        self.start = 0;
+        self.len = 0;
+        self.evicted = 0;
+    }
+}
+
+/// One engine step, summarized. All fields are plain counts so the
+/// record is `Copy` and a ring of them is allocation-free to maintain.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepRecord {
+    /// Engine step (virtual-time clock value at step entry).
+    pub step: u64,
+    /// Resident requests advanced this step.
+    pub batch: u32,
+    /// Total tokens processed (decode + prefill chunks).
+    pub processed: u32,
+    /// Decode tokens among `processed`.
+    pub decode_tokens: u32,
+    /// Prefill-chunk tokens among `processed`.
+    pub prefill_tokens: u32,
+    /// Requests admitted from the waiting queue.
+    pub admitted: u32,
+    /// Requests preempted (state paused out).
+    pub preempted: u32,
+    /// Requests resumed from a paused state.
+    pub resumed: u32,
+    /// Requests cancelled.
+    pub cancelled: u32,
+    /// Requests expired (waiting, resident, or paused deadlines).
+    pub expired: u32,
+    /// Waiting-queue depth at step close.
+    pub queue_depth: u32,
+    /// Paused (preempted) requests at step close.
+    pub paused_depth: u32,
+    /// Free slots at step close.
+    pub free_slots: u32,
+    /// Recurrent-state moves (pause/resume/park transfers) this step.
+    pub state_moves: u32,
+    /// Wall-clock duration of the step in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Where in its lifecycle a request transitioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecyclePhase {
+    /// Entered the waiting queue.
+    Queued,
+    /// Admitted to a slot.
+    Admitted,
+    /// Produced its first token.
+    FirstToken,
+    /// Preempted — state paused out of its slot.
+    Preempted,
+    /// Resumed from a paused state.
+    Resumed,
+    /// Finished with its state parked for a follow-up session turn.
+    Parked,
+    /// Completed normally.
+    Done,
+    /// Cancelled by the client.
+    Cancelled,
+    /// Evicted by a deadline (waiting, resident, or paused).
+    Expired,
+}
+
+impl LifecyclePhase {
+    /// Stable lowercase label, used in dumps and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LifecyclePhase::Queued => "queued",
+            LifecyclePhase::Admitted => "admitted",
+            LifecyclePhase::FirstToken => "first_token",
+            LifecyclePhase::Preempted => "preempted",
+            LifecyclePhase::Resumed => "resumed",
+            LifecyclePhase::Parked => "parked",
+            LifecyclePhase::Done => "done",
+            LifecyclePhase::Cancelled => "cancelled",
+            LifecyclePhase::Expired => "expired",
+        }
+    }
+}
+
+/// One request lifecycle transition at an engine step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleEvent {
+    /// Request id.
+    pub id: u64,
+    /// Engine step at which the transition happened.
+    pub step: u64,
+    /// The transition.
+    pub phase: LifecyclePhase,
+}
+
+/// Bounded recorder of recent steps and request lifecycle events. See
+/// the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    steps: Ring<StepRecord>,
+    lifecycle: Ring<LifecycleEvent>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `step_capacity` step records and the
+    /// last `event_capacity` lifecycle events.
+    pub fn new(step_capacity: usize, event_capacity: usize) -> Self {
+        FlightRecorder {
+            steps: Ring::with_capacity(step_capacity),
+            lifecycle: Ring::with_capacity(event_capacity),
+        }
+    }
+
+    /// Records one engine step. Allocation-free.
+    #[inline]
+    pub fn record_step(&mut self, record: StepRecord) {
+        self.steps.push(record);
+    }
+
+    /// Records one lifecycle transition. Allocation-free.
+    #[inline]
+    pub fn record_lifecycle(&mut self, id: u64, step: u64, phase: LifecyclePhase) {
+        self.lifecycle.push(LifecycleEvent { id, step, phase });
+    }
+
+    /// The retained step records, oldest first.
+    pub fn steps(&self) -> &Ring<StepRecord> {
+        &self.steps
+    }
+
+    /// The retained lifecycle events, oldest first.
+    pub fn lifecycle(&self) -> &Ring<LifecycleEvent> {
+        &self.lifecycle
+    }
+
+    /// The retained transitions of one request, oldest first. Earlier
+    /// transitions may have scrolled out of the window.
+    pub fn timeline(&self, id: u64) -> Vec<LifecycleEvent> {
+        self.lifecycle
+            .iter()
+            .filter(|e| e.id == id)
+            .copied()
+            .collect()
+    }
+
+    /// Renders the retained window as readable text — the cold path,
+    /// invoked on demand or on SLO violation.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== flight recorder: {} steps retained ({} evicted), {} lifecycle events retained ({} evicted) ===",
+            self.steps.len(),
+            self.steps.evicted(),
+            self.lifecycle.len(),
+            self.lifecycle.evicted(),
+        );
+        let _ = writeln!(
+            out,
+            "step      batch proc  dec   pre   adm prmp res cxl exp | queue paused free moves | wall_us"
+        );
+        for s in self.steps.iter() {
+            let _ = writeln!(
+                out,
+                "{:<9} {:<5} {:<5} {:<5} {:<5} {:<3} {:<4} {:<3} {:<3} {:<3} | {:<5} {:<6} {:<4} {:<5} | {:.1}",
+                s.step,
+                s.batch,
+                s.processed,
+                s.decode_tokens,
+                s.prefill_tokens,
+                s.admitted,
+                s.preempted,
+                s.resumed,
+                s.cancelled,
+                s.expired,
+                s.queue_depth,
+                s.paused_depth,
+                s.free_slots,
+                s.state_moves,
+                s.wall_ns as f64 / 1e3,
+            );
+        }
+        let _ = writeln!(out, "--- lifecycle (oldest first) ---");
+        for e in self.lifecycle.iter() {
+            let _ = writeln!(
+                out,
+                "step {:<9} req {:<6} {}",
+                e.step,
+                e.id,
+                e.phase.as_str()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_fills_then_overwrites_oldest() {
+        let mut r = Ring::with_capacity(3);
+        for i in 0..5u32 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.evicted(), 2);
+        let held: Vec<u32> = r.iter().copied().collect();
+        assert_eq!(held, [2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_clear_retains_capacity() {
+        let mut r = Ring::with_capacity(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.evicted(), 0);
+        r.push(9);
+        assert_eq!(r.iter().copied().collect::<Vec<i32>>(), [9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_ring_is_rejected() {
+        let _ = Ring::<u32>::with_capacity(0);
+    }
+
+    #[test]
+    fn timeline_filters_one_request() {
+        let mut fr = FlightRecorder::new(4, 8);
+        fr.record_lifecycle(1, 0, LifecyclePhase::Queued);
+        fr.record_lifecycle(2, 0, LifecyclePhase::Queued);
+        fr.record_lifecycle(1, 1, LifecyclePhase::Admitted);
+        fr.record_lifecycle(1, 2, LifecyclePhase::FirstToken);
+        fr.record_lifecycle(2, 3, LifecyclePhase::Admitted);
+        fr.record_lifecycle(1, 7, LifecyclePhase::Done);
+        let tl = fr.timeline(1);
+        let phases: Vec<LifecyclePhase> = tl.iter().map(|e| e.phase).collect();
+        assert_eq!(
+            phases,
+            [
+                LifecyclePhase::Queued,
+                LifecyclePhase::Admitted,
+                LifecyclePhase::FirstToken,
+                LifecyclePhase::Done
+            ]
+        );
+        assert!(tl.windows(2).all(|w| w[0].step <= w[1].step));
+    }
+
+    #[test]
+    fn dump_mentions_retention_and_events() {
+        let mut fr = FlightRecorder::new(2, 2);
+        for step in 0..3 {
+            fr.record_step(StepRecord {
+                step,
+                batch: 1,
+                ..StepRecord::default()
+            });
+        }
+        fr.record_lifecycle(42, 1, LifecyclePhase::Queued);
+        let text = fr.dump();
+        assert!(text.contains("2 steps retained (1 evicted)"));
+        assert!(text.contains("req 42"));
+        assert!(text.contains("queued"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Structured span tracing with Chrome trace-event export.
+//!
+//! A [`SpanRecorder`] records begin/end pairs into pre-allocated
+//! storage: [`SpanRecorder::begin`] pushes onto a bounded open-span
+//! stack and [`SpanRecorder::end`] pops it, stamping the wall-clock
+//! duration from [`std::time::Instant`]. Both operations are
+//! allocation-free in steady state — the span buffer and the stack are
+//! reserved at construction, and once the buffer is full further spans
+//! are *counted* ([`SpanRecorder::dropped`]) rather than stored, so a
+//! long run degrades to losing tail spans instead of growing without
+//! bound.
+//!
+//! Spans carry a static name (the engine phase: `"cancel"`,
+//! `"admit"`, `"advance"`, …), a static category (the policy driving
+//! the run), the engine step, a nesting depth, and up to
+//! [`MAX_SPAN_ARGS`] numeric arguments. Wall time is *relative to the
+//! recorder's epoch* (its construction instant), which is what a trace
+//! viewer wants anyway.
+//!
+//! [`ChromeTraceBuilder`] renders spans — plus any extra events a
+//! caller synthesizes, such as a virtual-time lane priced by the
+//! accelerator cost models — as Chrome trace-event JSON: an object with
+//! a `traceEvents` array of `"ph":"X"` complete events whose `ts`/`dur`
+//! are microseconds. Nesting in the viewer is by containment on the
+//! same `pid`/`tid`, which begin/end pairing guarantees.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::json::escape;
+
+/// Numeric arguments a span can carry without allocating.
+pub const MAX_SPAN_ARGS: usize = 2;
+
+/// Depth of the open-span stack a recorder supports. Engine steps nest
+/// three deep (step → phase → per-model sub-batch); 16 leaves room.
+const MAX_DEPTH: usize = 16;
+
+/// One recorded span. `start_ns`/`dur_ns` are wall-clock nanoseconds
+/// relative to the recorder's epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// Static span name (an engine phase, or `"step"`).
+    pub name: &'static str,
+    /// Static category — the engine uses the policy name, so traces
+    /// from different runs are attributable.
+    pub cat: &'static str,
+    /// Engine step (virtual time) the span belongs to.
+    pub step: u64,
+    /// Wall-clock start, nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at record time (0 = outermost).
+    pub depth: u32,
+    /// Numeric arguments; a `""` key marks an unused slot.
+    pub args: [(&'static str, f64); MAX_SPAN_ARGS],
+}
+
+/// No arguments — the default for phase spans.
+pub const NO_ARGS: [(&str, f64); MAX_SPAN_ARGS] = [("", 0.0); MAX_SPAN_ARGS];
+
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    name: &'static str,
+    cat: &'static str,
+    step: u64,
+    start: Instant,
+}
+
+/// Bounded begin/end span recorder. See the [module docs](self).
+#[derive(Debug)]
+pub struct SpanRecorder {
+    epoch: Instant,
+    spans: Vec<Span>,
+    capacity: usize,
+    dropped: u64,
+    stack: Vec<OpenSpan>,
+    /// Begins refused because the stack was full; the matching ends are
+    /// swallowed so pairing stays consistent.
+    overflow: u32,
+}
+
+impl SpanRecorder {
+    /// A recorder storing at most `capacity` spans (pre-allocated; a
+    /// full recorder counts further spans instead of growing).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanRecorder {
+            epoch: Instant::now(),
+            spans: Vec::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            stack: Vec::with_capacity(MAX_DEPTH),
+            overflow: 0,
+        }
+    }
+
+    /// Opens a span. Allocation-free; a begin past the stack bound is
+    /// counted as dropped and its matching [`SpanRecorder::end`]
+    /// swallowed.
+    #[inline]
+    pub fn begin(&mut self, name: &'static str, cat: &'static str, step: u64) {
+        if self.stack.len() == MAX_DEPTH {
+            self.overflow += 1;
+            self.dropped += 1;
+            return;
+        }
+        self.stack.push(OpenSpan {
+            name,
+            cat,
+            step,
+            start: Instant::now(),
+        });
+    }
+
+    /// Closes the innermost open span with no arguments.
+    #[inline]
+    pub fn end(&mut self) {
+        self.end_with(NO_ARGS);
+    }
+
+    /// Closes the innermost open span, attaching up to
+    /// [`MAX_SPAN_ARGS`] numeric arguments. An end with no matching
+    /// begin is ignored.
+    #[inline]
+    pub fn end_with(&mut self, args: [(&'static str, f64); MAX_SPAN_ARGS]) {
+        if self.overflow > 0 {
+            self.overflow -= 1;
+            return;
+        }
+        let Some(open) = self.stack.pop() else {
+            return;
+        };
+        if self.spans.len() == self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        let start_ns = open.start.duration_since(self.epoch).as_nanos() as u64;
+        let dur_ns = open.start.elapsed().as_nanos() as u64;
+        self.spans.push(Span {
+            name: open.name,
+            cat: open.cat,
+            step: open.step,
+            start_ns,
+            dur_ns,
+            depth: self.stack.len() as u32,
+            args,
+        });
+    }
+
+    /// The recorded spans, in completion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans lost to the capacity or depth bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Currently open (unclosed) spans.
+    pub fn open_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The configured span capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Renders all recorded spans as a standalone Chrome trace (one
+    /// wall-clock lane). Callers wanting extra lanes (e.g. virtual
+    /// time) drive a [`ChromeTraceBuilder`] directly.
+    pub fn chrome_trace(&self) -> String {
+        let mut b = ChromeTraceBuilder::new();
+        b.process_name(1, "wall clock");
+        for s in &self.spans {
+            b.span(s, 1, 1);
+        }
+        b.finish()
+    }
+}
+
+/// Incremental writer of Chrome trace-event JSON (the
+/// `{"traceEvents": [...]}` object format `chrome://tracing` and
+/// Perfetto load). All timestamps are **microseconds**.
+#[derive(Debug)]
+pub struct ChromeTraceBuilder {
+    out: String,
+    first: bool,
+}
+
+impl Default for ChromeTraceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeTraceBuilder {
+    /// Starts an empty trace.
+    pub fn new() -> Self {
+        ChromeTraceBuilder {
+            out: String::from("{\"traceEvents\":["),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+
+    /// Names a process lane (`"ph":"M"` metadata event), so the viewer
+    /// shows e.g. "wall clock" and "virtual (costed)" instead of pids.
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.sep();
+        let _ = write!(
+            self.out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        );
+    }
+
+    /// Appends one `"ph":"X"` complete event. `args` are numeric
+    /// key/values rendered into the event's `args` object (non-finite
+    /// values are skipped — JSON has no NaN).
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_event(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u32,
+        tid: u32,
+        ts_us: f64,
+        dur_us: f64,
+        args: &[(&str, f64)],
+    ) {
+        self.sep();
+        let _ = write!(
+            self.out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\"args\":{{",
+            escape(name),
+            escape(cat)
+        );
+        let mut first_arg = true;
+        for (k, v) in args {
+            if k.is_empty() || !v.is_finite() {
+                continue;
+            }
+            if !first_arg {
+                self.out.push(',');
+            }
+            first_arg = false;
+            let _ = write!(self.out, "\"{}\":{v}", escape(k));
+        }
+        self.out.push_str("}}");
+    }
+
+    /// Appends a recorded [`Span`] on lane (`pid`, `tid`), carrying its
+    /// step, depth, and numeric arguments.
+    pub fn span(&mut self, s: &Span, pid: u32, tid: u32) {
+        let mut args: Vec<(&str, f64)> = vec![("step", s.step as f64), ("depth", s.depth as f64)];
+        for (k, v) in &s.args {
+            if !k.is_empty() {
+                args.push((k, *v));
+            }
+        }
+        self.complete_event(
+            s.name,
+            s.cat,
+            pid,
+            tid,
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+            &args,
+        );
+    }
+
+    /// Closes the trace and returns the JSON document.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("]}");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+
+    #[test]
+    fn spans_nest_and_stamp_durations() {
+        let mut r = SpanRecorder::with_capacity(8);
+        r.begin("step", "fifo", 3);
+        r.begin("advance", "fifo", 3);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        r.end_with([("tokens", 5.0), ("", 0.0)]);
+        r.end();
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner span completes first, at depth 1, contained in outer.
+        assert_eq!(spans[0].name, "advance");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "step");
+        assert_eq!(spans[1].depth, 0);
+        assert!(spans[0].start_ns >= spans[1].start_ns);
+        assert!(
+            spans[0].start_ns + spans[0].dur_ns <= spans[1].start_ns + spans[1].dur_ns,
+            "child must end within its parent"
+        );
+        assert!(spans[0].dur_ns >= 1_000_000, "slept a millisecond");
+        assert_eq!(spans[0].args[0], ("tokens", 5.0));
+        assert_eq!(r.open_depth(), 0);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_counts_instead_of_growing() {
+        let mut r = SpanRecorder::with_capacity(2);
+        for step in 0..5 {
+            r.begin("step", "fifo", step);
+            r.end();
+        }
+        assert_eq!(r.spans().len(), 2);
+        assert_eq!(r.dropped(), 3);
+    }
+
+    #[test]
+    fn unmatched_end_is_ignored() {
+        let mut r = SpanRecorder::with_capacity(2);
+        r.end();
+        assert_eq!(r.spans().len(), 0);
+    }
+
+    #[test]
+    fn depth_overflow_swallows_its_own_ends() {
+        let mut r = SpanRecorder::with_capacity(64);
+        for step in 0..20 {
+            r.begin("deep", "fifo", step);
+        }
+        for _ in 0..20 {
+            r.end();
+        }
+        assert_eq!(r.open_depth(), 0, "pairing survives overflow");
+        assert_eq!(r.spans().len(), 16);
+        assert_eq!(r.dropped(), 4);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let mut r = SpanRecorder::with_capacity(4);
+        r.begin("step", "fifo", 0);
+        r.begin("admit", "fifo", 0);
+        r.end();
+        r.end();
+        let doc = parse(&r.chrome_trace()).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        // One metadata event plus two spans.
+        assert_eq!(events.len(), 3);
+        let step = events
+            .iter()
+            .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("step"))
+            .expect("step span present");
+        assert_eq!(step.get("ph").and_then(JsonValue::as_str), Some("X"));
+        assert!(step.get("dur").and_then(JsonValue::as_f64).is_some());
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for the flight-recorder ring: against a `VecDeque`
+//! reference model, the ring never exceeds its capacity, evicts
+//! strictly oldest-first, and drains in push order.
+
+use std::collections::VecDeque;
+
+use lightmamba_obs::Ring;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ring_matches_a_vecdeque_model(
+        capacity in 1usize..32,
+        pushes in proptest::collection::vec(0u64..1000, 0..128),
+    ) {
+        let mut ring = Ring::with_capacity(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for (i, &v) in pushes.iter().enumerate() {
+            ring.push(v);
+            model.push_back(v);
+            if model.len() > capacity {
+                model.pop_front();
+            }
+            // Bounded at every intermediate state, not just at the end.
+            prop_assert!(ring.len() <= capacity);
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert_eq!(
+                ring.evicted() as usize,
+                (i + 1).saturating_sub(capacity),
+                "evictions start only once the ring is full"
+            );
+        }
+        // Drains oldest-first, in push order, equal to the model.
+        let drained: Vec<u64> = ring.iter().copied().collect();
+        let expected: Vec<u64> = model.iter().copied().collect();
+        prop_assert_eq!(&drained, &expected);
+        // The retained window is exactly the newest `len` pushes.
+        let tail: Vec<u64> = pushes[pushes.len() - drained.len()..].to_vec();
+        prop_assert_eq!(&drained, &tail);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_accepting(
+        capacity in 1usize..16,
+        first in proptest::collection::vec(0u64..100, 0..48),
+        second in proptest::collection::vec(0u64..100, 0..48),
+    ) {
+        let mut ring = Ring::with_capacity(capacity);
+        for &v in &first {
+            ring.push(v);
+        }
+        ring.clear();
+        prop_assert!(ring.is_empty());
+        prop_assert_eq!(ring.evicted(), 0);
+        for &v in &second {
+            ring.push(v);
+        }
+        let drained: Vec<u64> = ring.iter().copied().collect();
+        let keep = second.len().min(capacity);
+        prop_assert_eq!(&drained, &second[second.len() - keep..].to_vec());
+    }
+}

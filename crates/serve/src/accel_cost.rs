@@ -36,7 +36,7 @@ use lightmamba_accel::sim::DecodeSimulator;
 use lightmamba_model::MambaConfig;
 
 use crate::error::ServeError;
-use crate::metrics::{Percentiles, ServeReport};
+use crate::metrics::{Percentiles, RunTrace, ServeReport};
 use crate::registry::ModelRegistry;
 use crate::request::{Completion, FinishReason};
 
@@ -146,6 +146,26 @@ impl StepCostModel {
     pub fn state_move_seconds(&self) -> f64 {
         let bytes = self.sim.layer_state_bytes_per_seq() * self.sim.model().n_layer as f64;
         self.sim.platform().dma_cycles(bytes) / self.sim.platform().freq_hz
+    }
+
+    /// Projected duration of every step of a finished trace, in order —
+    /// the same per-step pricing `cost_run` prefix-sums into its time
+    /// axis (token-advances plus that step's state moves). This is the
+    /// virtual-time lane of the observability export: the engine's
+    /// wall-clock spans say what a step *cost to simulate*, this says
+    /// what it *would cost on the accelerator* (see
+    /// [`crate::observe::EngineObs::chrome_trace_with_virtual`]).
+    pub fn trace_step_seconds(&mut self, trace: &RunTrace) -> Vec<f64> {
+        let move_s = self.state_move_seconds();
+        trace
+            .processed_per_step
+            .iter()
+            .enumerate()
+            .map(|(t, &tokens)| {
+                let moves = trace.state_moves_per_step.get(t).copied().unwrap_or(0);
+                self.step_seconds(tokens) + moves as f64 * move_s
+            })
+            .collect()
     }
 
     /// Prices a finished run: maps every engine step to projected
@@ -375,6 +395,53 @@ impl MultiplexCostModel {
                 })
                 .collect(),
         )
+    }
+
+    /// Projected duration of every step of a finished multiplexed
+    /// trace, in order — each step the sum of its per-model sub-batch
+    /// costs plus their state moves, the multiplexed counterpart of
+    /// [`StepCostModel::trace_step_seconds`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the trace's sub-batch
+    /// shape disagrees with the number of simulators.
+    pub fn trace_step_seconds(&mut self, trace: &RunTrace) -> Result<Vec<f64>, ServeError> {
+        let n_models = self.models.len();
+        if trace.sub_processed_per_step.len() != trace.batch_per_step.len()
+            || trace
+                .sub_processed_per_step
+                .iter()
+                .any(|s| s.len() != n_models)
+        {
+            return Err(ServeError::InvalidConfig(format!(
+                "trace sub-batches do not match {n_models} priced model(s)"
+            )));
+        }
+        let per_move_s: Vec<f64> = self
+            .models
+            .iter()
+            .map(|(_, cost)| cost.state_move_seconds())
+            .collect();
+        Ok(trace
+            .sub_processed_per_step
+            .iter()
+            .enumerate()
+            .map(|(t, sub)| {
+                sub.iter()
+                    .enumerate()
+                    .map(|(m, &tokens)| {
+                        let moves = trace
+                            .sub_state_moves_per_step
+                            .get(t)
+                            .and_then(|s| s.get(m))
+                            .copied()
+                            .unwrap_or(0);
+                        self.models[m].1.step_seconds(tokens) + moves as f64 * per_move_s[m]
+                    })
+                    .sum()
+            })
+            .collect())
     }
 
     /// Prices a finished multiplexed run: each step costs the sum of its

@@ -44,7 +44,11 @@ use crate::error::ServeError;
 /// The decode cost model (`lightmamba_accel::batch`) prices a step as
 /// `max(batch · compute, weight-stream DMA)` per layer; both terms depend
 /// on the datapath precision, so this profile is all the cost model needs
-/// to price a backend's sub-batches.
+/// to price a backend's sub-batches. Those same per-step prices feed the
+/// *virtual-time* lane of the observability trace
+/// ([`crate::observe::EngineObs::chrome_trace_with_virtual`]): the wall
+/// lane shows what the host simulation spent, the virtual lane shows
+/// what the modeled accelerator would have.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostProfile {
     /// Datapath precision the backend's arithmetic maps to.

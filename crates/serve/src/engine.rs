@@ -47,15 +47,18 @@
 //! batched-vs-sequential outputs bit-for-bit.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use lightmamba_model::MambaModel;
+use lightmamba_obs::recorder::{LifecyclePhase, StepRecord};
 
 use crate::backend::PausedState;
 use crate::error::ServeError;
 use crate::metrics::{ClassBreakdown, ModelBreakdown, Percentiles, RunTrace, ServeReport};
+use crate::observe::{EngineObs, ObsConfig};
 use crate::registry::ModelRegistry;
 use crate::request::{Completion, FinishReason, GenRequest, Priority, RequestId};
 use crate::scheduler::{AdmissionCtx, Policy, SeqView};
@@ -167,7 +170,14 @@ impl PausedSeq {
     /// totals. The pre-first-token split is the TTFT-exclusion rule —
     /// one place, shared by resume and by eviction-while-paused.
     fn end_episode(&self, clock: u64) -> (u64, u64, u64) {
-        let pause_len = clock - self.paused_at;
+        let pause_len = clock.checked_sub(self.paused_at);
+        debug_assert!(
+            pause_len.is_some(),
+            "pause episode of request {} ends at step {clock}, before it began at {}",
+            self.req.id,
+            self.paused_at
+        );
+        let pause_len = pause_len.unwrap_or(0);
         let pre_first = if self.first_token_step.is_none() {
             pause_len
         } else {
@@ -293,6 +303,10 @@ pub struct ServeEngine<'m> {
     events_enabled: bool,
     /// Events recorded since [`ServeEngine::take_events`].
     events: Vec<StepEvent>,
+    /// The observability layer, when enabled
+    /// ([`ServeEngine::enable_obs`]). Boxed so the disabled engine pays
+    /// one word and one branch per hook.
+    obs: Option<Box<EngineObs>>,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -358,6 +372,7 @@ impl<'m> ServeEngine<'m> {
             session_snapshots: Vec::new(),
             events_enabled: false,
             events: Vec::new(),
+            obs: None,
         })
     }
 
@@ -469,6 +484,50 @@ impl<'m> ServeEngine<'m> {
     /// of session-tagged requests since the last call.
     pub fn take_session_snapshots(&mut self) -> Vec<(u64, SessionSnapshot)> {
         std::mem::take(&mut self.session_snapshots)
+    }
+
+    /// Turns on the observability layer: engine metrics (per-model
+    /// series registered from this engine's registry), per-step phase
+    /// spans, and the flight recorder. Off by default — a disabled
+    /// engine pays one branch per hook. Enabling mid-run starts the
+    /// wall-clock epoch at the call, replacing any prior layer.
+    pub fn enable_obs(&mut self, cfg: ObsConfig) {
+        let names: Vec<&str> = self.registry.iter().map(|(_, name, _)| name).collect();
+        self.obs = Some(Box::new(EngineObs::new(cfg, &names)));
+    }
+
+    /// The observability layer, when enabled.
+    pub fn obs(&self) -> Option<&EngineObs> {
+        self.obs.as_deref()
+    }
+
+    /// Mutable access to the observability layer, when enabled.
+    pub fn obs_mut(&mut self) -> Option<&mut EngineObs> {
+        self.obs.as_deref_mut()
+    }
+
+    /// Detaches and returns the observability layer (the engine keeps
+    /// running un-instrumented). The frontend uses this to hand the
+    /// final metrics/trace/flight state to the caller with the run
+    /// report.
+    pub fn take_obs(&mut self) -> Option<Box<EngineObs>> {
+        self.obs.take()
+    }
+
+    /// Opens a phase span when observability is enabled.
+    #[inline]
+    fn obs_begin(&mut self, name: &'static str, cat: &'static str) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.spans.begin(name, cat, self.clock);
+        }
+    }
+
+    /// Closes the innermost phase span when observability is enabled.
+    #[inline]
+    fn obs_end(&mut self) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.spans.end();
+        }
     }
 
     /// Submitted session resumes whose saved state has not yet been
@@ -592,6 +651,12 @@ impl<'m> ServeEngine<'m> {
     /// Propagates model step errors.
     pub fn step(&mut self, policy: &mut dyn Policy) -> Result<(), ServeError> {
         let completions_at_entry = self.completions.len();
+        let snapshots_at_entry = self.session_snapshots.len();
+        // Wall-clock timing and the step span exist only when the
+        // observability layer is on — a bare engine pays one branch.
+        let wall_start = self.obs.is_some().then(Instant::now);
+        let cat = policy.name();
+        self.obs_begin("step", cat);
 
         // 1. Arrivals whose time has come join the waiting queue.
         while self
@@ -600,6 +665,9 @@ impl<'m> ServeEngine<'m> {
             .is_some_and(|r| r.arrival_step <= self.clock)
         {
             let r = self.pending.pop_front().expect("front checked");
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.lifecycle(r.id, self.clock, LifecyclePhase::Queued);
+            }
             self.waiting.push(r);
         }
 
@@ -612,6 +680,7 @@ impl<'m> ServeEngine<'m> {
         //     engine no longer holds are dropped silently (the cancel
         //     raced with completion).
         let mut cancelled_this_step = 0usize;
+        self.obs_begin("cancel", cat);
         if !self.cancels.is_empty() {
             let cancels = std::mem::take(&mut self.cancels);
             for id in &cancels {
@@ -680,6 +749,8 @@ impl<'m> ServeEngine<'m> {
             self.total_wasted_advances += wasted;
             self.total_reclaimed_slot_steps += reclaimed;
         }
+        self.obs_end();
+        self.obs_begin("expire", cat);
 
         // 2. Evict deadline-expired requests still waiting — they must
         //    not burn a slot or a batched model step on admission.
@@ -748,6 +819,8 @@ impl<'m> ServeEngine<'m> {
                 !expired
             });
         }
+        self.obs_end();
+        self.obs_begin("doom", cat);
 
         // 4. Doomed eviction (deadline-aware policies only): a waiting
         //    or paused request whose minimal completion no longer fits
@@ -778,6 +851,7 @@ impl<'m> ServeEngine<'m> {
                 !doomed
             });
         }
+        self.obs_end();
 
         // 5. Preemption: the policy may pause residents so that more
         //    urgent candidates can take their slots this very step. A
@@ -792,9 +866,11 @@ impl<'m> ServeEngine<'m> {
         }
         let mut preempted_this_step = 0usize;
         let mut resumed_this_step = 0usize;
+        let mut admitted_this_step = 0usize;
         let mut sub_state_moves = vec![0usize; self.registry.len()];
         let mut resident_views = self.resident_views();
         let mut paused_views = self.paused_views();
+        self.obs_begin("preempt", cat);
         {
             let mut victims = policy.preempt(&AdmissionCtx {
                 waiting: &self.waiting,
@@ -821,6 +897,9 @@ impl<'m> ServeEngine<'m> {
                 sub_state_moves[seq.req.model] += 1;
                 preempted_this_step += 1;
                 self.total_preemptions += 1;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.lifecycle(seq.req.id, self.clock, LifecyclePhase::Preempted);
+                }
                 self.paused.push(PausedSeq {
                     state,
                     pos: seq.pos,
@@ -842,6 +921,8 @@ impl<'m> ServeEngine<'m> {
                 paused_views = self.paused_views();
             }
         }
+        self.obs_end();
+        self.obs_begin("admit", cat);
 
         // 6. Admission: the policy selects *which* candidates — fresh
         //    arrivals and paused sequences alike — take the free slots,
@@ -881,6 +962,13 @@ impl<'m> ServeEngine<'m> {
                         let backend = self.registry.get(req.model).expect("validated at submit");
                         backend.restore_state(&prior, &mut self.pool.states_mut()[slot]);
                         sub_state_moves[req.model] += 1;
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.session_restore();
+                        }
+                    }
+                    admitted_this_step += 1;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.lifecycle(req.id, self.clock, LifecyclePhase::Admitted);
                     }
                     if self.events_enabled {
                         self.events.push(StepEvent::Started {
@@ -915,6 +1003,9 @@ impl<'m> ServeEngine<'m> {
                     resumed_this_step += 1;
                     self.total_resumes += 1;
                     self.resume_latency.push(pause_len as f64);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.lifecycle(p.req.id, self.clock, LifecyclePhase::Resumed);
+                    }
                     self.active.push(ActiveSeq {
                         slot,
                         pos: p.pos,
@@ -932,6 +1023,8 @@ impl<'m> ServeEngine<'m> {
             self.waiting = drained.into_iter().flatten().collect();
             self.paused = drained_paused.into_iter().flatten().collect();
         }
+        self.obs_end();
+        self.obs_begin("advance", cat);
 
         // 7. One batched advance per model: sequences are grouped into
         //    per-model sub-batches (each is one shared weight stream on
@@ -955,7 +1048,14 @@ impl<'m> ServeEngine<'m> {
                 .map(|&i| (self.active[i].slot, self.active[i].feed(chunk)))
                 .collect();
             let fed: usize = items.iter().map(|(_, toks)| toks.len()).sum();
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.spans.begin("sub_batch", cat, self.clock);
+            }
             let results = backend.advance_batch_indexed(&items, self.pool.states_mut())?;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.spans
+                    .end_with([("model", mid as f64), ("tokens", fed as f64)]);
+            }
             sub_batches[mid] = idxs.len();
             sub_processed[mid] = fed;
             self.processed_per_model[mid] += fed as u64;
@@ -964,6 +1064,9 @@ impl<'m> ServeEngine<'m> {
                 step_logits[i] = Some(logits);
             }
         }
+
+        self.obs_end();
+        self.obs_begin("sample", cat);
 
         // 8. Bookkeeping per sequence, in batch order. The step that
         //    consumes the final prompt chunk (or a decode step) yields
@@ -983,6 +1086,9 @@ impl<'m> ServeEngine<'m> {
                 let token = seq.req.sampler.sample(logits, &mut seq.rng);
                 if seq.first_token_step.is_none() {
                     seq.first_token_step = Some(self.clock);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.lifecycle(seq.req.id, self.clock, LifecyclePhase::FirstToken);
+                    }
                 }
                 seq.generated.push(token);
                 decode_tokens += 1;
@@ -995,6 +1101,9 @@ impl<'m> ServeEngine<'m> {
                 }
             }
         }
+
+        self.obs_end();
+        self.obs_begin("retire", cat);
 
         // 9. Retire finished sequences (deadline expiry is handled
         //    pre-step, in 3).
@@ -1057,6 +1166,7 @@ impl<'m> ServeEngine<'m> {
             });
             false
         });
+        self.obs_end();
 
         // 10. Trace for the cost models. `batch_per_step` is residency
         //    (what URAM bounds); `processed_per_step` is token-advances
@@ -1081,6 +1191,56 @@ impl<'m> ServeEngine<'m> {
             .push(sub_state_moves.iter().sum());
         self.trace.sub_state_moves_per_step.push(sub_state_moves);
         self.trace.cancellations_per_step.push(cancelled_this_step);
+
+        // 10b. Observability close: end the step span with the step's
+        //      headline numbers, then fold the step — its record, the
+        //      requests that left the engine, its session parks, its
+        //      per-model work — into metrics and the flight recorder.
+        //      All of it is allocation-free in steady state.
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.spans.end_with([
+                ("batch", total_batch as f64),
+                ("processed", processed as f64),
+            ]);
+            let wall_ns = wall_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let sub_processed_step = self
+                .trace
+                .sub_processed_per_step
+                .last()
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let sub_moves_step = self
+                .trace
+                .sub_state_moves_per_step
+                .last()
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let rec = StepRecord {
+                step: self.clock,
+                batch: total_batch as u32,
+                processed: processed as u32,
+                decode_tokens: decode_tokens as u32,
+                prefill_tokens: prefill_tokens as u32,
+                admitted: admitted_this_step as u32,
+                preempted: preempted_this_step as u32,
+                resumed: resumed_this_step as u32,
+                // Filled by `close_step` from the completion delta.
+                cancelled: 0,
+                expired: 0,
+                queue_depth: self.waiting.len() as u32,
+                paused_depth: self.paused.len() as u32,
+                free_slots: self.pool.free_count() as u32,
+                state_moves: sub_moves_step.iter().sum::<usize>() as u32,
+                wall_ns,
+            };
+            o.close_step(
+                rec,
+                &self.completions[completions_at_entry..],
+                &self.session_snapshots[snapshots_at_entry..],
+                sub_processed_step,
+                sub_moves_step,
+            );
+        }
 
         // A request that left the engine this step (completed, expired,
         // or cancelled) can no longer claim its pending session
@@ -1118,7 +1278,10 @@ impl<'m> ServeEngine<'m> {
             .iter()
             .filter_map(|c| c.ttft_steps().map(|t| t as f64))
             .collect();
-        let e2e: Vec<f64> = finished.iter().map(|c| c.e2e_steps() as f64).collect();
+        let e2e: Vec<f64> = finished
+            .iter()
+            .filter_map(|c| c.e2e_steps().map(|e| e as f64))
+            .collect();
         let queue: Vec<f64> = finished
             .iter()
             .filter_map(|c| c.queue_steps().map(|q| q as f64))
@@ -1156,7 +1319,10 @@ impl<'m> ServeEngine<'m> {
                     .iter()
                     .filter_map(|c| c.ttft_steps().map(|t| t as f64))
                     .collect();
-                let e2e: Vec<f64> = mine.iter().map(|c| c.e2e_steps() as f64).collect();
+                let e2e: Vec<f64> = mine
+                    .iter()
+                    .filter_map(|c| c.e2e_steps().map(|e| e as f64))
+                    .collect();
                 ModelBreakdown {
                     model: mid,
                     name: name.to_string(),
@@ -1190,7 +1356,10 @@ impl<'m> ServeEngine<'m> {
                     .iter()
                     .filter_map(|c| c.ttft_steps().map(|t| t as f64))
                     .collect();
-                let e2e: Vec<f64> = fin.iter().map(|c| c.e2e_steps() as f64).collect();
+                let e2e: Vec<f64> = fin
+                    .iter()
+                    .filter_map(|c| c.e2e_steps().map(|e| e as f64))
+                    .collect();
                 let queue: Vec<f64> = fin
                     .iter()
                     .filter_map(|c| c.queue_steps().map(|q| q as f64))
@@ -1731,7 +1900,7 @@ mod tests {
         assert_eq!(hog_done.paused_steps_before_first_token, 0);
         let plain_hog = plain_done.iter().find(|c| c.id == 0).unwrap();
         assert_eq!(hog_done.ttft_steps(), plain_hog.ttft_steps());
-        assert!(hog_done.e2e_steps() > plain_hog.e2e_steps());
+        assert!(hog_done.e2e_steps().unwrap() > plain_hog.e2e_steps().unwrap());
     }
 
     #[test]
@@ -2252,7 +2421,7 @@ mod tests {
             ttft <= 5,
             "TTFT is measured from turn 2's own arrival, not turn 1's: {ttft}"
         );
-        assert!(c2.e2e_steps() < 100);
+        assert!(c2.e2e_steps().unwrap() < 100);
     }
 
     #[test]

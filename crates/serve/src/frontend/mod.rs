@@ -48,6 +48,7 @@ use std::sync::mpsc::{channel, Receiver, SyncSender, TryRecvError};
 use crate::engine::{ServeEngine, StepEvent};
 use crate::error::ServeError;
 use crate::metrics::ServeReport;
+use crate::observe::{EngineObs, ObsConfig};
 use crate::request::{Completion, FinishReason, RequestId};
 use crate::scheduler::Policy;
 use stream::ClientMsg;
@@ -61,6 +62,11 @@ pub struct FrontendConfig {
     /// Most recently used session states the [`SessionStore`] parks
     /// between turns; older sessions fall back to re-prefilling.
     pub session_capacity: usize,
+    /// When set, the engine thread runs with observability enabled
+    /// ([`ServeEngine::enable_obs`]) and the finished [`EngineObs`] —
+    /// metrics, spans, flight recorder — comes back in
+    /// [`FrontendRun::obs`].
+    pub obs: Option<ObsConfig>,
 }
 
 impl Default for FrontendConfig {
@@ -68,6 +74,7 @@ impl Default for FrontendConfig {
         FrontendConfig {
             stream_capacity: 16,
             session_capacity: 64,
+            obs: None,
         }
     }
 }
@@ -92,6 +99,12 @@ pub struct FrontendRun {
     pub session_misses: u64,
     /// Sessions the store evicted under LRU pressure.
     pub session_evictions: u64,
+    /// The observability state accumulated by the engine thread, when
+    /// [`FrontendConfig::obs`] was set (or the caller enabled it on the
+    /// engine before handing it over): render with
+    /// [`EngineObs::exposition`] / [`EngineObs::chrome_trace`] /
+    /// [`EngineObs::flight_dump`].
+    pub obs: Option<Box<EngineObs>>,
 }
 
 /// Runs `engine` on a dedicated thread while `client` drives it
@@ -165,6 +178,9 @@ pub fn run_frontend<R>(
     let (intake_tx, intake_rx) = channel::<ClientMsg>();
     let handle = FrontendHandle::new(intake_tx, engine.registry().len(), cfg.stream_capacity);
     engine.enable_events();
+    if let Some(obs_cfg) = cfg.obs {
+        engine.enable_obs(obs_cfg);
+    }
 
     std::thread::scope(|scope| {
         let engine_thread =
@@ -288,6 +304,7 @@ fn engine_loop(
         session_resumes,
         session_misses,
         session_evictions: store.evictions(),
+        obs: engine.take_obs(),
     })
 }
 
@@ -525,6 +542,34 @@ mod tests {
         // Each resume is one state restore + one save in the trace.
         let moves: usize = run.report.trace.state_moves_per_step.iter().sum();
         assert_eq!(moves, 2 * 2 + 1, "3 saves + 2 restores");
+    }
+
+    #[test]
+    fn obs_enabled_via_config_rides_back_in_the_run() {
+        let model = tiny_model();
+        let cfg = FrontendConfig {
+            obs: Some(crate::observe::ObsConfig::default()),
+            ..FrontendConfig::default()
+        };
+        let (done, run) = run_frontend(engine(&model, 2), Box::new(Fifo), cfg, |handle| {
+            let req = GenRequest::greedy(0, vec![5, 6, 7], 4).with_session(7);
+            let stream = handle.submit(req).unwrap();
+            stream.wait().expect("completes")
+        })
+        .unwrap();
+        assert_eq!(done.tokens.len(), 4);
+        let obs = run.obs.expect("obs was enabled through FrontendConfig");
+        let text = obs.exposition();
+        assert!(text.contains("engine_completions_total 1"), "{text}");
+        assert!(text.contains("engine_session_parks_total 1"), "{text}");
+        // The flight recorder saw every step and the full lifecycle.
+        assert_eq!(obs.flight.steps().len(), run.report.trace.steps());
+        let timeline = obs.flight.timeline(done.id);
+        assert!(!timeline.is_empty(), "lifecycle timeline was recorded");
+        // Phase spans were recorded under the step spans.
+        assert!(obs.spans.spans().iter().any(|s| s.name == "step"));
+        assert!(obs.spans.spans().iter().any(|s| s.name == "advance"));
+        assert_eq!(obs.spans.open_depth(), 0, "all spans closed");
     }
 
     #[test]

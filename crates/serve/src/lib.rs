@@ -41,6 +41,12 @@
 //!   token-advances (chunked prefill included) with that backend's
 //!   weight-stream bytes, and each pause/resume as one fixed-size state
 //!   transfer on the same stream;
+//! * [`observe`] — the engine-side observability layer over
+//!   `lightmamba_obs`: pre-registered engine metrics with
+//!   Prometheus-style exposition, per-step phase spans exportable as a
+//!   two-lane Chrome trace (host wall clock + accelerator-projected
+//!   virtual time), and a flight recorder of recent steps and request
+//!   lifecycle timelines with optional SLO capture;
 //! * [`frontend`] — the async streaming serving frontend: clients
 //!   submit through a cloneable handle and read per-token
 //!   [`frontend::StreamEvent`]s, dropping a stream cancels its request
@@ -83,6 +89,7 @@ pub mod backend;
 pub mod engine;
 pub mod frontend;
 pub mod metrics;
+pub mod observe;
 pub mod registry;
 pub mod request;
 pub mod scheduler;

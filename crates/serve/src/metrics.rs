@@ -14,6 +14,8 @@
 //! (`ServeReport::preemptions`, `resumes`, `resume_latency_steps`)
 //! summarize how often and for how long sequences were benched.
 
+use lightmamba_obs::percentile::{nearest_rank, sort_samples};
+
 use crate::request::Priority;
 
 /// Summary statistics of a sample set.
@@ -47,11 +49,9 @@ impl Percentiles {
             };
         }
         let mut sorted: Vec<f64> = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let pick = |q: f64| -> f64 {
-            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-            sorted[idx.min(sorted.len() - 1)]
-        };
+        sort_samples(&mut sorted);
+        // The empty case returned above, so every rank is present.
+        let pick = |q: f64| -> f64 { nearest_rank(&sorted, q).expect("non-empty samples") };
         Percentiles {
             n: sorted.len(),
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,

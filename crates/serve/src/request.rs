@@ -279,8 +279,19 @@ impl Completion {
 
     /// End-to-end latency in engine steps — wall time from arrival to
     /// exit, paused episodes included (the user waited through them).
-    pub fn e2e_steps(&self) -> u64 {
-        self.finished_step - self.arrival_step
+    /// Returns `None` when the exit stamp precedes the arrival stamp
+    /// (asserts in debug builds instead of silently wrapping, the same
+    /// audit as the TTFT and queueing accessors).
+    pub fn e2e_steps(&self) -> Option<u64> {
+        let d = self.finished_step.checked_sub(self.arrival_step);
+        debug_assert!(
+            d.is_some(),
+            "finished_step {} precedes arrival_step {} on request {}",
+            self.finished_step,
+            self.arrival_step,
+            self.id
+        );
+        d
     }
 
     /// Whether this request carried a deadline and met it (completed
@@ -348,7 +359,7 @@ mod tests {
         let c = completion(4, Some(9), Some(6));
         assert_eq!(c.ttft_steps(), Some(5));
         assert_eq!(c.queue_steps(), Some(2));
-        assert_eq!(c.e2e_steps(), 16);
+        assert_eq!(c.e2e_steps(), Some(16));
     }
 
     #[test]
@@ -362,7 +373,7 @@ mod tests {
         // Queueing still measures arrival → first admission only.
         assert_eq!(c.queue_steps(), Some(2));
         // End-to-end stays wall time: the user waited through the pause.
-        assert_eq!(c.e2e_steps(), 16);
+        assert_eq!(c.e2e_steps(), Some(16));
     }
 
     #[test]
@@ -405,5 +416,10 @@ mod tests {
         let mut p = completion(4, Some(9), Some(6));
         p.paused_steps_before_first_token = 50;
         assert_eq!(p.ttft_steps(), None);
+        // And an exit stamp before the arrival (a clock regression)
+        // must yield None from the end-to-end accessor too.
+        let mut e = completion(10, None, None);
+        e.finished_step = 3;
+        assert_eq!(e.e2e_steps(), None);
     }
 }

@@ -204,7 +204,10 @@ pub trait Policy: Send {
     /// truncates to `ctx.free_slots`, so policies may over-select.
     fn select(&mut self, ctx: &AdmissionCtx<'_>) -> Vec<usize>;
 
-    /// Policy name for reports.
+    /// Policy name for reports. Doubles as the span *category* on the
+    /// engine's per-step observability spans
+    /// ([`crate::observe::EngineObs`]), so Chrome-trace consumers can
+    /// filter a run by the policy that drove it.
     fn name(&self) -> &'static str;
 
     /// Indices into `ctx.residents` to preempt this step: each victim's

@@ -54,8 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::vck190();
     println!();
     println!(
-        "{:<10} {:>8} {:>8} {:>12} {:>12} {:>12} {:>11}",
-        "policy", "model", "done", "attrib s", "tok/s (all)", "1-stream", "TTFT p99 s"
+        "{:<10} {:>8} {:>8} {:>12} {:>12} {:>12} {:>15}",
+        "policy", "model", "done", "attrib s", "tok/s (all)", "1-stream", "TTFT p50/p99 s"
     );
     let mut mux_gap: Option<f64> = None;
     for sched_pick in 0..2 {
@@ -98,14 +98,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let run = cost.cost_run(&report, engine.completions())?;
         for m in &run.per_model {
             println!(
-                "{:<10} {:>8} {:>8} {:>12.2} {:>12.2} {:>12.2} {:>11.2}{}",
+                "{:<10} {:>8} {:>8} {:>12.2} {:>12.2} {:>12.2} {:>15}{}",
                 run.policy,
                 m.model,
                 m.completed,
                 m.seconds,
                 m.processed_tokens_per_s,
                 m.single_stream_tokens_per_s,
-                m.ttft_s.p99,
+                format!("{:.2} / {:.2}", m.ttft_s.p50, m.ttft_s.p99),
                 if run.residency_ok {
                     ""
                 } else {

@@ -3,7 +3,14 @@
 //! sessions resuming from parked Mamba states.
 //!
 //! Run with: `cargo run --release --example serving_frontend
-//! [-- --policy fifo|edf|priority|... --clients N]`
+//! [-- --policy fifo|edf|priority|... --clients N
+//!  --metrics-dump metrics.prom --trace-out trace.json]`
+//!
+//! `--metrics-dump` writes the engine's Prometheus-style metrics
+//! snapshot; `--trace-out` writes a two-lane Chrome trace (host wall
+//! clock + VCK190-projected virtual time) viewable in
+//! `chrome://tracing` or Perfetto. Either flag enables the engine's
+//! observability layer for the run.
 //!
 //! Three client populations share one engine thread through cloned
 //! handles: plain streaming clients that read to completion, an
@@ -24,6 +31,8 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut policy_name = "fifo".to_string();
     let mut clients = 6usize;
+    let mut metrics_dump: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -37,6 +46,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .ok_or("--clients needs a positive integer")?;
+                i += 2;
+            }
+            "--metrics-dump" => {
+                metrics_dump = Some(
+                    argv.get(i + 1)
+                        .ok_or("--metrics-dump needs an output path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--trace-out" => {
+                trace_out = Some(
+                    argv.get(i + 1)
+                        .ok_or("--trace-out needs an output path")?
+                        .clone(),
+                );
                 i += 2;
             }
             other => return Err(format!("unknown argument {other:?}").into()),
@@ -68,7 +93,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "policy: {policy_name} | {clients} streaming clients + 1 disconnect + 2 chat sessions"
     );
-    let ((), run) = run_frontend(engine, policy, FrontendConfig::default(), |handle| {
+    let frontend_cfg = FrontendConfig {
+        obs: (metrics_dump.is_some() || trace_out.is_some()).then(ObsConfig::default),
+        ..FrontendConfig::default()
+    };
+    let ((), run) = run_frontend(engine, policy, frontend_cfg, |handle| {
         // Population 1: plain streaming clients, one thread each,
         // reading their streams to the terminal event.
         let streamers: Vec<_> = (0..clients)
@@ -172,6 +201,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          {:.6} s wasted on cancelled work",
         priced.platform, priced.seconds, priced.state_transfer_s, priced.wasted_work_s,
     );
+
+    if let Some(obs) = &run.obs {
+        if let Some(path) = &metrics_dump {
+            std::fs::write(path, obs.exposition())?;
+            println!("wrote metrics snapshot to {path}");
+        }
+        if let Some(path) = &trace_out {
+            let step_seconds = cost.trace_step_seconds(&run.report.trace)?;
+            std::fs::write(path, obs.chrome_trace_with_virtual(&step_seconds))?;
+            println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+        }
+    }
 
     assert!(
         run.report.cancellations >= 1,

@@ -11,7 +11,10 @@
 //! * [`core`] — the co-design pipeline and Fig. 10 ablation;
 //! * [`serve`] — the continuous-batching serving engine with
 //!   accelerator-costed throughput projection, plus the streaming
-//!   frontend (per-token streams, cancellation, multi-turn sessions).
+//!   frontend (per-token streams, cancellation, multi-turn sessions);
+//! * [`obs`] — the observability substrate (metrics registry,
+//!   step-phase span tracing, flight recorder) the engine reports
+//!   through.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@ pub use lightmamba as core;
 pub use lightmamba_accel as accel;
 pub use lightmamba_hadamard as hadamard;
 pub use lightmamba_model as model;
+pub use lightmamba_obs as obs;
 pub use lightmamba_quant as quant;
 pub use lightmamba_serve as serve;
 pub use lightmamba_tensor as tensor;
@@ -51,6 +55,7 @@ pub mod prelude {
     pub use lightmamba_hadamard::{FactoredHadamard, RandomizedHadamard};
     pub use lightmamba_model::eval::{compare_models, ReferenceRunner, StepModel};
     pub use lightmamba_model::{MambaConfig, MambaModel, ModelPreset};
+    pub use lightmamba_obs::{FlightRecorder, MetricsRegistry, SpanRecorder};
     pub use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
     pub use lightmamba_quant::qmodel::{Precision, QuantizedMamba};
     pub use lightmamba_serve::accel_cost::{MultiplexCostModel, StepCostModel};
@@ -62,6 +67,7 @@ pub mod prelude {
         run_frontend, FrontendConfig, FrontendHandle, FrontendRun, SessionStore, StreamEvent,
         TokenStream,
     };
+    pub use lightmamba_serve::observe::{EngineObs, ObsConfig};
     pub use lightmamba_serve::registry::{ModelId, ModelRegistry};
     pub use lightmamba_serve::request::{GenRequest, Priority};
     pub use lightmamba_serve::scheduler::{
