@@ -22,27 +22,38 @@
 //! measure what instrumentation costs on the engine hot loop (pinned
 //! ≤5% by `tests/obs_overhead.rs`).
 //!
+//! A third section sweeps the worker-pool width: the same batched
+//! decode sharded over 1, 2, … `--threads` cores through the parallel
+//! drivers (`lightmamba_model::par`), on the FP and the integer-W4A4
+//! path. Sharded output is bit-identical to sequential for every width
+//! (pinned by the par-driver tests), so the sweep measures pure
+//! host-scaling, and the per-width tokens/s land in BENCH_JSON
+//! alongside the active SIMD ISA.
+//!
 //! Flags:
 //! * `--smoke` — tiny config and short loops (CI);
-//! * `--steps N` — timed decode steps per (variant, batch) cell.
+//! * `--steps N` — timed decode steps per (variant, batch) cell;
+//! * `--threads N` — top of the thread sweep (default 1 = sweep off).
 //!
 //! A final `BENCH_JSON` line captures tokens/s per variant per batch,
-//! the integer-over-fake speedup, and the engine instrumentation
-//! overhead.
+//! the integer-over-fake speedup, the thread sweep, and the engine
+//! instrumentation overhead.
 
 use std::time::Instant;
 
 use lightmamba::report::render_table;
 use lightmamba_bench::engine_obs_overhead;
-use lightmamba_model::{DecodeWorkspace, MambaConfig, MambaModel, ModelState};
+use lightmamba_model::{DecodeWorkspace, MambaConfig, MambaModel, ModelState, ParDecodeWorkspace};
+use lightmamba_pool::WorkerPool;
 use lightmamba_quant::qmodel::{ExecMode, Precision, QuantWorkspace};
-use lightmamba_quant::{PreparedModel, QuantizedMamba};
+use lightmamba_quant::{ParQuantWorkspace, PreparedModel, QuantizedMamba};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 struct Args {
     smoke: bool,
     steps: usize,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +61,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
         steps: 0,
+        threads: 1,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -62,7 +74,15 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| panic!("--steps needs an integer"));
             }
-            other => panic!("unknown flag {other:?} (supported: --smoke, --steps N)"),
+            "--threads" => {
+                i += 1;
+                args.threads = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t| t > 0)
+                    .unwrap_or_else(|| panic!("--threads needs a positive integer"));
+            }
+            other => panic!("unknown flag {other:?} (supported: --smoke, --steps N, --threads N)"),
         }
         i += 1;
     }
@@ -70,6 +90,21 @@ fn parse_args() -> Args {
         args.steps = if args.smoke { 12 } else { 48 };
     }
     args
+}
+
+/// Pool widths the sweep measures: powers of two up to `max`, plus
+/// `max` itself (so `--threads 6` measures 1, 2, 4, 6).
+fn thread_sweep(max: usize) -> Vec<usize> {
+    let mut v = vec![1];
+    let mut t = 2;
+    while t < max {
+        v.push(t);
+        t *= 2;
+    }
+    if max > 1 {
+        v.push(max);
+    }
+    v
 }
 
 /// Host-bench model: large enough that per-step weight streaming
@@ -224,6 +259,110 @@ fn main() {
         )
     );
 
+    // Worker-pool scaling: the same batched decode sharded across the
+    // sweep's pool widths at the largest batch. Width 1 times the
+    // sequential workspace path (the true single-thread baseline);
+    // wider pools run the sharded parallel drivers over per-worker
+    // workspaces — bit-identical output, so this isolates host scaling.
+    let sweep = thread_sweep(args.threads);
+    let par_batch = *batches.last().unwrap();
+    let mut fp_par_tps: Vec<f64> = Vec::new();
+    let mut int_par_tps: Vec<f64> = Vec::new();
+    if args.threads > 1 {
+        for &t in &sweep {
+            let mut states: Vec<ModelState> = (0..par_batch).map(|_| model.new_state()).collect();
+            let (fp, int) = if t == 1 {
+                let fp = time_decode(
+                    cfg.vocab_size,
+                    par_batch,
+                    warmup,
+                    args.steps,
+                    &mut states,
+                    |items, states| {
+                        model
+                            .forward_step_batch_indexed_with(items, states, &mut fp_ws)
+                            .expect("fp step");
+                    },
+                );
+                let int = time_decode(
+                    cfg.vocab_size,
+                    par_batch,
+                    warmup,
+                    args.steps,
+                    &mut states,
+                    |items, states| {
+                        q_int
+                            .forward_step_batch_indexed_with(items, states, &mut int_ws)
+                            .expect("integer step");
+                    },
+                );
+                (fp, int)
+            } else {
+                let pool = WorkerPool::new(t);
+                let mut fp_pws = ParDecodeWorkspace::new();
+                let mut int_pws = ParQuantWorkspace::new();
+                let fp = time_decode(
+                    cfg.vocab_size,
+                    par_batch,
+                    warmup,
+                    args.steps,
+                    &mut states,
+                    |items, states| {
+                        model
+                            .forward_step_batch_indexed_par_with(items, states, &pool, &mut fp_pws)
+                            .expect("fp par step");
+                    },
+                );
+                let int = time_decode(
+                    cfg.vocab_size,
+                    par_batch,
+                    warmup,
+                    args.steps,
+                    &mut states,
+                    |items, states| {
+                        q_int
+                            .forward_step_batch_indexed_par_with(items, states, &pool, &mut int_pws)
+                            .expect("integer par step");
+                    },
+                );
+                (fp, int)
+            };
+            fp_par_tps.push(fp);
+            int_par_tps.push(int);
+        }
+        let rows: Vec<Vec<String>> = sweep
+            .iter()
+            .zip(fp_par_tps.iter().zip(&int_par_tps))
+            .map(|(&t, (&fp, &int))| {
+                vec![
+                    t.to_string(),
+                    format!("{fp:.1}"),
+                    format!("{int:.1}"),
+                    format!("{:.2}x", fp / fp_par_tps[0]),
+                    format!("{:.2}x", int / int_par_tps[0]),
+                ]
+            })
+            .collect();
+        println!();
+        println!(
+            "thread sweep at batch {par_batch} (quant kernels: {} ISA):",
+            lightmamba_quant::simd::active_isa()
+        );
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "threads",
+                    "fp tok/s",
+                    "int-w4a4 tok/s",
+                    "fp scaling",
+                    "int scaling",
+                ],
+                &rows,
+            )
+        );
+    }
+
     // Engine-level instrumentation cost: the serving engine on the FP
     // model, bare vs full observability, best of 3 runs each.
     let gen_tokens = if args.smoke { 48 } else { 192 };
@@ -246,11 +385,18 @@ fn main() {
         .zip(&fake_tps)
         .map(|(i, f)| format!("{:.3}", i / f))
         .collect();
+    let par_threads: Vec<String> = if args.threads > 1 {
+        sweep.iter().map(|t| t.to_string()).collect()
+    } else {
+        Vec::new()
+    };
     // Machine-readable summary for the BENCH harness.
     println!(
         "BENCH_JSON {{\"bench\":\"decode_host\",\"smoke\":{},\"d_model\":{},\"n_layer\":{},\
          \"group\":{group},\"batches\":[{}],\"fp_tok_s\":[{}],\"fake_w4a4_tok_s\":[{}],\
          \"int_w4a4_tok_s\":[{}],\"int_over_fake\":[{}],\"packed_bits_per_param\":{:.3},\
+         \"isa\":\"{}\",\"par_batch\":{par_batch},\"threads\":[{}],\"fp_par_tok_s\":[{}],\
+         \"int_par_tok_s\":[{}],\
          \"engine_bare_tok_s\":{engine_bare:.1},\"engine_obs_tok_s\":{engine_obs:.1},\
          \"obs_overhead_pct\":{obs_overhead_pct:.2}}}",
         args.smoke,
@@ -266,5 +412,9 @@ fn main() {
         fmt(&int_tps),
         speedups.join(","),
         q_int.mean_weight_bits(),
+        lightmamba_quant::simd::active_isa(),
+        par_threads.join(","),
+        fmt(&fp_par_tps),
+        fmt(&int_par_tps),
     );
 }

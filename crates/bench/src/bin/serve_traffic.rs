@@ -87,6 +87,7 @@ struct Args {
     models: usize,
     policy: String,
     prefill_chunk: usize,
+    threads: usize,
     preempt: bool,
     sessions: bool,
     cancel_rate: f64,
@@ -102,6 +103,7 @@ fn parse_args() -> Args {
         models: 2,
         policy: "fifo".into(),
         prefill_chunk: 4,
+        threads: 1,
         preempt: false,
         sessions: false,
         cancel_rate: 0.0,
@@ -176,6 +178,13 @@ fn parse_args() -> Args {
                     .expect("--prefill-chunk needs a positive integer");
                 i += 2;
             }
+            "--threads" => {
+                args.threads = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+                i += 2;
+            }
             "--smoke" => {
                 args.smoke = true;
                 i += 1;
@@ -197,6 +206,7 @@ fn parse_args() -> Args {
     );
     assert!(args.models > 0, "--models must be positive");
     assert!(args.prefill_chunk > 0, "--prefill-chunk must be positive");
+    assert!(args.threads > 0, "--threads must be positive");
     assert!(
         (0.0..1.0).contains(&args.cancel_rate),
         "--cancel-rate must be in [0, 1)"
@@ -343,6 +353,7 @@ fn policy_study(
                 slots: 16,
                 max_steps: 1_000_000,
                 prefill_chunk: args.prefill_chunk,
+                threads: args.threads,
             },
         )
         .expect("valid config");
@@ -450,6 +461,7 @@ fn obs_study(
                 slots: 16,
                 max_steps: 1_000_000,
                 prefill_chunk: args.prefill_chunk,
+                threads: args.threads,
             },
         )
         .expect("valid config");
@@ -566,6 +578,7 @@ fn preemption_study(
                 slots: 8,
                 max_steps: 1_000_000,
                 prefill_chunk: args.prefill_chunk,
+                threads: args.threads,
             },
         )
         .expect("valid config");
@@ -799,6 +812,7 @@ fn drive_chat(
             slots: 8,
             max_steps: 1_000_000,
             prefill_chunk: args.prefill_chunk,
+            threads: args.threads,
         },
     )
     .expect("valid config");
@@ -933,6 +947,7 @@ fn scenario_sweep(
                 slots: 16,
                 max_steps: 1_000_000,
                 prefill_chunk: args.prefill_chunk,
+                threads: args.threads,
             },
         )
         .expect("non-zero slots");
@@ -990,6 +1005,7 @@ fn slot_sweep(
                     slots,
                     max_steps: 1_000_000,
                     prefill_chunk: args.prefill_chunk,
+                    threads: args.threads,
                 },
             )
             .expect("non-zero slots");
@@ -1122,6 +1138,7 @@ fn multiplex_study(
             slots: 16,
             max_steps: 1_000_000,
             prefill_chunk: args.prefill_chunk,
+            threads: args.threads,
         },
     )
     .expect("non-zero slots");
@@ -1195,6 +1212,7 @@ fn single_backend_run(
             slots: 16,
             max_steps: 1_000_000,
             prefill_chunk: args.prefill_chunk,
+            threads: args.threads,
         },
     )
     .expect("non-zero slots");

@@ -45,6 +45,7 @@ pub fn engine_obs_overhead(
                     slots,
                     max_steps: 1_000_000,
                     prefill_chunk: 4,
+                    threads: 1,
                 },
             )
             .expect("non-zero slots");

@@ -43,11 +43,11 @@ use crate::{MambaConfig, MambaModel, ModelError, Result};
 /// `lightmamba_quant`).
 #[derive(Debug, Clone, Default)]
 pub struct StepWorkspace {
-    xs: Vec<Vec<f32>>,
-    logits: Vec<Vec<f32>>,
-    seen: Vec<bool>,
+    pub(crate) xs: Vec<Vec<f32>>,
+    pub(crate) logits: Vec<Vec<f32>>,
+    pub(crate) seen: Vec<bool>,
     /// Number of items in the latest step (buffers may be longer).
-    items: usize,
+    pub(crate) items: usize,
 }
 
 impl StepWorkspace {
@@ -71,7 +71,7 @@ impl StepWorkspace {
         v
     }
 
-    fn prepare(&mut self, n: usize) {
+    pub(crate) fn prepare(&mut self, n: usize) {
         if self.xs.len() < n {
             self.xs.resize_with(n, Vec::new);
         }
@@ -365,8 +365,8 @@ pub fn validate_prefill(
 /// size; it grows to the largest batch seen and is then allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct DecodeWorkspace {
-    step: StepWorkspace,
-    scratch: BlockScratch,
+    pub(crate) step: StepWorkspace,
+    pub(crate) scratch: BlockScratch,
 }
 
 impl DecodeWorkspace {

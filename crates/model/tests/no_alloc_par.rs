@@ -1,0 +1,80 @@
+//! Pins the threaded hot-path contract: steady-state batched decode
+//! through the worker pool performs **zero heap allocations** on every
+//! participating thread. A counting global allocator wraps the system
+//! allocator; after a warm-up phase (per-worker workspace buffers grow
+//! to their sharded shapes, the pool's threads are already parked on
+//! their condvar) the allocation counter must not move.
+//!
+//! This file holds exactly one test so no parallel test can inject
+//! allocations into the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lightmamba_model::{MambaConfig, MambaModel, ParDecodeWorkspace};
+use lightmamba_pool::WorkerPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, n)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_parallel_decode_allocates_nothing() {
+    let model = MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(3)).unwrap();
+    let batch = 6;
+    let pool = WorkerPool::new(4);
+    let mut states: Vec<_> = (0..batch).map(|_| model.new_state()).collect();
+    let mut ws = ParDecodeWorkspace::new();
+    let mut items: Vec<(usize, u32)> = (0..batch).map(|k| (k, 0u32)).collect();
+
+    let mut step = |t: usize, states: &mut [_], ws: &mut ParDecodeWorkspace| {
+        for (k, item) in items.iter_mut().enumerate() {
+            item.1 = ((t * 11 + k * 5) % 256) as u32;
+        }
+        model
+            .forward_step_batch_indexed_par_with(&items, states, &pool, ws)
+            .unwrap();
+        assert_eq!(ws.logits().count(), batch);
+    };
+
+    // Warm-up: every per-worker workspace grows to its shard's shapes
+    // and the pool settles into its park/dispatch rhythm.
+    for t in 0..3 {
+        step(t, &mut states, &mut ws);
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for t in 3..40 {
+        step(t, &mut states, &mut ws);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state 4-thread FP decode allocated {} times over 37 steps",
+        after - before
+    );
+}

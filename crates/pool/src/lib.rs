@@ -1,0 +1,414 @@
+//! Persistent worker pool for sharding engine decode steps across cores.
+//!
+//! The serving engine advances every active sequence once per step. The
+//! per-sequence work (one weight-stationary sweep over the model layers)
+//! is independent across sequences, so a step over a batch of `n`
+//! sequences is an embarrassingly parallel map of `n` tasks. This crate
+//! provides the one primitive that map needs: a pool of persistent
+//! threads that executes `f(0) .. f(n-1)` with the calling thread
+//! participating, then returns once every task has finished.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Zero steady-state allocation.** The decode hot loop is pinned
+//!    allocation-free by counting-allocator tests, and worker-thread
+//!    allocations count against the same global allocator. Dispatch
+//!    therefore uses a mutex-guarded job slot plus condvars — not
+//!    channels, whose `send` heap-allocates per message. Publishing a
+//!    job writes an `Option<Job>` (two words) under the lock; claiming a
+//!    task increments a counter. Nothing touches the heap after
+//!    [`WorkerPool::new`].
+//! 2. **Determinism.** The pool never splits or reorders a task: task
+//!    `i` is exactly the closure applied to index `i`, and callers shard
+//!    work into contiguous ranges *before* dispatch. Which thread runs
+//!    which task is scheduling-dependent, but since tasks write disjoint
+//!    output slots, results are bit-identical for any thread count.
+//! 3. **No dependencies.** `std::thread` + `Mutex` + `Condvar` only.
+//!
+//! # Example: a sharded map
+//!
+//! ```
+//! use lightmamba_pool::WorkerPool;
+//!
+//! let pool = WorkerPool::new(4);
+//! // Shard a flat output buffer: each task owns exactly one slot.
+//! let mut squares = vec![0u64; 16];
+//! pool.run_over(&mut squares, |i, out| *out = (i as u64) * (i as u64));
+//! assert_eq!(squares[7], 49);
+//! assert_eq!(squares[15], 225);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The published unit of work: a type-erased `&dyn Fn(usize)` that every
+/// pool thread applies to the task indices it claims.
+///
+/// The pointee lives on the caller's stack inside [`WorkerPool::run`],
+/// which does not return until `finished == tasks`, so the pointer is
+/// valid for exactly as long as any thread can observe it (workers drop
+/// their reference before incrementing `finished`).
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared-callable from any thread) and
+// `run` keeps it alive until all claims complete, so sending the
+// pointer to worker threads is sound.
+unsafe impl Send for Job {}
+
+/// Dispatch state guarded by [`Shared::state`].
+struct PoolState {
+    /// Bumped once per `run`; workers use it to detect a new job.
+    epoch: u64,
+    /// The current job, present from publish until the run completes.
+    job: Option<Job>,
+    /// Next unclaimed task index.
+    next: usize,
+    /// Total tasks in the current job.
+    tasks: usize,
+    /// Tasks whose closure call has returned (or panicked).
+    finished: usize,
+    /// Set if any task panicked; `run` re-raises after the barrier.
+    panicked: bool,
+    /// Set by `Drop` to retire the worker threads.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signalled when a new epoch is published or on shutdown.
+    work_cv: Condvar,
+    /// Signalled when the last task of an epoch finishes.
+    done_cv: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads executing sharded
+/// maps (see the [crate docs](crate) for the dispatch design).
+///
+/// `WorkerPool::new(n)` spawns `n - 1` workers; the thread calling
+/// [`run`](Self::run) participates as the `n`-th, so `n = 1` spawns
+/// nothing and runs inline. Dropping the pool retires the workers.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Serializes concurrent `run` calls (the job slot holds one job).
+    run_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool that executes maps on `threads` threads total
+    /// (`threads - 1` spawned workers plus the caller). A request for
+    /// zero threads is clamped to one.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                next: 0,
+                tasks: 0,
+                finished: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lm-pool-{k}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            threads,
+            run_lock: Mutex::new(()),
+        }
+    }
+
+    /// Number of threads that execute each map, including the caller.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0) .. f(tasks - 1)` across the pool and returns once all
+    /// calls have completed. The calling thread participates, so the
+    /// pool makes progress even with `threads == 1` (which runs inline,
+    /// no synchronization at all).
+    ///
+    /// Tasks are claimed one index at a time from a shared counter;
+    /// which thread runs which index is unspecified, so `f` must be
+    /// safe to call concurrently for distinct indices (it is `Sync`)
+    /// and tasks must not alias mutable state (see
+    /// [`run_over`](Self::run_over) for the checked slice form).
+    ///
+    /// Not reentrant: calling `run` from inside `f` deadlocks.
+    ///
+    /// # Panics
+    ///
+    /// If any task panics, the panic is caught, the remaining tasks
+    /// still run, and `run` panics after the completion barrier — the
+    /// pool itself stays usable.
+    pub fn run(&self, tasks: usize, f: impl Fn(usize) + Sync) {
+        if tasks == 0 {
+            return;
+        }
+        if self.threads == 1 || tasks == 1 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        let _serial = self
+            .run_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let f_obj: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the job pointer escapes to worker threads, but this
+        // function blocks below until `finished == tasks`, and workers
+        // drop their borrow of the closure before incrementing
+        // `finished`, so the closure outlives every dereference.
+        let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_obj) };
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.epoch = st.epoch.wrapping_add(1);
+            st.job = Some(Job(f_static));
+            st.next = 0;
+            st.tasks = tasks;
+            st.finished = 0;
+            st.panicked = false;
+        }
+        self.shared.work_cv.notify_all();
+
+        // The caller claims tasks alongside the workers.
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if st.next >= st.tasks {
+                break;
+            }
+            let i = st.next;
+            st.next += 1;
+            drop(st);
+            let ok = catch_unwind(AssertUnwindSafe(|| f_obj(i))).is_ok();
+            st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !ok {
+                st.panicked = true;
+            }
+            st.finished += 1;
+        }
+        while st.finished < st.tasks {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        if panicked {
+            panic!("lightmamba_pool: a pool task panicked");
+        }
+    }
+
+    /// Runs `f(i, &mut items[i])` for every element of `items`, with
+    /// each task receiving exclusive mutable access to its own slot —
+    /// the shape every sharded decode step uses (one workspace per
+    /// shard, written by exactly one thread).
+    ///
+    /// ```
+    /// use lightmamba_pool::WorkerPool;
+    /// let pool = WorkerPool::new(2);
+    /// let mut sums = [0u32; 3];
+    /// pool.run_over(&mut sums, |i, s| *s = (0..=i as u32).sum());
+    /// assert_eq!(sums, [0, 1, 3]);
+    /// ```
+    pub fn run_over<W: Send>(&self, items: &mut [W], f: impl Fn(usize, &mut W) + Sync) {
+        let base = SendPtr(items.as_mut_ptr());
+        let n = items.len();
+        self.run(n, move |i| {
+            debug_assert!(i < n);
+            // SAFETY: `run` hands out each index in 0..n exactly once,
+            // so this is the only reference to `items[i]`, and the
+            // slice outlives `run` (the caller's borrow is held across
+            // the blocking call).
+            let slot = unsafe { &mut *base.get().add(i) };
+            f(i, slot);
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Pointer wrapper so a `*mut W` can cross the closure's `Sync` bound;
+/// exclusivity is guaranteed by the claim counter, not the type.
+struct SendPtr<W>(*mut W);
+
+impl<W> SendPtr<W> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole wrapper — edition-2021 disjoint capture would otherwise
+    /// grab the bare `*mut W`, which is not `Sync`.
+    fn get(&self) -> *mut W {
+        self.0
+    }
+}
+
+// SAFETY: see `run_over` — each task dereferences a distinct slot.
+unsafe impl<W: Send> Send for SendPtr<W> {}
+unsafe impl<W: Send> Sync for SendPtr<W> {}
+
+fn worker_loop(shared: &Shared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let mut st = shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while st.epoch == last_epoch && !st.shutdown {
+            st = shared
+                .work_cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if st.shutdown {
+            return;
+        }
+        last_epoch = st.epoch;
+        while st.next < st.tasks {
+            let i = st.next;
+            st.next += 1;
+            let job = st.job.expect("job present while tasks remain");
+            drop(st);
+            // SAFETY: `run` keeps the closure alive until
+            // `finished == tasks`; we finish using it before the
+            // increment below.
+            let f = unsafe { &*job.0 };
+            let ok = catch_unwind(AssertUnwindSafe(|| f(i))).is_ok();
+            st = shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !ok {
+                st.panicked = true;
+            }
+            st.finished += 1;
+            if st.finished == st.tasks {
+                shared.done_cv.notify_all();
+            }
+        }
+        drop(st);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..10 {
+            pool.run(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 10);
+        }
+    }
+
+    #[test]
+    fn run_over_gives_exclusive_slots() {
+        let pool = WorkerPool::new(3);
+        let mut out = vec![0usize; 100];
+        pool.run_over(&mut out, |i, v| *v = i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut out = [0u8; 5];
+        pool.run_over(&mut out, |i, v| *v = i as u8 + 1);
+        assert_eq!(out, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn empty_map_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        pool.run(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i == 3 {
+                    panic!("task 3 fails");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "run re-raises the task panic");
+        // The pool is still usable after a task panic.
+        let mut out = [0u32; 4];
+        pool.run_over(&mut out, |i, v| *v = i as u32);
+        assert_eq!(out, [0, 1, 2, 3]);
+    }
+}

@@ -34,6 +34,7 @@
 use lightmamba_tensor::Tensor;
 
 use crate::quantizer::{Granularity, QuantScheme, QuantizedTensor};
+use crate::simd::{accumulate_row_i16, accumulate_row_i32, Lanes};
 use crate::{QuantError, Result};
 
 /// Packs signed 4-bit codes two-per-byte (even index → low nibble, odd
@@ -355,28 +356,6 @@ impl GemvScratch {
     }
 }
 
-/// Accumulates one packed weight row (input channel `i`'s nibbles across
-/// all outputs) into the even/odd accumulator planes, scaled by the
-/// activation code `q`. Nibble sign-extension is branchless
-/// (`(n ^ 8) - 8`), both planes are stride-1, and the zips are
-/// bounds-check free — the loop auto-vectorizes.
-#[inline]
-fn accumulate_row_i16(row: &[u8], q: i16, even: &mut [i16], odd: &mut [i16]) {
-    for ((&b, e), o) in row.iter().zip(even.iter_mut()).zip(odd.iter_mut()) {
-        *e += q * (((b & 0x0F) ^ 8) as i16 - 8);
-        *o += q * (((b >> 4) ^ 8) as i16 - 8);
-    }
-}
-
-/// The i32 twin of [`accumulate_row_i16`] for wider activations.
-#[inline]
-fn accumulate_row_i32(row: &[u8], q: i32, even: &mut [i32], odd: &mut [i32]) {
-    for ((&b, e), o) in row.iter().zip(even.iter_mut()).zip(odd.iter_mut()) {
-        *e += q * (((b & 0x0F) ^ 8) as i32 - 8);
-        *o += q * (((b >> 4) ^ 8) as i32 - 8);
-    }
-}
-
 /// Whether a whole group's integer reduction provably fits i16:
 /// `group · qmaxₐ · qmax_w ≤ i16::MAX` (weight codes are ≤ 4-bit, so
 /// `qmax_w = 7`). The W4A4 recipe (qmaxₐ = 7) qualifies up to group 668.
@@ -395,6 +374,12 @@ fn fits_i16(group: usize, act_qmax: i32) -> bool {
 /// W4A4-shaped groups the planes are i16, doubling SIMD width; the
 /// reduction value is identical either way.
 ///
+/// The accumulate loops run on the instruction set reported by
+/// [`crate::simd::detect`] (AVX2/NEON under the `simd` feature, scalar
+/// otherwise); results are bit-identical either way — see
+/// [`crate::simd`] for the argument and [`gemv_packed_scalar`] for the
+/// pinned-scalar entry point.
+///
 /// # Errors
 ///
 /// Returns [`QuantError::InvalidScheme`] on any shape or group mismatch.
@@ -403,6 +388,32 @@ pub fn gemv_packed(
     act: &ActQuant,
     scratch: &mut GemvScratch,
     out: &mut [f32],
+) -> Result<()> {
+    gemv_packed_lanes(w, act, scratch, out, crate::simd::detect())
+}
+
+/// [`gemv_packed`] forced onto the scalar accumulate loops — the oracle
+/// the SIMD dispatch is proptested bit-identical against, and the loop
+/// every host runs without the `simd` feature.
+///
+/// # Errors
+///
+/// Same conditions as [`gemv_packed`].
+pub fn gemv_packed_scalar(
+    w: &PackedW4,
+    act: &ActQuant,
+    scratch: &mut GemvScratch,
+    out: &mut [f32],
+) -> Result<()> {
+    gemv_packed_lanes(w, act, scratch, out, Lanes::Scalar)
+}
+
+fn gemv_packed_lanes(
+    w: &PackedW4,
+    act: &ActQuant,
+    scratch: &mut GemvScratch,
+    out: &mut [f32],
+    lanes: Lanes,
 ) -> Result<()> {
     check_gemv(w, act, out)?;
     let qa = act.codes();
@@ -431,10 +442,10 @@ pub fn gemv_packed(
             let row = &w.packed[i * half..(i + 1) * half];
             if narrow {
                 let (even, odd) = scratch.acc16.split_at_mut(half);
-                accumulate_row_i16(row, q as i16, even, odd);
+                accumulate_row_i16(lanes, row, q as i16, even, odd);
             } else {
                 let (even, odd) = scratch.acc32.split_at_mut(half);
-                accumulate_row_i32(row, q as i32, even, odd);
+                accumulate_row_i32(lanes, row, q as i32, even, odd);
             }
         }
         if !any {
@@ -495,7 +506,9 @@ pub fn gemv_reference(w: &PackedW4, act: &ActQuant, out: &mut [f32]) -> Result<(
 /// (allocation-free once warm).
 ///
 /// Per activation the integer reduction is identical to
-/// [`gemv_packed`]'s, so results are value-identical.
+/// [`gemv_packed`]'s, so results are value-identical. As there, the
+/// accumulate loops run on the detected instruction set and are
+/// bit-identical to [`gemm_packed_scalar`].
 ///
 /// # Errors
 ///
@@ -506,6 +519,31 @@ pub fn gemm_packed(
     acts: &[ActQuant],
     scratch: &mut GemvScratch,
     outs: &mut [Vec<f32>],
+) -> Result<()> {
+    gemm_packed_lanes(w, acts, scratch, outs, crate::simd::detect())
+}
+
+/// [`gemm_packed`] forced onto the scalar accumulate loops — the oracle
+/// the SIMD dispatch is proptested bit-identical against.
+///
+/// # Errors
+///
+/// Same conditions as [`gemm_packed`].
+pub fn gemm_packed_scalar(
+    w: &PackedW4,
+    acts: &[ActQuant],
+    scratch: &mut GemvScratch,
+    outs: &mut [Vec<f32>],
+) -> Result<()> {
+    gemm_packed_lanes(w, acts, scratch, outs, Lanes::Scalar)
+}
+
+fn gemm_packed_lanes(
+    w: &PackedW4,
+    acts: &[ActQuant],
+    scratch: &mut GemvScratch,
+    outs: &mut [Vec<f32>],
+    lanes: Lanes,
 ) -> Result<()> {
     if acts.len() != outs.len() {
         return Err(QuantError::InvalidScheme(format!(
@@ -534,7 +572,7 @@ pub fn gemm_packed(
                     continue;
                 }
                 let (even, odd) = scratch.acc32[k * planes..(k + 1) * planes].split_at_mut(half);
-                accumulate_row_i32(row, q, even, odd);
+                accumulate_row_i32(lanes, row, q, even, odd);
             }
         }
         let srow = &w.scales_t[g * w.out_features..(g + 1) * w.out_features];

@@ -49,12 +49,13 @@ pub mod qmodel;
 pub mod quantizer;
 pub mod rotation;
 pub mod rtn;
+pub mod simd;
 pub mod smoothquant;
 
 pub use error::QuantError;
 pub use kernels::{ActQuant, PackedW4};
 pub use prepared::{PreparedBlock, PreparedModel};
-pub use qmodel::QuantizedMamba;
+pub use qmodel::{ParQuantWorkspace, QuantizedMamba};
 pub use quantizer::{Granularity, QuantScheme, QuantizedTensor};
 
 /// Convenience alias for results produced by this crate.

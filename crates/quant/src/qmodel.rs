@@ -35,9 +35,11 @@ use std::sync::Arc;
 
 use lightmamba_model::batch::{self, StepWorkspace};
 use lightmamba_model::eval::StepModel;
+use lightmamba_model::par::{drive_step_batch_indexed_par, drive_step_shard, ShardPlan};
 use lightmamba_model::ssm::{ssm_step_into, SsmDims};
 use lightmamba_model::weights::InProjSplit;
 use lightmamba_model::{BlockScratch, LayerState, MambaConfig, ModelError, ModelState};
+use lightmamba_pool::WorkerPool;
 use lightmamba_tensor::{activation, norm, Tensor};
 
 use crate::kernels::{gemv_packed, ActQuant, GemvScratch, PackedW4};
@@ -200,6 +202,47 @@ impl QuantWorkspace {
     /// index-aligned with its `items`.
     pub fn logits(&self) -> &[Vec<f32>] {
         self.step.logits()
+    }
+}
+
+/// Per-shard workspaces for the quantized model's parallel step: one
+/// [`QuantWorkspace`] per pool thread plus the shard bookkeeping — the
+/// quantized mirror of [`lightmamba_model::ParDecodeWorkspace`]. Grows
+/// to the pool width on the first step, then steady-state parallel
+/// decode performs zero heap allocations (pinned by the threaded
+/// `no_alloc` test).
+#[derive(Debug, Clone, Default)]
+pub struct ParQuantWorkspace {
+    plan: ShardPlan,
+    shards: Vec<QuantWorkspace>,
+}
+
+impl ParQuantWorkspace {
+    /// An empty workspace; it warms up on the first step.
+    pub fn new() -> Self {
+        ParQuantWorkspace::default()
+    }
+
+    /// Logits of the latest parallel step in `items` order (shard
+    /// ranges are contiguous, so chaining shards restores batch order).
+    pub fn logits(&self) -> impl Iterator<Item = &Vec<f32>> + '_ {
+        self.shards[..self.plan.used()]
+            .iter()
+            .flat_map(|ws| ws.logits().iter())
+    }
+
+    /// Logits of item `j` of the latest parallel step.
+    ///
+    /// # Panics
+    ///
+    /// If `j` is not an item index of the latest step.
+    pub fn logits_at(&self, j: usize) -> &Vec<f32> {
+        for (k, &(lo, hi)) in self.plan.ranges().iter().enumerate() {
+            if j >= lo && j < hi {
+                return &self.shards[k].logits()[j - lo];
+            }
+        }
+        panic!("logit index {j} out of range for the latest step");
     }
 }
 
@@ -664,6 +707,85 @@ impl QuantizedMamba {
         )
     }
 
+    /// Multi-core batched decode step: like
+    /// [`QuantizedMamba::forward_step_batch_indexed_with`], but the
+    /// validated batch is sharded into contiguous ranges and each
+    /// range's weight-stationary sweep runs on its own pool thread with
+    /// its own workspace (packed weights are shared read-only through
+    /// the model's `Arc`). Logits land in `ws` (see
+    /// [`ParQuantWorkspace::logits`]), index-aligned with `items`, and
+    /// are bit-identical to the sequential path for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`QuantizedMamba::forward_step_batch_indexed`].
+    pub fn forward_step_batch_indexed_par_with(
+        &self,
+        items: &[(usize, u32)],
+        states: &mut [ModelState],
+        pool: &WorkerPool,
+        ws: &mut ParQuantWorkspace,
+    ) -> Result<()> {
+        drive_step_batch_indexed_par(
+            &self.cfg,
+            items,
+            states,
+            pool,
+            &mut ws.plan,
+            &mut ws.shards,
+            |shard_items, view, qws: &mut QuantWorkspace| {
+                let scratch = &mut qws.scratch;
+                let head_act = &mut qws.head_act;
+                let head_iacc = &mut qws.head_iacc;
+                // SAFETY: the batch was validated duplicate-free and the
+                // planner hands each shard a disjoint contiguous range,
+                // so this shard exclusively owns its slots.
+                unsafe {
+                    drive_step_shard(
+                        &self.cfg,
+                        shard_items,
+                        view,
+                        &mut qws.step,
+                        |token, buf| {
+                            let row = self.weights.embedding.row(token as usize)?;
+                            buf.clear();
+                            buf.extend_from_slice(row);
+                            Ok(())
+                        },
+                        |layer, x, lstate| {
+                            self.block_step_with(&self.weights.blocks[layer], x, lstate, scratch)
+                        },
+                        |x, logits| self.logits_into(x, logits, head_act, head_iacc),
+                    )
+                }
+            },
+        )
+    }
+
+    /// Multi-core ragged prefill: the parallel twin of
+    /// [`QuantizedMamba::prefill_batch_with`], driving the sharded step
+    /// position-by-position. Only the returned finals allocate.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantizedMamba::prefill_batch`].
+    pub fn prefill_batch_par_with(
+        &self,
+        prompts: &[&[u32]],
+        states: &mut [ModelState],
+        pool: &WorkerPool,
+        ws: &mut ParQuantWorkspace,
+    ) -> Result<Vec<Vec<f32>>> {
+        batch::drive_prefill_batch_with(
+            prompts,
+            states,
+            ws,
+            |items, states, ws| self.forward_step_batch_indexed_par_with(items, states, pool, ws),
+            |ws, j| ws.logits_at(j).clone(),
+        )
+    }
+
     /// One decode step for a batch: `items[k] = (state_index, token)`
     /// advances `states[state_index]` by `token` and yields that
     /// sequence's next-token logits as `(state_index, logits)` — the
@@ -817,6 +939,35 @@ mod tests {
 
     fn sequences() -> Vec<Vec<u32>> {
         SyntheticCorpus::for_vocab(256).calibration_set(&mut StdRng::seed_from_u64(5), 2, 10)
+    }
+
+    #[test]
+    fn parallel_integer_step_matches_sequential_bitwise() {
+        let model = reference();
+        let prepared = PreparedModel::from_reference(&model).unwrap();
+        let q = QuantizedMamba::new(prepared, Precision::w4a4(32)).unwrap();
+        assert_eq!(q.exec_mode(), ExecMode::Integer);
+        let pool = WorkerPool::new(4);
+        let n = 6;
+
+        let mut seq_states: Vec<_> = (0..n).map(|_| q.new_state()).collect();
+        let mut par_states = seq_states.clone();
+        let mut seq_ws = QuantWorkspace::new();
+        let mut par_ws = ParQuantWorkspace::new();
+
+        for step in 0..4u32 {
+            let items: Vec<(usize, u32)> = (0..n).map(|k| (k, step * 17 + k as u32)).collect();
+            q.forward_step_batch_indexed_with(&items, &mut seq_states, &mut seq_ws)
+                .unwrap();
+            q.forward_step_batch_indexed_par_with(&items, &mut par_states, &pool, &mut par_ws)
+                .unwrap();
+            let par_logits: Vec<&Vec<f32>> = par_ws.logits().collect();
+            assert_eq!(par_logits.len(), n);
+            for (k, seq_logits) in seq_ws.logits().iter().enumerate() {
+                assert_eq!(par_logits[k], seq_logits, "sequence {k} diverged at {step}");
+            }
+        }
+        assert_eq!(par_states, seq_states, "states diverged");
     }
 
     #[test]

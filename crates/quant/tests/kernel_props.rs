@@ -6,8 +6,8 @@
 use lightmamba_model::MambaConfig;
 use lightmamba_model::MambaModel;
 use lightmamba_quant::kernels::{
-    gemm_packed, gemv_packed, gemv_reference, pack_nibbles, unpack_nibbles_into, ActQuant,
-    GemvScratch, PackedW4,
+    gemm_packed, gemm_packed_scalar, gemv_packed, gemv_packed_scalar, gemv_reference, pack_nibbles,
+    unpack_nibbles_into, ActQuant, GemvScratch, PackedW4,
 };
 use lightmamba_quant::qmodel::{ExecMode, Precision};
 use lightmamba_quant::{Granularity, PreparedModel, QuantScheme, QuantizedMamba};
@@ -110,6 +110,58 @@ proptest! {
         gemv_packed(&p, &act, &mut scratch, &mut int_out).unwrap();
         gemv_reference(&p, &act, &mut ref_out).unwrap();
         prop_assert_eq!(int_out, ref_out);
+    }
+
+    #[test]
+    fn dispatched_gemv_is_bit_identical_to_scalar(
+        seed in 0u64..10_000,
+        inf in 1usize..96,
+        outf in 1usize..64,
+        group in 1usize..48,
+        pot in any::<bool>(),
+    ) {
+        // The runtime-dispatched entry point (AVX2/NEON when built with
+        // `--features simd` on capable hardware, scalar otherwise) against
+        // the always-scalar oracle. Only the integer accumulate loops are
+        // vectorized — one exact integer add per output element, and the
+        // f32 rescale stays scalar on both paths — so agreement is
+        // bit-exact for *any* scale mode, not just PoT.
+        let (p, act) = random_problem(seed, inf, outf, group, 4, 4, pot);
+        let mut s1 = GemvScratch::new();
+        let mut s2 = GemvScratch::new();
+        let mut dispatched = vec![0.0f32; outf];
+        let mut scalar = vec![0.0f32; outf];
+        gemv_packed(&p, &act, &mut s1, &mut dispatched).unwrap();
+        gemv_packed_scalar(&p, &act, &mut s2, &mut scalar).unwrap();
+        prop_assert_eq!(dispatched, scalar);
+    }
+
+    #[test]
+    fn dispatched_gemm_is_bit_identical_to_scalar(
+        seed in 0u64..10_000,
+        inf in 1usize..64,
+        outf in 1usize..48,
+        group in 1usize..32,
+        batch in 1usize..5,
+        pot in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Tensor::from_fn(&[inf, outf], |_| rng.gen_range(-0.8f32..0.8));
+        let p = PackedW4::quantize(&w, per_group(4, group, pot)).unwrap();
+        let mut acts = Vec::new();
+        for _ in 0..batch {
+            let x: Vec<f32> = (0..inf).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let mut a = ActQuant::new();
+            a.quantize(&x, per_group(4, group, pot)).unwrap();
+            acts.push(a);
+        }
+        let mut dispatched: Vec<Vec<f32>> = vec![Vec::new(); batch];
+        let mut scalar: Vec<Vec<f32>> = vec![Vec::new(); batch];
+        let mut s1 = GemvScratch::new();
+        let mut s2 = GemvScratch::new();
+        gemm_packed(&p, &acts, &mut s1, &mut dispatched).unwrap();
+        gemm_packed_scalar(&p, &acts, &mut s2, &mut scalar).unwrap();
+        prop_assert_eq!(dispatched, scalar);
     }
 
     #[test]

@@ -619,6 +619,7 @@ mod tests {
                 slots,
                 max_steps: 100_000,
                 prefill_chunk,
+                threads: 1,
             },
         )
         .unwrap();
@@ -701,6 +702,7 @@ mod tests {
                 slots: 1,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -747,6 +749,7 @@ mod tests {
                 slots: 2,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -830,6 +833,7 @@ mod tests {
                 slots: 1,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -892,6 +896,7 @@ mod tests {
                 slots,
                 max_steps: 100_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();

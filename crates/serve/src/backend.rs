@@ -20,9 +20,21 @@
 //!   extended to multi-tenant serving and measured on the host by the
 //!   `bench_decode` bin.
 //!
-//! Both backends reuse an internal decode workspace across engine steps,
+//! Both backends reuse internal decode workspaces across engine steps,
 //! so the batched forward allocates nothing in steady state (pinned by
 //! counting-allocator tests in the model and quant crates).
+//!
+//! Backends can additionally be *pooled*
+//! ([`DecodeBackend::attach_pool`]): the engine hands every registered
+//! backend one shared [`WorkerPool`], and a pooled backend shards each
+//! batched step across the pool's threads through the parallel drivers
+//! (`lightmamba_model::par`). Each worker owns its own workspace —
+//! handed out `&mut`-disjoint by `WorkerPool::run_over`, so no
+//! `RefCell` ever crosses a thread boundary — and the sharded step is
+//! **bit-identical** to the sequential one for any thread count
+//! (per-sequence arithmetic is independent; sharding only partitions
+//! the batch). Pinned by the pooled-equivalence tests below and the
+//! engine-level 1-vs-N-thread proptests.
 //!
 //! Backends are multiplexed over one slot pool by
 //! [`crate::registry::ModelRegistry`]. To add a third backend (say a GPU
@@ -30,12 +42,14 @@
 //! scheduler, and cost model need no changes.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use lightmamba_accel::arch::{AcceleratorConfig, HwPrecision};
 use lightmamba_accel::platform::Platform;
-use lightmamba_model::{DecodeWorkspace, MambaConfig, MambaModel, ModelState};
+use lightmamba_model::{DecodeWorkspace, MambaConfig, MambaModel, ModelState, ParDecodeWorkspace};
+use lightmamba_pool::WorkerPool;
 use lightmamba_quant::qmodel::QuantWorkspace;
-use lightmamba_quant::QuantizedMamba;
+use lightmamba_quant::{ParQuantWorkspace, QuantizedMamba};
 
 use crate::error::ServeError;
 
@@ -300,21 +314,53 @@ pub trait DecodeBackend: Send {
             .collect())
     }
 
+    /// Attaches a shared worker pool for multi-core engine steps. The
+    /// default ignores it — a backend opts into parallel execution by
+    /// storing the pool and routing its batched calls through the
+    /// sharded drivers (both shipped backends do). Implementations must
+    /// keep pooled output **bit-identical** to the single-thread path:
+    /// attaching a pool may change how fast a step runs, never what a
+    /// request generates.
+    fn attach_pool(&mut self, _pool: &Arc<WorkerPool>) {}
+
+    /// Threads this backend's batched calls execute on (1 = no pool
+    /// attached, sequential execution).
+    fn pool_threads(&self) -> usize {
+        1
+    }
+
     /// Pricing profile for the accelerator cost model.
     fn cost_profile(&self) -> CostProfile;
 }
 
+/// Workspace pair of a backend: the sequential single-workspace path
+/// plus the per-shard parallel workspaces. Both live behind one
+/// `RefCell` because the trait takes `&self` and the engine serializes
+/// all backend calls, so the borrow is never contended. On the pooled
+/// path the parallel workspaces are handed to the worker pool
+/// one-per-shard as disjoint `&mut`s (`WorkerPool::run_over`), so the
+/// `RefCell` itself never crosses a thread boundary — only plain
+/// mutable borrows of its interior do.
+#[derive(Debug, Clone, Default)]
+struct Workspaces<Seq, Par> {
+    seq: Seq,
+    par: Par,
+}
+
 /// The FP reference backend over [`MambaModel`]'s batched decode.
 ///
-/// The backend owns a reusable [`DecodeWorkspace`] (behind a `RefCell`
-/// since the trait takes `&self`), so every engine step runs the
-/// allocation-free `_with` decode path: residual streams, kernel
-/// scratch, and the validation bitmap are reused across steps, and only
-/// the returned logits vectors allocate.
+/// The backend owns reusable workspaces (behind a `RefCell` since the
+/// trait takes `&self`), so every engine step runs the allocation-free
+/// `_with` decode path: residual streams, kernel scratch, and the
+/// validation bitmap are reused across steps, and only the returned
+/// logits vectors allocate. With a pool attached
+/// ([`DecodeBackend::attach_pool`]), multi-sequence steps shard across
+/// the pool's threads — bit-identically to the sequential path.
 #[derive(Debug, Clone)]
 pub struct FpBackend<'m> {
     model: &'m MambaModel,
-    ws: RefCell<DecodeWorkspace>,
+    ws: RefCell<Workspaces<DecodeWorkspace, ParDecodeWorkspace>>,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl<'m> FpBackend<'m> {
@@ -322,7 +368,8 @@ impl<'m> FpBackend<'m> {
     pub fn new(model: &'m MambaModel) -> Self {
         FpBackend {
             model,
-            ws: RefCell::new(DecodeWorkspace::new()),
+            ws: RefCell::new(Workspaces::default()),
+            pool: None,
         }
     }
 
@@ -351,12 +398,21 @@ impl DecodeBackend for FpBackend<'_> {
         states: &mut [ModelState],
     ) -> Result<Vec<(usize, Vec<f32>)>, ServeError> {
         let mut ws = self.ws.borrow_mut();
+        if let Some(pool) = self.pool.as_ref().filter(|_| items.len() > 1) {
+            self.model
+                .forward_step_batch_indexed_par_with(items, states, pool, &mut ws.par)?;
+            return Ok(items
+                .iter()
+                .map(|&(slot, _)| slot)
+                .zip(ws.par.logits().cloned())
+                .collect());
+        }
         self.model
-            .forward_step_batch_indexed_with(items, states, &mut ws)?;
+            .forward_step_batch_indexed_with(items, states, &mut ws.seq)?;
         Ok(items
             .iter()
             .map(|&(slot, _)| slot)
-            .zip(ws.logits().iter().cloned())
+            .zip(ws.seq.logits().iter().cloned())
             .collect())
     }
 
@@ -365,9 +421,25 @@ impl DecodeBackend for FpBackend<'_> {
         prompts: &[&[u32]],
         states: &mut [ModelState],
     ) -> Result<Vec<Vec<f32>>, ServeError> {
-        Ok(self
-            .model
-            .prefill_batch_with(prompts, states, &mut self.ws.borrow_mut())?)
+        let mut ws = self.ws.borrow_mut();
+        match self.pool.as_ref().filter(|_| prompts.len() > 1) {
+            Some(pool) => {
+                Ok(self
+                    .model
+                    .prefill_batch_par_with(prompts, states, pool, &mut ws.par)?)
+            }
+            None => Ok(self
+                .model
+                .prefill_batch_with(prompts, states, &mut ws.seq)?),
+        }
+    }
+
+    fn attach_pool(&mut self, pool: &Arc<WorkerPool>) {
+        self.pool = (pool.threads() > 1).then(|| Arc::clone(pool));
+    }
+
+    fn pool_threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -395,7 +467,8 @@ pub struct W4A4Backend {
     model: QuantizedMamba,
     name: String,
     profile: CostProfile,
-    ws: RefCell<QuantWorkspace>,
+    ws: RefCell<Workspaces<QuantWorkspace, ParQuantWorkspace>>,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl W4A4Backend {
@@ -418,7 +491,8 @@ impl W4A4Backend {
             model,
             name,
             profile,
-            ws: RefCell::new(QuantWorkspace::new()),
+            ws: RefCell::new(Workspaces::default()),
+            pool: None,
         }
     }
 
@@ -447,12 +521,21 @@ impl DecodeBackend for W4A4Backend {
         states: &mut [ModelState],
     ) -> Result<Vec<(usize, Vec<f32>)>, ServeError> {
         let mut ws = self.ws.borrow_mut();
+        if let Some(pool) = self.pool.as_ref().filter(|_| items.len() > 1) {
+            self.model
+                .forward_step_batch_indexed_par_with(items, states, pool, &mut ws.par)?;
+            return Ok(items
+                .iter()
+                .map(|&(slot, _)| slot)
+                .zip(ws.par.logits().cloned())
+                .collect());
+        }
         self.model
-            .forward_step_batch_indexed_with(items, states, &mut ws)?;
+            .forward_step_batch_indexed_with(items, states, &mut ws.seq)?;
         Ok(items
             .iter()
             .map(|&(slot, _)| slot)
-            .zip(ws.logits().iter().cloned())
+            .zip(ws.seq.logits().iter().cloned())
             .collect())
     }
 
@@ -461,9 +544,25 @@ impl DecodeBackend for W4A4Backend {
         prompts: &[&[u32]],
         states: &mut [ModelState],
     ) -> Result<Vec<Vec<f32>>, ServeError> {
-        Ok(self
-            .model
-            .prefill_batch_with(prompts, states, &mut self.ws.borrow_mut())?)
+        let mut ws = self.ws.borrow_mut();
+        match self.pool.as_ref().filter(|_| prompts.len() > 1) {
+            Some(pool) => {
+                Ok(self
+                    .model
+                    .prefill_batch_par_with(prompts, states, pool, &mut ws.par)?)
+            }
+            None => Ok(self
+                .model
+                .prefill_batch_with(prompts, states, &mut ws.seq)?),
+        }
+    }
+
+    fn attach_pool(&mut self, pool: &Arc<WorkerPool>) {
+        self.pool = (pool.threads() > 1).then(|| Arc::clone(pool));
+    }
+
+    fn pool_threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -562,6 +661,47 @@ mod tests {
                 .forward_step_batch_indexed(&[(0, 7)], &mut reference)
                 .unwrap();
             assert_eq!(resumed, expect, "{} diverged after resume", backend.name());
+        }
+    }
+
+    #[test]
+    fn pooled_backends_match_sequential_bitwise() {
+        // Attach a 4-thread pool to one copy of each backend and drive
+        // the same multi-sequence prefill + decode through both copies:
+        // outputs and final states must be bit-identical, because
+        // sharding only partitions the batch.
+        let model = tiny_model();
+        let q = quantize_model(&model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[]).unwrap();
+        let pool = Arc::new(WorkerPool::new(4));
+        let mut fp_pooled = FpBackend::new(&model);
+        let mut w4_pooled = W4A4Backend::new(q.clone());
+        fp_pooled.attach_pool(&pool);
+        w4_pooled.attach_pool(&pool);
+        assert_eq!(fp_pooled.pool_threads(), 4);
+        let fp_seq = FpBackend::new(&model);
+        let w4_seq = W4A4Backend::new(q);
+        assert_eq!(fp_seq.pool_threads(), 1);
+        let pairs: [(&dyn DecodeBackend, &dyn DecodeBackend); 2] =
+            [(&fp_pooled, &fp_seq), (&w4_pooled, &w4_seq)];
+        for (pooled, seq) in pairs {
+            let prompts: Vec<Vec<u32>> = (0..5).map(|k| vec![1 + k, 2 + k, 3]).collect();
+            let prompt_refs: Vec<&[u32]> = prompts.iter().map(|p| &p[..]).collect();
+            let mut sp = vec![pooled.new_state(); 5];
+            let mut ss = vec![seq.new_state(); 5];
+            let pre_p = pooled.prefill_batch(&prompt_refs, &mut sp).unwrap();
+            let pre_s = seq.prefill_batch(&prompt_refs, &mut ss).unwrap();
+            assert_eq!(pre_p, pre_s, "{} prefill diverged", pooled.name());
+            for t in 0..4u32 {
+                let items: Vec<(usize, u32)> = (0..5).map(|k| (k, 10 + t)).collect();
+                let out_p = pooled.forward_step_batch_indexed(&items, &mut sp).unwrap();
+                let out_s = seq.forward_step_batch_indexed(&items, &mut ss).unwrap();
+                assert_eq!(out_p, out_s, "{} step {t} diverged", pooled.name());
+            }
+            for (a, b) in sp.iter().zip(&ss) {
+                for (la, lb) in a.layers.iter().zip(&b.layers) {
+                    assert_eq!(la.h, lb.h);
+                }
+            }
         }
     }
 

@@ -47,6 +47,7 @@
 //! batched-vs-sequential outputs bit-for-bit.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -54,6 +55,7 @@ use rand::SeedableRng;
 
 use lightmamba_model::MambaModel;
 use lightmamba_obs::recorder::{LifecyclePhase, StepRecord};
+use lightmamba_pool::WorkerPool;
 
 use crate::backend::PausedState;
 use crate::error::ServeError;
@@ -243,6 +245,14 @@ pub struct EngineConfig {
     /// budgets speed prefill `chunk×` while bounding how long any one
     /// prompt can monopolize a step's work.
     pub prefill_chunk: usize,
+    /// Host threads executing each batched model step (≥ 1). 1 runs
+    /// every backend sequentially; larger values build one shared
+    /// [`WorkerPool`] at construction and attach it to every registered
+    /// backend, which then shard each per-model sub-batch across the
+    /// pool. Outputs are **bit-identical** for any thread count (pinned
+    /// by the engine equivalence proptests), so this knob trades host
+    /// wall-clock only — never results.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -251,6 +261,7 @@ impl Default for EngineConfig {
             slots: 16,
             max_steps: 100_000,
             prefill_chunk: 1,
+            threads: 1,
         }
     }
 }
@@ -259,6 +270,10 @@ impl Default for EngineConfig {
 pub struct ServeEngine<'m> {
     registry: ModelRegistry<'m>,
     pool: SlotPool,
+    /// The shared worker pool when [`EngineConfig::threads`] > 1; every
+    /// registered backend holds a clone and shards its sub-batches over
+    /// it. `None` means sequential execution.
+    workers: Option<Arc<WorkerPool>>,
     cfg: EngineConfig,
     /// Future arrivals, sorted by `arrival_step` (then id).
     pending: VecDeque<GenRequest>,
@@ -329,7 +344,7 @@ impl<'m> ServeEngine<'m> {
     /// Returns [`ServeError::InvalidConfig`] for a zero-slot pool, a
     /// zero prefill chunk, or an empty registry.
     pub fn with_registry(
-        registry: ModelRegistry<'m>,
+        mut registry: ModelRegistry<'m>,
         cfg: EngineConfig,
     ) -> Result<Self, ServeError> {
         if cfg.slots == 0 {
@@ -340,16 +355,27 @@ impl<'m> ServeEngine<'m> {
                 "prefill chunk of 0 tokens per step".into(),
             ));
         }
+        if cfg.threads == 0 {
+            return Err(ServeError::InvalidConfig(
+                "engine with 0 threads (1 = sequential)".into(),
+            ));
+        }
         if registry.is_empty() {
             return Err(ServeError::InvalidConfig(
                 "engine needs at least one registered model".into(),
             ));
         }
+        let workers = (cfg.threads > 1).then(|| {
+            let pool = Arc::new(WorkerPool::new(cfg.threads));
+            registry.attach_pool(&pool);
+            pool
+        });
         let template = registry.new_state();
         let n_models = registry.len();
         Ok(ServeEngine {
             registry,
             pool: SlotPool::new(&template, cfg.slots),
+            workers,
             cfg,
             pending: VecDeque::new(),
             waiting: Vec::new(),
@@ -379,6 +405,12 @@ impl<'m> ServeEngine<'m> {
     /// The registry of backends this engine multiplexes.
     pub fn registry(&self) -> &ModelRegistry<'m> {
         &self.registry
+    }
+
+    /// Threads executing each batched model step (1 = sequential; see
+    /// [`EngineConfig::threads`]).
+    pub fn worker_threads(&self) -> usize {
+        self.workers.as_ref().map_or(1, |p| p.threads())
     }
 
     /// Submits requests; they enter the waiting queue at their
@@ -1036,6 +1068,7 @@ impl<'m> ServeEngine<'m> {
         let mut sub_batches = vec![0usize; self.registry.len()];
         let mut sub_processed = vec![0usize; self.registry.len()];
         let mut step_logits: Vec<Option<Vec<f32>>> = vec![None; total_batch];
+        let mut step_shards = 0u64;
         for (mid, _, backend) in self.registry.iter() {
             let idxs: Vec<usize> = (0..self.active.len())
                 .filter(|&i| self.active[i].req.model == mid)
@@ -1059,10 +1092,18 @@ impl<'m> ServeEngine<'m> {
             sub_batches[mid] = idxs.len();
             sub_processed[mid] = fed;
             self.processed_per_model[mid] += fed as u64;
+            // Worker shards this sub-batch ran on: the pool never uses
+            // more shards than sequences (mirrors the backend's
+            // contiguous shard plan); 1 on the sequential path.
+            step_shards += backend.pool_threads().min(idxs.len()) as u64;
             for (&i, (slot, logits)) in idxs.iter().zip(results) {
                 debug_assert_eq!(self.active[i].slot, slot);
                 step_logits[i] = Some(logits);
             }
+        }
+        let worker_threads = self.worker_threads();
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.pool_activity(worker_threads, step_shards);
         }
 
         self.obs_end();
@@ -1445,6 +1486,54 @@ mod tests {
     }
 
     #[test]
+    fn thread_knob_is_validated_and_reported() {
+        let model = tiny_model();
+        let cfg = |threads| EngineConfig {
+            slots: 2,
+            max_steps: 100,
+            prefill_chunk: 1,
+            threads,
+        };
+        let err = ServeEngine::new(&model, cfg(0)).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)));
+        assert_eq!(
+            ServeEngine::new(&model, cfg(1)).unwrap().worker_threads(),
+            1
+        );
+        assert_eq!(
+            ServeEngine::new(&model, cfg(4)).unwrap().worker_threads(),
+            4
+        );
+    }
+
+    #[test]
+    fn threaded_engine_matches_single_thread_outputs() {
+        // The same burst through a 1-thread and a 4-thread engine:
+        // every completion's token stream must be bit-identical, because
+        // sharding only partitions each step's batch.
+        let model = tiny_model();
+        let reqs = burst_requests(8, 5, 6);
+        let run = |threads: usize| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig {
+                    slots: 4,
+                    max_steps: 10_000,
+                    prefill_chunk: 2,
+                    threads,
+                },
+            )
+            .unwrap();
+            engine.submit(reqs.clone()).unwrap();
+            engine.run(&mut Fifo).unwrap();
+            let mut done = engine.completions().to_vec();
+            done.sort_by_key(|c| c.id);
+            done.into_iter().map(|c| c.tokens).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
     fn drains_a_burst_and_matches_sequential_outputs() {
         let model = tiny_model();
         let reqs = burst_requests(6, 4, 5);
@@ -1454,6 +1543,7 @@ mod tests {
                 slots: 3,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -1491,6 +1581,7 @@ mod tests {
                     slots: 3,
                     max_steps: 10_000,
                     prefill_chunk: chunk,
+                    threads: 1,
                 },
             )
             .unwrap();
@@ -1552,6 +1643,7 @@ mod tests {
                     slots: 4,
                     max_steps: 10_000,
                     prefill_chunk: 1,
+                    threads: 1,
                 },
             )
             .unwrap();
@@ -1582,6 +1674,7 @@ mod tests {
                     slots: 2,
                     max_steps: 10_000,
                     prefill_chunk: 2,
+                    threads: 1,
                 },
             )
             .unwrap();
@@ -1612,6 +1705,7 @@ mod tests {
                 slots: 2,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -1650,6 +1744,7 @@ mod tests {
                 slots: 1,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -1694,6 +1789,7 @@ mod tests {
                     slots: 2,
                     max_steps: 10_000,
                     prefill_chunk: 1,
+                    threads: 1,
                 },
             )
             .unwrap();
@@ -1728,6 +1824,7 @@ mod tests {
                 slots: 2,
                 max_steps: 100,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -1745,6 +1842,7 @@ mod tests {
                 slots: 2,
                 max_steps: 100,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -1789,6 +1887,7 @@ mod tests {
                 slots: 8,
                 max_steps: 150,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -1827,6 +1926,7 @@ mod tests {
                 slots: 2,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -1856,6 +1956,7 @@ mod tests {
                     slots: 1,
                     max_steps: 10_000,
                     prefill_chunk: 1,
+                    threads: 1,
                 },
             )
             .unwrap();
@@ -1920,6 +2021,7 @@ mod tests {
                     slots: 1,
                     max_steps: 10_000,
                     prefill_chunk: 1,
+                    threads: 1,
                 },
             )
             .unwrap();
@@ -1960,6 +2062,7 @@ mod tests {
                 slots: 2,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -1994,6 +2097,7 @@ mod tests {
                 slots: 1,
                 max_steps: 1_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -2021,6 +2125,7 @@ mod tests {
                 slots: 1,
                 max_steps: 1_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -2069,6 +2174,7 @@ mod tests {
                 slots: 2,
                 max_steps: 5,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -2100,6 +2206,7 @@ mod tests {
                 slots: 3,
                 max_steps: 10_000,
                 prefill_chunk: 2,
+                threads: 1,
             },
         )
         .unwrap();
@@ -2184,6 +2291,7 @@ mod tests {
                 slots: 0,
                 max_steps: 1,
                 prefill_chunk: 1,
+                threads: 1,
             }
         )
         .is_err());
@@ -2193,6 +2301,7 @@ mod tests {
                 slots: 2,
                 max_steps: 1,
                 prefill_chunk: 0,
+                threads: 1,
             }
         )
         .is_err());
@@ -2211,6 +2320,7 @@ mod tests {
                 slots: 1,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -2271,6 +2381,7 @@ mod tests {
                 slots: 1,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -2316,6 +2427,7 @@ mod tests {
             slots: 1,
             max_steps: 10_000,
             prefill_chunk: 1,
+            threads: 1,
         };
 
         // Turn 1 completes into a snapshot; turn 2 resumes it.
@@ -2386,6 +2498,7 @@ mod tests {
                 slots: 2,
                 max_steps: 100_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -2433,6 +2546,7 @@ mod tests {
                 slots: 1,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();
@@ -2452,6 +2566,7 @@ mod tests {
                 slots: 1,
                 max_steps: 10_000,
                 prefill_chunk: 1,
+                threads: 1,
             },
         )
         .unwrap();

@@ -142,7 +142,7 @@ pub struct FrontendRun {
 ///     .map_err(lightmamba_serve::ServeError::from)?;
 /// let engine = ServeEngine::new(
 ///     &model,
-///     EngineConfig { slots: 2, max_steps: 10_000, prefill_chunk: 4 },
+///     EngineConfig { slots: 2, max_steps: 10_000, prefill_chunk: 4, threads: 1 },
 /// )?;
 /// let (tokens, run) = run_frontend(
 ///     engine,
@@ -368,6 +368,7 @@ mod tests {
                 slots,
                 max_steps: 50_000,
                 prefill_chunk: 4,
+                threads: 1,
             },
         )
         .unwrap()

@@ -71,7 +71,7 @@
 //!     TrafficGenerator::new(TrafficScenario::burst(8), model.config().vocab_size, 1);
 //! let mut engine = ServeEngine::new(
 //!     &model,
-//!     EngineConfig { slots: 4, max_steps: 50_000, prefill_chunk: 4 },
+//!     EngineConfig { slots: 4, max_steps: 50_000, prefill_chunk: 4, threads: 1 },
 //! )?;
 //! engine.submit(traffic.generate(1))?;
 //! let report = engine.run(&mut Fifo)?;
@@ -97,6 +97,7 @@ pub mod slots;
 pub mod traffic;
 
 pub use error::ServeError;
+pub use lightmamba_pool::WorkerPool;
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -200,7 +200,7 @@ pub struct ClassBreakdown {
 /// let model = MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(1))?;
 /// let mut engine = ServeEngine::new(
 ///     &model,
-///     EngineConfig { slots: 2, max_steps: 10_000, prefill_chunk: 2 },
+///     EngineConfig { slots: 2, max_steps: 10_000, prefill_chunk: 2, threads: 1 },
 /// )?;
 /// engine.submit(vec![
 ///     GenRequest::greedy(0, vec![1, 2, 3], 4).with_deadline(100),

@@ -82,6 +82,8 @@ struct Ids {
     session_parks: CounterId,
     session_restores: CounterId,
     slo_violations: CounterId,
+    pool_threads: GaugeId,
+    par_shards: CounterId,
     queue_depth: GaugeId,
     paused_depth: GaugeId,
     active_seqs: GaugeId,
@@ -174,6 +176,14 @@ impl EngineObs {
                 "engine_slo_violations_total",
                 "Completions that breached a configured TTFT/e2e SLO.",
             ),
+            pool_threads: m.gauge(
+                "engine_pool_threads",
+                "Worker threads executing batched model steps (1 = sequential).",
+            ),
+            par_shards: m.counter(
+                "engine_par_shards_total",
+                "Worker shards sub-batches were split across (1 per sub-batch when sequential).",
+            ),
             queue_depth: m.gauge("engine_queue_depth", "Waiting requests at step close."),
             paused_depth: m.gauge("engine_paused_depth", "Paused sequences at step close."),
             active_seqs: m.gauge(
@@ -251,6 +261,15 @@ impl EngineObs {
     #[inline]
     pub(crate) fn session_restore(&mut self) {
         self.metrics.inc(self.ids.session_restores);
+    }
+
+    /// Records one step's parallel-execution activity: the pool width
+    /// and how many worker shards this step's sub-batches split across
+    /// (hot path, allocation-free).
+    #[inline]
+    pub(crate) fn pool_activity(&mut self, threads: usize, shards: u64) {
+        self.metrics.set(self.ids.pool_threads, threads as f64);
+        self.metrics.add(self.ids.par_shards, shards);
     }
 
     /// Closes one engine step: folds the step's record, the requests

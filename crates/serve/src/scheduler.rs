@@ -175,7 +175,7 @@ impl AdmissionCtx<'_> {
 /// let model = MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(1))?;
 /// let mut engine = ServeEngine::new(
 ///     &model,
-///     EngineConfig { slots: 1, max_steps: 10_000, prefill_chunk: 1 },
+///     EngineConfig { slots: 1, max_steps: 10_000, prefill_chunk: 1, threads: 1 },
 /// )?;
 /// // The long job arrives first; shortest-job-first runs it last.
 /// engine.submit(vec![

@@ -37,6 +37,7 @@ fn churny_run(cfg: ObsConfig) -> (ServeReport, Box<EngineObs>) {
             slots: 4,
             max_steps: 100_000,
             prefill_chunk: 4,
+            threads: 1,
         },
     )
     .unwrap();

@@ -119,7 +119,7 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::new(
             &model,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
         ).unwrap();
         engine.submit(requests).unwrap();
         let report = engine.run(&mut Fifo).unwrap();
@@ -148,7 +148,7 @@ proptest! {
         let requests = build_requests(&spec);
         let mut engine = ServeEngine::new(
             &model,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut sched = Fifo;
@@ -283,7 +283,7 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut sched = Fifo;
@@ -326,7 +326,7 @@ proptest! {
         let run = |sched: &mut dyn Policy| {
             let mut engine = ServeEngine::new(
                 &model,
-                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
+                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
             ).unwrap();
             engine.submit(requests.clone()).unwrap();
             engine.run(sched).unwrap();
@@ -354,7 +354,7 @@ proptest! {
         let run = |chunk: usize| {
             let mut engine = ServeEngine::new(
                 &model,
-                EngineConfig { slots, max_steps: 200_000, prefill_chunk: chunk },
+                EngineConfig { slots, max_steps: 200_000, prefill_chunk: chunk, threads: 1 },
             ).unwrap();
             engine.submit(requests.clone()).unwrap();
             engine.run(&mut Fifo).unwrap();
@@ -399,7 +399,7 @@ proptest! {
         let run = |policy: &mut dyn Policy| {
             let mut engine = ServeEngine::new(
                 &model,
-                EngineConfig { slots, max_steps: 50_000, prefill_chunk: chunk },
+                EngineConfig { slots, max_steps: 50_000, prefill_chunk: chunk, threads: 1 },
             ).unwrap();
             engine.submit(requests.clone()).unwrap();
             engine.run(policy).unwrap()
@@ -431,7 +431,7 @@ proptest! {
             .collect();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots: 6, max_steps: 400, prefill_chunk: 1 },
+            EngineConfig { slots: 6, max_steps: 400, prefill_chunk: 1, threads: 1 },
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut wfq = WeightedFair::new(vec![weight as f64, 1.0]);
@@ -473,7 +473,7 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: chunk },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: chunk, threads: 1 },
         ).unwrap();
         engine.submit(requests.clone()).unwrap();
         let report = engine.run(&mut ChurnFifo::new(schedule)).unwrap();
@@ -542,7 +542,7 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut policy = ChurnFifo::new(schedule);
@@ -611,7 +611,7 @@ proptest! {
                 }
                 reg
             };
-            let cfg = EngineConfig { slots: 1, max_steps: 200_000, prefill_chunk: chunk };
+            let cfg = EngineConfig { slots: 1, max_steps: 200_000, prefill_chunk: chunk, threads: 1 };
 
             // Turn 1 parks its state; turn 2 resumes it.
             let mut engine = ServeEngine::with_registry(make_reg(), cfg).unwrap();
@@ -683,7 +683,7 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut policy = ChurnFifo::new(schedule);
@@ -767,6 +767,63 @@ proptest! {
     }
 
     #[test]
+    fn thread_count_never_changes_outputs_under_churn(
+        spec in workload(),
+        slots in 2usize..5,
+        schedule in churn_schedule(),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 14),
+        cancel_gap in 1u64..6,
+    ) {
+        // The worker pool shards each sub-batch across threads but keeps
+        // per-sequence arithmetic untouched, so a 4-thread engine must be
+        // bit-identical to the sequential one under *any* interleaving of
+        // preemption churn, client cancellation, and session retirement —
+        // on both the FP and the packed-integer backends.
+        let model = tiny_model();
+        let q = tiny_w4a4(&model);
+        let run = |threads: usize| {
+            let mut reg = ModelRegistry::new();
+            reg.register("fp", Box::new(FpBackend::new(&model))).unwrap();
+            reg.register("w4a4", Box::new(W4A4Backend::new(q.clone()))).unwrap();
+            let mut requests = build_requests(&spec);
+            for r in &mut requests {
+                r.model = (r.id % 2) as usize;
+                if r.id % 3 == 0 {
+                    r.session = Some(r.id / 3);
+                }
+            }
+            let mut engine = ServeEngine::with_registry(
+                reg,
+                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 2, threads },
+            ).unwrap();
+            engine.submit(requests).unwrap();
+            let mut policy = ChurnFifo::new(schedule.clone());
+            let mut steps = 0u64;
+            let mut next_cancel = 0usize;
+            while engine.has_work() && steps < 200_000 {
+                if steps % cancel_gap == 0 && next_cancel < cancel_mask.len() {
+                    if cancel_mask[next_cancel] {
+                        engine.cancel(next_cancel as u64);
+                    }
+                    next_cancel += 1;
+                }
+                engine.step(&mut policy).unwrap();
+                steps += 1;
+            }
+            let mut done: Vec<_> = engine
+                .completions()
+                .iter()
+                .map(|c| (c.id, c.finish, c.tokens.clone()))
+                .collect();
+            done.sort_by_key(|&(id, ..)| id);
+            done
+        };
+        let sequential = run(1);
+        let threaded = run(4);
+        prop_assert_eq!(sequential, threaded);
+    }
+
+    #[test]
     fn wfq_accounting_stays_consistent_under_cancellation(
         spec in workload(),
         slots in 1usize..5,
@@ -787,7 +844,7 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut wfq = WeightedFair::equal();
@@ -860,7 +917,7 @@ proptest! {
             .collect();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots: 6, max_steps: 400, prefill_chunk: 1 },
+            EngineConfig { slots: 6, max_steps: 400, prefill_chunk: 1, threads: 1 },
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut policy = ChurnWfq {
@@ -909,6 +966,7 @@ fn edf_strictly_beats_fifo_on_the_deadline_heavy_scenario() {
                 slots: 16,
                 max_steps: 1_000_000,
                 prefill_chunk: 4,
+                threads: 1,
             },
         )
         .unwrap();
@@ -975,6 +1033,7 @@ fn preemptive_edf_strictly_beats_plain_edf_on_the_preemption_heavy_scenario() {
                 slots: 8,
                 max_steps: 1_000_000,
                 prefill_chunk: 4,
+                threads: 1,
             },
         )
         .unwrap();

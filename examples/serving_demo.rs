@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example serving_demo
 //! [-- --backend fp|w4a4|mux
 //!     --policy fifo|edf|edf-preempt|priority|priority-preempt|wfq
-//!     --prefill-chunk K]`
+//!     --prefill-chunk K --threads N]`
 //! (defaults: `mux` — FP + W4A4 sharing one pool — under `fifo` with
 //! chunk 4). The chosen policy is compared against the static-batching
 //! baseline on the same trace; preemptive policies additionally report
@@ -83,6 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 slots: 8,
                 max_steps: 1_000_000,
                 prefill_chunk: args.prefill_chunk,
+                threads: args.threads,
             },
         )?;
         engine.submit(requests.clone())?;
@@ -168,6 +169,7 @@ struct Args {
     backend: String,
     policy: String,
     prefill_chunk: usize,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
@@ -176,6 +178,7 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
         backend: "mux".to_string(),
         policy: "fifo".to_string(),
         prefill_chunk: 4,
+        threads: 1,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -204,6 +207,13 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
                     .ok_or("--prefill-chunk needs a positive integer")?;
                 i += 2;
             }
+            "--threads" => {
+                args.threads = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a positive integer")?;
+                i += 2;
+            }
             other => return Err(format!("unknown argument {other:?}").into()),
         }
     }
@@ -218,6 +228,9 @@ fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
     policy_by_name(&args.policy).map_err(|e| e.to_string())?;
     if args.prefill_chunk == 0 {
         return Err("--prefill-chunk must be positive".into());
+    }
+    if args.threads == 0 {
+        return Err("--threads must be positive".into());
     }
     Ok(args)
 }

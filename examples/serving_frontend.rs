@@ -87,6 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             slots: 8,
             max_steps: 1_000_000,
             prefill_chunk: 4,
+            threads: 1,
         },
     )?;
 
