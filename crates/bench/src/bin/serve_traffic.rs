@@ -31,6 +31,14 @@
 //!   fraction of the sessions mid-decode;
 //! * `--cancel-rate R` (default 0) — fraction of sessions in the
 //!   session study whose client hangs up mid-first-turn;
+//! * `--chaos` — also run the chaos study: the same deadline-heavy
+//!   traffic with a seeded fault schedule (injected step errors, backend
+//!   panics, latency spikes, restore corruption) fired against both
+//!   backends, under quarantine + bounded-queue shedding versus no
+//!   mitigation on the identical schedule;
+//! * `--fault-rate R` (default 0.05) — approximate fraction of engine
+//!   steps covered by a fault window in the chaos study;
+//! * `--seed S` (default 7) — seed of the chaos study's fault schedule;
 //! * `--metrics-dump PATH` — write the instrumented headline run's
 //!   Prometheus-style metrics snapshot to `PATH`;
 //! * `--trace-out PATH` — write the instrumented headline run's
@@ -44,8 +52,9 @@
 //! deadline-hit-rate plus the observability study's bare-vs-
 //! instrumented step-rate overhead, (full mode) the FP-vs-W4A4 serving
 //! gap, (with `--preempt`) the preemption study's hit rates and pause
-//! traffic, and (with `--sessions`) the session study's resume-vs-
-//! re-prefill TTFT gap and cancellation waste.
+//! traffic, (with `--sessions`) the session study's resume-vs-
+//! re-prefill TTFT gap and cancellation waste, and (with `--chaos`) the
+//! chaos study's availability and goodput with and without mitigation.
 
 use lightmamba::report::render_table;
 use lightmamba_accel::arch::AcceleratorConfig;
@@ -91,6 +100,9 @@ struct Args {
     preempt: bool,
     sessions: bool,
     cancel_rate: f64,
+    chaos: bool,
+    fault_rate: f64,
+    seed: u64,
     metrics_dump: Option<String>,
     trace_out: Option<String>,
     smoke: bool,
@@ -107,6 +119,9 @@ fn parse_args() -> Args {
         preempt: false,
         sessions: false,
         cancel_rate: 0.0,
+        chaos: false,
+        fault_rate: 0.05,
+        seed: 7,
         metrics_dump: None,
         trace_out: None,
         smoke: false,
@@ -153,6 +168,24 @@ fn parse_args() -> Args {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .expect("--cancel-rate needs a number in [0, 1)");
+                i += 2;
+            }
+            "--chaos" => {
+                args.chaos = true;
+                i += 1;
+            }
+            "--fault-rate" => {
+                args.fault_rate = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fault-rate needs a number in (0, 1]");
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a non-negative integer");
                 i += 2;
             }
             "--metrics-dump" => {
@@ -210,6 +243,10 @@ fn parse_args() -> Args {
     assert!(
         (0.0..1.0).contains(&args.cancel_rate),
         "--cancel-rate must be in [0, 1)"
+    );
+    assert!(
+        args.fault_rate > 0.0 && args.fault_rate <= 1.0,
+        "--fault-rate must be in (0, 1]"
     );
     args
 }
@@ -277,6 +314,12 @@ fn main() {
             &vck_platform,
             &big,
         ));
+    }
+
+    // Chaos study: the same traffic under a seeded fault schedule, with
+    // and without quarantine + shedding on the identical schedule.
+    if args.chaos {
+        json_fields.push(chaos_study(&args, &model, &quantized));
     }
 
     if !args.smoke {
@@ -634,6 +677,170 @@ fn preemption_study(
         )
     );
     format!("\"preempt\":{{{}}}", json.join(","))
+}
+
+/// `--chaos`: the deadline-heavy mix with a seeded fault schedule —
+/// injected step errors, backend panics, latency spikes, and restore
+/// corruption on both backends — run twice on the *identical* schedule:
+/// once with quarantine + bounded-queue shedding, once with the fault
+/// layer containing but never mitigating
+/// ([`lightmamba_serve::resilience::ResilienceConfig::none`]).
+/// The headline is the availability/goodput gap mitigation buys.
+/// Returns the JSON fragment.
+fn chaos_study(args: &Args, model: &MambaModel, quantized: &QuantizedMamba) -> String {
+    use lightmamba_serve::chaos::{ChaosBackend, FaultKind, FaultPlan};
+    use lightmamba_serve::metrics::ServeReport;
+    use lightmamba_serve::resilience::ResilienceConfig;
+
+    let horizon: u64 = if args.smoke { 150 } else { 400 };
+    // The schedule outlives the arrival window so faults also land on
+    // the drain tail, exactly like a transient that ignores load.
+    let plan_fp = FaultPlan::seeded(args.seed, horizon + 200, args.fault_rate);
+    let plan_w4 = FaultPlan::seeded(args.seed ^ 0x9e37_79b9, horizon + 200, args.fault_rate);
+    let panic_windows = [&plan_fp, &plan_w4]
+        .iter()
+        .flat_map(|p| p.windows())
+        .filter(|w| w.kind == FaultKind::Panic)
+        .count();
+    println!();
+    println!(
+        "chaos study: deadline_heavy traffic (0.5 req/step over {horizon} steps, 16 slots, \
+         fp+w4a4 pool) under a seeded fault schedule (seed {}, rate {:.2}: {} windows on fp, \
+         {} on w4a4, {panic_windows} of them worker panics) — quarantine+shedding vs no \
+         mitigation on the identical schedule",
+        args.seed,
+        args.fault_rate,
+        plan_fp.windows().len(),
+        plan_w4.windows().len(),
+    );
+
+    let run = |resilience: ResilienceConfig| {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register(
+                "fp",
+                Box::new(ChaosBackend::new(
+                    Box::new(FpBackend::new(model)),
+                    plan_fp.clone(),
+                )),
+            )
+            .expect("fresh registry");
+        registry
+            .register(
+                "w4a4",
+                Box::new(ChaosBackend::new(
+                    Box::new(W4A4Backend::new(quantized.clone())),
+                    plan_w4.clone(),
+                )),
+            )
+            .expect("fresh registry");
+        let mut traffic = TrafficGenerator::new(
+            TrafficScenario::deadline_heavy(0.5),
+            model.config().vocab_size,
+            7,
+        )
+        .with_models(2);
+        let mut engine = ServeEngine::with_registry(
+            registry,
+            EngineConfig {
+                slots: 16,
+                max_steps: 1_000_000,
+                prefill_chunk: args.prefill_chunk,
+                threads: args.threads,
+            },
+        )
+        .expect("valid config");
+        engine.set_resilience(resilience);
+        engine
+            .submit(traffic.generate(horizon))
+            .expect("generator output is sorted");
+        engine
+            .run(&mut Fifo)
+            .expect("faults are contained: the engine itself must survive the schedule")
+    };
+
+    // The injected worker panics are caught by the engine; silence the
+    // default hook so they don't spray backtraces over the bench output.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mitigated = run(ResilienceConfig {
+        queue_limit: Some(48),
+        ..ResilienceConfig::default()
+    });
+    let exposed = run(ResilienceConfig::none());
+    std::panic::set_hook(prev_hook);
+
+    let mut rows = Vec::new();
+    for (name, r) in [("mitigated", &mitigated), ("no mitigation", &exposed)] {
+        rows.push(vec![
+            name.to_string(),
+            r.completed.to_string(),
+            r.failed.to_string(),
+            r.rejected.to_string(),
+            r.backend_faults.to_string(),
+            format!("{}/{}", r.quarantine_entries, r.quarantine_recoveries),
+            format!("{:.1}%", r.availability().unwrap_or(1.0) * 100.0),
+            format!(
+                "{:.0}% ({}/{})",
+                r.deadline_hit_rate().unwrap_or(0.0) * 100.0,
+                r.deadline_hits,
+                r.deadline_total
+            ),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "run",
+                "completed",
+                "failed",
+                "shed",
+                "faults",
+                "quarantine in/out",
+                "availability",
+                "deadline hits",
+            ],
+            &rows,
+        )
+    );
+    assert!(
+        mitigated.completed >= exposed.completed,
+        "quarantine+shedding must not lose goodput on the same fault schedule \
+         (mitigated {} vs exposed {})",
+        mitigated.completed,
+        exposed.completed
+    );
+    println!(
+        "  mitigation converted {} failures into {} extra completions on the identical schedule",
+        exposed.failed.saturating_sub(mitigated.failed),
+        mitigated.completed.saturating_sub(exposed.completed),
+    );
+
+    let frag = |name: &str, r: &ServeReport| {
+        format!(
+            "\"{}\":{{\"completed\":{},\"failed\":{},\"rejected\":{},\"backend_faults\":{},\
+             \"quarantine_entries\":{},\"quarantine_recoveries\":{},\"availability\":{:.4}}}",
+            name,
+            r.completed,
+            r.failed,
+            r.rejected,
+            r.backend_faults,
+            r.quarantine_entries,
+            r.quarantine_recoveries,
+            r.availability().unwrap_or(1.0),
+        )
+    };
+    format!(
+        "\"chaos\":{{\"seed\":{},\"fault_rate\":{:.3},\"fault_windows\":{},\"panic_windows\":{},\
+         {},{}}}",
+        args.seed,
+        args.fault_rate,
+        plan_fp.windows().len() + plan_w4.windows().len(),
+        panic_windows,
+        frag("mitigated", &mitigated),
+        frag("unmitigated", &exposed),
+    )
 }
 
 /// Outcome of one closed-loop chat run (either session path).

@@ -158,6 +158,11 @@ pub enum LifecyclePhase {
     Cancelled,
     /// Evicted by a deadline (waiting, resident, or paused).
     Expired,
+    /// Retired because its backend faulted (error or panic) while the
+    /// request was resident.
+    Failed,
+    /// Shed at admission by overload protection.
+    Rejected,
 }
 
 impl LifecyclePhase {
@@ -173,8 +178,51 @@ impl LifecyclePhase {
             LifecyclePhase::Done => "done",
             LifecyclePhase::Cancelled => "cancelled",
             LifecyclePhase::Expired => "expired",
+            LifecyclePhase::Failed => "failed",
+            LifecyclePhase::Rejected => "rejected",
         }
     }
+}
+
+/// What kind of fault-domain transition a [`FaultEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A backend advance returned an error.
+    BackendError,
+    /// A backend advance panicked (caught at the isolation boundary).
+    BackendPanic,
+    /// The backend entered quarantine.
+    Quarantined,
+    /// The backend's backoff elapsed; it is half-open awaiting a
+    /// canary probe.
+    HalfOpen,
+    /// The canary succeeded; the backend was readmitted.
+    Recovered,
+}
+
+impl FaultKind {
+    /// Stable lowercase label, used in dumps and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::BackendError => "backend_error",
+            FaultKind::BackendPanic => "backend_panic",
+            FaultKind::Quarantined => "quarantined",
+            FaultKind::HalfOpen => "half_open",
+            FaultKind::Recovered => "recovered",
+        }
+    }
+}
+
+/// One fault-domain transition (backend fault, quarantine entry/exit)
+/// at an engine step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Engine step at which the transition happened.
+    pub step: u64,
+    /// Model (fault domain) index within the registry.
+    pub model: u32,
+    /// The transition.
+    pub kind: FaultKind,
 }
 
 /// One request lifecycle transition at an engine step.
@@ -194,15 +242,18 @@ pub struct LifecycleEvent {
 pub struct FlightRecorder {
     steps: Ring<StepRecord>,
     lifecycle: Ring<LifecycleEvent>,
+    faults: Ring<FaultEvent>,
 }
 
 impl FlightRecorder {
     /// A recorder keeping the last `step_capacity` step records and the
-    /// last `event_capacity` lifecycle events.
+    /// last `event_capacity` lifecycle events. Fault-domain events are
+    /// rare, so their ring shares `event_capacity`.
     pub fn new(step_capacity: usize, event_capacity: usize) -> Self {
         FlightRecorder {
             steps: Ring::with_capacity(step_capacity),
             lifecycle: Ring::with_capacity(event_capacity),
+            faults: Ring::with_capacity(event_capacity),
         }
     }
 
@@ -223,9 +274,20 @@ impl FlightRecorder {
         &self.steps
     }
 
+    /// Records one fault-domain transition. Allocation-free.
+    #[inline]
+    pub fn record_fault(&mut self, step: u64, model: u32, kind: FaultKind) {
+        self.faults.push(FaultEvent { step, model, kind });
+    }
+
     /// The retained lifecycle events, oldest first.
     pub fn lifecycle(&self) -> &Ring<LifecycleEvent> {
         &self.lifecycle
+    }
+
+    /// The retained fault-domain events, oldest first.
+    pub fn faults(&self) -> &Ring<FaultEvent> {
+        &self.faults
     }
 
     /// The retained transitions of one request, oldest first. Earlier
@@ -284,6 +346,22 @@ impl FlightRecorder {
                 e.id,
                 e.phase.as_str()
             );
+        }
+        if !self.faults.is_empty() {
+            let _ = writeln!(
+                out,
+                "--- faults (oldest first, {} evicted) ---",
+                self.faults.evicted()
+            );
+            for e in self.faults.iter() {
+                let _ = writeln!(
+                    out,
+                    "step {:<9} model {:<3} {}",
+                    e.step,
+                    e.model,
+                    e.kind.as_str()
+                );
+            }
         }
         out
     }
@@ -363,5 +441,29 @@ mod tests {
         assert!(text.contains("2 steps retained (1 evicted)"));
         assert!(text.contains("req 42"));
         assert!(text.contains("queued"));
+        assert!(!text.contains("--- faults"), "no fault section when clean");
+    }
+
+    #[test]
+    fn fault_events_ride_their_own_ring() {
+        let mut fr = FlightRecorder::new(2, 4);
+        fr.record_fault(3, 1, FaultKind::BackendPanic);
+        fr.record_fault(3, 1, FaultKind::Quarantined);
+        fr.record_fault(19, 1, FaultKind::HalfOpen);
+        fr.record_fault(20, 1, FaultKind::Recovered);
+        let kinds: Vec<FaultKind> = fr.faults().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                FaultKind::BackendPanic,
+                FaultKind::Quarantined,
+                FaultKind::HalfOpen,
+                FaultKind::Recovered
+            ]
+        );
+        let text = fr.dump();
+        assert!(text.contains("--- faults"));
+        assert!(text.contains("backend_panic"));
+        assert!(text.contains("model 1"));
     }
 }

@@ -329,6 +329,25 @@ pub trait DecodeBackend: Send {
         1
     }
 
+    /// Engine-step heartbeat: called once per [`crate::engine::ServeEngine::step`]
+    /// for *every* registered backend, whether or not the backend has
+    /// work this step (quarantined backends included). The default is a
+    /// no-op. Fault injectors ([`crate::chaos::ChaosBackend`]) use it to
+    /// key their deterministic fault schedules to engine virtual time,
+    /// so a quarantined backend's fault window still elapses while the
+    /// engine routes around it.
+    fn on_step(&self, _clock: u64) {}
+
+    /// Post-fault recovery hook: called by the engine after an advance
+    /// on this backend returned an error or panicked, before the
+    /// backend is quarantined. Implementations discard any internal
+    /// scratch that an unwind may have left torn (the shipped backends
+    /// rebuild their `RefCell` workspaces — a `RefMut` releases its
+    /// borrow during unwind, so the borrow itself is clean, but the
+    /// workspace *contents* may hold a half-written step). This is the
+    /// cold path; allocating here is fine.
+    fn reset_after_fault(&self) {}
+
     /// Pricing profile for the accelerator cost model.
     fn cost_profile(&self) -> CostProfile;
 }
@@ -440,6 +459,13 @@ impl DecodeBackend for FpBackend<'_> {
 
     fn pool_threads(&self) -> usize {
         self.pool.as_ref().map_or(1, |p| p.threads())
+    }
+
+    fn reset_after_fault(&self) {
+        // A panic mid-step may have left half-written residual streams
+        // or shard logits in the reusable workspaces; rebuild them from
+        // scratch (cold path, re-grown lazily by the next step).
+        *self.ws.borrow_mut() = Workspaces::default();
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -563,6 +589,12 @@ impl DecodeBackend for W4A4Backend {
 
     fn pool_threads(&self) -> usize {
         self.pool.as_ref().map_or(1, |p| p.threads())
+    }
+
+    fn reset_after_fault(&self) {
+        // Same recovery as the FP backend: discard possibly-torn
+        // scratch; the next step re-grows it.
+        *self.ws.borrow_mut() = Workspaces::default();
     }
 
     fn cost_profile(&self) -> CostProfile {
@@ -702,6 +734,35 @@ mod tests {
                     assert_eq!(la.h, lb.h);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn reset_after_fault_preserves_decode_outputs() {
+        // The recovery hook discards reusable scratch, never model or
+        // sequence state: decode after a reset must stay bit-identical.
+        let model = tiny_model();
+        let q = quantize_model(&model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[]).unwrap();
+        let fp = FpBackend::new(&model);
+        let w4 = W4A4Backend::new(q);
+        for backend in [&fp as &dyn DecodeBackend, &w4 as &dyn DecodeBackend] {
+            let mut states = vec![backend.new_state()];
+            backend
+                .prefill_batch(&[&[3, 1, 4][..]], &mut states)
+                .unwrap();
+            backend.reset_after_fault();
+            let after = backend
+                .forward_step_batch_indexed(&[(0, 7)], &mut states)
+                .unwrap();
+
+            let mut reference = vec![backend.new_state()];
+            backend
+                .prefill_batch(&[&[3, 1, 4][..]], &mut reference)
+                .unwrap();
+            let expect = backend
+                .forward_step_batch_indexed(&[(0, 7)], &mut reference)
+                .unwrap();
+            assert_eq!(after, expect, "{} diverged after reset", backend.name());
         }
     }
 

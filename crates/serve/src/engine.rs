@@ -47,6 +47,7 @@
 //! batched-vs-sequential outputs bit-for-bit.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -54,7 +55,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use lightmamba_model::MambaModel;
-use lightmamba_obs::recorder::{LifecyclePhase, StepRecord};
+use lightmamba_obs::recorder::{FaultKind, LifecyclePhase, StepRecord};
 use lightmamba_pool::WorkerPool;
 
 use crate::backend::PausedState;
@@ -63,8 +64,21 @@ use crate::metrics::{ClassBreakdown, ModelBreakdown, Percentiles, RunTrace, Serv
 use crate::observe::{EngineObs, ObsConfig};
 use crate::registry::ModelRegistry;
 use crate::request::{Completion, FinishReason, GenRequest, Priority, RequestId};
+use crate::resilience::{BackendHealth, DegradationController, HealthTracker, ResilienceConfig};
 use crate::scheduler::{AdmissionCtx, Policy, SeqView};
 use crate::slots::SlotPool;
+
+/// Human-readable description of a caught panic payload (`panic!` with
+/// a literal yields `&str`, with a format string yields `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The continuation record of a finished session turn: the final
 /// fixed-size recurrent state plus the one token that was sampled but
@@ -211,6 +225,7 @@ impl PausedSeq {
             preemptions: self.preemptions,
             paused_steps,
             paused_steps_before_first_token: pre_first,
+            retry_after_steps: None,
         }
     }
 }
@@ -322,6 +337,28 @@ pub struct ServeEngine<'m> {
     /// ([`ServeEngine::enable_obs`]). Boxed so the disabled engine pays
     /// one word and one branch per hook.
     obs: Option<Box<EngineObs>>,
+    /// Fault-tolerance knobs ([`ServeEngine::set_resilience`]); the
+    /// default is inert on the fault-free path.
+    resilience: ResilienceConfig,
+    /// Per-model quarantine state machine.
+    health: HealthTracker,
+    /// Reusable admission mask (`true` = model accepts no admissions),
+    /// refreshed in place each step so the hot path stays
+    /// allocation-free.
+    quarantine_mask: Vec<bool>,
+    /// Sustained-overload ladder walker (inert unless
+    /// [`ResilienceConfig::degradation`] is set).
+    degradation: DegradationController,
+    /// Requests retired as [`FinishReason::Failed`] by backend faults.
+    total_failed: usize,
+    /// Arrivals shed as [`FinishReason::Rejected`].
+    total_rejected: usize,
+    /// Backend faults contained (error returns plus caught panics).
+    total_backend_faults: u64,
+    /// Quarantine entries (first faults and half-open re-faults).
+    total_quarantine_entries: u64,
+    /// Quarantine recoveries (half-open canary survived).
+    total_quarantine_recoveries: u64,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -399,7 +436,80 @@ impl<'m> ServeEngine<'m> {
             events_enabled: false,
             events: Vec::new(),
             obs: None,
+            resilience: ResilienceConfig::default(),
+            health: HealthTracker::new(n_models),
+            quarantine_mask: vec![false; n_models],
+            degradation: DegradationController::default(),
+            total_failed: 0,
+            total_rejected: 0,
+            total_backend_faults: 0,
+            total_quarantine_entries: 0,
+            total_quarantine_recoveries: 0,
         })
+    }
+
+    /// Replaces the fault-tolerance configuration (quarantine shape,
+    /// bounded admission queue, degradation ladder). The default
+    /// [`ResilienceConfig`] is inert until a fault occurs, so an engine
+    /// that never calls this behaves bit-identically to one predating
+    /// the fault layer; [`ResilienceConfig::none`] is the no-mitigation
+    /// baseline the chaos study compares against.
+    pub fn set_resilience(&mut self, cfg: ResilienceConfig) {
+        self.resilience = cfg;
+    }
+
+    /// The current fault-tolerance configuration.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// Quarantine state of model `id` (`None` for an unknown id).
+    pub fn backend_health(&self, id: usize) -> Option<BackendHealth> {
+        (id < self.registry.len()).then(|| self.health.get(id))
+    }
+
+    /// Current rung of the degradation ladder (0 = nominal; see
+    /// [`crate::resilience`] for the ladder).
+    pub fn degradation_level(&self) -> u8 {
+        self.degradation.level()
+    }
+
+    /// Prompt tokens one prefilling sequence may consume per step right
+    /// now: [`EngineConfig::prefill_chunk`], halved (never below 1)
+    /// while the degradation ladder is at level ≥ 1. Chunked prefill is
+    /// exact, so shrinking the chunk mid-run never changes outputs —
+    /// only how work interleaves.
+    pub fn effective_prefill_chunk(&self) -> usize {
+        if self.degradation.level() >= 1 {
+            (self.cfg.prefill_chunk / 2).max(1)
+        } else {
+            self.cfg.prefill_chunk
+        }
+    }
+
+    /// Requests retired as [`FinishReason::Failed`] by backend faults.
+    pub fn failed_count(&self) -> usize {
+        self.total_failed
+    }
+
+    /// Arrivals shed as [`FinishReason::Rejected`] by overload
+    /// protection.
+    pub fn rejected_count(&self) -> usize {
+        self.total_rejected
+    }
+
+    /// Backend faults contained so far (error returns plus caught
+    /// panics, one per model per step at most).
+    pub fn backend_fault_count(&self) -> u64 {
+        self.total_backend_faults
+    }
+
+    /// Quarantine transitions so far: `(entries, recoveries)`.
+    pub fn quarantine_transitions(&self) -> (u64, u64) {
+        (
+            self.total_quarantine_entries,
+            self.total_quarantine_recoveries,
+        )
     }
 
     /// The registry of backends this engine multiplexes.
@@ -647,6 +757,7 @@ impl<'m> ServeEngine<'m> {
             preemptions: 0,
             paused_steps: 0,
             paused_steps_before_first_token: 0,
+            retry_after_steps: None,
         });
     }
 
@@ -690,13 +801,83 @@ impl<'m> ServeEngine<'m> {
         let cat = policy.name();
         self.obs_begin("step", cat);
 
-        // 1. Arrivals whose time has come join the waiting queue.
+        // 0. Fault-layer heartbeat. Every registered backend observes
+        //    the step clock — quarantined ones included, so a fault
+        //    injector's windows elapse in virtual time whether or not
+        //    the engine routes work to it (like a real transient fault
+        //    clearing on its own schedule). Then quarantine windows
+        //    whose backoff elapsed open half-way: admission below will
+        //    offer each such backend exactly one canary.
+        for (_, _, backend) in self.registry.iter() {
+            backend.on_step(self.clock);
+        }
+        {
+            let clock = self.clock;
+            let obs = &mut self.obs;
+            self.health.tick(clock, |mid, _level| {
+                if let Some(o) = obs.as_deref_mut() {
+                    o.fault_event(clock, mid as u32, FaultKind::HalfOpen);
+                }
+            });
+        }
+
+        // 1. Arrivals whose time has come join the waiting queue —
+        //    unless overload protection sheds them: with a bounded
+        //    queue, arrivals beyond `queue_limit` are turned away, and
+        //    from rung 2 of the degradation ladder Batch-priority
+        //    arrivals are shed outright. A shed request retires as
+        //    `Rejected` with a retry hint scaled to queue pressure; it
+        //    never holds a slot and does no model work. From rung 3,
+        //    degradable (non-Interactive, non-session) arrivals are
+        //    rerouted to the registry's cheapest backend.
+        let degradation_level = self.degradation.level();
+        let reroute_to = (degradation_level >= 3)
+            .then(|| self.registry.cheapest_model())
+            .flatten();
         while self
             .pending
             .front()
             .is_some_and(|r| r.arrival_step <= self.clock)
         {
-            let r = self.pending.pop_front().expect("front checked");
+            let mut r = self.pending.pop_front().expect("front checked");
+            let over_limit = self
+                .resilience
+                .queue_limit
+                .is_some_and(|lim| self.waiting.len() >= lim);
+            let shed_class = degradation_level >= 2 && r.priority == Priority::Batch;
+            if over_limit || shed_class {
+                // Hint: the steps the backlog ahead needs to drain at
+                // one slot-pool wave per step — crude, but
+                // deterministic and monotone in pressure.
+                let hint = 1 + self.waiting.len() as u64 / self.pool.capacity().max(1) as u64;
+                self.total_rejected += 1;
+                // A shed session resume never restores its state.
+                self.resume_states.remove(&r.id);
+                self.completions.push(Completion {
+                    id: r.id,
+                    model: r.model,
+                    priority: r.priority,
+                    tokens: Vec::new(),
+                    finish: FinishReason::Rejected,
+                    arrival_step: r.arrival_step,
+                    deadline_steps: r.deadline_steps,
+                    admitted_step: None,
+                    first_token_step: None,
+                    finished_step: self.clock,
+                    preemptions: 0,
+                    paused_steps: 0,
+                    paused_steps_before_first_token: 0,
+                    retry_after_steps: Some(hint),
+                });
+                continue;
+            }
+            if let Some(cheap) = reroute_to {
+                // Session resumes stay on their model: their saved
+                // state embodies that model's decode history.
+                if r.priority != Priority::Interactive && !self.resume_states.contains_key(&r.id) {
+                    r.model = cheap;
+                }
+            }
             if let Some(o) = self.obs.as_deref_mut() {
                 o.lifecycle(r.id, self.clock, LifecyclePhase::Queued);
             }
@@ -765,6 +946,7 @@ impl<'m> ServeEngine<'m> {
                     preemptions: seq.preemptions,
                     paused_steps: seq.paused_steps,
                     paused_steps_before_first_token: seq.paused_steps_pre_first,
+                    retry_after_steps: None,
                 });
                 false
             });
@@ -830,6 +1012,7 @@ impl<'m> ServeEngine<'m> {
                     preemptions: seq.preemptions,
                     paused_steps: seq.paused_steps,
                     paused_steps_before_first_token: seq.paused_steps_pre_first,
+                    retry_after_steps: None,
                 });
                 false
             });
@@ -891,7 +1074,8 @@ impl<'m> ServeEngine<'m> {
         //    the slot is released, and the sequence joins the paused
         //    queue (it re-enters through admission as a candidate). The
         //    engine enforces index validity, mirroring admission.
-        let chunk = self.cfg.prefill_chunk;
+        let chunk = self.effective_prefill_chunk();
+        self.health.fill_mask(&mut self.quarantine_mask);
         let mut active_per_model = vec![0usize; self.registry.len()];
         for seq in &self.active {
             active_per_model[seq.req.model] += 1;
@@ -913,6 +1097,7 @@ impl<'m> ServeEngine<'m> {
                 active: self.active.len(),
                 active_per_model: &active_per_model,
                 prefill_chunk: chunk,
+                quarantined: &self.quarantine_mask,
             });
             let mut seen = vec![false; self.active.len()];
             victims.retain(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true));
@@ -971,11 +1156,37 @@ impl<'m> ServeEngine<'m> {
             active: self.active.len(),
             active_per_model: &active_per_model,
             prefill_chunk: chunk,
+            quarantined: &self.quarantine_mask,
         });
         let n_waiting = self.waiting.len();
         {
             let mut seen = vec![false; n_waiting + self.paused.len()];
             picks.retain(|&i| i < seen.len() && !std::mem::replace(&mut seen[i], true));
+            // Quarantine gate, enforced by the engine so no policy can
+            // leak work into a faulted domain: picks naming a
+            // quarantined model are dropped; a half-open model admits
+            // exactly one canary to probe it. (Cold path — the vec
+            // allocates only on steps where some backend is unhealthy.)
+            if self.health.any_unhealthy() {
+                let health = &self.health;
+                let waiting = &self.waiting;
+                let paused = &self.paused;
+                let mut canary_used = vec![false; self.registry.len()];
+                picks.retain(|&i| {
+                    let model = if i < n_waiting {
+                        waiting[i].model
+                    } else {
+                        paused[i - n_waiting].req.model
+                    };
+                    match health.get(model) {
+                        BackendHealth::Healthy => true,
+                        BackendHealth::Quarantined { .. } => false,
+                        BackendHealth::HalfOpen { .. } => {
+                            !std::mem::replace(&mut canary_used[model], true)
+                        }
+                    }
+                });
+            }
             picks.truncate(self.pool.free_count());
         }
         if !picks.is_empty() {
@@ -1069,6 +1280,12 @@ impl<'m> ServeEngine<'m> {
         let mut sub_processed = vec![0usize; self.registry.len()];
         let mut step_logits: Vec<Option<Vec<f32>>> = vec![None; total_batch];
         let mut step_shards = 0u64;
+        // Each backend is one fault domain: its advance runs under a
+        // panic catch, so an error return or a panic fails only that
+        // model's sub-batch this step — every other domain's results
+        // land normally and the engine survives. At most one fault per
+        // model per step; `true` marks a caught panic.
+        let mut faulted: Vec<Option<bool>> = vec![None; self.registry.len()];
         for (mid, _, backend) in self.registry.iter() {
             let idxs: Vec<usize> = (0..self.active.len())
                 .filter(|&i| self.active[i].req.model == mid)
@@ -1084,11 +1301,33 @@ impl<'m> ServeEngine<'m> {
             if let Some(o) = self.obs.as_deref_mut() {
                 o.spans.begin("sub_batch", cat, self.clock);
             }
-            let results = backend.advance_batch_indexed(&items, self.pool.states_mut())?;
+            // `AssertUnwindSafe` is justified the same way the worker
+            // pool's is: on unwind the sub-batch's outputs are
+            // discarded, its sequences retire as Failed with their
+            // slots released, and `SlotPool::alloc` re-zeroes states on
+            // reuse — torn state cannot reach a later request.
+            let states = self.pool.states_mut();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                backend.advance_batch_indexed(&items, states)
+            }));
             if let Some(o) = self.obs.as_deref_mut() {
                 o.spans
                     .end_with([("model", mid as f64), ("tokens", fed as f64)]);
             }
+            let results = match outcome {
+                Ok(Ok(results)) => results,
+                Ok(Err(_)) => {
+                    faulted[mid] = Some(false);
+                    continue;
+                }
+                Err(payload) => {
+                    // The message is reconstructed for assertions only;
+                    // the payload itself stops here.
+                    let _ = panic_message(payload.as_ref());
+                    faulted[mid] = Some(true);
+                    continue;
+                }
+            };
             sub_batches[mid] = idxs.len();
             sub_processed[mid] = fed;
             self.processed_per_model[mid] += fed as u64;
@@ -1100,10 +1339,89 @@ impl<'m> ServeEngine<'m> {
                 debug_assert_eq!(self.active[i].slot, slot);
                 step_logits[i] = Some(logits);
             }
+            // A half-open backend whose canary advanced cleanly is
+            // readmitted for full service.
+            if self.health.on_clean_advance(mid) {
+                self.total_quarantine_recoveries += 1;
+                let clock = self.clock;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.fault_event(clock, mid as u32, FaultKind::Recovered);
+                }
+            }
         }
         let worker_threads = self.worker_threads();
         if let Some(o) = self.obs.as_deref_mut() {
             o.pool_activity(worker_threads, step_shards);
+        }
+
+        // 7b. Fault containment: quarantine each faulted backend (with
+        //     deterministic exponential backoff) and retire its
+        //     residents as Failed — matching `step_logits` entries
+        //     removed in tandem so the sampling loop below stays
+        //     index-aligned. Paused sequences of the domain keep their
+        //     pre-fault (intact) saved states and resume once the
+        //     quarantine lifts; tokens generated before the fault ride
+        //     out in the completion record.
+        if faulted.iter().any(Option::is_some) {
+            for (mid, fault) in faulted.iter().enumerate() {
+                let Some(&was_panic) = fault.as_ref() else {
+                    continue;
+                };
+                self.total_backend_faults += 1;
+                // The unwound (or erroring) backend may hold torn
+                // internal scratch: have it rebuild before it is ever
+                // called again. The recovery hook is fault-isolated
+                // too — a panic here stays contained.
+                if let Some(backend) = self.registry.get(mid) {
+                    let _ = catch_unwind(AssertUnwindSafe(|| backend.reset_after_fault()));
+                }
+                let clock = self.clock;
+                let kind = if was_panic {
+                    FaultKind::BackendPanic
+                } else {
+                    FaultKind::BackendError
+                };
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.fault_event(clock, mid as u32, kind);
+                }
+                if self.resilience.quarantine {
+                    self.total_quarantine_entries += 1;
+                    self.health.on_fault(mid, clock, &self.resilience);
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.fault_event(clock, mid as u32, FaultKind::Quarantined);
+                    }
+                }
+            }
+            let clock = self.clock;
+            let mut i = 0;
+            while i < self.active.len() {
+                if faulted[self.active[i].req.model].is_none() {
+                    i += 1;
+                    continue;
+                }
+                let mut seq = self.active.remove(i);
+                step_logits.remove(i);
+                self.pool.release(seq.slot);
+                self.total_failed += 1;
+                // A failed request's pending session restore is dropped
+                // by the step-close sweep below, like any other exit.
+                self.completions.push(Completion {
+                    id: seq.req.id,
+                    model: seq.req.model,
+                    priority: seq.req.priority,
+                    tokens: std::mem::take(&mut seq.generated),
+                    finish: FinishReason::Failed,
+                    arrival_step: seq.req.arrival_step,
+                    deadline_steps: seq.req.deadline_steps,
+                    admitted_step: Some(seq.admitted_step),
+                    first_token_step: seq.first_token_step,
+                    finished_step: clock,
+                    preemptions: seq.preemptions,
+                    paused_steps: seq.paused_steps,
+                    paused_steps_before_first_token: seq.paused_steps_pre_first,
+                    retry_after_steps: None,
+                });
+            }
         }
 
         self.obs_end();
@@ -1204,10 +1522,23 @@ impl<'m> ServeEngine<'m> {
                 preemptions: seq.preemptions,
                 paused_steps: seq.paused_steps,
                 paused_steps_before_first_token: seq.paused_steps_pre_first,
+                retry_after_steps: None,
             });
             false
         });
         self.obs_end();
+
+        // 9b. Graceful degradation: fold this step's closing queue
+        //     depth into the breach/recovery counters and walk the
+        //     ladder on a sustained breach (or sustained recovery).
+        //     Inert unless configured.
+        if let Some(dcfg) = self.resilience.degradation {
+            if let Some(level) = self.degradation.observe(self.waiting.len(), &dcfg) {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.degradation(level);
+                }
+            }
+        }
 
         // 10. Trace for the cost models. `batch_per_step` is residency
         //    (what URAM bounds); `processed_per_step` is token-advances
@@ -1330,10 +1661,19 @@ impl<'m> ServeEngine<'m> {
         // Cancelled requests are excluded from deadline accounting even
         // when they carried a budget: the client withdrew them, so they
         // neither hit nor missed (see [`Completion::deadline_hit`]).
+        // Failed and rejected requests are excluded the same way — an
+        // infrastructure fault or admission shed is not a scheduling
+        // outcome.
         let deadline_total = self
             .completions
             .iter()
-            .filter(|c| c.deadline_steps.is_some() && c.finish != FinishReason::Cancelled)
+            .filter(|c| {
+                c.deadline_steps.is_some()
+                    && !matches!(
+                        c.finish,
+                        FinishReason::Cancelled | FinishReason::Failed | FinishReason::Rejected
+                    )
+            })
             .count();
         let deadline_hits = self
             .completions
@@ -1415,7 +1755,13 @@ impl<'m> ServeEngine<'m> {
                     deadline_total: mine
                         .iter()
                         .filter(|c| {
-                            c.deadline_steps.is_some() && c.finish != FinishReason::Cancelled
+                            c.deadline_steps.is_some()
+                                && !matches!(
+                                    c.finish,
+                                    FinishReason::Cancelled
+                                        | FinishReason::Failed
+                                        | FinishReason::Rejected
+                                )
                         })
                         .count(),
                     deadline_hits: mine
@@ -1433,6 +1779,11 @@ impl<'m> ServeEngine<'m> {
             policy: policy.name(),
             completed: finished.len(),
             evicted,
+            failed: self.total_failed,
+            rejected: self.total_rejected,
+            backend_faults: self.total_backend_faults,
+            quarantine_entries: self.total_quarantine_entries,
+            quarantine_recoveries: self.total_quarantine_recoveries,
             cancellations: self.total_cancellations,
             wasted_token_advances: self.total_wasted_advances,
             reclaimed_slot_steps: self.total_reclaimed_slot_steps,
@@ -2579,5 +2930,346 @@ mod tests {
             0,
             "rejected resume leaves no state"
         );
+    }
+
+    // ---- fault tolerance -------------------------------------------------
+
+    use crate::chaos::{ChaosBackend, FaultKind as ChaosFault, FaultPlan, FaultWindow};
+    use crate::resilience::DegradationConfig;
+
+    fn chaos_registry<'m>(model: &'m MambaModel, plan: FaultPlan) -> ModelRegistry<'m> {
+        use crate::backend::FpBackend;
+        let mut reg = ModelRegistry::new();
+        reg.register(
+            "chaos-fp",
+            Box::new(ChaosBackend::new(Box::new(FpBackend::new(model)), plan)),
+        )
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn a_faulting_backend_is_contained_and_the_healthy_model_completes() {
+        use crate::backend::FpBackend;
+
+        let model = tiny_model();
+        let mut reg = ModelRegistry::new();
+        reg.register("healthy", Box::new(FpBackend::new(&model)))
+            .unwrap();
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            start: 1,
+            len: 2,
+            kind: ChaosFault::StepError,
+        }]);
+        reg.register(
+            "flaky",
+            Box::new(ChaosBackend::new(Box::new(FpBackend::new(&model)), plan)),
+        )
+        .unwrap();
+
+        // Even ids run on the healthy model, odd ids on the flaky one;
+        // all four are resident when the fault window opens.
+        let reqs: Vec<GenRequest> = (0..4u64)
+            .map(|id| GenRequest::greedy(id, vec![id as u32 + 1; 2], 4).on_model((id % 2) as usize))
+            .collect();
+        let expect: Vec<Vec<u32>> = reqs
+            .iter()
+            .map(|r| sequential_reference(&model, r))
+            .collect();
+        let mut engine = ServeEngine::with_registry(
+            reg,
+            EngineConfig {
+                slots: 4,
+                max_steps: 10_000,
+                prefill_chunk: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        engine.submit(reqs).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
+
+        // The fault stayed inside its domain: the healthy model's
+        // requests finished bit-identically, the flaky one's residents
+        // were retired as Failed, and the engine itself survived.
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.failed, 2);
+        assert!(report.backend_faults >= 1);
+        for c in engine.completions() {
+            match c.finish {
+                FinishReason::MaxTokens | FinishReason::Eos => {
+                    assert_eq!(c.tokens, expect[c.id as usize], "healthy output unchanged");
+                }
+                FinishReason::Failed => {
+                    assert_eq!(c.id % 2, 1, "only the flaky model's requests failed");
+                }
+                other => panic!("unexpected finish {other:?}"),
+            }
+        }
+        // Every slot the failed residents held was reclaimed.
+        assert_eq!(engine.free_slots(), 4);
+        assert!(!engine.has_work());
+        assert_eq!(report.availability(), Some(0.5));
+    }
+
+    #[test]
+    fn quarantine_backs_off_then_readmits_through_a_canary() {
+        let model = tiny_model();
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            start: 2,
+            len: 2,
+            kind: ChaosFault::StepError,
+        }]);
+        let reqs: Vec<GenRequest> = (0..4u64)
+            .map(|id| GenRequest::greedy(id, vec![id as u32 + 1; 2], 3))
+            .collect();
+        let expect: Vec<Vec<u32>> = reqs
+            .iter()
+            .map(|r| sequential_reference(&model, r))
+            .collect();
+        let mut engine = ServeEngine::with_registry(
+            chaos_registry(&model, plan),
+            EngineConfig {
+                slots: 2,
+                max_steps: 10_000,
+                prefill_chunk: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        engine.submit(reqs).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
+
+        // The step-2 fault kills the two residents and quarantines the
+        // backend; the backoff window (4 steps) outlives the fault
+        // window, the half-open canary advances cleanly, and the two
+        // waiting requests then complete bit-identically.
+        assert_eq!(report.failed, 2);
+        assert_eq!(report.completed, 2);
+        assert_eq!(engine.quarantine_transitions(), (1, 1));
+        assert_eq!(engine.backend_health(0), Some(BackendHealth::Healthy));
+        for c in engine.completions() {
+            if matches!(c.finish, FinishReason::MaxTokens | FinishReason::Eos) {
+                assert_eq!(c.tokens, expect[c.id as usize], "survivor is bit-identical");
+            }
+        }
+        assert_eq!(engine.free_slots(), 2);
+    }
+
+    #[test]
+    fn a_bounded_queue_sheds_overload_with_a_retry_hint() {
+        let model = tiny_model();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 1,
+                max_steps: 10_000,
+                prefill_chunk: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        engine.set_resilience(ResilienceConfig {
+            queue_limit: Some(2),
+            ..ResilienceConfig::default()
+        });
+        engine.submit(burst_requests(6, 1, 2)).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
+
+        // The first two arrivals fill the bounded queue; the remaining
+        // four are shed at intake with a resubmission hint.
+        assert_eq!(report.rejected, 4);
+        assert_eq!(report.completed, 2);
+        assert!((report.availability().unwrap() - 2.0 / 6.0).abs() < 1e-12);
+        for c in engine.completions() {
+            if c.finish == FinishReason::Rejected {
+                assert!(c.tokens.is_empty(), "shed requests never ran");
+                assert!(c.retry_after_steps.unwrap() >= 1);
+            } else {
+                assert!(c.retry_after_steps.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn sustained_overload_walks_the_degradation_ladder() {
+        let model = tiny_model();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 1,
+                max_steps: 10_000,
+                prefill_chunk: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        engine.set_resilience(ResilienceConfig {
+            degradation: Some(DegradationConfig {
+                queue_slo: 2,
+                breach_steps: 2,
+                recover_steps: 2,
+            }),
+            ..ResilienceConfig::default()
+        });
+        // One slot, ten long requests: the queue sits far over the SLO.
+        engine.submit(burst_requests(10, 1, 40)).unwrap();
+        assert_eq!(engine.degradation_level(), 0);
+        assert_eq!(engine.effective_prefill_chunk(), 4);
+        for _ in 0..4 {
+            engine.step(&mut Fifo).unwrap();
+        }
+        // Two breached steps per rung: level 2 after four steps.
+        assert_eq!(engine.degradation_level(), 2);
+        assert_eq!(engine.effective_prefill_chunk(), 2, "L1 halves the chunk");
+
+        // At level 2, Batch-class arrivals are shed; Interactive ones
+        // still get in.
+        let shed = GenRequest::greedy(100, vec![1], 2).with_priority(Priority::Batch);
+        let kept = GenRequest::greedy(101, vec![1], 2).with_priority(Priority::Interactive);
+        engine.submit(vec![shed, kept]).unwrap();
+        engine.step(&mut Fifo).unwrap();
+        assert_eq!(engine.rejected_count(), 1);
+        assert!(engine
+            .completions()
+            .iter()
+            .any(|c| c.id == 100 && c.finish == FinishReason::Rejected));
+
+        let report = engine.run(&mut Fifo).unwrap();
+        assert_eq!(report.completed, 11, "everything admitted still finishes");
+        assert_eq!(report.rejected, 1);
+    }
+
+    #[test]
+    fn fault_free_runs_are_bit_identical_with_the_chaos_layer_armed() {
+        let model = tiny_model();
+        let reqs = burst_requests(5, 3, 4);
+
+        let mut plain = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 10_000,
+                prefill_chunk: 2,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        plain.submit(reqs.clone()).unwrap();
+        let plain_report = plain.run(&mut Fifo).unwrap();
+
+        // Same engine, but every call routed through a ChaosBackend
+        // with an empty plan and the resilience layer armed.
+        let mut wrapped = ServeEngine::with_registry(
+            chaos_registry(&model, FaultPlan::none()),
+            EngineConfig {
+                slots: 2,
+                max_steps: 10_000,
+                prefill_chunk: 2,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        wrapped.set_resilience(ResilienceConfig::default());
+        wrapped.submit(reqs).unwrap();
+        let wrapped_report = wrapped.run(&mut Fifo).unwrap();
+
+        assert_eq!(plain_report.completed, wrapped_report.completed);
+        assert_eq!(wrapped_report.backend_faults, 0);
+        let tokens = |e: &ServeEngine<'_>| {
+            let mut v: Vec<(RequestId, Vec<u32>)> = e
+                .completions()
+                .iter()
+                .map(|c| (c.id, c.tokens.clone()))
+                .collect();
+            v.sort_by_key(|(id, _)| *id);
+            v
+        };
+        assert_eq!(
+            tokens(&plain),
+            tokens(&wrapped),
+            "outputs are bit-identical"
+        );
+    }
+
+    #[test]
+    fn quarantine_strictly_beats_no_mitigation_on_the_same_fault_schedule() {
+        let model = tiny_model();
+        let plan = FaultPlan::seeded(7, 300, 0.25);
+        assert!(!plan.is_empty());
+
+        let run = |resilience: ResilienceConfig| {
+            let mut engine = ServeEngine::with_registry(
+                chaos_registry(&model, plan.clone()),
+                EngineConfig {
+                    slots: 4,
+                    max_steps: 300,
+                    prefill_chunk: 4,
+                    threads: 1,
+                },
+            )
+            .unwrap();
+            engine.set_resilience(resilience);
+            let reqs: Vec<GenRequest> = (0..30u64)
+                .map(|id| {
+                    let mut r = GenRequest::greedy(id, vec![(id % 7) as u32 + 1; 2], 4);
+                    r.arrival_step = id * 3;
+                    r
+                })
+                .collect();
+            engine.submit(reqs).unwrap();
+            engine.run(&mut Fifo).unwrap()
+        };
+
+        let mitigated = run(ResilienceConfig::default());
+        let exposed = run(ResilienceConfig::none());
+
+        // Identical fault schedule, identical workload: backing off the
+        // faulting backend converts failures into completions. This pin
+        // is the PR's headline claim — do not weaken it to >=.
+        assert!(
+            mitigated.completed > exposed.completed,
+            "quarantine goodput {} must strictly beat no-mitigation {}",
+            mitigated.completed,
+            exposed.completed
+        );
+        assert!(
+            mitigated.failed < exposed.failed,
+            "quarantine failures {} must stay under no-mitigation {}",
+            mitigated.failed,
+            exposed.failed
+        );
+        assert!(mitigated.availability().unwrap() > exposed.availability().unwrap());
+        assert!(mitigated.quarantine_entries >= 1);
+    }
+
+    #[test]
+    fn an_injected_panic_is_contained_and_quarantined() {
+        let model = tiny_model();
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            start: 1,
+            len: 1,
+            kind: ChaosFault::Panic,
+        }]);
+        let mut engine = ServeEngine::with_registry(
+            chaos_registry(&model, plan),
+            EngineConfig {
+                slots: 2,
+                max_steps: 10_000,
+                prefill_chunk: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        engine.submit(burst_requests(3, 2, 3)).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
+
+        // The panic unwound out of the backend, was caught at the
+        // domain boundary, and the engine went on to serve the queue.
+        assert_eq!(report.failed, 2);
+        assert_eq!(report.completed, 1);
+        assert!(report.backend_faults >= 1);
+        assert_eq!(engine.free_slots(), 2);
+        assert!(!engine.has_work());
     }
 }

@@ -12,6 +12,19 @@ pub enum ServeError {
     InvalidConfig(String),
     /// A request or lookup named a model the registry does not hold.
     UnknownModel(String),
+    /// A backend faulted mid-step: an error return or a caught panic
+    /// from one model's batched advance. The engine *contains* these
+    /// per fault domain (retiring the domain's residents as
+    /// [`crate::request::FinishReason::Failed`] and quarantining the
+    /// backend) rather than propagating them out of
+    /// [`crate::engine::ServeEngine::step`]; the variant exists so
+    /// fault injectors and backends have a typed way to signal one.
+    BackendFault {
+        /// Registered name of the faulting backend.
+        model: String,
+        /// Error or panic payload description.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -20,6 +33,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
             ServeError::UnknownModel(name) => write!(f, "unknown model: {name}"),
+            ServeError::BackendFault { model, message } => {
+                write!(f, "backend fault in model '{model}': {message}")
+            }
         }
     }
 }
@@ -28,7 +44,9 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Model(e) => Some(e),
-            ServeError::InvalidConfig(_) | ServeError::UnknownModel(_) => None,
+            ServeError::InvalidConfig(_)
+            | ServeError::UnknownModel(_)
+            | ServeError::BackendFault { .. } => None,
         }
     }
 }

@@ -7,7 +7,8 @@
 //! over the intake channel and returns a [`TokenStream`] — a bounded
 //! per-request channel delivering [`StreamEvent`]s as the engine steps:
 //! `Queued` at intake, `Started` at admission, one `Token` per sampled
-//! token, then exactly one terminal `Done` / `Cancelled` / `Expired`.
+//! token, then exactly one terminal `Done` / `Cancelled` / `Expired` /
+//! `Failed` / `Rejected`.
 //! This mirrors TGI-style server-sent token streaming, with the engine
 //! thread standing in for the HTTP task.
 //!
@@ -118,7 +119,8 @@ pub struct FrontendRun {
 /// picks the submission up, steps only while there is work (idle waits
 /// block on the intake instead of spinning), and stops at the engine's
 /// `max_steps` budget even if streams are still open — their readers
-/// then see their streams end without a terminal event.
+/// then see a synthesized terminal [`StreamEvent::Failed`] (with
+/// `step: None`) once the engine thread is gone.
 ///
 /// # Errors
 ///
@@ -284,6 +286,13 @@ fn engine_loop(
                 },
                 FinishReason::DeadlineExceeded => StreamEvent::Expired {
                     step: c.finished_step,
+                },
+                FinishReason::Failed => StreamEvent::Failed {
+                    step: Some(c.finished_step),
+                },
+                FinishReason::Rejected => StreamEvent::Rejected {
+                    step: c.finished_step,
+                    retry_after_steps: c.retry_after_steps.unwrap_or(1),
                 },
                 _ => StreamEvent::Done(Box::new(c.clone())),
             };
@@ -571,6 +580,161 @@ mod tests {
         assert!(obs.spans.spans().iter().any(|s| s.name == "step"));
         assert!(obs.spans.spans().iter().any(|s| s.name == "advance"));
         assert_eq!(obs.spans.open_depth(), 0, "all spans closed");
+    }
+
+    #[test]
+    fn a_dead_engine_thread_fails_streams_instead_of_hanging() {
+        use crate::scheduler::AdmissionCtx;
+        use std::sync::{Arc, Mutex};
+
+        // A policy that detonates on its first admission decision kills
+        // the engine thread the hard way — nothing catches it.
+        struct Bomb;
+        impl crate::scheduler::Policy for Bomb {
+            fn select(&mut self, _ctx: &AdmissionCtx<'_>) -> Vec<usize> {
+                panic!("policy exploded")
+            }
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+        }
+
+        let model = tiny_model();
+        let seen: Arc<Mutex<Vec<StreamEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen_by_client = Arc::clone(&seen);
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_frontend(
+                engine(&model, 1),
+                Box::new(Bomb),
+                FrontendConfig::default(),
+                move |handle| {
+                    let mut stream = handle.submit(GenRequest::greedy(0, vec![1, 2], 4)).unwrap();
+                    while let Some(ev) = stream.recv() {
+                        seen_by_client.lock().unwrap().push(ev);
+                    }
+                },
+            )
+        }));
+        // The engine thread's panic propagates out of run_frontend…
+        assert!(run.is_err(), "the engine panic must not be swallowed");
+        // …but the client's reader observed an explicit terminal
+        // failure first instead of hanging or ending silently.
+        let seen = seen.lock().unwrap();
+        assert!(matches!(seen[0], StreamEvent::Queued { .. }));
+        assert!(
+            matches!(seen.last(), Some(StreamEvent::Failed { step: None })),
+            "{seen:?}"
+        );
+    }
+
+    #[test]
+    fn a_step_budget_stop_fails_open_streams() {
+        let model = tiny_model();
+        let eng = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 1,
+                max_steps: 3,
+                prefill_chunk: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let (events, run) =
+            run_frontend(eng, Box::new(Fifo), FrontendConfig::default(), |handle| {
+                // Far more tokens than three steps can produce: the engine
+                // stops at its budget with the stream still open.
+                let mut stream = handle
+                    .submit(GenRequest::greedy(0, vec![1, 2], 400))
+                    .unwrap();
+                let mut events = Vec::new();
+                while let Some(ev) = stream.recv() {
+                    events.push(ev);
+                }
+                events
+            })
+            .unwrap();
+        assert!(matches!(
+            events.last(),
+            Some(StreamEvent::Failed { step: None })
+        ));
+        assert_eq!(run.report.completed, 0);
+    }
+
+    #[test]
+    fn a_backend_fault_surfaces_as_a_failed_stream_event() {
+        use crate::backend::FpBackend;
+        use crate::chaos::{ChaosBackend, FaultKind, FaultPlan, FaultWindow};
+        use crate::registry::ModelRegistry;
+
+        let model = tiny_model();
+        let mut reg = ModelRegistry::new();
+        let plan = FaultPlan::from_windows(vec![FaultWindow {
+            start: 1,
+            len: 2,
+            kind: FaultKind::StepError,
+        }]);
+        reg.register(
+            "flaky",
+            Box::new(ChaosBackend::new(Box::new(FpBackend::new(&model)), plan)),
+        )
+        .unwrap();
+        let eng = ServeEngine::with_registry(
+            reg,
+            EngineConfig {
+                slots: 1,
+                max_steps: 50_000,
+                prefill_chunk: 4,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let (failed_at, run) =
+            run_frontend(eng, Box::new(Fifo), FrontendConfig::default(), |handle| {
+                let mut stream = handle.submit(GenRequest::greedy(0, vec![1, 2], 8)).unwrap();
+                let mut failed_at = None;
+                while let Some(ev) = stream.recv() {
+                    if let StreamEvent::Failed { step } = ev {
+                        failed_at = Some(step);
+                    }
+                }
+                failed_at
+            })
+            .unwrap();
+        // The fault was delivered as a real terminal event with the
+        // engine step it happened at — not a synthesized death.
+        assert_eq!(failed_at, Some(Some(1)));
+        assert_eq!(run.report.failed, 1);
+        assert!(run.report.backend_faults >= 1);
+    }
+
+    #[test]
+    fn an_overloaded_frontend_rejects_with_a_retry_hint() {
+        let model = tiny_model();
+        let mut eng = engine(&model, 1);
+        eng.set_resilience(crate::resilience::ResilienceConfig {
+            queue_limit: Some(0),
+            ..crate::resilience::ResilienceConfig::default()
+        });
+        let (event, run) = run_frontend(eng, Box::new(Fifo), FrontendConfig::default(), |handle| {
+            let mut stream = handle.submit(GenRequest::greedy(0, vec![1, 2], 4)).unwrap();
+            let mut terminal = None;
+            while let Some(ev) = stream.recv() {
+                if ev.is_terminal() {
+                    terminal = Some(ev);
+                }
+            }
+            terminal.expect("a shed request still gets its terminal event")
+        })
+        .unwrap();
+        match event {
+            StreamEvent::Rejected {
+                retry_after_steps, ..
+            } => assert!(retry_after_steps >= 1),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        assert_eq!(run.report.rejected, 1);
+        assert_eq!(run.report.completed, 0);
     }
 
     #[test]

@@ -11,7 +11,8 @@ use crate::request::{Completion, GenRequest, RequestId};
 /// [`StreamEvent::Queued`] once at intake, [`StreamEvent::Started`]
 /// once at admission, then [`StreamEvent::Token`] per sampled token,
 /// closed by exactly one terminal event ([`StreamEvent::Done`],
-/// [`StreamEvent::Cancelled`], or [`StreamEvent::Expired`]) — the
+/// [`StreamEvent::Cancelled`], [`StreamEvent::Expired`],
+/// [`StreamEvent::Failed`], or [`StreamEvent::Rejected`]) — the
 /// per-request view of TGI-style server-sent token streaming.
 #[derive(Debug, Clone)]
 pub enum StreamEvent {
@@ -46,6 +47,27 @@ pub enum StreamEvent {
         /// The eviction step.
         step: u64,
     },
+    /// Terminal: the request was retired by a backend fault — its
+    /// serving backend errored or panicked mid-flight and the engine
+    /// failed the in-flight work rather than retry it (tokens streamed
+    /// so far remain valid). Also synthesized with `step: None` when
+    /// the engine thread dies outright, so readers never hang or end
+    /// silently on engine death.
+    Failed {
+        /// The step the engine retired the request, or `None` when the
+        /// stream synthesized this event because the engine thread is
+        /// gone.
+        step: Option<u64>,
+    },
+    /// Terminal: the request was shed at admission under overload
+    /// (queue over [`crate::resilience::ResilienceConfig::queue_limit`]
+    /// or its class degraded away) — it never held a slot.
+    Rejected {
+        /// The shed step.
+        step: u64,
+        /// Engine-suggested virtual-time resubmission delay.
+        retry_after_steps: u64,
+    },
 }
 
 impl StreamEvent {
@@ -53,7 +75,11 @@ impl StreamEvent {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            StreamEvent::Done(_) | StreamEvent::Cancelled { .. } | StreamEvent::Expired { .. }
+            StreamEvent::Done(_)
+                | StreamEvent::Cancelled { .. }
+                | StreamEvent::Expired { .. }
+                | StreamEvent::Failed { .. }
+                | StreamEvent::Rejected { .. }
         )
     }
 }
@@ -163,9 +189,12 @@ impl TokenStream {
         self.id
     }
 
-    /// Blocks for the next event; `None` after the terminal event (or
-    /// if the engine thread stopped without delivering one, e.g. the
-    /// run hit its step budget).
+    /// Blocks for the next event; `None` after the terminal event. If
+    /// the engine thread stops without delivering one (it died, or the
+    /// run hit its step budget), the stream synthesizes a single
+    /// terminal [`StreamEvent::Failed`]` { step: None }` so readers
+    /// and [`TokenStream::wait`] observe the failure instead of the
+    /// stream silently ending.
     pub fn recv(&mut self) -> Option<StreamEvent> {
         if self.finished {
             return None;
@@ -178,8 +207,11 @@ impl TokenStream {
                 Some(ev)
             }
             Err(_) => {
+                // The sender is gone with no terminal event delivered:
+                // the engine thread is dead (or stopped at its step
+                // budget). Surface that as an explicit failure, once.
                 self.finished = true;
-                None
+                Some(StreamEvent::Failed { step: None })
             }
         }
     }
@@ -224,5 +256,53 @@ impl Drop for TokenStream {
         if !self.finished {
             let _ = self.intake.send(ClientMsg::Cancel(self.id));
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn orphan_stream() -> (SyncSender<StreamEvent>, TokenStream) {
+        // The intake receiver is dropped immediately: the cancel sends
+        // a dying stream attempts are harmless no-ops, exactly like a
+        // dead engine thread.
+        let (intake, _) = channel();
+        let (tx, rx) = sync_channel(4);
+        (
+            tx,
+            TokenStream {
+                id: 0,
+                rx,
+                intake,
+                finished: false,
+            },
+        )
+    }
+
+    #[test]
+    fn engine_death_synthesizes_exactly_one_terminal_failed_event() {
+        let (tx, mut stream) = orphan_stream();
+        tx.send(StreamEvent::Queued { step: 0 }).unwrap();
+        drop(tx); // the engine thread died without a terminal event
+        assert!(matches!(stream.recv(), Some(StreamEvent::Queued { .. })));
+        let failed = stream.recv().expect("death surfaces as an event");
+        assert!(
+            matches!(failed, StreamEvent::Failed { step: None }),
+            "{failed:?}"
+        );
+        assert!(failed.is_terminal());
+        assert!(
+            stream.recv().is_none(),
+            "the synthesized terminal fires once"
+        );
+    }
+
+    #[test]
+    fn wait_returns_none_instead_of_hanging_on_engine_death() {
+        let (tx, stream) = orphan_stream();
+        drop(tx);
+        assert!(stream.wait().is_none());
     }
 }

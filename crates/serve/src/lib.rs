@@ -47,6 +47,19 @@
 //!   two-lane Chrome trace (host wall clock + accelerator-projected
 //!   virtual time), and a flight recorder of recent steps and request
 //!   lifecycle timelines with optional SLO capture;
+//! * [`resilience`] — fault tolerance: each backend is one fault
+//!   domain whose errors and panics the engine contains (the domain's
+//!   requests retire as [`request::FinishReason::Failed`], nothing else
+//!   is touched); faulting backends enter a deterministic
+//!   exponential-backoff quarantine with a half-open canary probe,
+//!   overload is shed at admission from a bounded queue, and a
+//!   degradation controller walks a documented ladder under sustained
+//!   SLO breach;
+//! * [`chaos`] — the deterministic fault-injection harness: a seeded
+//!   [`chaos::FaultPlan`] drives a [`chaos::ChaosBackend`] wrapper that
+//!   injects step errors, panics, latency spikes, and restore
+//!   corruption on a reproducible schedule, so every resilience test
+//!   and the `serve_traffic --chaos` study replay exactly;
 //! * [`frontend`] — the async streaming serving frontend: clients
 //!   submit through a cloneable handle and read per-token
 //!   [`frontend::StreamEvent`]s, dropping a stream cancels its request
@@ -86,12 +99,14 @@ mod error;
 
 pub mod accel_cost;
 pub mod backend;
+pub mod chaos;
 pub mod engine;
 pub mod frontend;
 pub mod metrics;
 pub mod observe;
 pub mod registry;
 pub mod request;
+pub mod resilience;
 pub mod scheduler;
 pub mod slots;
 pub mod traffic;

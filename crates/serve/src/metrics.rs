@@ -225,6 +225,21 @@ pub struct ServeReport {
     pub completed: usize,
     /// Requests evicted on deadline.
     pub evicted: usize,
+    /// Requests retired by backend faults
+    /// ([`crate::request::FinishReason::Failed`]) — the blast radius of
+    /// contained errors and panics.
+    pub failed: usize,
+    /// Arrivals shed by overload protection
+    /// ([`crate::request::FinishReason::Rejected`]).
+    pub rejected: usize,
+    /// Backend faults contained across the run (error returns plus
+    /// caught panics; at most one per model per step).
+    pub backend_faults: u64,
+    /// Quarantine entries (first faults and half-open re-faults).
+    pub quarantine_entries: u64,
+    /// Quarantine recoveries (a half-open canary survived and the
+    /// backend was readmitted).
+    pub quarantine_recoveries: u64,
     /// Steps executed.
     pub steps: u64,
     /// Generated (decode) tokens across all requests.
@@ -294,6 +309,23 @@ impl ServeReport {
             None
         } else {
             Some(self.deadline_hits as f64 / self.deadline_total as f64)
+        }
+    }
+
+    /// Fraction of requests that left the engine with a *service*
+    /// outcome rather than an infrastructure one: everything except
+    /// [`crate::request::FinishReason::Failed`] and
+    /// [`crate::request::FinishReason::Rejected`] counts as available
+    /// (a deadline eviction is the scheduler doing its job; a fault or
+    /// a shed is the service failing the client). `None` before any
+    /// request finishes. The chaos study's headline number.
+    pub fn availability(&self) -> Option<f64> {
+        let total =
+            self.completed + self.evicted + self.cancellations + self.failed + self.rejected;
+        if total == 0 {
+            None
+        } else {
+            Some(1.0 - (self.failed + self.rejected) as f64 / total as f64)
         }
     }
 }

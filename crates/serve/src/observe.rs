@@ -26,7 +26,7 @@
 //! trace viewer shows host cost and modeled-hardware cost side by side
 //! on one time axis each.
 
-use lightmamba_obs::recorder::{FlightRecorder, LifecyclePhase, StepRecord};
+use lightmamba_obs::recorder::{FaultKind, FlightRecorder, LifecyclePhase, StepRecord};
 use lightmamba_obs::registry::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 use lightmamba_obs::trace::{ChromeTraceBuilder, SpanRecorder};
 
@@ -82,6 +82,12 @@ struct Ids {
     session_parks: CounterId,
     session_restores: CounterId,
     slo_violations: CounterId,
+    requests_failed: CounterId,
+    requests_rejected: CounterId,
+    backend_faults: CounterId,
+    quarantine_entered: CounterId,
+    quarantine_recovered: CounterId,
+    degradation_level: GaugeId,
     pool_threads: GaugeId,
     par_shards: CounterId,
     queue_depth: GaugeId,
@@ -176,6 +182,30 @@ impl EngineObs {
                 "engine_slo_violations_total",
                 "Completions that breached a configured TTFT/e2e SLO.",
             ),
+            requests_failed: m.counter(
+                "engine_requests_failed_total",
+                "Requests retired by backend faults (contained errors/panics).",
+            ),
+            requests_rejected: m.counter(
+                "engine_requests_rejected_total",
+                "Arrivals shed by overload protection.",
+            ),
+            backend_faults: m.counter(
+                "engine_backend_faults_total",
+                "Backend faults contained (error returns plus caught panics).",
+            ),
+            quarantine_entered: m.counter(
+                "engine_quarantine_entered_total",
+                "Backend quarantine entries (first faults and half-open re-faults).",
+            ),
+            quarantine_recovered: m.counter(
+                "engine_quarantine_recovered_total",
+                "Backend quarantine recoveries (half-open canary survived).",
+            ),
+            degradation_level: m.gauge(
+                "engine_degradation_level",
+                "Current rung of the overload degradation ladder (0 = nominal).",
+            ),
             pool_threads: m.gauge(
                 "engine_pool_threads",
                 "Worker threads executing batched model steps (1 = sequential).",
@@ -263,6 +293,28 @@ impl EngineObs {
         self.metrics.inc(self.ids.session_restores);
     }
 
+    /// Records one fault-domain transition: counts it and lands it in
+    /// the flight recorder's fault ring (hot path, allocation-free —
+    /// fault steps are rare but should never themselves allocate).
+    #[inline]
+    pub(crate) fn fault_event(&mut self, step: u64, model: u32, kind: FaultKind) {
+        match kind {
+            FaultKind::BackendError | FaultKind::BackendPanic => {
+                self.metrics.inc(self.ids.backend_faults);
+            }
+            FaultKind::Quarantined => self.metrics.inc(self.ids.quarantine_entered),
+            FaultKind::Recovered => self.metrics.inc(self.ids.quarantine_recovered),
+            FaultKind::HalfOpen => {}
+        }
+        self.flight.record_fault(step, model, kind);
+    }
+
+    /// Publishes the degradation ladder's current rung.
+    #[inline]
+    pub(crate) fn degradation(&mut self, level: u8) {
+        self.metrics.set(self.ids.degradation_level, level as f64);
+    }
+
     /// Records one step's parallel-execution activity: the pool width
     /// and how many worker shards this step's sub-batches split across
     /// (hot path, allocation-free).
@@ -316,6 +368,8 @@ impl EngineObs {
                 FinishReason::MaxTokens | FinishReason::Eos => LifecyclePhase::Done,
                 FinishReason::Cancelled => LifecyclePhase::Cancelled,
                 FinishReason::DeadlineExceeded => LifecyclePhase::Expired,
+                FinishReason::Failed => LifecyclePhase::Failed,
+                FinishReason::Rejected => LifecyclePhase::Rejected,
             };
             match phase {
                 LifecyclePhase::Done => m.inc(self.ids.completions),
@@ -323,10 +377,13 @@ impl EngineObs {
                     rec.cancelled += 1;
                     m.inc(self.ids.cancellations);
                 }
-                _ => {
+                LifecyclePhase::Expired => {
                     rec.expired += 1;
                     m.inc(self.ids.expiries);
                 }
+                LifecyclePhase::Failed => m.inc(self.ids.requests_failed),
+                LifecyclePhase::Rejected => m.inc(self.ids.requests_rejected),
+                _ => unreachable!("finish reasons map to terminal phases"),
             }
             self.flight.record_lifecycle(c.id, rec.step, phase);
             if phase != LifecyclePhase::Done {

@@ -185,6 +185,18 @@ pub enum FinishReason {
     /// reported as wasted (see
     /// [`crate::metrics::ServeReport::wasted_token_advances`]).
     Cancelled,
+    /// Retired because its backend faulted (an error return or a caught
+    /// panic) while the request was resident. Tokens generated before
+    /// the fault are kept in the completion record; the slot was
+    /// reclaimed and its recurrent state discarded (slot states are
+    /// re-zeroed on reuse, so torn state cannot leak). The request
+    /// counts as neither completed nor deadline-evicted.
+    Failed,
+    /// Shed at admission by overload protection (bounded queue or the
+    /// degradation ladder) — the request never held a slot and did no
+    /// work. [`Completion::retry_after_steps`] carries the engine's
+    /// back-off hint.
+    Rejected,
 }
 
 /// Completion record of one request, timestamped in engine steps.
@@ -227,6 +239,10 @@ pub struct Completion {
     /// [`Completion::ttft_steps`], since paused time is a scheduling
     /// decision, not time the request's first token was being computed.
     pub paused_steps_before_first_token: u64,
+    /// For [`FinishReason::Rejected`] completions: the engine's hint
+    /// for how many steps the client should wait before resubmitting
+    /// (derived from queue pressure at shed time). `None` otherwise.
+    pub retry_after_steps: Option<u64>,
 }
 
 impl Completion {
@@ -298,9 +314,15 @@ impl Completion {
     /// without eviction). A cancelled request yields `None` even with a
     /// deadline: the client withdrew it, so it neither hit nor missed —
     /// counting it either way would skew hit rates with client
-    /// behavior.
+    /// behavior. Failed and rejected requests likewise yield `None`:
+    /// an infrastructure fault or admission shed is not a scheduling
+    /// outcome, and charging it to the deadline hit rate would mix
+    /// fault counts into latency metrics.
     pub fn deadline_hit(&self) -> Option<bool> {
-        if self.finish == FinishReason::Cancelled {
+        if matches!(
+            self.finish,
+            FinishReason::Cancelled | FinishReason::Failed | FinishReason::Rejected
+        ) {
             return None;
         }
         self.deadline_steps
@@ -351,6 +373,7 @@ mod tests {
             preemptions: 0,
             paused_steps: 0,
             paused_steps_before_first_token: 0,
+            retry_after_steps: None,
         }
     }
 
@@ -382,6 +405,16 @@ mod tests {
         c.deadline_steps = Some(100);
         assert_eq!(c.deadline_hit(), Some(true));
         c.finish = FinishReason::Cancelled;
+        assert_eq!(c.deadline_hit(), None);
+    }
+
+    #[test]
+    fn failed_and_rejected_requests_are_excluded_from_deadline_accounting() {
+        let mut c = completion(4, Some(9), Some(6));
+        c.deadline_steps = Some(100);
+        c.finish = FinishReason::Failed;
+        assert_eq!(c.deadline_hit(), None);
+        c.finish = FinishReason::Rejected;
         assert_eq!(c.deadline_hit(), None);
     }
 

@@ -109,6 +109,14 @@ pub struct AdmissionCtx<'a> {
     /// The engine's prefill-chunk budget (prompt tokens one sequence
     /// may consume per step) — feasibility math depends on it.
     pub prefill_chunk: usize,
+    /// Per-model quarantine mask, indexed by model id (`true` = the
+    /// model is quarantined after a backend fault and accepts no
+    /// admissions this step). Advisory: the engine enforces the gate
+    /// regardless, so a policy ignoring this stays correct — a
+    /// quarantine-aware policy can use it to spend its picks on
+    /// admittable work instead. Half-open (canary-probing) models read
+    /// `false` here so policies still offer them candidates.
+    pub quarantined: &'a [bool],
 }
 
 impl AdmissionCtx<'_> {
@@ -604,6 +612,7 @@ mod tests {
             active,
             active_per_model,
             prefill_chunk: 1,
+            quarantined: &[],
         }
     }
 
@@ -686,6 +695,7 @@ mod tests {
             active: 0,
             active_per_model: &[0],
             prefill_chunk: 1,
+            quarantined: &[],
         };
         assert_eq!(c.n_candidates(), 3);
         assert_eq!(c.candidate(1).unwrap().id, 1);
@@ -714,6 +724,7 @@ mod tests {
             active: 3,
             active_per_model: &[3],
             prefill_chunk: 1,
+            quarantined: &[],
         };
         // Non-preemptive EDF never pauses anyone.
         assert!(Edf::default().preempt(&c).is_empty());
@@ -743,6 +754,7 @@ mod tests {
             active: 2,
             active_per_model: &[2],
             prefill_chunk: 1,
+            quarantined: &[],
         };
         let mut picks = Edf::preemptive().preempt(&c);
         picks.sort_unstable();
@@ -761,6 +773,7 @@ mod tests {
             active: 1,
             active_per_model: &[1],
             prefill_chunk: 1,
+            quarantined: &[],
         };
         assert!(Edf::preemptive().preempt(&c1).is_empty());
     }
@@ -781,6 +794,7 @@ mod tests {
             active: 2,
             active_per_model: &[2],
             prefill_chunk: 1,
+            quarantined: &[],
         };
         assert!(Edf::preemptive().preempt(&c).is_empty());
     }
@@ -803,6 +817,7 @@ mod tests {
             active: 3,
             active_per_model: &[3],
             prefill_chunk: 1,
+            quarantined: &[],
         };
         assert!(PriorityClasses::default().preempt(&c).is_empty());
         // Interactive displaces the youngest Batch resident (2), then
