@@ -36,6 +36,15 @@
 //!   panics, latency spikes, restore corruption) fired against both
 //!   backends, under quarantine + bounded-queue shedding versus no
 //!   mitigation on the identical schedule;
+//! * `--prefix-cache` — also run the prefix study: the
+//!   shared-system-prompt scenario (every request opens with one common
+//!   prompt prefix) with the engine's prefix cache on versus off — a
+//!   hit restores the harvested post-prefix state (one state-transfer
+//!   DMA) instead of re-prefilling the shared prefix;
+//! * `--token-budget` — calibrate a [`TokenBudget`] against both
+//!   backends' cycle models ([`calibrate_token_budget`]) and apply it
+//!   to the prefix study's engines, reporting deferrals and budget
+//!   utilization (implies the prefix study runs);
 //! * `--fault-rate R` (default 0.05) — approximate fraction of engine
 //!   steps covered by a fault window in the chaos study;
 //! * `--seed S` (default 7) — seed of the chaos study's fault schedule;
@@ -53,8 +62,10 @@
 //! instrumented step-rate overhead, (full mode) the FP-vs-W4A4 serving
 //! gap, (with `--preempt`) the preemption study's hit rates and pause
 //! traffic, (with `--sessions`) the session study's resume-vs-
-//! re-prefill TTFT gap and cancellation waste, and (with `--chaos`) the
-//! chaos study's availability and goodput with and without mitigation.
+//! re-prefill TTFT gap and cancellation waste, (with `--chaos`) the
+//! chaos study's availability and goodput with and without mitigation,
+//! and (with `--prefix-cache` / `--token-budget`) the prefix study's
+//! hit/miss counts, cached-vs-cold TTFT gap, and budget deferrals.
 
 use lightmamba::report::render_table;
 use lightmamba_accel::arch::AcceleratorConfig;
@@ -63,16 +74,18 @@ use lightmamba_accel::sim::DecodeSimulator;
 use lightmamba_model::{MambaConfig, MambaModel, ModelPreset};
 use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
 use lightmamba_quant::QuantizedMamba;
-use lightmamba_serve::accel_cost::{ModelCost, MultiplexCostModel, StepCostModel};
+use lightmamba_serve::accel_cost::{
+    calibrate_token_budget, ModelCost, MultiplexCostModel, StepCostModel,
+};
 use lightmamba_serve::backend::{FpBackend, W4A4Backend};
 use lightmamba_serve::engine::{EngineConfig, ServeEngine};
 use lightmamba_serve::frontend::SessionStore;
-use lightmamba_serve::metrics::Percentiles;
+use lightmamba_serve::metrics::{Percentiles, ServeReport};
 use lightmamba_serve::observe::ObsConfig;
 use lightmamba_serve::registry::ModelRegistry;
 use lightmamba_serve::request::{FinishReason, GenRequest};
 use lightmamba_serve::scheduler::{
-    policy_by_name, Fifo, Policy, StaticBatching, WeightedFair, POLICY_NAMES,
+    policy_by_name, Fifo, Policy, StaticBatching, TokenBudget, WeightedFair, POLICY_NAMES,
 };
 use lightmamba_serve::traffic::{TrafficGenerator, TrafficScenario};
 use rand::rngs::StdRng;
@@ -103,6 +116,8 @@ struct Args {
     chaos: bool,
     fault_rate: f64,
     seed: u64,
+    prefix_cache: bool,
+    token_budget: bool,
     metrics_dump: Option<String>,
     trace_out: Option<String>,
     smoke: bool,
@@ -122,6 +137,8 @@ fn parse_args() -> Args {
         chaos: false,
         fault_rate: 0.05,
         seed: 7,
+        prefix_cache: false,
+        token_budget: false,
         metrics_dump: None,
         trace_out: None,
         smoke: false,
@@ -172,6 +189,14 @@ fn parse_args() -> Args {
             }
             "--chaos" => {
                 args.chaos = true;
+                i += 1;
+            }
+            "--prefix-cache" => {
+                args.prefix_cache = true;
+                i += 1;
+            }
+            "--token-budget" => {
+                args.token_budget = true;
                 i += 1;
             }
             "--fault-rate" => {
@@ -322,6 +347,13 @@ fn main() {
         json_fields.push(chaos_study(&args, &model, &quantized));
     }
 
+    // Prefix study: shared-system-prompt traffic, cached-state restore
+    // vs re-prefilling the shared prefix, optionally throttled by a
+    // calibrated token budget.
+    if args.prefix_cache || args.token_budget {
+        json_fields.push(prefix_study(&args, &model, &quantized, &vck_platform, &big));
+    }
+
     if !args.smoke {
         scenario_sweep(&args, &cfg, &model, &vck_platform, &big, &vck_cfg);
         slot_sweep(&args, &cfg, &model, &vck_platform, &big, &vck_cfg);
@@ -397,6 +429,7 @@ fn policy_study(
                 max_steps: 1_000_000,
                 prefill_chunk: args.prefill_chunk,
                 threads: args.threads,
+                ..Default::default()
             },
         )
         .expect("valid config");
@@ -505,6 +538,7 @@ fn obs_study(
                 max_steps: 1_000_000,
                 prefill_chunk: args.prefill_chunk,
                 threads: args.threads,
+                ..Default::default()
             },
         )
         .expect("valid config");
@@ -622,6 +656,7 @@ fn preemption_study(
                 max_steps: 1_000_000,
                 prefill_chunk: args.prefill_chunk,
                 threads: args.threads,
+                ..Default::default()
             },
         )
         .expect("valid config");
@@ -747,6 +782,7 @@ fn chaos_study(args: &Args, model: &MambaModel, quantized: &QuantizedMamba) -> S
                 max_steps: 1_000_000,
                 prefill_chunk: args.prefill_chunk,
                 threads: args.threads,
+                ..Default::default()
             },
         )
         .expect("valid config");
@@ -1020,6 +1056,7 @@ fn drive_chat(
             max_steps: 1_000_000,
             prefill_chunk: args.prefill_chunk,
             threads: args.threads,
+            ..Default::default()
         },
     )
     .expect("valid config");
@@ -1128,6 +1165,217 @@ fn drive_chat(
     }
 }
 
+/// One prefix-study run plus its accelerator-priced cost.
+struct PrefixRun {
+    report: ServeReport,
+    seconds: f64,
+    state_transfer_s: f64,
+}
+
+/// Runs the shared-system-prompt burst with the prefix cache on versus
+/// off (identical traffic, fp+w4a4 registry), optionally throttled by a
+/// budget calibrated against both backends' cycle models, prints the
+/// comparison, and returns the JSON fragment. Every request carries the
+/// same system prompt: with the cache on the engine prefills it once
+/// per model, snapshots the post-prefix state, and every later bearer
+/// restores it (one state-transfer DMA) instead of re-prefilling.
+fn prefix_study(
+    args: &Args,
+    model: &MambaModel,
+    quantized: &QuantizedMamba,
+    platform: &Platform,
+    big: &MambaConfig,
+) -> String {
+    let n = if args.smoke { 24 } else { 64 };
+    let prefix_len = 24usize;
+    let slots = 8usize;
+
+    // Calibrate once, against the same registry shape the runs use.
+    let budget = if args.token_budget {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("fp", Box::new(FpBackend::new(model)))
+            .expect("fresh registry");
+        registry
+            .register("w4a4", Box::new(W4A4Backend::new(quantized.clone())))
+            .expect("fresh registry");
+        Some(
+            calibrate_token_budget(&registry, platform, big, slots)
+                .expect("probe registry is non-empty"),
+        )
+    } else {
+        None
+    };
+
+    println!();
+    println!(
+        "prefix study: shared_system_prompt traffic ({n} turns behind one {prefix_len}-token \
+         system prompt), {slots} slots, fp+w4a4 pool, prefill chunk {} — cached-state restore \
+         vs re-prefilling the shared prefix",
+        args.prefill_chunk
+    );
+    if let Some(b) = budget {
+        println!(
+            "  calibrated token budget: {} prefill token-advances/step, {} resident tokens",
+            b.max_prefill_tokens_per_step, b.max_total_tokens
+        );
+    }
+
+    // Identical traffic for both runs: the generator stamps every
+    // request with the same system prompt and the shared-prefix marker;
+    // with the cache off the marker is inert.
+    let mut traffic = TrafficGenerator::new(
+        TrafficScenario::shared_system_prompt(n, prefix_len),
+        model.config().vocab_size,
+        11,
+    )
+    .with_models(2);
+    let requests = traffic.generate(1);
+
+    let cached = drive_prefix(
+        true, budget, args, model, quantized, &requests, slots, platform, big,
+    );
+    let cold = drive_prefix(
+        false, budget, args, model, quantized, &requests, slots, platform, big,
+    );
+
+    let mut rows = Vec::new();
+    for (name, run) in [("cache on", &cached), ("cache off", &cold)] {
+        rows.push(vec![
+            name.to_string(),
+            run.report.completed.to_string(),
+            format!("{} / {}", run.report.prefix_hits, run.report.prefix_misses),
+            run.report.prefill_tokens.to_string(),
+            format!(
+                "{:.1} / {:.1}",
+                run.report.ttft_steps.p50, run.report.ttft_steps.mean
+            ),
+            run.report.budget_deferrals.to_string(),
+            format!("{:.2}", run.state_transfer_s * 1e3),
+            format!("{:.1}", run.seconds),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "path",
+                "completed",
+                "hits / misses",
+                "prefill toks",
+                "TTFT p50/mean",
+                "deferrals",
+                "state xfer (ms)",
+                "run (s)",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "  cache hits skipped {} prefill token-advances across {} restores",
+        cold.report.prefill_tokens - cached.report.prefill_tokens,
+        cached.report.prefix_hits
+    );
+
+    assert_eq!(
+        cached.report.completed, cold.report.completed,
+        "the cache changes when work happens, never whether it completes"
+    );
+    assert!(
+        cached.report.prefix_hits > 0,
+        "a shared-prefix burst wider than the slot pool must produce hits"
+    );
+    assert!(
+        cached.report.prefill_tokens < cold.report.prefill_tokens,
+        "every hit must skip the shared prefix's token-advances"
+    );
+    assert!(
+        cached.report.ttft_steps.mean < cold.report.ttft_steps.mean,
+        "restoring a cached state must start decode earlier than re-prefilling"
+    );
+
+    let mut frag = format!(
+        "\"prefix\":{{\"n\":{n},\"prefix_len\":{prefix_len},\"hits\":{},\"misses\":{},\
+         \"prefill_tokens_cached\":{},\"prefill_tokens_cold\":{},\
+         \"cached_ttft_mean_steps\":{:.2},\"cached_ttft_p50_steps\":{:.2},\
+         \"cold_ttft_mean_steps\":{:.2},\"cold_ttft_p50_steps\":{:.2},\
+         \"cached_s\":{:.3},\"cold_s\":{:.3},\"state_transfer_s\":{:.6}",
+        cached.report.prefix_hits,
+        cached.report.prefix_misses,
+        cached.report.prefill_tokens,
+        cold.report.prefill_tokens,
+        cached.report.ttft_steps.mean,
+        cached.report.ttft_steps.p50,
+        cold.report.ttft_steps.mean,
+        cold.report.ttft_steps.p50,
+        cached.seconds,
+        cold.seconds,
+        cached.state_transfer_s,
+    );
+    if let Some(b) = budget {
+        frag.push_str(&format!(
+            ",\"budget\":{{\"max_prefill_tokens_per_step\":{},\"max_total_tokens\":{},\
+             \"deferrals\":{},\"prefill_utilization\":{:.4},\"resident_utilization\":{:.4}}}",
+            b.max_prefill_tokens_per_step,
+            b.max_total_tokens,
+            cached.report.budget_deferrals,
+            cached.report.budget_prefill_utilization.unwrap_or(0.0),
+            cached.report.budget_resident_utilization.unwrap_or(0.0),
+        ));
+    }
+    frag.push('}');
+    frag
+}
+
+/// Drives one prefix-study run to completion and prices its trace.
+#[allow(clippy::too_many_arguments)]
+fn drive_prefix(
+    cache: bool,
+    budget: Option<TokenBudget>,
+    args: &Args,
+    model: &MambaModel,
+    quantized: &QuantizedMamba,
+    requests: &[GenRequest],
+    slots: usize,
+    platform: &Platform,
+    big: &MambaConfig,
+) -> PrefixRun {
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("fp", Box::new(FpBackend::new(model)))
+        .expect("fresh registry");
+    registry
+        .register("w4a4", Box::new(W4A4Backend::new(quantized.clone())))
+        .expect("fresh registry");
+    let mut cost =
+        MultiplexCostModel::for_registry(&registry, platform, big).expect("two backends");
+    let mut engine = ServeEngine::with_registry(
+        registry,
+        EngineConfig {
+            slots,
+            max_steps: 1_000_000,
+            prefill_chunk: args.prefill_chunk,
+            threads: args.threads,
+            prefix_cache: cache.then_some(slots),
+            token_budget: budget,
+        },
+    )
+    .expect("valid config");
+    engine
+        .submit(requests.to_vec())
+        .expect("burst arrives together");
+    let mut policy = Fifo;
+    let report = engine.run(&mut policy).expect("run succeeds");
+    let run = cost
+        .cost_run(&report, engine.completions())
+        .expect("trace matches registry");
+    PrefixRun {
+        report,
+        seconds: run.seconds,
+        state_transfer_s: run.state_transfer_s,
+    }
+}
+
 /// Scenario sweep under FIFO continuous batching at 16 slots.
 fn scenario_sweep(
     args: &Args,
@@ -1155,6 +1403,7 @@ fn scenario_sweep(
                 max_steps: 1_000_000,
                 prefill_chunk: args.prefill_chunk,
                 threads: args.threads,
+                ..Default::default()
             },
         )
         .expect("non-zero slots");
@@ -1213,6 +1462,7 @@ fn slot_sweep(
                     max_steps: 1_000_000,
                     prefill_chunk: args.prefill_chunk,
                     threads: args.threads,
+                    ..Default::default()
                 },
             )
             .expect("non-zero slots");
@@ -1346,6 +1596,7 @@ fn multiplex_study(
             max_steps: 1_000_000,
             prefill_chunk: args.prefill_chunk,
             threads: args.threads,
+            ..Default::default()
         },
     )
     .expect("non-zero slots");
@@ -1420,6 +1671,7 @@ fn single_backend_run(
             max_steps: 1_000_000,
             prefill_chunk: args.prefill_chunk,
             threads: args.threads,
+            ..Default::default()
         },
     )
     .expect("non-zero slots");

@@ -46,6 +46,7 @@ pub fn engine_obs_overhead(
                     max_steps: 1_000_000,
                     prefill_chunk: 4,
                     threads: 1,
+                    ..Default::default()
                 },
             )
             .expect("non-zero slots");

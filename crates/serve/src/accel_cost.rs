@@ -39,6 +39,7 @@ use crate::error::ServeError;
 use crate::metrics::{Percentiles, RunTrace, ServeReport};
 use crate::registry::ModelRegistry;
 use crate::request::{Completion, FinishReason};
+use crate::scheduler::TokenBudget;
 
 /// An engine run priced on one accelerator platform.
 #[derive(Debug, Clone)]
@@ -276,6 +277,67 @@ impl StepCostModel {
             residency_ok: peak_batch <= max_resident_batch,
         }
     }
+}
+
+/// Calibrates a [`TokenBudget`] for an engine of `slots` slots by
+/// probing each registered backend's cycle model — the warmup probe a
+/// production router would run against real hardware, here answered by
+/// the [`DecodeSimulator`].
+///
+/// The probe finds, per backend, the largest per-step token count whose
+/// projected step time stays within 2× the backend's full-wave decode
+/// step (`step_seconds(slots)`): below that knee the weight stream
+/// still dominates and extra prefill tokens ride along nearly free;
+/// past it per-token compute does, and admitting more prefill starts
+/// delaying every resident's next token. The per-step prefill cap is
+/// the *minimum* knee across backends (the budget is global, the
+/// slowest backend sets the pace), floored at `slots` so decode alone
+/// can never be throttled; `max_total_tokens` is that cap × `slots` —
+/// each resident gets one cap's worth of lifetime footprint.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for an empty registry or
+/// `slots == 0`.
+pub fn calibrate_token_budget(
+    registry: &ModelRegistry<'_>,
+    platform: &Platform,
+    design_model: &MambaConfig,
+    slots: usize,
+) -> Result<TokenBudget, ServeError> {
+    if slots == 0 {
+        return Err(ServeError::InvalidConfig(
+            "token-budget calibration for a zero-slot engine".into(),
+        ));
+    }
+    if registry.is_empty() {
+        return Err(ServeError::InvalidConfig(
+            "token-budget calibration needs at least one registered model".into(),
+        ));
+    }
+    let mut prefill_cap = usize::MAX;
+    for (_, _, backend) in registry.iter() {
+        let cfg = backend
+            .cost_profile()
+            .accelerator_config(platform, design_model);
+        let mut cost = StepCostModel::new(DecodeSimulator::new(
+            platform.clone(),
+            design_model.clone(),
+            cfg,
+        ));
+        let wave = cost.step_seconds(slots);
+        // Walk the probe upward from a full decode wave until the knee
+        // (or a generous ceiling — the knee provably exists because
+        // per-token compute grows without bound while the threshold is
+        // fixed).
+        let ceiling = slots.saturating_mul(256);
+        let mut knee = slots;
+        while knee < ceiling && cost.step_seconds(knee + 1) <= 2.0 * wave {
+            knee += 1;
+        }
+        prefill_cap = prefill_cap.min(knee);
+    }
+    TokenBudget::new(prefill_cap, prefill_cap.saturating_mul(slots))
 }
 
 /// One model's slice of a multiplexed costed run.
@@ -620,6 +682,7 @@ mod tests {
                 max_steps: 100_000,
                 prefill_chunk,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -703,6 +766,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -750,6 +814,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -834,6 +899,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -897,6 +963,7 @@ mod tests {
                 max_steps: 100_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -978,5 +1045,139 @@ mod tests {
         ])
         .unwrap();
         assert!(cost.cost_run(&report, engine.completions()).is_err());
+    }
+
+    #[test]
+    fn prefix_cache_win_is_skipped_steps_minus_one_state_move() {
+        // The issue's pinned acceptance: on a shared-system-prompt hit,
+        // the projected TTFT win equals the k skipped prefill steps
+        // minus the one state move the restore costs.
+        use crate::scheduler::Fifo;
+
+        let model =
+            MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap();
+        let prefix: Vec<u32> = (1..=10).collect();
+        let k = prefix.len();
+        let mut warm_prompt = prefix.clone();
+        warm_prompt.extend_from_slice(&[40, 41, 42]);
+        let mut hot_prompt = prefix.clone();
+        hot_prompt.extend_from_slice(&[50, 51, 52, 53]);
+        let cfg = EngineConfig {
+            slots: 1,
+            max_steps: 10_000,
+            prefill_chunk: 1,
+            threads: 1,
+            prefix_cache: Some(2),
+            ..Default::default()
+        };
+
+        let mut engine = ServeEngine::new(&model, cfg).unwrap();
+        engine
+            .submit(vec![
+                GenRequest::greedy(0, warm_prompt, 4).with_shared_prefix(k)
+            ])
+            .unwrap();
+        let mut policy = Fifo;
+        engine.run(&mut policy).unwrap();
+        let mut hot = GenRequest::greedy(1, hot_prompt.clone(), 6).with_shared_prefix(k);
+        hot.arrival_step = engine.clock();
+        engine.submit(vec![hot]).unwrap();
+        let hot_report = engine.run(&mut policy).unwrap();
+        assert_eq!(hot_report.prefix_hits, 1);
+        let hot_done = engine
+            .completions()
+            .iter()
+            .find(|c| c.id == 1)
+            .unwrap()
+            .clone();
+
+        let mut cold_engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                prefix_cache: None,
+                ..cfg
+            },
+        )
+        .unwrap();
+        cold_engine
+            .submit(vec![GenRequest::greedy(1, hot_prompt, 6)])
+            .unwrap();
+        let cold_report = cold_engine.run(&mut policy).unwrap();
+        let cold_done = cold_engine.completions()[0].clone();
+
+        let platform = Platform::vck190();
+        let big = MambaConfig::preset(lightmamba_model::ModelPreset::B2_7);
+        let acfg = AcceleratorConfig::lightmamba_w4a4(&platform, &big);
+        let mut cost = StepCostModel::new(DecodeSimulator::new(platform, big, acfg));
+        let hot_s = cost
+            .cost_run(&hot_report, std::slice::from_ref(&hot_done))
+            .ttft_s
+            .p50;
+        let cold_s = cost
+            .cost_run(&cold_report, std::slice::from_ref(&cold_done))
+            .ttft_s
+            .p50;
+        // At chunk 1 every step advances one token, so the restore
+        // saves k one-token steps and spends exactly one state move.
+        let expected = k as f64 * cost.step_seconds(1) - cost.state_move_seconds();
+        assert!(expected > 0.0, "on this platform a restore must be a win");
+        assert!(
+            (cold_s - hot_s - expected).abs() < 1e-12,
+            "costed TTFT win {} != k*step - move {}",
+            cold_s - hot_s,
+            expected
+        );
+    }
+
+    #[test]
+    fn calibrated_budget_takes_the_min_knee_and_floors_at_slots() {
+        use crate::backend::{FpBackend, W4A4Backend};
+        use crate::registry::ModelRegistry;
+        use lightmamba_quant::pipeline::{quantize_model, Method, QuantSpec};
+
+        let model =
+            MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(9)).unwrap();
+        let q = quantize_model(&model, Method::Rtn, &QuantSpec::w4a4_grouped(16), &[]).unwrap();
+        let platform = Platform::vck190();
+        let big = MambaConfig::preset(lightmamba_model::ModelPreset::B2_7);
+        let slots = 4;
+
+        let budget_of =
+            |reg: &ModelRegistry<'_>| calibrate_token_budget(reg, &platform, &big, slots).unwrap();
+        let fp_only = ModelRegistry::single(&model);
+        let mut w4_only = ModelRegistry::new();
+        w4_only
+            .register("w4a4", Box::new(W4A4Backend::new(q.clone())))
+            .unwrap();
+        let mut both = ModelRegistry::new();
+        both.register("fp", Box::new(FpBackend::new(&model)))
+            .unwrap();
+        both.register("w4a4", Box::new(W4A4Backend::new(q)))
+            .unwrap();
+
+        let fp = budget_of(&fp_only);
+        let w4 = budget_of(&w4_only);
+        let combined = budget_of(&both);
+        // The shared budget is set by the slowest backend's knee.
+        assert_eq!(
+            combined.max_prefill_tokens_per_step,
+            fp.max_prefill_tokens_per_step
+                .min(w4.max_prefill_tokens_per_step)
+        );
+        for b in [fp, w4, combined] {
+            assert!(
+                b.max_prefill_tokens_per_step >= slots,
+                "the floor guarantees a full decode wave always fits"
+            );
+            assert_eq!(
+                b.max_total_tokens,
+                b.max_prefill_tokens_per_step * slots,
+                "each resident gets one cap of lifetime footprint"
+            );
+        }
+
+        // Error paths: no slots, no backends.
+        assert!(calibrate_token_budget(&fp_only, &platform, &big, 0).is_err());
+        assert!(calibrate_token_budget(&ModelRegistry::new(), &platform, &big, slots).is_err());
     }
 }

@@ -62,10 +62,11 @@ use crate::backend::PausedState;
 use crate::error::ServeError;
 use crate::metrics::{ClassBreakdown, ModelBreakdown, Percentiles, RunTrace, ServeReport};
 use crate::observe::{EngineObs, ObsConfig};
+use crate::prefix::PrefixCache;
 use crate::registry::ModelRegistry;
 use crate::request::{Completion, FinishReason, GenRequest, Priority, RequestId};
 use crate::resilience::{BackendHealth, DegradationController, HealthTracker, ResilienceConfig};
-use crate::scheduler::{AdmissionCtx, Policy, SeqView};
+use crate::scheduler::{AdmissionCtx, Policy, SeqView, TokenBudget};
 use crate::slots::SlotPool;
 
 /// Human-readable description of a caught panic payload (`panic!` with
@@ -149,6 +150,11 @@ struct ActiveSeq {
     /// The subset of `paused_steps` accrued before the first token
     /// (excluded from TTFT).
     paused_steps_pre_first: u64,
+    /// `Some(k)`: the first `k` prompt tokens are a shared prefix the
+    /// prefix cache missed on — snapshot the state when `pos` reaches
+    /// `k` (see [`ServeEngine::step`] phase 8b), then clear. Feeding
+    /// clips at `k` so the snapshot summarizes exactly the prefix.
+    harvest: Option<usize>,
 }
 
 /// One preempted sequence: its fixed-size saved state plus every piece
@@ -169,6 +175,9 @@ struct PausedSeq {
     preemptions: u32,
     paused_steps: u64,
     paused_steps_pre_first: u64,
+    /// Pending prefix-harvest marker, carried across the pause (see
+    /// [`ActiveSeq::harvest`]).
+    harvest: Option<usize>,
 }
 
 impl PausedSeq {
@@ -231,13 +240,31 @@ impl PausedSeq {
 }
 
 impl ActiveSeq {
+    /// Tokens this sequence advances in the next batched step: a prompt
+    /// chunk of at most `prefill_chunk` while prefilling (clipped at a
+    /// pending harvest boundary so the post-prefix state is observable),
+    /// exactly 1 while decoding. [`ActiveSeq::feed`] and the phase-8
+    /// bookkeeping both derive from this, so they can never disagree.
+    fn feed_len(&self, prefill_chunk: usize) -> usize {
+        if self.pos < self.req.prompt.len() {
+            let mut end = (self.pos + prefill_chunk.max(1)).min(self.req.prompt.len());
+            if let Some(h) = self.harvest {
+                if self.pos < h {
+                    end = end.min(h);
+                }
+            }
+            end - self.pos
+        } else {
+            1
+        }
+    }
+
     /// Tokens this sequence feeds into the next batched step: a prompt
     /// chunk of at most `prefill_chunk` tokens while prefilling, the
     /// previously sampled token while decoding.
     fn feed(&self, prefill_chunk: usize) -> &[u32] {
         if self.pos < self.req.prompt.len() {
-            let end = (self.pos + prefill_chunk.max(1)).min(self.req.prompt.len());
-            &self.req.prompt[self.pos..end]
+            &self.req.prompt[self.pos..self.pos + self.feed_len(prefill_chunk)]
         } else {
             std::slice::from_ref(
                 self.generated
@@ -268,6 +295,16 @@ pub struct EngineConfig {
     /// by the engine equivalence proptests), so this knob trades host
     /// wall-clock only — never results.
     pub threads: usize,
+    /// Token-level admission caps layered under every policy
+    /// ([`TokenBudget`]); `None` (the default) keeps slot-only
+    /// admission. Calibrate from the accelerator cost model with
+    /// [`crate::accel_cost::calibrate_token_budget`].
+    pub token_budget: Option<TokenBudget>,
+    /// Shared-prefix state-cache capacity in snapshots
+    /// ([`crate::prefix::PrefixCache`]); `None` (the default) disables
+    /// the cache, making [`GenRequest::shared_prefix`] markers inert.
+    /// `Some(0)` is rejected at construction.
+    pub prefix_cache: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -277,6 +314,8 @@ impl Default for EngineConfig {
             max_steps: 100_000,
             prefill_chunk: 1,
             threads: 1,
+            token_budget: None,
+            prefix_cache: None,
         }
     }
 }
@@ -359,6 +398,18 @@ pub struct ServeEngine<'m> {
     total_quarantine_entries: u64,
     /// Quarantine recoveries (half-open canary survived).
     total_quarantine_recoveries: u64,
+    /// The shared-prefix state cache, when enabled
+    /// ([`EngineConfig::prefix_cache`]).
+    prefix: Option<PrefixCache>,
+    /// Admissions the token budget deferred on the *previous* step —
+    /// feeds the overload shed hint so budget-deferred congestion and
+    /// queue depth report consistent retry semantics.
+    budget_deferred_last_step: u64,
+    /// Admissions the token budget deferred across the run.
+    total_budget_deferrals: u64,
+    /// Peak resident-token footprint (Σ `prompt + max_new` over
+    /// slot-holders) observed across the run.
+    peak_resident_tokens: usize,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -400,6 +451,16 @@ impl<'m> ServeEngine<'m> {
         if registry.is_empty() {
             return Err(ServeError::InvalidConfig(
                 "engine needs at least one registered model".into(),
+            ));
+        }
+        if let Some(budget) = cfg.token_budget {
+            // Re-validate here so a literal-built budget can't smuggle a
+            // zero cap past `TokenBudget::new`.
+            TokenBudget::new(budget.max_prefill_tokens_per_step, budget.max_total_tokens)?;
+        }
+        if cfg.prefix_cache == Some(0) {
+            return Err(ServeError::InvalidConfig(
+                "prefix cache of 0 entries (use None to disable)".into(),
             ));
         }
         let workers = (cfg.threads > 1).then(|| {
@@ -445,6 +506,10 @@ impl<'m> ServeEngine<'m> {
             total_backend_faults: 0,
             total_quarantine_entries: 0,
             total_quarantine_recoveries: 0,
+            prefix: cfg.prefix_cache.map(PrefixCache::new),
+            budget_deferred_last_step: 0,
+            total_budget_deferrals: 0,
+            peak_resident_tokens: 0,
         })
     }
 
@@ -694,6 +759,25 @@ impl<'m> ServeEngine<'m> {
         self.clock
     }
 
+    /// The shared-prefix state cache, when enabled
+    /// ([`EngineConfig::prefix_cache`]) — hit/miss/eviction counters and
+    /// occupancy for tests and reports.
+    pub fn prefix_cache(&self) -> Option<&PrefixCache> {
+        self.prefix.as_ref()
+    }
+
+    /// Admissions deferred by the token budget across the run
+    /// ([`EngineConfig::token_budget`]); 0 with no budget set.
+    pub fn budget_deferrals(&self) -> u64 {
+        self.total_budget_deferrals
+    }
+
+    /// Peak resident-token footprint (Σ `prompt + max_new` over
+    /// slot-holders at the post-admission point) observed so far.
+    pub fn peak_resident_tokens(&self) -> usize {
+        self.peak_resident_tokens
+    }
+
     /// Slot-pool capacity.
     pub fn capacity(&self) -> usize {
         self.pool.capacity()
@@ -848,8 +932,14 @@ impl<'m> ServeEngine<'m> {
             if over_limit || shed_class {
                 // Hint: the steps the backlog ahead needs to drain at
                 // one slot-pool wave per step — crude, but
-                // deterministic and monotone in pressure.
-                let hint = 1 + self.waiting.len() as u64 / self.pool.capacity().max(1) as u64;
+                // deterministic and monotone in pressure. Token-budget
+                // deferrals slow the drain below one wave per step, so
+                // last step's deferral count is added: a client turned
+                // away under budget pressure waits longer than one
+                // turned away by queue depth alone (saturating — the
+                // hint is advisory, never a wrap).
+                let hint = (1 + self.waiting.len() as u64 / self.pool.capacity().max(1) as u64)
+                    .saturating_add(self.budget_deferred_last_step);
                 self.total_rejected += 1;
                 // A shed session resume never restores its state.
                 self.resume_states.remove(&r.id);
@@ -1128,6 +1218,7 @@ impl<'m> ServeEngine<'m> {
                     preemptions: seq.preemptions + 1,
                     paused_steps: seq.paused_steps,
                     paused_steps_pre_first: seq.paused_steps_pre_first,
+                    harvest: seq.harvest,
                     req: seq.req,
                 });
             }
@@ -1189,6 +1280,72 @@ impl<'m> ServeEngine<'m> {
             }
             picks.truncate(self.pool.free_count());
         }
+        // 6a. Token-budget gate ([`TokenBudget`]), layered under every
+        //     policy: walk the surviving picks in policy order and defer
+        //     any that would push this step's prefill feed past
+        //     `max_prefill_tokens_per_step` or the resident footprint
+        //     past `max_total_tokens`. Deferred picks stay queued (or
+        //     paused) — admission pressure, never a drop. All accounting
+        //     uses the *configured* chunk, not the degradation ladder's
+        //     effective chunk, so a ladder recovering mid-run can never
+        //     invalidate an admission the budget already granted.
+        let mut budget_deferred_this_step = 0u64;
+        if let Some(budget) = self.cfg.token_budget {
+            let full_chunk = self.cfg.prefill_chunk;
+            // Running totals start from what the residents already
+            // commit this step: each prefilling sequence's next chunk,
+            // and every slot-holder's worst-case footprint.
+            let mut prefill_run: usize = self
+                .active
+                .iter()
+                .filter(|s| s.pos < s.req.prompt.len())
+                .map(|s| (s.req.prompt.len() - s.pos).min(full_chunk))
+                .sum();
+            let mut total_run: usize = self
+                .active
+                .iter()
+                .map(|s| s.req.prompt.len() + s.req.max_new_tokens)
+                .sum();
+            let waiting = &self.waiting;
+            let paused = &self.paused;
+            picks.retain(|&i| {
+                let (first_feed, footprint) = if i < n_waiting {
+                    let r = &waiting[i];
+                    // A fresh admission prefills from position 0; a
+                    // prefix-cache hit would feed less, but the gate
+                    // runs before the lookup, so it charges the
+                    // worst case (the invariant stays an upper bound).
+                    (
+                        r.prompt.len().min(full_chunk),
+                        r.prompt.len() + r.max_new_tokens,
+                    )
+                } else {
+                    let p = &paused[i - n_waiting];
+                    let feed = if p.pos < p.req.prompt.len() {
+                        (p.req.prompt.len() - p.pos).min(full_chunk)
+                    } else {
+                        0
+                    };
+                    (feed, p.req.prompt.len() + p.req.max_new_tokens)
+                };
+                // Liveness valve: with nothing resident and nothing yet
+                // admitted, the first pick runs even if it alone busts a
+                // cap — an oversized request executes solo instead of
+                // starving behind a budget it can never fit.
+                let valve = prefill_run == 0 && total_run == 0;
+                let fits = prefill_run + first_feed <= budget.max_prefill_tokens_per_step
+                    && total_run + footprint <= budget.max_total_tokens;
+                if fits || valve {
+                    prefill_run += first_feed;
+                    total_run += footprint;
+                    true
+                } else {
+                    budget_deferred_this_step += 1;
+                    false
+                }
+            });
+        }
+        self.total_budget_deferrals += budget_deferred_this_step;
         if !picks.is_empty() {
             let mut drained: Vec<Option<GenRequest>> = self.waiting.drain(..).map(Some).collect();
             let mut drained_paused: Vec<Option<PausedSeq>> =
@@ -1197,6 +1354,8 @@ impl<'m> ServeEngine<'m> {
                 let slot = self.pool.alloc().expect("picks bounded by free slots");
                 if i < n_waiting {
                     let req = drained[i].take().expect("picks are unique and in range");
+                    let mut start_pos = 0usize;
+                    let mut harvest = None;
                     // A session resume: restore the prior turn's saved
                     // state into the fresh slot (one state-transfer
                     // move, priced like a preemption resume) instead of
@@ -1207,6 +1366,33 @@ impl<'m> ServeEngine<'m> {
                         sub_state_moves[req.model] += 1;
                         if let Some(o) = self.obs.as_deref_mut() {
                             o.session_restore();
+                        }
+                    } else if let Some(cache) = self.prefix.as_mut() {
+                        // A shared-prefix marker (validated: at least
+                        // one token must remain to feed). A cache hit
+                        // restores the post-prefix snapshot — one
+                        // state-transfer move, priced exactly like a
+                        // resume — and prefill starts *after* the
+                        // prefix. A miss marks the sequence for harvest
+                        // in phase 8b.
+                        if let Some(k) =
+                            req.shared_prefix.filter(|&k| k > 0 && k < req.prompt.len())
+                        {
+                            if let Some(snap) = cache.lookup(req.model, &req.prompt[..k]) {
+                                let backend =
+                                    self.registry.get(req.model).expect("validated at submit");
+                                backend.restore_state(snap, &mut self.pool.states_mut()[slot]);
+                                sub_state_moves[req.model] += 1;
+                                start_pos = k;
+                                if let Some(o) = self.obs.as_deref_mut() {
+                                    o.prefix_hit();
+                                }
+                            } else {
+                                harvest = Some(k);
+                                if let Some(o) = self.obs.as_deref_mut() {
+                                    o.prefix_miss();
+                                }
+                            }
                         }
                     }
                     admitted_this_step += 1;
@@ -1222,7 +1408,7 @@ impl<'m> ServeEngine<'m> {
                     let rng = StdRng::seed_from_u64(req.seed);
                     self.active.push(ActiveSeq {
                         slot,
-                        pos: 0,
+                        pos: start_pos,
                         generated: Vec::with_capacity(req.max_new_tokens),
                         rng,
                         admitted_step: self.clock,
@@ -1230,6 +1416,7 @@ impl<'m> ServeEngine<'m> {
                         preemptions: 0,
                         paused_steps: 0,
                         paused_steps_pre_first: 0,
+                        harvest,
                         req,
                     });
                 } else {
@@ -1259,6 +1446,7 @@ impl<'m> ServeEngine<'m> {
                         preemptions: p.preemptions,
                         paused_steps,
                         paused_steps_pre_first: pre_first,
+                        harvest: p.harvest,
                         req: p.req,
                     });
                 }
@@ -1266,6 +1454,16 @@ impl<'m> ServeEngine<'m> {
             self.waiting = drained.into_iter().flatten().collect();
             self.paused = drained_paused.into_iter().flatten().collect();
         }
+        // Resident-token footprint at its per-step peak
+        // (post-admission, pre-retirement) — the quantity
+        // [`TokenBudget::max_total_tokens`] bounds, recorded whether or
+        // not a budget is set so utilization is always reportable.
+        let resident_tokens_this_step: usize = self
+            .active
+            .iter()
+            .map(|s| s.req.prompt.len() + s.req.max_new_tokens)
+            .sum();
+        self.peak_resident_tokens = self.peak_resident_tokens.max(resident_tokens_this_step);
         self.obs_end();
         self.obs_begin("advance", cat);
 
@@ -1435,7 +1633,9 @@ impl<'m> ServeEngine<'m> {
         for (seq, logits) in self.active.iter_mut().zip(&step_logits) {
             let logits = logits.as_ref().expect("every active sequence stepped");
             if seq.pos < seq.req.prompt.len() {
-                let fed = (seq.req.prompt.len() - seq.pos).min(chunk);
+                // Mirrors `feed` exactly (both derive from `feed_len`),
+                // including the clip at a pending harvest boundary.
+                let fed = seq.feed_len(chunk);
                 prefill_tokens += fed;
                 seq.pos += fed;
             } else {
@@ -1457,6 +1657,36 @@ impl<'m> ServeEngine<'m> {
                         token,
                         step: self.clock,
                     });
+                }
+            }
+        }
+
+        // 8b. Prefix harvest: a sequence whose prefill just crossed its
+        //     cache-miss prefix boundary has, in its slot, *exactly* the
+        //     state of a run that prefilled the prefix alone — feeding
+        //     clips there ([`ActiveSeq::feed_len`]). Snapshot it into
+        //     the cache (one state save on the shared stream, counted
+        //     with the step's other state moves) unless a concurrent
+        //     miss already harvested the same prefix this wave.
+        if let Some(cache) = self.prefix.as_mut() {
+            for seq in &mut self.active {
+                let Some(h) = seq.harvest else { continue };
+                if seq.pos < h {
+                    continue;
+                }
+                debug_assert_eq!(seq.pos, h, "feeding clips at the harvest boundary");
+                seq.harvest = None;
+                if !cache.contains(seq.req.model, &seq.req.prompt[..h]) {
+                    let backend = self
+                        .registry
+                        .get(seq.req.model)
+                        .expect("resident implies registered");
+                    cache.insert(
+                        seq.req.model,
+                        &seq.req.prompt[..h],
+                        backend.save_state(&self.pool.states()[seq.slot]),
+                    );
+                    sub_state_moves[seq.req.model] += 1;
                 }
             }
         }
@@ -1563,6 +1793,14 @@ impl<'m> ServeEngine<'m> {
             .push(sub_state_moves.iter().sum());
         self.trace.sub_state_moves_per_step.push(sub_state_moves);
         self.trace.cancellations_per_step.push(cancelled_this_step);
+        self.trace.prefill_per_step.push(prefill_tokens);
+        self.trace
+            .resident_tokens_per_step
+            .push(resident_tokens_this_step);
+        self.trace
+            .budget_deferred_per_step
+            .push(budget_deferred_this_step as usize);
+        self.budget_deferred_last_step = budget_deferred_this_step;
 
         // 10b. Observability close: end the step span with the step's
         //      headline numbers, then fold the step — its record, the
@@ -1612,6 +1850,7 @@ impl<'m> ServeEngine<'m> {
                 sub_processed_step,
                 sub_moves_step,
             );
+            o.budget_deferred(budget_deferred_this_step);
         }
 
         // A request that left the engine this step (completed, expired,
@@ -1800,6 +2039,22 @@ impl<'m> ServeEngine<'m> {
             e2e_steps: Percentiles::of(&e2e),
             queue_steps: Percentiles::of(&queue),
             mean_occupancy: self.trace.mean_batch() / self.pool.capacity() as f64,
+            budget_deferrals: self.total_budget_deferrals,
+            budget_prefill_utilization: self.cfg.token_budget.map(|b| {
+                let steps = self.trace.prefill_per_step.len();
+                if steps == 0 {
+                    0.0
+                } else {
+                    let fed: u64 = self.trace.prefill_per_step.iter().map(|&p| p as u64).sum();
+                    fed as f64 / (steps as u64 * b.max_prefill_tokens_per_step as u64) as f64
+                }
+            }),
+            budget_resident_utilization: self
+                .cfg
+                .token_budget
+                .map(|b| self.peak_resident_tokens as f64 / b.max_total_tokens as f64),
+            prefix_hits: self.prefix.as_ref().map_or(0, PrefixCache::hits),
+            prefix_misses: self.prefix.as_ref().map_or(0, PrefixCache::misses),
             per_model,
             per_class,
             trace: self.trace.clone(),
@@ -1844,6 +2099,7 @@ mod tests {
             max_steps: 100,
             prefill_chunk: 1,
             threads,
+            ..Default::default()
         };
         let err = ServeEngine::new(&model, cfg(0)).map(|_| ()).unwrap_err();
         assert!(matches!(err, ServeError::InvalidConfig(_)));
@@ -1872,6 +2128,7 @@ mod tests {
                     max_steps: 10_000,
                     prefill_chunk: 2,
                     threads,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -1895,6 +2152,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -1933,6 +2191,7 @@ mod tests {
                     max_steps: 10_000,
                     prefill_chunk: chunk,
                     threads: 1,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -1995,6 +2254,7 @@ mod tests {
                     max_steps: 10_000,
                     prefill_chunk: 1,
                     threads: 1,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -2026,6 +2286,7 @@ mod tests {
                     max_steps: 10_000,
                     prefill_chunk: 2,
                     threads: 1,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -2057,6 +2318,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2096,6 +2358,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2141,6 +2404,7 @@ mod tests {
                     max_steps: 10_000,
                     prefill_chunk: 1,
                     threads: 1,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -2176,6 +2440,7 @@ mod tests {
                 max_steps: 100,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2194,6 +2459,7 @@ mod tests {
                 max_steps: 100,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2239,6 +2505,7 @@ mod tests {
                 max_steps: 150,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2278,6 +2545,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2308,6 +2576,7 @@ mod tests {
                     max_steps: 10_000,
                     prefill_chunk: 1,
                     threads: 1,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -2373,6 +2642,7 @@ mod tests {
                     max_steps: 10_000,
                     prefill_chunk: 1,
                     threads: 1,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -2414,6 +2684,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2449,6 +2720,7 @@ mod tests {
                 max_steps: 1_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2477,6 +2749,7 @@ mod tests {
                 max_steps: 1_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2526,6 +2799,7 @@ mod tests {
                 max_steps: 5,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2558,6 +2832,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 2,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2643,6 +2918,7 @@ mod tests {
                 max_steps: 1,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             }
         )
         .is_err());
@@ -2653,6 +2929,7 @@ mod tests {
                 max_steps: 1,
                 prefill_chunk: 0,
                 threads: 1,
+                ..Default::default()
             }
         )
         .is_err());
@@ -2672,6 +2949,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2733,6 +3011,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2779,6 +3058,7 @@ mod tests {
             max_steps: 10_000,
             prefill_chunk: 1,
             threads: 1,
+            ..Default::default()
         };
 
         // Turn 1 completes into a snapshot; turn 2 resumes it.
@@ -2850,6 +3130,7 @@ mod tests {
                 max_steps: 100_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2898,6 +3179,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2918,6 +3200,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 1,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2983,6 +3266,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 4,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -3034,6 +3318,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 4,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -3066,6 +3351,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 4,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -3101,6 +3387,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 4,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -3152,6 +3439,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 2,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -3167,6 +3455,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 2,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -3206,6 +3495,7 @@ mod tests {
                     max_steps: 300,
                     prefill_chunk: 4,
                     threads: 1,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -3258,6 +3548,7 @@ mod tests {
                 max_steps: 10_000,
                 prefill_chunk: 4,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -3271,5 +3562,344 @@ mod tests {
         assert!(report.backend_faults >= 1);
         assert_eq!(engine.free_slots(), 2);
         assert!(!engine.has_work());
+    }
+
+    #[test]
+    fn prefix_cache_hit_skips_prefill_and_pins_the_ttft_win() {
+        let model = tiny_model();
+        let prefix: Vec<u32> = (1..=10).collect();
+        let k = prefix.len();
+        let mut warm_prompt = prefix.clone();
+        warm_prompt.extend_from_slice(&[40, 41, 42]);
+        let mut hot_prompt = prefix.clone();
+        hot_prompt.extend_from_slice(&[50, 51, 52, 53]);
+        let cfg = EngineConfig {
+            slots: 1,
+            max_steps: 10_000,
+            prefill_chunk: 1,
+            threads: 1,
+            prefix_cache: Some(4),
+            ..Default::default()
+        };
+
+        // Warm the cache: the first bearer of the prefix misses and
+        // harvests the post-prefix state at the boundary.
+        let mut engine = ServeEngine::new(&model, cfg).unwrap();
+        engine
+            .submit(vec![
+                GenRequest::greedy(0, warm_prompt, 4).with_shared_prefix(k)
+            ])
+            .unwrap();
+        let mut policy = Fifo;
+        engine.run(&mut policy).unwrap();
+        {
+            let cache = engine.prefix_cache().unwrap();
+            assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 1, 1));
+        }
+
+        // The measured request arrives after the warmup drained, hits,
+        // and restores the snapshot instead of re-prefilling the prefix.
+        let mut hot = GenRequest::greedy(1, hot_prompt.clone(), 6).with_shared_prefix(k);
+        hot.arrival_step = engine.clock();
+        engine.submit(vec![hot]).unwrap();
+        let report = engine.run(&mut policy).unwrap();
+        assert_eq!(engine.prefix_cache().unwrap().hits(), 1);
+        let hot_done = engine
+            .completions()
+            .iter()
+            .find(|c| c.id == 1)
+            .unwrap()
+            .clone();
+
+        // Cold reference: the identical request through a cache-less
+        // engine re-prefills the whole prompt.
+        let mut cold_engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                prefix_cache: None,
+                ..cfg
+            },
+        )
+        .unwrap();
+        cold_engine
+            .submit(vec![
+                GenRequest::greedy(1, hot_prompt, 6).with_shared_prefix(k)
+            ])
+            .unwrap();
+        cold_engine.run(&mut policy).unwrap();
+        let cold = cold_engine.completions()[0].clone();
+
+        // The restored state is exact: decode is bit-identical.
+        assert_eq!(hot_done.tokens, cold.tokens);
+        // The pinned win: at chunk 1 the TTFT drops by exactly the k
+        // prefill steps the restore skipped (the state move itself is
+        // priced in accelerator seconds, not engine steps — see the
+        // accel_cost test pinning `k*step_seconds(1) - state_move`).
+        let hot_ttft = hot_done.ttft_steps().unwrap();
+        let cold_ttft = cold.ttft_steps().unwrap();
+        assert!(
+            hot_ttft < cold_ttft,
+            "cache-hit TTFT {hot_ttft} must strictly beat re-prefill {cold_ttft}"
+        );
+        assert_eq!(
+            cold_ttft - hot_ttft,
+            k as u64,
+            "the win is exactly the skipped prefill steps"
+        );
+        // State accounting across both cached runs: one harvest save
+        // plus one hit restore, each a fixed-size state move.
+        let moves: usize = report.trace.state_moves_per_step.iter().sum();
+        assert_eq!(moves, 2, "one harvest save + one hit restore");
+        assert_eq!(report.prefix_hits, 1);
+        assert_eq!(report.prefix_misses, 1);
+    }
+
+    #[test]
+    fn prefix_markers_are_inert_with_the_cache_off_and_exact_with_it_on() {
+        let model = tiny_model();
+        let plain = burst_requests(6, 8, 5);
+        let marked: Vec<GenRequest> = plain
+            .iter()
+            .cloned()
+            .map(|r| r.with_shared_prefix(4))
+            .collect();
+        let run = |reqs: Vec<GenRequest>, cache: Option<usize>| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig {
+                    slots: 3,
+                    max_steps: 10_000,
+                    prefill_chunk: 2,
+                    threads: 1,
+                    prefix_cache: cache,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            engine.submit(reqs).unwrap();
+            let report = engine.run(&mut Fifo).unwrap();
+            let mut out: Vec<(u64, Vec<u32>)> = engine
+                .completions()
+                .iter()
+                .map(|c| (c.id, c.tokens.clone()))
+                .collect();
+            out.sort();
+            (report.steps, out)
+        };
+        // With the cache off, shared-prefix markers change nothing:
+        // same outputs, same step count, token for token.
+        let baseline = run(plain, None);
+        assert_eq!(run(marked.clone(), None), baseline);
+        // With the cache on, outputs stay bit-identical — harvests and
+        // restores never alter what a request generates.
+        let (_, out_on) = run(marked, Some(8));
+        assert_eq!(out_on, baseline.1);
+    }
+
+    #[test]
+    fn out_of_range_prefix_markers_never_touch_the_cache() {
+        let model = tiny_model();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+                threads: 1,
+                prefix_cache: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // k == prompt.len() would leave nothing to decode from; k == 0
+        // is an empty prefix. Both are ignored, not errors.
+        let whole = GenRequest::greedy(0, vec![7; 5], 4).with_shared_prefix(5);
+        let zero = GenRequest::greedy(1, vec![8; 5], 4).with_shared_prefix(0);
+        engine.submit(vec![whole.clone(), zero.clone()]).unwrap();
+        engine.run(&mut Fifo).unwrap();
+        let cache = engine.prefix_cache().unwrap();
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 0));
+        for req in [&whole, &zero] {
+            let done = engine
+                .completions()
+                .iter()
+                .find(|c| c.id == req.id)
+                .unwrap();
+            assert_eq!(done.tokens, sequential_reference(&model, req));
+        }
+    }
+
+    #[test]
+    fn harvest_survives_preemption_and_later_requests_hit() {
+        let model = tiny_model();
+        let prefix: Vec<u32> = (10..22).collect();
+        let k = prefix.len();
+        let mut hog_prompt = prefix.clone();
+        hog_prompt.extend_from_slice(&[1, 2]);
+        let hog = GenRequest::greedy(0, hog_prompt.clone(), 6)
+            .with_priority(Priority::Batch)
+            .with_shared_prefix(k);
+        // Arrives mid-prefill of the hog, well before the prefix
+        // boundary: the pause must carry the pending harvest marker.
+        let mut urgent = GenRequest::greedy(1, vec![90; 2], 3).with_priority(Priority::Interactive);
+        urgent.arrival_step = 3;
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 1,
+                max_steps: 10_000,
+                prefill_chunk: 1,
+                threads: 1,
+                prefix_cache: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        engine.submit(vec![hog.clone(), urgent]).unwrap();
+        let mut policy = PriorityClasses::preemptive();
+        let report = engine.run(&mut policy).unwrap();
+        assert!(report.preemptions >= 1, "the hog was never paused");
+        assert_eq!(
+            engine.prefix_cache().unwrap().len(),
+            1,
+            "the resumed hog still harvested its prefix"
+        );
+        let hog_done = engine
+            .completions()
+            .iter()
+            .find(|c| c.id == 0)
+            .unwrap()
+            .clone();
+        assert_eq!(hog_done.tokens, sequential_reference(&model, &hog));
+
+        // A later bearer of the same prefix restores instead of
+        // prefilling — and still decodes bit-identically.
+        let mut third_prompt = prefix.clone();
+        third_prompt.extend_from_slice(&[5, 6, 7]);
+        let mut third = GenRequest::greedy(2, third_prompt, 4).with_shared_prefix(k);
+        third.arrival_step = engine.clock();
+        engine.submit(vec![third.clone()]).unwrap();
+        engine.run(&mut policy).unwrap();
+        assert_eq!(engine.prefix_cache().unwrap().hits(), 1);
+        let done = engine
+            .completions()
+            .iter()
+            .find(|c| c.id == 2)
+            .unwrap()
+            .clone();
+        assert_eq!(done.tokens, sequential_reference(&model, &third));
+    }
+
+    #[test]
+    fn token_budget_defers_but_every_request_completes() {
+        let model = tiny_model();
+        let budget = TokenBudget::new(6, 30).unwrap();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 4,
+                max_steps: 100_000,
+                prefill_chunk: 4,
+                threads: 1,
+                token_budget: Some(budget),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Footprint 6+5 = 11 tokens each: the 30-token residency cap
+        // holds two at a time even though four slots are free, and the
+        // 6-token prefill cap admits at most one fresh 4-token chunk
+        // alongside an in-flight prefill.
+        engine.submit(burst_requests(8, 6, 5)).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
+        assert_eq!(report.completed, 8, "deferral is never starvation");
+        assert!(report.budget_deferrals > 0, "the caps never bound");
+        for (t, &fed) in report.trace.prefill_per_step.iter().enumerate() {
+            assert!(fed <= 6, "step {t} fed {fed} prefill tokens past the cap");
+        }
+        for (t, &resident) in report.trace.resident_tokens_per_step.iter().enumerate() {
+            assert!(resident <= 30, "step {t} held {resident} resident tokens");
+        }
+        assert_eq!(
+            report.budget_deferrals,
+            report
+                .trace
+                .budget_deferred_per_step
+                .iter()
+                .map(|&d| d as u64)
+                .sum::<u64>()
+        );
+        assert!(engine.peak_resident_tokens() <= 30);
+        let prefill_util = report.budget_prefill_utilization.unwrap();
+        assert!(prefill_util > 0.0 && prefill_util <= 1.0);
+        let resident_util = report.budget_resident_utilization.unwrap();
+        assert!(resident_util > 0.0 && resident_util <= 1.0);
+    }
+
+    #[test]
+    fn budget_valve_admits_an_oversized_request_alone() {
+        let model = tiny_model();
+        // Footprint 10+4 = 14 > 8 and first chunk 4 > 2: no cap ever
+        // fits this request, so without the liveness valve it would
+        // wait forever.
+        let budget = TokenBudget::new(2, 8).unwrap();
+        let mut engine = ServeEngine::new(
+            &model,
+            EngineConfig {
+                slots: 2,
+                max_steps: 100_000,
+                prefill_chunk: 4,
+                threads: 1,
+                token_budget: Some(budget),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let req = GenRequest::greedy(0, vec![3; 10], 4);
+        engine.submit(vec![req.clone()]).unwrap();
+        let report = engine.run(&mut Fifo).unwrap();
+        assert_eq!(report.completed, 1);
+        assert_eq!(
+            engine.completions()[0].tokens,
+            sequential_reference(&model, &req)
+        );
+    }
+
+    #[test]
+    fn token_budget_is_inert_when_generous() {
+        // A budget wide enough for the whole workload admits exactly
+        // what the unbudgeted engine admits: same outputs, same steps,
+        // zero deferrals.
+        let model = tiny_model();
+        let reqs = burst_requests(6, 5, 4);
+        let run = |budget: Option<TokenBudget>| {
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig {
+                    slots: 3,
+                    max_steps: 10_000,
+                    prefill_chunk: 2,
+                    threads: 1,
+                    token_budget: budget,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            engine.submit(reqs.clone()).unwrap();
+            let report = engine.run(&mut Fifo).unwrap();
+            let mut out: Vec<(u64, Vec<u32>)> = engine
+                .completions()
+                .iter()
+                .map(|c| (c.id, c.tokens.clone()))
+                .collect();
+            out.sort();
+            (report.steps, report.budget_deferrals, out)
+        };
+        let (steps_off, _, out_off) = run(None);
+        let generous = TokenBudget::new(10_000, 100_000).unwrap();
+        let (steps_on, deferrals, out_on) = run(Some(generous));
+        assert_eq!(deferrals, 0);
+        assert_eq!(steps_on, steps_off);
+        assert_eq!(out_on, out_off);
     }
 }

@@ -100,6 +100,12 @@ pub struct FrontendRun {
     pub session_misses: u64,
     /// Sessions the store evicted under LRU pressure.
     pub session_evictions: u64,
+    /// Admissions that restored a cached shared-prefix state (see
+    /// [`crate::prefix::PrefixCache`]); 0 with the cache off.
+    pub prefix_hits: u64,
+    /// Shared-prefix admissions that found no cached state; 0 with the
+    /// cache off.
+    pub prefix_misses: u64,
     /// The observability state accumulated by the engine thread, when
     /// [`FrontendConfig::obs`] was set (or the caller enabled it on the
     /// engine before handing it over): render with
@@ -144,7 +150,7 @@ pub struct FrontendRun {
 ///     .map_err(lightmamba_serve::ServeError::from)?;
 /// let engine = ServeEngine::new(
 ///     &model,
-///     EngineConfig { slots: 2, max_steps: 10_000, prefill_chunk: 4, threads: 1 },
+///     EngineConfig { slots: 2, max_steps: 10_000, prefill_chunk: 4, threads: 1, ..Default::default() },
 /// )?;
 /// let (tokens, run) = run_frontend(
 ///     engine,
@@ -306,13 +312,17 @@ fn engine_loop(
         }
     }
 
+    let report = engine.report(policy);
+    let (prefix_hits, prefix_misses) = (report.prefix_hits, report.prefix_misses);
     Ok(FrontendRun {
-        report: engine.report(policy),
+        report,
         completions: engine.completions().to_vec(),
         sessions_stored: store.len(),
         session_resumes,
         session_misses,
         session_evictions: store.evictions(),
+        prefix_hits,
+        prefix_misses,
         obs: engine.take_obs(),
     })
 }
@@ -378,6 +388,7 @@ mod tests {
                 max_steps: 50_000,
                 prefill_chunk: 4,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -637,6 +648,7 @@ mod tests {
                 max_steps: 3,
                 prefill_chunk: 4,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -686,6 +698,7 @@ mod tests {
                 max_steps: 50_000,
                 prefill_chunk: 4,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();

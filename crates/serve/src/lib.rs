@@ -47,6 +47,12 @@
 //!   two-lane Chrome trace (host wall clock + accelerator-projected
 //!   virtual time), and a flight recorder of recent steps and request
 //!   lifecycle timelines with optional SLO capture;
+//! * [`prefix`] — the shared-prefix state cache: because a whole
+//!   prompt prefix compresses into one fixed-size state, requests
+//!   carrying the same system prompt restore a cached post-prefix
+//!   snapshot (one state transfer) instead of re-prefilling it, with
+//!   token-budget admission ([`scheduler::TokenBudget`]) capping
+//!   per-step prefill and resident-token totals under every policy;
 //! * [`resilience`] — fault tolerance: each backend is one fault
 //!   domain whose errors and panics the engine contains (the domain's
 //!   requests retire as [`request::FinishReason::Failed`], nothing else
@@ -84,7 +90,7 @@
 //!     TrafficGenerator::new(TrafficScenario::burst(8), model.config().vocab_size, 1);
 //! let mut engine = ServeEngine::new(
 //!     &model,
-//!     EngineConfig { slots: 4, max_steps: 50_000, prefill_chunk: 4, threads: 1 },
+//!     EngineConfig { slots: 4, max_steps: 50_000, prefill_chunk: 4, threads: 1, ..Default::default() },
 //! )?;
 //! engine.submit(traffic.generate(1))?;
 //! let report = engine.run(&mut Fifo)?;
@@ -104,6 +110,7 @@ pub mod engine;
 pub mod frontend;
 pub mod metrics;
 pub mod observe;
+pub mod prefix;
 pub mod registry;
 pub mod request;
 pub mod resilience;

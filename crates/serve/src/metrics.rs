@@ -112,6 +112,19 @@ pub struct RunTrace {
     /// the step, so a slot freed here is offered to admission in the
     /// same step.
     pub cancellations_per_step: Vec<usize>,
+    /// Prompt (prefill) tokens fed by each step — the subset of
+    /// `processed_per_step` that [`crate::scheduler::TokenBudget`]'s
+    /// per-step prefill cap bounds (the budget proptests assert every
+    /// entry stays under it).
+    pub prefill_per_step: Vec<usize>,
+    /// Resident-token footprint (Σ `prompt + max_new` over slot-holders)
+    /// at each step's post-admission peak — what the budget's
+    /// `max_total_tokens` bounds. Recorded whether or not a budget is
+    /// set.
+    pub resident_tokens_per_step: Vec<usize>,
+    /// Admissions the token budget deferred at each step (kept queued,
+    /// not dropped). All zeros when no budget is configured.
+    pub budget_deferred_per_step: Vec<usize>,
 }
 
 impl RunTrace {
@@ -200,7 +213,7 @@ pub struct ClassBreakdown {
 /// let model = MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(1))?;
 /// let mut engine = ServeEngine::new(
 ///     &model,
-///     EngineConfig { slots: 2, max_steps: 10_000, prefill_chunk: 2, threads: 1 },
+///     EngineConfig { slots: 2, max_steps: 10_000, prefill_chunk: 2, threads: 1, ..Default::default() },
 /// )?;
 /// engine.submit(vec![
 ///     GenRequest::greedy(0, vec![1, 2, 3], 4).with_deadline(100),
@@ -281,6 +294,25 @@ pub struct ServeReport {
     pub queue_steps: Percentiles,
     /// Slot occupancy (mean batch / capacity).
     pub mean_occupancy: f64,
+    /// Admissions the token budget deferred across the run (each kept
+    /// queued and re-offered, never dropped). 0 with no budget.
+    pub budget_deferrals: u64,
+    /// Mean per-step prefill feed as a fraction of
+    /// [`crate::scheduler::TokenBudget::max_prefill_tokens_per_step`];
+    /// `None` when no budget is configured.
+    pub budget_prefill_utilization: Option<f64>,
+    /// Peak resident-token footprint as a fraction of
+    /// [`crate::scheduler::TokenBudget::max_total_tokens`]; `None` when
+    /// no budget is configured.
+    pub budget_resident_utilization: Option<f64>,
+    /// Prefix-cache lookups that restored a post-prefix snapshot
+    /// (each one skipped that prefix's whole prefill for one state
+    /// move). 0 with the cache off.
+    pub prefix_hits: u64,
+    /// Prefix-cache lookups that found no snapshot (the requester
+    /// prefills and harvests it for its successors). 0 with the cache
+    /// off.
+    pub prefix_misses: u64,
     /// Per-model slices, indexed by registry id (one entry per
     /// registered model, including models that served no request).
     pub per_model: Vec<ModelBreakdown>,

@@ -99,6 +99,10 @@ struct Ids {
     ttft_steps: HistogramId,
     e2e_steps: HistogramId,
     queue_steps: HistogramId,
+    prefix_hits: CounterId,
+    prefix_misses: CounterId,
+    budget_deferrals: CounterId,
+    budget_deferred: HistogramId,
     /// Per-model token-advance counters, indexed by
     /// [`crate::registry::ModelId`].
     model_tokens: Vec<CounterId>,
@@ -248,6 +252,23 @@ impl EngineObs {
                 "Queueing delay of completions (engine steps).",
                 &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
             ),
+            prefix_hits: m.counter(
+                "engine_prefix_hits_total",
+                "Admissions that restored a cached shared-prefix state.",
+            ),
+            prefix_misses: m.counter(
+                "engine_prefix_misses_total",
+                "Shared-prefix admissions that found no cached state (harvested one).",
+            ),
+            budget_deferrals: m.counter(
+                "engine_budget_deferrals_total",
+                "Admissions deferred by the token budget (kept queued).",
+            ),
+            budget_deferred: m.histogram(
+                "engine_budget_deferred",
+                "Admissions deferred by the token budget, per step.",
+                &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+            ),
             model_tokens: model_names
                 .iter()
                 .map(|name| {
@@ -291,6 +312,27 @@ impl EngineObs {
     #[inline]
     pub(crate) fn session_restore(&mut self) {
         self.metrics.inc(self.ids.session_restores);
+    }
+
+    /// Counts an admission that restored a cached shared-prefix state.
+    #[inline]
+    pub(crate) fn prefix_hit(&mut self) {
+        self.metrics.inc(self.ids.prefix_hits);
+    }
+
+    /// Counts a shared-prefix admission that missed the cache (and will
+    /// harvest a snapshot at its prefix boundary).
+    #[inline]
+    pub(crate) fn prefix_miss(&mut self) {
+        self.metrics.inc(self.ids.prefix_misses);
+    }
+
+    /// Folds one step's token-budget deferrals into the counter and the
+    /// per-step histogram (hot path, allocation-free).
+    #[inline]
+    pub(crate) fn budget_deferred(&mut self, n: u64) {
+        self.metrics.add(self.ids.budget_deferrals, n);
+        self.metrics.observe(self.ids.budget_deferred, n as f64);
     }
 
     /// Records one fault-domain transition: counts it and lands it in

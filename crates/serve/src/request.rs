@@ -79,6 +79,16 @@ pub struct GenRequest {
     /// conversation — the serving payoff of Mamba's constant-size
     /// state. `None` (the default) opts out.
     pub session: Option<u64>,
+    /// Number of leading prompt tokens that form a *shared* prefix (a
+    /// system prompt) other requests also carry. When the engine's
+    /// prefix cache is on ([`crate::engine::EngineConfig::prefix_cache`])
+    /// the post-prefix state is snapshotted once and every later request
+    /// with the same prefix restores it — one state-transfer DMA instead
+    /// of re-prefilling those tokens. Must be shorter than the prompt
+    /// (at least one token must remain to feed); out-of-range markers
+    /// are ignored. `None` (the default) opts out; with the cache off
+    /// the marker is inert and outputs are bit-identical either way.
+    pub shared_prefix: Option<usize>,
 }
 
 impl GenRequest {
@@ -96,6 +106,7 @@ impl GenRequest {
             deadline_steps: None,
             eos_token: None,
             session: None,
+            shared_prefix: None,
         }
     }
 
@@ -122,6 +133,13 @@ impl GenRequest {
     /// [`GenRequest::session`]).
     pub fn with_session(mut self, session: u64) -> Self {
         self.session = Some(session);
+        self
+    }
+
+    /// Marks the first `len` prompt tokens as a shared prefix eligible
+    /// for the engine's prefix cache (see [`GenRequest::shared_prefix`]).
+    pub fn with_shared_prefix(mut self, len: usize) -> Self {
+        self.shared_prefix = Some(len);
         self
     }
 

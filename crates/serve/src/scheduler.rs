@@ -183,7 +183,7 @@ impl AdmissionCtx<'_> {
 /// let model = MambaModel::synthetic(MambaConfig::tiny(), &mut StdRng::seed_from_u64(1))?;
 /// let mut engine = ServeEngine::new(
 ///     &model,
-///     EngineConfig { slots: 1, max_steps: 10_000, prefill_chunk: 1, threads: 1 },
+///     EngineConfig { slots: 1, max_steps: 10_000, prefill_chunk: 1, threads: 1, ..Default::default() },
 /// )?;
 /// // The long job arrives first; shortest-job-first runs it last.
 /// engine.submit(vec![
@@ -271,6 +271,71 @@ pub fn policy_by_name(name: &str) -> Result<Box<dyn Policy>, ServeError> {
             "unknown policy {name:?}; valid names: {}",
             POLICY_NAMES.join(", ")
         ))),
+    }
+}
+
+/// Token-level admission caps layered *under* every [`Policy`] —
+/// the TGI-style `max_batch_prefill_tokens` / `max_batch_total_tokens`
+/// knobs. The policy still ranks candidates; the engine then walks the
+/// picks in policy order and defers (keeps queued, never drops) any
+/// pick that would push either running total past its cap:
+///
+/// - `max_prefill_tokens_per_step` bounds the prompt tokens *fed* in a
+///   single batched step: the sum over prefilling residents of their
+///   next chunk plus each admitted pick's first chunk.
+/// - `max_total_tokens` bounds the resident footprint: the sum over
+///   everything holding a slot of `prompt.len() + max_new_tokens`
+///   (the worst-case tokens a sequence processes before retiring).
+///
+/// Both checks use the *configured* prefill chunk, not the
+/// degradation-ladder's effective chunk, so a recovering ladder can
+/// never retroactively break an admission the budget already granted.
+///
+/// Liveness valve: when nothing is resident the engine admits the
+/// policy's first pick even if it alone exceeds a cap — an oversized
+/// request runs solo instead of starving, so every queued request
+/// eventually completes. Deferred picks are counted in
+/// [`crate::metrics::ServeReport::budget_deferrals`] and feed the shed
+/// hint ([`crate::request::Completion::retry_after_steps`]).
+///
+/// Construct with [`TokenBudget::new`] (validates both caps are
+/// non-zero) or calibrate from the accelerator cost model with
+/// [`crate::accel_cost::calibrate_token_budget`], then set
+/// [`crate::engine::EngineConfig::token_budget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenBudget {
+    /// Cap on prompt tokens advanced (fed) per engine step.
+    pub max_prefill_tokens_per_step: usize,
+    /// Cap on the summed worst-case footprint
+    /// (`prompt.len() + max_new_tokens`) of all slot-holding sequences.
+    pub max_total_tokens: usize,
+}
+
+impl TokenBudget {
+    /// Builds a budget, rejecting zero caps (a zero cap would defer
+    /// every admission forever outside the liveness valve).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when either cap is 0.
+    pub fn new(
+        max_prefill_tokens_per_step: usize,
+        max_total_tokens: usize,
+    ) -> Result<Self, ServeError> {
+        if max_prefill_tokens_per_step == 0 {
+            return Err(ServeError::InvalidConfig(
+                "token budget: max_prefill_tokens_per_step must be > 0".into(),
+            ));
+        }
+        if max_total_tokens == 0 {
+            return Err(ServeError::InvalidConfig(
+                "token budget: max_total_tokens must be > 0".into(),
+            ));
+        }
+        Ok(Self {
+            max_prefill_tokens_per_step,
+            max_total_tokens,
+        })
     }
 }
 

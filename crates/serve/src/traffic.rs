@@ -122,6 +122,12 @@ pub struct TrafficScenario {
     pub profiles: Vec<(f64, TrafficProfile)>,
     /// How requests arrive.
     pub arrivals: ArrivalProcess,
+    /// When set, every request's prompt is prepended with the *same*
+    /// `n`-token system prompt and tagged with
+    /// [`crate::request::GenRequest::shared_prefix`], so an engine with
+    /// the prefix cache on prefills it once and every later request
+    /// restores the snapshot (see [`TrafficScenario::shared_system_prompt`]).
+    pub shared_prefix_len: Option<usize>,
 }
 
 impl TrafficScenario {
@@ -131,6 +137,7 @@ impl TrafficScenario {
             name: "chat",
             profiles: vec![(1.0, TrafficProfile::chat())],
             arrivals: ArrivalProcess::Poisson(arrivals_per_step),
+            shared_prefix_len: None,
         }
     }
 
@@ -145,6 +152,7 @@ impl TrafficScenario {
                 (0.1, TrafficProfile::summarization()),
             ],
             arrivals: ArrivalProcess::Poisson(arrivals_per_step),
+            shared_prefix_len: None,
         }
     }
 
@@ -174,6 +182,7 @@ impl TrafficScenario {
                 },
             )],
             arrivals: ArrivalProcess::BurstAtStart(n),
+            shared_prefix_len: None,
         }
     }
 
@@ -183,6 +192,7 @@ impl TrafficScenario {
             name: "burst",
             profiles: vec![(1.0, TrafficProfile::chat())],
             arrivals: ArrivalProcess::BurstAtStart(n),
+            shared_prefix_len: None,
         }
     }
 
@@ -199,6 +209,7 @@ impl TrafficScenario {
                 (0.3, TrafficProfile::summarization()),
             ],
             arrivals: ArrivalProcess::Poisson(arrivals_per_step),
+            shared_prefix_len: None,
         }
     }
 
@@ -232,6 +243,36 @@ impl TrafficScenario {
                 ),
             ],
             arrivals: ArrivalProcess::Poisson(arrivals_per_step),
+            shared_prefix_len: None,
+        }
+    }
+
+    /// The shared-system-prompt scenario the prefix cache competes on:
+    /// a closed-loop burst of `n` assistant turns, each carrying the
+    /// *same* `prefix_len`-token system prompt ahead of a short user
+    /// tail. Without the cache every request re-prefills the system
+    /// prompt; with it the first request harvests one snapshot and the
+    /// rest restore it for the price of a single state move each
+    /// (pinned by test, shown by `serve_traffic --prefix-cache`).
+    ///
+    /// Greedy sampling keeps the cache-on/cache-off comparison
+    /// bit-identical on outputs, so the study isolates timing.
+    pub fn shared_system_prompt(n: usize, prefix_len: usize) -> Self {
+        TrafficScenario {
+            name: "shared_system_prompt",
+            profiles: vec![(
+                1.0,
+                TrafficProfile {
+                    name: "assistant-turn",
+                    prompt_len: 4..16,
+                    gen_len: 8..24,
+                    sampler: Sampler::Greedy,
+                    priority: Priority::Interactive,
+                    deadline_steps: None,
+                },
+            )],
+            arrivals: ArrivalProcess::BurstAtStart(n),
+            shared_prefix_len: Some(prefix_len.max(1)),
         }
     }
 }
@@ -245,6 +286,10 @@ pub struct TrafficGenerator {
     next_id: u64,
     /// Registered models requests are spread over (round-robin by id).
     models: usize,
+    /// The scenario's shared system prompt, drawn once at construction
+    /// (empty when [`TrafficScenario::shared_prefix_len`] is unset) —
+    /// every emitted request carries these exact tokens first.
+    shared_prefix: Vec<u32>,
 }
 
 impl TrafficGenerator {
@@ -261,12 +306,24 @@ impl TrafficGenerator {
             scenario.name
         );
         assert!(vocab_size > 0, "vocab_size must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Drawn before any request so scenarios without a shared prefix
+        // consume no extra randomness (their streams stay byte-stable).
+        let shared_prefix = scenario
+            .shared_prefix_len
+            .map(|len| {
+                (0..len.max(1))
+                    .map(|_| rng.gen_range(0..vocab_size) as u32)
+                    .collect()
+            })
+            .unwrap_or_default();
         TrafficGenerator {
             scenario,
             vocab_size,
-            rng: StdRng::seed_from_u64(seed),
+            rng,
             next_id: 0,
             models: 1,
+            shared_prefix,
         }
     }
 
@@ -315,9 +372,14 @@ impl TrafficGenerator {
         let profile = self.sample_profile();
         let prompt_len = self.rng.gen_range(profile.prompt_len.clone());
         let gen_len = self.rng.gen_range(profile.gen_len.clone());
-        let prompt = (0..prompt_len.max(1))
-            .map(|_| self.rng.gen_range(0..self.vocab_size) as u32)
-            .collect();
+        let tail = (0..prompt_len.max(1)).map(|_| self.rng.gen_range(0..self.vocab_size) as u32);
+        let (prompt, shared_prefix) = if self.shared_prefix.is_empty() {
+            (tail.collect(), None)
+        } else {
+            let mut prompt = self.shared_prefix.clone();
+            prompt.extend(tail);
+            (prompt, Some(self.shared_prefix.len()))
+        };
         let id = self.next_id;
         self.next_id += 1;
         let deadline_steps = profile
@@ -336,6 +398,7 @@ impl TrafficGenerator {
             deadline_steps,
             eos_token: None,
             session: None,
+            shared_prefix,
         }
     }
 
@@ -478,6 +541,28 @@ mod tests {
         let mut h = TrafficGenerator::new(TrafficScenario::chat_sessions(6), 256, 21);
         h.generate(1);
         assert_eq!(h.follow_up_turn(), (prompt, gen_len));
+    }
+
+    #[test]
+    fn shared_system_prompt_carries_one_identical_prefix() {
+        let mut g = TrafficGenerator::new(TrafficScenario::shared_system_prompt(8, 12), 256, 17);
+        let reqs = g.generate(1);
+        assert_eq!(reqs.len(), 8);
+        let prefix = reqs[0].prompt[..12].to_vec();
+        for r in &reqs {
+            assert_eq!(r.shared_prefix, Some(12));
+            assert_eq!(&r.prompt[..12], &prefix[..], "one shared system prompt");
+            assert!(r.prompt.len() > 12, "a user tail must remain to feed");
+        }
+        // Same seed, same prefix and tails.
+        let mut h = TrafficGenerator::new(TrafficScenario::shared_system_prompt(8, 12), 256, 17);
+        let again = h.generate(1);
+        for (a, b) in reqs.iter().zip(&again) {
+            assert_eq!(a.prompt, b.prompt);
+        }
+        // Scenarios without a prefix never tag requests.
+        let mut plain = TrafficGenerator::new(TrafficScenario::burst(4), 256, 17);
+        assert!(plain.generate(1).iter().all(|r| r.shared_prefix.is_none()));
     }
 
     #[test]

@@ -166,7 +166,9 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             chaos_registry(&model, &q, fault_seed, rate),
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 2, threads },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 2, threads,
+..Default::default()
+},
         ).unwrap();
         engine.set_resilience(ResilienceConfig {
             queue_limit,
@@ -247,7 +249,9 @@ proptest! {
         let run = |plan_rate: f64| {
             let mut engine = ServeEngine::with_registry(
                 chaos_registry(&model, &q, fault_seed, plan_rate),
-                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 2, threads: 1 },
+                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 2, threads: 1 ,
+..Default::default()
+},
             ).unwrap();
             engine.set_resilience(ResilienceConfig::default());
             engine.submit(requests.clone()).unwrap();
@@ -290,7 +294,9 @@ proptest! {
         let run = |threads: usize| {
             let mut engine = ServeEngine::with_registry(
                 chaos_registry(&model, &q, fault_seed, rate),
-                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 2, threads },
+                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 2, threads,
+..Default::default()
+},
             ).unwrap();
             engine.set_resilience(ResilienceConfig::default());
             engine.submit(requests.clone()).unwrap();

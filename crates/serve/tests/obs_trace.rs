@@ -38,6 +38,7 @@ fn churny_run(cfg: ObsConfig) -> (ServeReport, Box<EngineObs>) {
             max_steps: 100_000,
             prefill_chunk: 4,
             threads: 1,
+            ..Default::default()
         },
     )
     .unwrap();

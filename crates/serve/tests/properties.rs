@@ -119,7 +119,9 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::new(
             &model,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 ,
+..Default::default()
+},
         ).unwrap();
         engine.submit(requests).unwrap();
         let report = engine.run(&mut Fifo).unwrap();
@@ -148,7 +150,9 @@ proptest! {
         let requests = build_requests(&spec);
         let mut engine = ServeEngine::new(
             &model,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 ,
+..Default::default()
+},
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut sched = Fifo;
@@ -283,7 +287,9 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 ,
+..Default::default()
+},
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut sched = Fifo;
@@ -326,7 +332,9 @@ proptest! {
         let run = |sched: &mut dyn Policy| {
             let mut engine = ServeEngine::new(
                 &model,
-                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
+                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 ,
+..Default::default()
+},
             ).unwrap();
             engine.submit(requests.clone()).unwrap();
             engine.run(sched).unwrap();
@@ -354,7 +362,9 @@ proptest! {
         let run = |chunk: usize| {
             let mut engine = ServeEngine::new(
                 &model,
-                EngineConfig { slots, max_steps: 200_000, prefill_chunk: chunk, threads: 1 },
+                EngineConfig { slots, max_steps: 200_000, prefill_chunk: chunk, threads: 1 ,
+..Default::default()
+},
             ).unwrap();
             engine.submit(requests.clone()).unwrap();
             engine.run(&mut Fifo).unwrap();
@@ -399,7 +409,9 @@ proptest! {
         let run = |policy: &mut dyn Policy| {
             let mut engine = ServeEngine::new(
                 &model,
-                EngineConfig { slots, max_steps: 50_000, prefill_chunk: chunk, threads: 1 },
+                EngineConfig { slots, max_steps: 50_000, prefill_chunk: chunk, threads: 1 ,
+..Default::default()
+},
             ).unwrap();
             engine.submit(requests.clone()).unwrap();
             engine.run(policy).unwrap()
@@ -431,7 +443,9 @@ proptest! {
             .collect();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots: 6, max_steps: 400, prefill_chunk: 1, threads: 1 },
+            EngineConfig { slots: 6, max_steps: 400, prefill_chunk: 1, threads: 1 ,
+..Default::default()
+},
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut wfq = WeightedFair::new(vec![weight as f64, 1.0]);
@@ -473,7 +487,9 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: chunk, threads: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: chunk, threads: 1 ,
+..Default::default()
+},
         ).unwrap();
         engine.submit(requests.clone()).unwrap();
         let report = engine.run(&mut ChurnFifo::new(schedule)).unwrap();
@@ -542,7 +558,9 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 ,
+..Default::default()
+},
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut policy = ChurnFifo::new(schedule);
@@ -611,7 +629,9 @@ proptest! {
                 }
                 reg
             };
-            let cfg = EngineConfig { slots: 1, max_steps: 200_000, prefill_chunk: chunk, threads: 1 };
+            let cfg = EngineConfig { slots: 1, max_steps: 200_000, prefill_chunk: chunk, threads: 1 ,
+..Default::default()
+};
 
             // Turn 1 parks its state; turn 2 resumes it.
             let mut engine = ServeEngine::with_registry(make_reg(), cfg).unwrap();
@@ -683,7 +703,9 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 ,
+..Default::default()
+},
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut policy = ChurnFifo::new(schedule);
@@ -794,7 +816,9 @@ proptest! {
             }
             let mut engine = ServeEngine::with_registry(
                 reg,
-                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 2, threads },
+                EngineConfig { slots, max_steps: 200_000, prefill_chunk: 2, threads,
+..Default::default()
+},
             ).unwrap();
             engine.submit(requests).unwrap();
             let mut policy = ChurnFifo::new(schedule.clone());
@@ -844,7 +868,9 @@ proptest! {
         let n = requests.len();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 },
+            EngineConfig { slots, max_steps: 200_000, prefill_chunk: 1, threads: 1 ,
+..Default::default()
+},
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut wfq = WeightedFair::equal();
@@ -917,7 +943,9 @@ proptest! {
             .collect();
         let mut engine = ServeEngine::with_registry(
             reg,
-            EngineConfig { slots: 6, max_steps: 400, prefill_chunk: 1, threads: 1 },
+            EngineConfig { slots: 6, max_steps: 400, prefill_chunk: 1, threads: 1 ,
+..Default::default()
+},
         ).unwrap();
         engine.submit(requests).unwrap();
         let mut policy = ChurnWfq {
@@ -937,6 +965,204 @@ proptest! {
             share,
             report.preemptions
         );
+    }
+
+    #[test]
+    fn prefix_cache_is_inert_off_and_bit_identical_on(
+        spec in workload(),
+        prefix in proptest::collection::vec(0u32..256, 2..6),
+        mark_mask in proptest::collection::vec(any::<bool>(), 14),
+        slots in 1usize..5,
+        schedule in churn_schedule(),
+        chunk in 1usize..4,
+        cancel_mask in proptest::collection::vec(any::<bool>(), 14),
+        cancel_gap in 1u64..6,
+    ) {
+        // The tentpole pin, three ways, on both backends under
+        // preemption churn, client cancellation, and session traffic:
+        //   1. shared-prefix markers with the cache *off* change nothing
+        //      at all — same retirements, same finishes, same tokens;
+        //   2. with the cache *on*, every request that ran to completion
+        //      decodes bit-identically to the cache-less run (restored
+        //      states are exact, harvests are invisible);
+        //   3. the cache-on engine is thread-count invariant.
+        let model = tiny_model();
+        let q = tiny_w4a4(&model);
+        // Same prompts everywhere: a marked request's prompt carries
+        // the common prefix in *all* runs; only the marker differs.
+        let mut base = build_requests(&spec);
+        for r in &mut base {
+            r.model = (r.id % 2) as usize;
+            if r.id % 3 == 0 {
+                r.session = Some(r.id / 3);
+            }
+            if mark_mask[r.id as usize % mark_mask.len()] {
+                let mut p = prefix.clone();
+                p.extend_from_slice(&r.prompt);
+                r.prompt = p;
+            }
+        }
+        let marked: Vec<GenRequest> = base
+            .iter()
+            .cloned()
+            .map(|r| {
+                if mark_mask[r.id as usize % mark_mask.len()] {
+                    let k = prefix.len();
+                    r.with_shared_prefix(k)
+                } else {
+                    r
+                }
+            })
+            .collect();
+        let n = base.len();
+
+        let run = |requests: &[GenRequest], cache: Option<usize>, threads: usize| {
+            let mut reg = ModelRegistry::new();
+            reg.register("fp", Box::new(FpBackend::new(&model))).unwrap();
+            reg.register("w4a4", Box::new(W4A4Backend::new(q.clone()))).unwrap();
+            let mut engine = ServeEngine::with_registry(
+                reg,
+                EngineConfig {
+                    slots,
+                    max_steps: 200_000,
+                    prefill_chunk: chunk,
+                    threads,
+                    prefix_cache: cache,
+                    ..Default::default()
+                },
+            ).unwrap();
+            engine.submit(requests.to_vec()).unwrap();
+            let mut policy = ChurnFifo::new(schedule.clone());
+            let mut steps = 0u64;
+            let mut next_cancel = 0usize;
+            while engine.has_work() && steps < 200_000 {
+                if steps % cancel_gap == 0 && next_cancel < cancel_mask.len() {
+                    if cancel_mask[next_cancel] {
+                        engine.cancel(next_cancel as u64);
+                    }
+                    next_cancel += 1;
+                }
+                engine.step(&mut policy).unwrap();
+                steps += 1;
+                engine.take_session_snapshots();
+            }
+            let mut done: Vec<_> = engine
+                .completions()
+                .iter()
+                .map(|c| (c.id, c.finish, c.tokens.clone()))
+                .collect();
+            done.sort_by_key(|&(id, ..)| id);
+            done
+        };
+
+        // 1. Cache off: the marker is completely inert — identical
+        //    retirement stream, cancellations included.
+        let baseline = run(&base, None, 1);
+        prop_assert_eq!(baseline.len(), n);
+        let marked_off = run(&marked, None, 1);
+        prop_assert_eq!(&baseline, &marked_off);
+
+        // 2. Cache on: restores shift *when* work happens (so a
+        //    mid-flight cancel may land differently), but every request
+        //    that ran to completion in both runs is bit-identical.
+        let cached = run(&marked, Some(4), 1);
+        prop_assert_eq!(cached.len(), n, "every request still retires exactly once");
+        use lightmamba_serve::request::FinishReason;
+        let finished = |f: lightmamba_serve::request::FinishReason| {
+            matches!(f, FinishReason::MaxTokens | FinishReason::Eos)
+        };
+        for ((id_a, fin_a, toks_a), (id_b, fin_b, toks_b)) in baseline.iter().zip(&cached) {
+            prop_assert_eq!(id_a, id_b);
+            if finished(*fin_a) && finished(*fin_b) {
+                prop_assert_eq!(
+                    toks_a,
+                    toks_b,
+                    "request {} diverged with the prefix cache on",
+                    id_a
+                );
+            }
+        }
+
+        // 3. Thread-count invariance with the cache on.
+        prop_assert_eq!(&cached, &run(&marked, Some(4), 4));
+    }
+
+    #[test]
+    fn token_budget_caps_hold_and_no_request_starves_under_every_policy(
+        spec in workload(),
+        slots in 1usize..5,
+        prefill_cap in 5usize..24,
+        total_cap in 12usize..60,
+        chunk in 1usize..5,
+    ) {
+        // For every admission policy and an arbitrary budget at least as
+        // wide as one request (the valve covers narrower ones): no step
+        // ever feeds more prefill tokens than the cap, no step ever
+        // holds more resident footprint than the total cap, the deferral
+        // counters reconcile, and every request still completes —
+        // deferral is backpressure, never starvation. Outputs stay
+        // policy- and budget-independent.
+        use lightmamba_serve::scheduler::{policy_by_name, TokenBudget, POLICY_NAMES};
+        let model = tiny_model();
+        let requests = build_requests(&spec);
+        let n = requests.len();
+        let budget = TokenBudget::new(prefill_cap, total_cap).unwrap();
+        let mut reference: Option<Vec<(u64, Vec<u32>)>> = None;
+        for name in POLICY_NAMES {
+            let mut policy = policy_by_name(name).unwrap();
+            let mut engine = ServeEngine::new(
+                &model,
+                EngineConfig {
+                    slots,
+                    max_steps: 200_000,
+                    prefill_chunk: chunk,
+                    threads: 1,
+                    token_budget: Some(budget),
+                    ..Default::default()
+                },
+            ).unwrap();
+            engine.submit(requests.clone()).unwrap();
+            let report = engine.run(policy.as_mut()).unwrap();
+
+            prop_assert_eq!(report.completed, n, "{}: a request starved", name);
+            for (t, &fed) in report.trace.prefill_per_step.iter().enumerate() {
+                prop_assert!(
+                    fed <= prefill_cap,
+                    "{}: step {} fed {} prefill tokens past the {} cap",
+                    name, t, fed, prefill_cap
+                );
+            }
+            for (t, &resident) in report.trace.resident_tokens_per_step.iter().enumerate() {
+                prop_assert!(
+                    resident <= total_cap,
+                    "{}: step {} held {} resident tokens past the {} cap",
+                    name, t, resident, total_cap
+                );
+            }
+            prop_assert!(engine.peak_resident_tokens() <= total_cap);
+            prop_assert_eq!(
+                report.budget_deferrals,
+                report
+                    .trace
+                    .budget_deferred_per_step
+                    .iter()
+                    .map(|&d| d as u64)
+                    .sum::<u64>()
+            );
+            let mut out: Vec<(u64, Vec<u32>)> = engine
+                .completions()
+                .iter()
+                .map(|c| (c.id, c.tokens.clone()))
+                .collect();
+            out.sort();
+            match &reference {
+                None => reference = Some(out),
+                Some(want) => prop_assert_eq!(
+                    &out, want,
+                    "{}: outputs changed under the budget", name
+                ),
+            }
+        }
     }
 }
 
@@ -967,6 +1193,7 @@ fn edf_strictly_beats_fifo_on_the_deadline_heavy_scenario() {
                 max_steps: 1_000_000,
                 prefill_chunk: 4,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -1034,6 +1261,7 @@ fn preemptive_edf_strictly_beats_plain_edf_on_the_preemption_heavy_scenario() {
                 max_steps: 1_000_000,
                 prefill_chunk: 4,
                 threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();

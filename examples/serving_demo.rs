@@ -84,6 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 max_steps: 1_000_000,
                 prefill_chunk: args.prefill_chunk,
                 threads: args.threads,
+                ..Default::default()
             },
         )?;
         engine.submit(requests.clone())?;

@@ -88,6 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_steps: 1_000_000,
             prefill_chunk: 4,
             threads: 1,
+            ..Default::default()
         },
     )?;
 
